@@ -1,0 +1,138 @@
+// Experiment T4: crypto primitive microbenchmarks (real time).
+//
+// Grounds the cost model: the SP-side verification path is ordinary
+// software crypto, so its real throughput on this host is what the
+// scalability experiment (F3) builds on.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "crypto/aes.h"
+#include "crypto/bignum.h"
+#include "crypto/drbg.h"
+#include "crypto/hmac.h"
+#include "crypto/modes.h"
+#include "crypto/rsa.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+using namespace tp;
+using namespace tp::crypto;
+
+namespace {
+
+std::function<Bytes(std::size_t)> entropy(const std::string& label) {
+  auto drbg = std::make_shared<HmacDrbg>(bytes_of("bench:" + label));
+  return [drbg](std::size_t n) { return drbg->generate(n); };
+}
+
+const RsaPrivateKey& key_of(std::size_t bits) {
+  static const RsaPrivateKey k1024 =
+      rsa_generate(1024, entropy("k1024"));
+  static const RsaPrivateKey k2048 =
+      rsa_generate(2048, entropy("k2048"));
+  return bits == 1024 ? k1024 : k2048;
+}
+
+void BM_Sha1(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key(32, 0x11);
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(4096);
+
+void BM_AesCbcEncrypt(benchmark::State& state) {
+  const Aes aes(Bytes(32, 0x22));
+  const Bytes iv(16, 0x01);
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbc_encrypt(aes, iv, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCbcEncrypt)->Arg(4096)->Arg(65536);
+
+void BM_AesCtr(benchmark::State& state) {
+  const Aes aes(Bytes(32, 0x22));
+  const Bytes nonce(16, 0x01);
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctr_crypt(aes, nonce, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(4096)->Arg(65536);
+
+void BM_RsaSign(benchmark::State& state) {
+  const auto& key = key_of(static_cast<std::size_t>(state.range(0)));
+  const Bytes msg = bytes_of("confirmation statement");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_sign(key, HashAlg::kSha256, msg));
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(1024)->Arg(2048);
+
+void BM_RsaVerify(benchmark::State& state) {
+  const auto& key = key_of(static_cast<std::size_t>(state.range(0)));
+  const Bytes msg = bytes_of("confirmation statement");
+  const Bytes sig = rsa_sign(key, HashAlg::kSha256, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rsa_verify(key.public_key(), HashAlg::kSha256, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(1024)->Arg(2048);
+
+void BM_RsaKeygen(benchmark::State& state) {
+  auto rand = entropy("keygen-bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rsa_generate(static_cast<std::size_t>(state.range(0)), rand));
+  }
+}
+BENCHMARK(BM_RsaKeygen)->Arg(768)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_ModExp2048(benchmark::State& state) {
+  auto rand = entropy("modexp");
+  const BigInt m = key_of(2048).n;
+  const BigInt base = BigInt::from_bytes_be(rand(256)) % m;
+  const BigInt exp = BigInt::from_bytes_be(rand(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::mod_exp(base, exp, m));
+  }
+  state.SetLabel("full 2048-bit exponent");
+}
+BENCHMARK(BM_ModExp2048)->Unit(benchmark::kMillisecond);
+
+void BM_HmacDrbg(benchmark::State& state) {
+  HmacDrbg drbg(bytes_of("seed"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drbg.generate(32));
+  }
+}
+BENCHMARK(BM_HmacDrbg);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Experiment T1: TPM 1.2 operation latency across chips.
+//
+// Regenerates the paper's TPM-cost table: per-command virtual-time cost
+// for each of the four chip profiles. The claim being reproduced: Seal,
+// Unseal and Quote cost hundreds of milliseconds and vary several-fold
+// across vendors -- they dominate any trusted-path session.
+#include <cstdio>
+
+#include "tpm/chip_profile.h"
+#include "tpm/tpm_device.h"
+
+using namespace tp;
+using namespace tp::tpm;
+
+namespace {
+
+// Measures one command's virtual cost on a fresh device.
+double measure_ms(const ChipProfile& chip, const char* op) {
+  SimClock clock;
+  TpmDevice tpm(chip, bytes_of("bench"), clock,
+                TpmDevice::Options{.key_bits = 768});
+  const SimTime before = clock.now();
+  const PcrSelection sel = PcrSelection::of({17});
+  const Bytes digest(kPcrSize, 0x11);
+
+  const std::string name(op);
+  if (name == "PCR_Extend") {
+    (void)tpm.pcr_extend(Locality::kPal, 10, digest);
+  } else if (name == "PCR_Read") {
+    (void)tpm.pcr_read(10);
+  } else if (name == "GetRandom(16B)") {
+    (void)tpm.get_random(16);
+  } else if (name == "Quote") {
+    (void)tpm.quote(Bytes(20, 1), sel);
+  } else if (name == "Seal") {
+    (void)tpm.seal(Locality::kPal, sel, 0xff, Bytes(128, 2));
+  } else if (name == "Unseal") {
+    auto blob = tpm.seal(Locality::kPal, sel, 0xff, Bytes(128, 2));
+    const SimTime mid = clock.now();
+    (void)tpm.unseal(Locality::kPal, blob.value());
+    return (clock.now() - mid).to_millis();
+  } else if (name == "Sign") {
+    auto wrapped = tpm.create_wrap_key(sel);
+    auto handle = tpm.load_key2(wrapped.value());
+    const SimTime mid = clock.now();
+    (void)tpm.sign(handle.value(), bytes_of("m"));
+    return (clock.now() - mid).to_millis();
+  } else if (name == "LoadKey2") {
+    auto wrapped = tpm.create_wrap_key(sel);
+    const SimTime mid = clock.now();
+    (void)tpm.load_key2(wrapped.value());
+    return (clock.now() - mid).to_millis();
+  } else if (name == "CreateWrapKey") {
+    (void)tpm.create_wrap_key(sel);
+  } else if (name == "NV_Write") {
+    (void)tpm.nv_define(1, 64);
+    const SimTime mid = clock.now();
+    (void)tpm.nv_write(1, Bytes(32, 1));
+    return (clock.now() - mid).to_millis();
+  } else if (name == "Counter_Inc") {
+    (void)tpm.counter_increment(1);
+  }
+  return (clock.now() - before).to_millis();
+}
+
+}  // namespace
+
+int main() {
+  const char* ops[] = {"PCR_Extend", "PCR_Read",      "GetRandom(16B)",
+                       "Quote",      "Seal",          "Unseal",
+                       "Sign",       "LoadKey2",      "CreateWrapKey",
+                       "NV_Write",   "Counter_Inc"};
+
+  std::printf("=== T1: TPM 1.2 command latency (virtual ms) ===\n\n");
+  std::printf("%-16s", "operation");
+  for (const auto& chip : standard_chips()) {
+    std::printf("  %20s", chip.name.c_str());
+  }
+  std::printf("\n");
+
+  for (const char* op : ops) {
+    std::printf("%-16s", op);
+    for (const auto& chip : standard_chips()) {
+      std::printf("  %20.1f", measure_ms(chip, op));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nShape check: Seal/Unseal/Quote are 100s of ms on every chip and\n"
+      "vary ~3x across vendors; PCR reads are ~1 ms. Storage/attestation\n"
+      "commands dominate any session that uses them.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "captcha/captcha.h"
+
+#include <algorithm>
+
+namespace tp::captcha {
+
+namespace {
+constexpr char kAlphabet[] = "abcdefghjkmnpqrstuvwxyz23456789";
+constexpr std::size_t kAlphabetSize = sizeof(kAlphabet) - 1;
+}  // namespace
+
+CaptchaService::CaptchaService(BytesView seed, std::size_t code_len)
+    : drbg_(concat(bytes_of("captcha-service:"), seed)),
+      code_len_(code_len) {}
+
+CaptchaChallenge CaptchaService::issue(double distortion) {
+  distortion = std::clamp(distortion, 0.0, 1.0);
+  const Bytes raw = drbg_.generate(code_len_);
+  std::string text;
+  text.reserve(code_len_);
+  for (std::uint8_t b : raw) text.push_back(kAlphabet[b % kAlphabetSize]);
+
+  CaptchaChallenge challenge;
+  challenge.id = next_id_++;
+  challenge.embedded_text = text;
+  challenge.distortion = distortion;
+  pending_[challenge.id] = text;
+  ++issued_;
+  return challenge;
+}
+
+Status CaptchaService::verify(std::uint64_t id, const std::string& answer) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return Error{Err::kNotFound, "captcha: unknown or consumed challenge"};
+  }
+  const std::string solution = it->second;
+  pending_.erase(it);  // one-shot
+  if (answer != solution) {
+    return Error{Err::kAuthFail, "captcha: wrong answer"};
+  }
+  ++solved_;
+  return Status::ok_status();
+}
+
+double human_solve_prob(double base, double distortion) {
+  distortion = std::clamp(distortion, 0.0, 1.0);
+  return std::max(0.2, base * (1.0 - 0.35 * distortion));
+}
+
+double OcrAttacker::solve_prob(double distortion) const {
+  distortion = std::clamp(distortion, 0.0, 1.0);
+  // OCR degrades much faster with distortion than humans do; outsourced
+  // human solving (strength near 1) barely degrades -- which is why
+  // captchas lose the arms race, the structural point of experiment F2.
+  const double human_like = strength_;                  // solver quality
+  const double decay = 1.0 - (1.6 - strength_) * distortion;
+  return std::clamp(human_like * decay, 0.0, 1.0);
+}
+
+std::string OcrAttacker::attempt(const CaptchaChallenge& challenge) {
+  if (rng_.chance(solve_prob(challenge.distortion))) {
+    return challenge.embedded_text;
+  }
+  // A wrong recognition: mangle one character.
+  std::string guess = challenge.embedded_text;
+  if (guess.empty()) return "?";
+  const std::size_t pos = rng_.next_below(guess.size());
+  guess[pos] = (guess[pos] == 'x') ? 'y' : 'x';
+  return guess;
+}
+
+}  // namespace tp::captcha

@@ -1,0 +1,81 @@
+// Captcha baseline: the defence the paper positions the trusted path
+// against ("offers immediate value ... as a replacement for captchas").
+//
+// The service issues distorted-text challenges; humans solve them with
+// high (but not perfect) probability, OCR bots with a probability that
+// *rises* as solving services improve -- the structural weakness the
+// comparison experiment (F2) quantifies. Distortion is an abstract knob
+// in [0,1]: higher hurts bots more, but hurts humans too.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/drbg.h"
+#include "devices/human.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace tp::captcha {
+
+struct CaptchaChallenge {
+  std::uint64_t id = 0;
+  /// The text embedded in the (conceptual) distorted image. A solver --
+  /// human or OCR -- "sees" this; whether it *recognizes* it correctly is
+  /// the probabilistic part the models capture.
+  std::string embedded_text;
+  double distortion = 0.0;
+};
+
+class CaptchaService {
+ public:
+  explicit CaptchaService(BytesView seed, std::size_t code_len = 6);
+
+  /// Issues a challenge with the given distortion level in [0,1].
+  CaptchaChallenge issue(double distortion);
+
+  /// One-shot check; consuming a challenge invalidates it.
+  Status verify(std::uint64_t id, const std::string& answer);
+
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t solved() const { return solved_; }
+
+ private:
+  crypto::HmacDrbg drbg_;
+  std::size_t code_len_;
+  std::map<std::uint64_t, std::string> pending_;  // id -> solution
+  std::uint64_t next_id_ = 1;
+  std::uint64_t issued_ = 0;
+  std::uint64_t solved_ = 0;
+};
+
+/// P(human solves) for a human with `base` ability at `distortion`:
+/// linear degradation, floor at 0.2 (from captcha usability studies,
+/// heavy distortion pushes human accuracy toward chance).
+double human_solve_prob(double base, double distortion);
+
+/// Automated captcha solver (OCR or human-solving sweatshop API).
+/// `strength` in [0,1] is the attacker quality knob of experiment F2:
+/// 0.3 ~ 2011-era OCR, 0.9+ ~ outsourced human solving.
+class OcrAttacker {
+ public:
+  OcrAttacker(double strength, SimRng rng)
+      : strength_(strength), rng_(std::move(rng)) {}
+
+  /// P(correct answer) at a given distortion: distortion suppresses OCR
+  /// more sharply than humans.
+  double solve_prob(double distortion) const;
+
+  /// Attempts a challenge: returns the embedded text with solve_prob, a
+  /// wrong guess otherwise (recognition is the probabilistic step).
+  std::string attempt(const CaptchaChallenge& challenge);
+
+ private:
+  double strength_;
+  SimRng rng_;
+};
+
+}  // namespace tp::captcha

@@ -1,0 +1,229 @@
+#include "core/client.h"
+
+namespace tp::core {
+
+TrustedPathClient::TrustedPathClient(drtm::Platform& platform,
+                                     net::Endpoint& sp_link,
+                                     tpm::AikCertificate aik_certificate,
+                                     ClientConfig config)
+    : platform_(&platform),
+      plain_transport_(sp_link),
+      transport_(&plain_transport_),
+      aik_certificate_(std::move(aik_certificate)),
+      config_(std::move(config)),
+      driver_(platform),
+      pal_(make_trusted_path_pal()) {}
+
+Result<Bytes> TrustedPathClient::exchange(MsgType type, BytesView payload) {
+  auto frame = transport_->exchange(envelope(type, payload));
+  if (!frame.ok()) return frame.error();
+  auto opened = open_envelope(frame.value());
+  if (!opened.ok()) return opened.error();
+  return opened.value().second;
+}
+
+Status TrustedPathClient::enroll() {
+  // 1. Request a challenge.
+  auto challenge_bytes =
+      exchange(MsgType::kEnrollBegin,
+               EnrollBegin{config_.client_id}.serialize());
+  if (!challenge_bytes.ok()) return challenge_bytes.error();
+  auto challenge = EnrollChallenge::deserialize(challenge_bytes.value());
+  if (!challenge.ok()) return challenge.error();
+
+  // 2. Run the ENROLL PAL session.
+  PalEnrollInput pal_input;
+  pal_input.nonce = challenge.value().nonce;
+  pal_input.key_bits = config_.key_bits;
+  auto session = driver_.run(pal_, pal_input.marshal());
+  if (!session.ok()) return session.error();
+  if (!session.value().status.ok()) return session.value().status;
+  auto pal_out = PalEnrollOutput::unmarshal(session.value().output);
+  if (!pal_out.ok()) return pal_out.error();
+
+  // 3. Send the key + quote + AIK certificate to the SP.
+  EnrollComplete complete;
+  complete.client_id = config_.client_id;
+  complete.confirmation_pubkey = pal_out.value().pubkey;
+  complete.quote = pal_out.value().quote;
+  complete.aik_certificate = aik_certificate_.serialize();
+  auto result_bytes =
+      exchange(MsgType::kEnrollComplete, complete.serialize());
+  if (!result_bytes.ok()) return result_bytes.error();
+  auto result = EnrollResult::deserialize(result_bytes.value());
+  if (!result.ok()) return result.error();
+  if (!result.value().accepted) {
+    return Error{Err::kAuthFail,
+                 "enrollment rejected: " + result.value().reason};
+  }
+
+  pubkey_ = pal_out.value().pubkey;
+  sealed_key_ = pal_out.value().sealed_key;
+  return Status::ok_status();
+}
+
+Result<TrustedPathClient::ConfirmOutcome>
+TrustedPathClient::submit_transaction(const std::string& summary,
+                                      BytesView payload) {
+  if (!enrolled()) {
+    return Error{Err::kBadState, "submit: client not enrolled"};
+  }
+
+  // 1. Submit the transaction; receive the challenge.
+  TxSubmit submit{config_.client_id, summary,
+                  Bytes(payload.begin(), payload.end())};
+  auto challenge_bytes = exchange(MsgType::kTxSubmit, submit.serialize());
+  if (!challenge_bytes.ok()) return challenge_bytes.error();
+  auto challenge = TxChallenge::deserialize(challenge_bytes.value());
+  if (!challenge.ok()) return challenge.error();
+
+  // 2. Run the CONFIRM PAL session.
+  PalConfirmInput pal_input;
+  pal_input.tx_summary = summary;
+  pal_input.tx_digest = submit.digest();
+  pal_input.nonce = challenge.value().nonce;
+  pal_input.sealed_key = *sealed_key_;
+  pal_input.code_len = config_.code_len;
+  pal_input.max_attempts = config_.max_attempts;
+  pal_input.user_timeout_ns = config_.user_timeout.ns;
+  auto session = driver_.run(pal_, pal_input.marshal());
+  if (!session.ok()) return session.error();
+  if (!session.value().status.ok()) return session.value().status.error();
+  auto pal_out = PalConfirmOutput::unmarshal(session.value().output);
+  if (!pal_out.ok()) return pal_out.error();
+
+  // 3. Report the verdict (and signature, if confirmed).
+  TxConfirm confirm;
+  confirm.client_id = config_.client_id;
+  confirm.tx_id = challenge.value().tx_id;
+  confirm.verdict = pal_out.value().verdict;
+  confirm.signature = pal_out.value().signature;
+  auto result_bytes = exchange(MsgType::kTxConfirm, confirm.serialize());
+  if (!result_bytes.ok()) return result_bytes.error();
+  auto result = TxResult::deserialize(result_bytes.value());
+  if (!result.ok()) return result.error();
+
+  ConfirmOutcome outcome;
+  outcome.accepted = result.value().accepted;
+  outcome.verdict = pal_out.value().verdict;
+  outcome.reason = result.value().reason;
+  outcome.timing = session.value().timing;
+  return outcome;
+}
+
+Result<TrustedPathClient::BatchOutcome> TrustedPathClient::submit_batch(
+    const std::vector<BatchTx>& txs) {
+  if (!enrolled()) {
+    return Error{Err::kBadState, "submit_batch: client not enrolled"};
+  }
+  if (txs.empty()) {
+    return Error{Err::kInvalidArgument, "submit_batch: empty batch"};
+  }
+
+  // 1. Submit every transaction, collecting one challenge each.
+  PalBatchConfirmInput pal_input;
+  pal_input.sealed_key = *sealed_key_;
+  pal_input.code_len = config_.code_len;
+  pal_input.max_attempts = config_.max_attempts;
+  pal_input.user_timeout_ns = config_.user_timeout.ns;
+  std::vector<std::uint64_t> tx_ids;
+  for (const auto& [summary, payload] : txs) {
+    TxSubmit submit{config_.client_id, summary, payload};
+    auto challenge_bytes = exchange(MsgType::kTxSubmit, submit.serialize());
+    if (!challenge_bytes.ok()) return challenge_bytes.error();
+    auto challenge = TxChallenge::deserialize(challenge_bytes.value());
+    if (!challenge.ok()) return challenge.error();
+    pal_input.items.push_back(
+        BatchItem{summary, submit.digest(), challenge.value().nonce});
+    tx_ids.push_back(challenge.value().tx_id);
+  }
+
+  // 2. One session for the whole batch.
+  auto session = driver_.run(pal_, pal_input.marshal());
+  if (!session.ok()) return session.error();
+  if (!session.value().status.ok()) return session.value().status.error();
+  auto pal_out = PalBatchConfirmOutput::unmarshal(session.value().output);
+  if (!pal_out.ok()) return pal_out.error();
+  const bool confirmed = pal_out.value().verdict == Verdict::kConfirmed;
+  if (confirmed && pal_out.value().signatures.size() != txs.size()) {
+    return Error{Err::kInternal, "submit_batch: signature count mismatch"};
+  }
+
+  // 3. Settle each transaction with the SP.
+  BatchOutcome outcome;
+  outcome.verdict = pal_out.value().verdict;
+  outcome.timing = session.value().timing;
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    TxConfirm confirm;
+    confirm.client_id = config_.client_id;
+    confirm.tx_id = tx_ids[i];
+    confirm.verdict = pal_out.value().verdict;
+    if (confirmed) confirm.signature = pal_out.value().signatures[i];
+    auto result_bytes = exchange(MsgType::kTxConfirm, confirm.serialize());
+    if (!result_bytes.ok()) return result_bytes.error();
+    auto result = TxResult::deserialize(result_bytes.value());
+    if (!result.ok()) return result.error();
+    outcome.results.push_back(result.take());
+  }
+  return outcome;
+}
+
+Result<TrustedPathClient::LimitedOutcome>
+TrustedPathClient::submit_limited_transaction(const std::string& summary,
+                                              BytesView payload,
+                                              std::uint64_t amount_cents,
+                                              std::uint64_t limit_cents) {
+  if (!enrolled()) {
+    return Error{Err::kBadState, "submit_limited: client not enrolled"};
+  }
+
+  TxSubmit submit{config_.client_id, summary,
+                  Bytes(payload.begin(), payload.end())};
+  auto challenge_bytes = exchange(MsgType::kTxSubmit, submit.serialize());
+  if (!challenge_bytes.ok()) return challenge_bytes.error();
+  auto challenge = TxChallenge::deserialize(challenge_bytes.value());
+  if (!challenge.ok()) return challenge.error();
+
+  PalLimitedConfirmInput pal_input;
+  pal_input.tx_summary = summary;
+  pal_input.tx_digest = submit.digest();
+  pal_input.nonce = challenge.value().nonce;
+  pal_input.sealed_key = *sealed_key_;
+  pal_input.amount_cents = amount_cents;
+  pal_input.limit_cents = limit_cents;
+  pal_input.sealed_state = spending_state_;
+  pal_input.code_len = config_.code_len;
+  pal_input.max_attempts = config_.max_attempts;
+  pal_input.user_timeout_ns = config_.user_timeout.ns;
+  auto session = driver_.run(pal_, pal_input.marshal());
+  if (!session.ok()) return session.error();
+  if (!session.value().status.ok()) return session.value().status.error();
+  auto pal_out = PalLimitedConfirmOutput::unmarshal(session.value().output);
+  if (!pal_out.ok()) return pal_out.error();
+
+  if (!pal_out.value().new_sealed_state.empty()) {
+    spending_state_ = pal_out.value().new_sealed_state;
+  }
+
+  TxConfirm confirm;
+  confirm.client_id = config_.client_id;
+  confirm.tx_id = challenge.value().tx_id;
+  confirm.verdict = pal_out.value().verdict;
+  confirm.signature = pal_out.value().signature;
+  auto result_bytes = exchange(MsgType::kTxConfirm, confirm.serialize());
+  if (!result_bytes.ok()) return result_bytes.error();
+  auto result = TxResult::deserialize(result_bytes.value());
+  if (!result.ok()) return result.error();
+
+  LimitedOutcome outcome;
+  outcome.accepted = result.value().accepted;
+  outcome.verdict = pal_out.value().verdict;
+  outcome.limit_exceeded = pal_out.value().limit_exceeded;
+  outcome.spent_cents = pal_out.value().spent_cents;
+  outcome.limit_cents = pal_out.value().limit_cents;
+  outcome.reason = result.value().reason;
+  outcome.timing = session.value().timing;
+  return outcome;
+}
+
+}  // namespace tp::core

@@ -1,0 +1,141 @@
+// Client-side orchestrator: the untrusted host software that drives the
+// protocol.
+//
+// Everything here runs OUTSIDE the isolated environment -- it is the code
+// malware can tamper with. Its honesty is NOT a security assumption: if a
+// compromised orchestrator alters the transaction, the PAL shows the
+// altered summary to the human (who rejects it); if it alters nonces,
+// digests or signatures, the service provider's checks fail. The
+// orchestrator exists so there is a correct implementation for the benign
+// case; the adversary models in src/host are its evil twins.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/messages.h"
+#include "core/trusted_path_pal.h"
+#include "drtm/platform.h"
+#include "net/channel.h"
+#include "net/secure_channel.h"
+#include "pal/session.h"
+#include "tpm/privacy_ca.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tp::core {
+
+struct ClientConfig {
+  std::string client_id = "client-0";
+  std::uint32_t key_bits = 1024;
+  std::uint32_t code_len = 6;
+  std::uint32_t max_attempts = 3;
+  SimDuration user_timeout = SimDuration::seconds(60);
+};
+
+class TrustedPathClient {
+ public:
+  /// `sp_link` is this client's endpoint of the link to the service
+  /// provider. `aik_certificate` was obtained from the Privacy CA out of
+  /// band (see tpm::PrivacyCa).
+  TrustedPathClient(drtm::Platform& platform, net::Endpoint& sp_link,
+                    tpm::AikCertificate aik_certificate, ClientConfig config);
+
+  /// The human (or adversary) answering PAL prompts.
+  void set_user_agent(pal::UserAgent* agent) { driver_.set_user_agent(agent); }
+
+  /// Replaces the default plaintext transport (e.g., with a
+  /// net::SecureClientTransport). The transport must outlive the client.
+  void set_transport(net::RpcTransport* transport) {
+    transport_ = transport;
+  }
+
+  /// Runs the full enrollment handshake, including the ENROLL PAL
+  /// session. On success the client holds the sealed confirmation key.
+  Status enroll();
+
+  bool enrolled() const { return sealed_key_.has_value(); }
+  const Bytes& confirmation_pubkey() const { return pubkey_; }
+
+  /// The sealed confirmation key as stored on the client's (untrusted)
+  /// disk. Deliberately public: the threat model gives malware this blob,
+  /// and the system stays secure anyway -- it is sealed to the PAL.
+  /// Precondition: enrolled().
+  const Bytes& sealed_key_blob() const { return sealed_key_.value(); }
+
+  struct ConfirmOutcome {
+    bool accepted = false;        // the SP's decision
+    Verdict verdict = Verdict::kTimeout;  // the PAL's verdict
+    std::string reason;
+    pal::SessionTiming timing;    // the CONFIRM session's breakdown
+  };
+
+  /// Submits a transaction and drives the confirmation session. Returns
+  /// the SP's decision; transport or protocol failures surface as errors.
+  Result<ConfirmOutcome> submit_transaction(const std::string& summary,
+                                            BytesView payload);
+
+  /// A transaction to include in a batch: (summary, payload).
+  using BatchTx = std::pair<std::string, Bytes>;
+
+  struct BatchOutcome {
+    Verdict verdict = Verdict::kTimeout;  // one verdict for the batch
+    std::vector<TxResult> results;        // SP decision per transaction
+    pal::SessionTiming timing;            // the single session's breakdown
+
+    std::size_t accepted_count() const {
+      std::size_t n = 0;
+      for (const auto& r : results) n += r.accepted ? 1 : 0;
+      return n;
+    }
+  };
+
+  /// Batch extension: submits all transactions, runs ONE confirmation
+  /// session covering the whole batch (the user sees every transaction
+  /// and types one code), then settles each with the SP individually.
+  /// Amortizes the session cost across the batch (ablation A1).
+  Result<BatchOutcome> submit_batch(const std::vector<BatchTx>& txs);
+
+  struct LimitedOutcome {
+    bool accepted = false;
+    Verdict verdict = Verdict::kTimeout;
+    bool limit_exceeded = false;    // the PAL refused before asking
+    std::uint64_t spent_cents = 0;  // cumulative after this transaction
+    std::uint64_t limit_cents = 0;  // the sealed (authoritative) limit
+    std::string reason;
+    pal::SessionTiming timing;
+  };
+
+  /// Spending-limit extension: like submit_transaction, but the PAL
+  /// enforces a cumulative cap stored in rollback-protected sealed state.
+  /// `limit_cents` is honoured only on the first call (it initializes the
+  /// sealed state); afterwards the sealed limit governs.
+  Result<LimitedOutcome> submit_limited_transaction(
+      const std::string& summary, BytesView payload,
+      std::uint64_t amount_cents, std::uint64_t limit_cents);
+
+  /// The current sealed spending state (what malware could try to roll
+  /// back); empty before the first limited transaction.
+  const Bytes& spending_state_blob() const { return spending_state_; }
+  /// Test/attack hook: replace the stored state blob (models malware
+  /// swapping the file on disk).
+  void set_spending_state_blob(Bytes blob) {
+    spending_state_ = std::move(blob);
+  }
+
+ private:
+  Result<Bytes> exchange(MsgType type, BytesView payload);
+
+  drtm::Platform* platform_;
+  net::PlainRpc plain_transport_;
+  net::RpcTransport* transport_;
+  tpm::AikCertificate aik_certificate_;
+  ClientConfig config_;
+  pal::SessionDriver driver_;
+  pal::PalDescriptor pal_;
+  Bytes pubkey_;
+  std::optional<Bytes> sealed_key_;
+  Bytes spending_state_;
+};
+
+}  // namespace tp::core

@@ -1,0 +1,220 @@
+#include "core/messages.h"
+
+#include "crypto/sha256.h"
+#include "util/serial.h"
+
+namespace tp::core {
+
+namespace {
+// Shared strict-read helpers: every message finishes with
+// expect_exhausted so trailing garbage is rejected.
+Result<std::string> read_string(BinaryReader& r) { return r.var_string(); }
+}  // namespace
+
+// ---- EnrollBegin -------------------------------------------------------
+
+Bytes EnrollBegin::serialize() const {
+  BinaryWriter w;
+  w.var_string(client_id);
+  return w.take();
+}
+
+Result<EnrollBegin> EnrollBegin::deserialize(BytesView data) {
+  BinaryReader r(data);
+  auto id = read_string(r);
+  if (!id.ok()) return id.error();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return EnrollBegin{id.take()};
+}
+
+// ---- EnrollChallenge ----------------------------------------------------
+
+Bytes EnrollChallenge::serialize() const {
+  BinaryWriter w;
+  w.var_bytes(nonce);
+  return w.take();
+}
+
+Result<EnrollChallenge> EnrollChallenge::deserialize(BytesView data) {
+  BinaryReader r(data);
+  auto nonce = r.var_bytes();
+  if (!nonce.ok()) return nonce.error();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return EnrollChallenge{nonce.take()};
+}
+
+// ---- EnrollComplete ------------------------------------------------------
+
+Bytes EnrollComplete::serialize() const {
+  BinaryWriter w;
+  w.var_string(client_id);
+  w.var_bytes(confirmation_pubkey);
+  w.var_bytes(quote);
+  w.var_bytes(aik_certificate);
+  return w.take();
+}
+
+Result<EnrollComplete> EnrollComplete::deserialize(BytesView data) {
+  BinaryReader r(data);
+  auto id = read_string(r);
+  if (!id.ok()) return id.error();
+  auto pk = r.var_bytes();
+  if (!pk.ok()) return pk.error();
+  auto quote = r.var_bytes();
+  if (!quote.ok()) return quote.error();
+  auto cert = r.var_bytes();
+  if (!cert.ok()) return cert.error();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return EnrollComplete{id.take(), pk.take(), quote.take(), cert.take()};
+}
+
+// ---- EnrollResult ---------------------------------------------------------
+
+Bytes EnrollResult::serialize() const {
+  BinaryWriter w;
+  w.u8(accepted ? 1 : 0);
+  w.var_string(reason);
+  return w.take();
+}
+
+Result<EnrollResult> EnrollResult::deserialize(BytesView data) {
+  BinaryReader r(data);
+  auto flag = r.u8();
+  if (!flag.ok()) return flag.error();
+  auto reason = read_string(r);
+  if (!reason.ok()) return reason.error();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return EnrollResult{flag.value() != 0, reason.take()};
+}
+
+// ---- TxSubmit ---------------------------------------------------------------
+
+Bytes TxSubmit::digest() const {
+  BinaryWriter w;
+  w.var_string(summary);
+  w.var_bytes(payload);
+  return crypto::Sha256::hash(w.data());
+}
+
+Bytes TxSubmit::serialize() const {
+  BinaryWriter w;
+  w.var_string(client_id);
+  w.var_string(summary);
+  w.var_bytes(payload);
+  return w.take();
+}
+
+Result<TxSubmit> TxSubmit::deserialize(BytesView data) {
+  BinaryReader r(data);
+  auto id = read_string(r);
+  if (!id.ok()) return id.error();
+  auto summary = read_string(r);
+  if (!summary.ok()) return summary.error();
+  auto payload = r.var_bytes();
+  if (!payload.ok()) return payload.error();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return TxSubmit{id.take(), summary.take(), payload.take()};
+}
+
+// ---- TxChallenge -------------------------------------------------------------
+
+Bytes TxChallenge::serialize() const {
+  BinaryWriter w;
+  w.u64(tx_id);
+  w.var_bytes(nonce);
+  return w.take();
+}
+
+Result<TxChallenge> TxChallenge::deserialize(BytesView data) {
+  BinaryReader r(data);
+  auto id = r.u64();
+  if (!id.ok()) return id.error();
+  auto nonce = r.var_bytes();
+  if (!nonce.ok()) return nonce.error();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return TxChallenge{id.value(), nonce.take()};
+}
+
+// ---- TxConfirm ------------------------------------------------------------------
+
+Bytes TxConfirm::serialize() const {
+  BinaryWriter w;
+  w.var_string(client_id);
+  w.u64(tx_id);
+  w.u8(static_cast<std::uint8_t>(verdict));
+  w.var_bytes(signature);
+  return w.take();
+}
+
+Result<TxConfirm> TxConfirm::deserialize(BytesView data) {
+  BinaryReader r(data);
+  auto id = read_string(r);
+  if (!id.ok()) return id.error();
+  auto tx = r.u64();
+  if (!tx.ok()) return tx.error();
+  auto v = r.u8();
+  if (!v.ok()) return v.error();
+  if (v.value() < 1 || v.value() > 3) {
+    return Error{Err::kInvalidArgument, "TxConfirm: bad verdict"};
+  }
+  auto sig = r.var_bytes();
+  if (!sig.ok()) return sig.error();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return TxConfirm{id.take(), tx.value(), static_cast<Verdict>(v.value()),
+                   sig.take()};
+}
+
+// ---- TxResult ----------------------------------------------------------------------
+
+Bytes TxResult::serialize() const {
+  BinaryWriter w;
+  w.u64(tx_id);
+  w.u8(accepted ? 1 : 0);
+  w.var_string(reason);
+  return w.take();
+}
+
+Result<TxResult> TxResult::deserialize(BytesView data) {
+  BinaryReader r(data);
+  auto id = r.u64();
+  if (!id.ok()) return id.error();
+  auto flag = r.u8();
+  if (!flag.ok()) return flag.error();
+  auto reason = read_string(r);
+  if (!reason.ok()) return reason.error();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return TxResult{id.value(), flag.value() != 0, reason.take()};
+}
+
+// ---- statement & envelope -------------------------------------------------
+
+Bytes confirmation_statement(BytesView tx_digest, BytesView nonce,
+                             Verdict verdict) {
+  BinaryWriter w;
+  w.var_string("TP-CONFIRM-v1");
+  w.var_bytes(tx_digest);
+  w.var_bytes(nonce);
+  w.u8(static_cast<std::uint8_t>(verdict));
+  return w.take();
+}
+
+Bytes envelope(MsgType type, BytesView payload) {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.raw(payload);
+  return w.take();
+}
+
+Result<std::pair<MsgType, Bytes>> open_envelope(BytesView frame) {
+  if (frame.empty()) {
+    return Error{Err::kInvalidArgument, "envelope: empty frame"};
+  }
+  const std::uint8_t tag = frame[0];
+  if (tag < 1 || tag > 8) {
+    return Error{Err::kInvalidArgument, "envelope: unknown message type"};
+  }
+  return std::make_pair(static_cast<MsgType>(tag),
+                        Bytes(frame.begin() + 1, frame.end()));
+}
+
+}  // namespace tp::core

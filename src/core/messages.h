@@ -1,0 +1,139 @@
+// Wire messages of the uni-directional trusted path protocol.
+//
+// Two phases (see DESIGN.md):
+//   Enrollment:   EnrollBegin -> EnrollChallenge -> EnrollComplete ->
+//                 EnrollResult
+//   Confirmation: TxSubmit -> TxChallenge -> TxConfirm -> TxResult
+//
+// Every message is framed as: u8 type tag || payload. Deserialization is
+// strict: unknown tags, truncation and trailing bytes are rejected, since
+// the receiver is by assumption talking to a compromised host.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tp::core {
+
+enum class MsgType : std::uint8_t {
+  kEnrollBegin = 1,
+  kEnrollChallenge = 2,
+  kEnrollComplete = 3,
+  kEnrollResult = 4,
+  kTxSubmit = 5,
+  kTxChallenge = 6,
+  kTxConfirm = 7,
+  kTxResult = 8,
+};
+
+/// The PAL's verdict on one confirmation session.
+enum class Verdict : std::uint8_t {
+  kConfirmed = 1,  // human typed the matching code
+  kRejected = 2,   // human typed the reject line (or code check failed)
+  kTimeout = 3,    // nobody answered
+};
+
+constexpr const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kConfirmed: return "confirmed";
+    case Verdict::kRejected: return "rejected";
+    case Verdict::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+// ---- enrollment ------------------------------------------------------
+
+struct EnrollBegin {
+  std::string client_id;
+
+  Bytes serialize() const;
+  static Result<EnrollBegin> deserialize(BytesView data);
+};
+
+struct EnrollChallenge {
+  Bytes nonce;  // 20 bytes of SP freshness
+
+  Bytes serialize() const;
+  static Result<EnrollChallenge> deserialize(BytesView data);
+};
+
+struct EnrollComplete {
+  std::string client_id;
+  Bytes confirmation_pubkey;  // serialized RsaPublicKey
+  Bytes quote;                // serialized tpm::QuoteResult over PCR 17
+  Bytes aik_certificate;      // serialized tpm::AikCertificate
+
+  Bytes serialize() const;
+  static Result<EnrollComplete> deserialize(BytesView data);
+};
+
+struct EnrollResult {
+  bool accepted = false;
+  std::string reason;
+
+  Bytes serialize() const;
+  static Result<EnrollResult> deserialize(BytesView data);
+};
+
+// ---- transaction confirmation ----------------------------------------
+
+struct TxSubmit {
+  std::string client_id;
+  std::string summary;  // human-readable ("pay 100 EUR to bob")
+  Bytes payload;        // the full transaction body
+
+  /// SHA-256 over (summary, payload): what the PAL signs and the SP
+  /// checks; any bit flip in either field changes it.
+  Bytes digest() const;
+
+  Bytes serialize() const;
+  static Result<TxSubmit> deserialize(BytesView data);
+};
+
+struct TxChallenge {
+  std::uint64_t tx_id = 0;
+  Bytes nonce;  // one-time, binds the confirmation to this submission
+
+  Bytes serialize() const;
+  static Result<TxChallenge> deserialize(BytesView data);
+};
+
+struct TxConfirm {
+  std::string client_id;
+  std::uint64_t tx_id = 0;
+  Verdict verdict = Verdict::kTimeout;
+  Bytes signature;  // PAL signature; empty unless kConfirmed
+
+  Bytes serialize() const;
+  static Result<TxConfirm> deserialize(BytesView data);
+};
+
+struct TxResult {
+  std::uint64_t tx_id = 0;
+  bool accepted = false;
+  std::string reason;
+
+  Bytes serialize() const;
+  static Result<TxResult> deserialize(BytesView data);
+};
+
+// ---- signature statement ----------------------------------------------
+
+/// The byte string the confirmation PAL signs: domain tag, transaction
+/// digest, SP nonce and verdict. Computed identically by PAL and SP.
+Bytes confirmation_statement(BytesView tx_digest, BytesView nonce,
+                             Verdict verdict);
+
+// ---- envelope ----------------------------------------------------------
+
+/// Frames a payload with its type tag.
+Bytes envelope(MsgType type, BytesView payload);
+
+/// Splits a frame into (type, payload view into `frame`).
+Result<std::pair<MsgType, Bytes>> open_envelope(BytesView frame);
+
+}  // namespace tp::core

@@ -1,0 +1,884 @@
+#include "core/trusted_path_pal.h"
+
+#include "crypto/rsa.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+#include "devices/human.h"
+#include "drtm/late_launch.h"
+#include "pal/sealed_state.h"
+#include "tpm/tpm_device.h"
+#include "util/serial.h"
+
+namespace tp::core {
+
+namespace {
+
+using tpm::PcrSelection;
+
+// Confirmation codes avoid visually ambiguous characters (0/O, 1/l, i).
+constexpr char kCodeAlphabet[] = "abcdefghjkmnpqrstuvwxyz23456789";
+constexpr std::size_t kCodeAlphabetSize = sizeof(kCodeAlphabet) - 1;
+
+// Release only at locality 2: the PAL environment.
+constexpr std::uint8_t kPalOnlyLocality = 1u << 2;
+
+std::string make_code(tpm::TpmDevice& tpm, std::uint32_t len) {
+  const Bytes raw = tpm.get_random(len);
+  std::string code;
+  code.reserve(len);
+  for (std::uint8_t b : raw) {
+    code.push_back(kCodeAlphabet[b % kCodeAlphabetSize]);
+  }
+  return code;
+}
+
+devices::DisplayContent confirmation_screen(const std::string& summary,
+                                            const std::string& code,
+                                            std::uint32_t attempt,
+                                            std::uint32_t max_attempts) {
+  devices::DisplayContent screen;
+  screen.lines = {
+      "=== TRUSTED PATH: CONFIRM TRANSACTION ===",
+      std::string(devices::kFieldTransaction) + summary,
+      std::string(devices::kFieldCode) + code,
+      "Type the code to confirm, or 'reject' to decline.",
+      "Attempt " + std::to_string(attempt) + " of " +
+          std::to_string(max_attempts),
+  };
+  return screen;
+}
+
+Status run_enroll(pal::PalContext& ctx, BytesView body) {
+  auto input = PalEnrollInput::unmarshal(body);
+  if (!input.ok()) return input.error();
+
+  // Key generation inside the isolated environment: seed a software DRBG
+  // from the TPM once (pulling every prime-search candidate from the chip
+  // would cost seconds of GetRandom), cycles charged to the CPU model.
+  ctx.charge_compute("keygen", pal_keygen_cost(input.value().key_bits));
+  tpm::TpmDevice& tpm = ctx.tpm();
+  crypto::HmacDrbg prng(tpm.get_random(32));
+  const crypto::RsaPrivateKey key = crypto::rsa_generate(
+      input.value().key_bits,
+      [&prng](std::size_t n) { return prng.generate(n); });
+
+  PalEnrollOutput out;
+  out.pubkey = key.public_key().serialize();
+
+  // Seal the private key to the identity PCR's CURRENT value -- which,
+  // because we are running measured, is this PAL's own identity (PCR 17
+  // on AMD SKINIT, PCR 18 on Intel TXT).
+  Bytes key_material = key.serialize();
+  auto sealed = tpm.seal(ctx.locality(),
+                         PcrSelection::of({ctx.identity_pcr()}),
+                         kPalOnlyLocality, key_material);
+  secure_wipe(key_material);
+  if (!sealed.ok()) return sealed.error();
+  out.sealed_key = sealed.take();
+
+  // Quote the platform's attestation selection with the key<->nonce
+  // binding as external data.
+  auto quote = tpm.quote(
+      enrollment_quote_binding(out.pubkey, input.value().nonce),
+      ctx.attestation_selection());
+  if (!quote.ok()) return quote.error();
+  out.quote = quote.value().serialize();
+
+  ctx.set_output(out.marshal());
+  return Status::ok_status();
+}
+
+Status run_confirm(pal::PalContext& ctx, BytesView body) {
+  auto input_r = PalConfirmInput::unmarshal(body);
+  if (!input_r.ok()) return input_r.error();
+  const PalConfirmInput& input = input_r.value();
+  if (input.code_len == 0 || input.max_attempts == 0) {
+    return Error{Err::kInvalidArgument, "confirm: degenerate parameters"};
+  }
+
+  PalConfirmOutput out;
+  const SimDuration timeout{input.user_timeout_ns};
+
+  for (std::uint32_t attempt = 1; attempt <= input.max_attempts; ++attempt) {
+    out.attempts = attempt;
+    // A fresh code every attempt: an observed code is never reusable.
+    const std::string code = make_code(ctx.tpm(), input.code_len);
+    const auto line = ctx.show_and_read_line(
+        confirmation_screen(input.tx_summary, code, attempt,
+                            input.max_attempts),
+        timeout);
+    if (!line.has_value()) {
+      out.verdict = Verdict::kTimeout;
+      break;
+    }
+    if (*line == devices::kRejectLine) {
+      out.verdict = Verdict::kRejected;
+      break;
+    }
+    if (*line == code) {
+      out.verdict = Verdict::kConfirmed;
+      break;
+    }
+    out.verdict = Verdict::kRejected;  // exhausted attempts -> rejected
+  }
+
+  if (out.verdict == Verdict::kConfirmed) {
+    // Unseal succeeds only under this PAL's measurement at locality 2.
+    auto key_material = ctx.tpm().unseal(ctx.locality(), input.sealed_key);
+    if (!key_material.ok()) {
+      ctx.show(devices::DisplayContent{{"TRUSTED PATH ERROR: key unavailable"}});
+      return key_material.error();
+    }
+    auto key = crypto::RsaPrivateKey::deserialize(key_material.value());
+    secure_wipe(key_material.value());
+    if (!key.ok()) return key.error();
+
+    ctx.charge_compute("sign", pal_sign_cost(static_cast<std::uint32_t>(
+                                   key.value().n.bit_length())));
+    out.signature = crypto::rsa_sign(
+        key.value(), crypto::HashAlg::kSha256,
+        confirmation_statement(input.tx_digest, input.nonce,
+                               Verdict::kConfirmed));
+  }
+
+  ctx.show(devices::DisplayContent{
+      {std::string("TRUSTED PATH: session finished (") +
+       verdict_name(out.verdict) + ")"}});
+  ctx.set_output(out.marshal());
+  return Status::ok_status();
+}
+
+devices::DisplayContent batch_screen(const std::vector<BatchItem>& items,
+                                     const std::string& code,
+                                     std::uint32_t attempt,
+                                     std::uint32_t max_attempts) {
+  devices::DisplayContent screen;
+  screen.lines.push_back("=== TRUSTED PATH: CONFIRM " +
+                         std::to_string(items.size()) + " TRANSACTIONS ===");
+  screen.lines.push_back(std::string(devices::kFieldTransaction) +
+                         batch_summary(items));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    screen.lines.push_back("  [" + std::to_string(i + 1) + "] " +
+                           items[i].summary);
+  }
+  screen.lines.push_back(std::string(devices::kFieldCode) + code);
+  screen.lines.push_back(
+      "Type the code to confirm ALL of the above, or 'reject'.");
+  screen.lines.push_back("Attempt " + std::to_string(attempt) + " of " +
+                         std::to_string(max_attempts));
+  return screen;
+}
+
+Status run_confirm_batch(pal::PalContext& ctx, BytesView body) {
+  auto input_r = PalBatchConfirmInput::unmarshal(body);
+  if (!input_r.ok()) return input_r.error();
+  const PalBatchConfirmInput& input = input_r.value();
+  if (input.items.empty() || input.code_len == 0 || input.max_attempts == 0) {
+    return Error{Err::kInvalidArgument, "batch confirm: degenerate input"};
+  }
+
+  PalBatchConfirmOutput out;
+  const SimDuration timeout{input.user_timeout_ns};
+  for (std::uint32_t attempt = 1; attempt <= input.max_attempts; ++attempt) {
+    out.attempts = attempt;
+    const std::string code = make_code(ctx.tpm(), input.code_len);
+    const auto line = ctx.show_and_read_line(
+        batch_screen(input.items, code, attempt, input.max_attempts),
+        timeout);
+    if (!line.has_value()) {
+      out.verdict = Verdict::kTimeout;
+      break;
+    }
+    if (*line == devices::kRejectLine) {
+      out.verdict = Verdict::kRejected;
+      break;
+    }
+    if (*line == code) {
+      out.verdict = Verdict::kConfirmed;
+      break;
+    }
+    out.verdict = Verdict::kRejected;
+  }
+
+  if (out.verdict == Verdict::kConfirmed) {
+    auto key_material = ctx.tpm().unseal(ctx.locality(), input.sealed_key);
+    if (!key_material.ok()) return key_material.error();
+    auto key = crypto::RsaPrivateKey::deserialize(key_material.value());
+    secure_wipe(key_material.value());
+    if (!key.ok()) return key.error();
+    const auto bits =
+        static_cast<std::uint32_t>(key.value().n.bit_length());
+    for (const BatchItem& item : input.items) {
+      ctx.charge_compute("sign", pal_sign_cost(bits));
+      out.signatures.push_back(crypto::rsa_sign(
+          key.value(), crypto::HashAlg::kSha256,
+          confirmation_statement(item.tx_digest, item.nonce,
+                                 Verdict::kConfirmed)));
+    }
+  }
+
+  ctx.show(devices::DisplayContent{
+      {std::string("TRUSTED PATH: batch finished (") +
+       verdict_name(out.verdict) + ")"}});
+  ctx.set_output(out.marshal());
+  return Status::ok_status();
+}
+
+// Spending state: (limit_cents, spent_cents) in rollback-protected
+// sealed storage.
+struct SpendingState {
+  std::uint64_t limit_cents = 0;
+  std::uint64_t spent_cents = 0;
+
+  Bytes marshal() const {
+    BinaryWriter w;
+    w.u64(limit_cents);
+    w.u64(spent_cents);
+    return w.take();
+  }
+  static Result<SpendingState> unmarshal(BytesView data) {
+    BinaryReader r(data);
+    SpendingState s;
+    auto limit = r.u64();
+    if (!limit.ok()) return limit.error();
+    s.limit_cents = limit.value();
+    auto spent = r.u64();
+    if (!spent.ok()) return spent.error();
+    s.spent_cents = spent.value();
+    if (auto st = r.expect_exhausted(); !st.ok()) return st.error();
+    return s;
+  }
+};
+
+std::string cents_to_string(std::uint64_t cents) {
+  return std::to_string(cents / 100) + "." +
+         (cents % 100 < 10 ? "0" : "") + std::to_string(cents % 100);
+}
+
+Status run_confirm_limited(pal::PalContext& ctx, BytesView body) {
+  auto input_r = PalLimitedConfirmInput::unmarshal(body);
+  if (!input_r.ok()) return input_r.error();
+  const PalLimitedConfirmInput& input = input_r.value();
+  if (input.code_len == 0 || input.max_attempts == 0) {
+    return Error{Err::kInvalidArgument, "limited confirm: degenerate input"};
+  }
+
+  pal::SealedStateChannel channel(ctx.tpm(), kSpendingCounterId);
+  const tpm::PcrSelection policy =
+      tpm::PcrSelection::of({ctx.identity_pcr()});
+
+  // Load or initialize the spending state. The input's limit only counts
+  // on FIRST use; afterwards the sealed value is authoritative -- malware
+  // rewriting the input cannot raise the cap.
+  SpendingState state;
+  if (input.sealed_state.empty()) {
+    if (input.limit_cents == 0) {
+      return Error{Err::kInvalidArgument, "limited confirm: zero limit"};
+    }
+    state.limit_cents = input.limit_cents;
+  } else {
+    auto loaded = channel.load(ctx.locality(), input.sealed_state);
+    if (!loaded.ok()) return loaded.error();  // kReplay on rollback
+    auto parsed = SpendingState::unmarshal(loaded.value());
+    if (!parsed.ok()) return parsed.error();
+    state = parsed.value();
+  }
+
+  PalLimitedConfirmOutput out;
+  out.limit_cents = state.limit_cents;
+  out.spent_cents = state.spent_cents;
+
+  // Hard policy gate BEFORE involving the user.
+  if (state.spent_cents + input.amount_cents > state.limit_cents) {
+    out.verdict = Verdict::kRejected;
+    out.limit_exceeded = true;
+    ctx.show(devices::DisplayContent{
+        {"TRUSTED PATH: spending limit exceeded",
+         "limit " + cents_to_string(state.limit_cents) + ", spent " +
+             cents_to_string(state.spent_cents) + ", requested " +
+             cents_to_string(input.amount_cents)}});
+    ctx.set_output(out.marshal());
+    return Status::ok_status();
+  }
+
+  const SimDuration timeout{input.user_timeout_ns};
+  for (std::uint32_t attempt = 1; attempt <= input.max_attempts; ++attempt) {
+    out.attempts = attempt;
+    const std::string code = make_code(ctx.tpm(), input.code_len);
+    devices::DisplayContent screen =
+        confirmation_screen(input.tx_summary, code, attempt,
+                            input.max_attempts);
+    screen.lines.insert(
+        screen.lines.begin() + 2,
+        "LIMIT: " + cents_to_string(state.limit_cents) + " (spent " +
+            cents_to_string(state.spent_cents) + ", this tx " +
+            cents_to_string(input.amount_cents) + ")");
+    const auto line = ctx.show_and_read_line(screen, timeout);
+    if (!line.has_value()) {
+      out.verdict = Verdict::kTimeout;
+      break;
+    }
+    if (*line == devices::kRejectLine) {
+      out.verdict = Verdict::kRejected;
+      break;
+    }
+    if (*line == code) {
+      out.verdict = Verdict::kConfirmed;
+      break;
+    }
+    out.verdict = Verdict::kRejected;
+  }
+
+  if (out.verdict == Verdict::kConfirmed) {
+    auto key_material = ctx.tpm().unseal(ctx.locality(), input.sealed_key);
+    if (!key_material.ok()) return key_material.error();
+    auto key = crypto::RsaPrivateKey::deserialize(key_material.value());
+    secure_wipe(key_material.value());
+    if (!key.ok()) return key.error();
+    ctx.charge_compute("sign", pal_sign_cost(static_cast<std::uint32_t>(
+                                   key.value().n.bit_length())));
+    out.signature = crypto::rsa_sign(
+        key.value(), crypto::HashAlg::kSha256,
+        confirmation_statement(input.tx_digest, input.nonce,
+                               Verdict::kConfirmed));
+
+    // Commit the new total; the counter bump invalidates the old blob.
+    state.spent_cents += input.amount_cents;
+    out.spent_cents = state.spent_cents;
+    auto saved = channel.save(ctx.locality(), policy,
+                              static_cast<std::uint8_t>(1u << 2),
+                              state.marshal());
+    if (!saved.ok()) return saved.error();
+    out.new_sealed_state = saved.take();
+  }
+
+  ctx.set_output(out.marshal());
+  return Status::ok_status();
+}
+
+Status run_confirm_quote(pal::PalContext& ctx, BytesView body) {
+  auto input_r = PalQuoteConfirmInput::unmarshal(body);
+  if (!input_r.ok()) return input_r.error();
+  const PalQuoteConfirmInput& input = input_r.value();
+  if (input.code_len == 0 || input.max_attempts == 0) {
+    return Error{Err::kInvalidArgument, "quote confirm: degenerate input"};
+  }
+
+  PalQuoteConfirmOutput out;
+  const SimDuration timeout{input.user_timeout_ns};
+  for (std::uint32_t attempt = 1; attempt <= input.max_attempts; ++attempt) {
+    out.attempts = attempt;
+    const std::string code = make_code(ctx.tpm(), input.code_len);
+    const auto line = ctx.show_and_read_line(
+        confirmation_screen(input.tx_summary, code, attempt,
+                            input.max_attempts),
+        timeout);
+    if (!line.has_value()) {
+      out.verdict = Verdict::kTimeout;
+      break;
+    }
+    if (*line == devices::kRejectLine) {
+      out.verdict = Verdict::kRejected;
+      break;
+    }
+    if (*line == code) {
+      out.verdict = Verdict::kConfirmed;
+      break;
+    }
+    out.verdict = Verdict::kRejected;
+  }
+
+  if (out.verdict == Verdict::kConfirmed) {
+    auto quote = ctx.tpm().quote(
+        quote_confirmation_binding(input.tx_digest, input.nonce),
+        ctx.attestation_selection());
+    if (!quote.ok()) return quote.error();
+    out.quote = quote.value().serialize();
+  }
+  ctx.set_output(out.marshal());
+  return Status::ok_status();
+}
+
+Status pal_entry(pal::PalContext& ctx) {
+  BinaryReader r(ctx.input());
+  auto cmd = r.u8();
+  if (!cmd.ok()) return cmd.error();
+  const Bytes body(ctx.input().begin() + 1, ctx.input().end());
+  switch (static_cast<PalCommand>(cmd.value())) {
+    case PalCommand::kEnroll:
+      return run_enroll(ctx, body);
+    case PalCommand::kConfirm:
+      return run_confirm(ctx, body);
+    case PalCommand::kConfirmBatch:
+      return run_confirm_batch(ctx, body);
+    case PalCommand::kConfirmLimited:
+      return run_confirm_limited(ctx, body);
+    case PalCommand::kConfirmQuote:
+      return run_confirm_quote(ctx, body);
+  }
+  return Error{Err::kInvalidArgument, "pal: unknown command"};
+}
+
+}  // namespace
+
+// ---- marshalling -------------------------------------------------------
+
+Bytes PalEnrollInput::marshal() const {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(PalCommand::kEnroll));
+  w.var_bytes(nonce);
+  w.u32(key_bits);
+  return w.take();
+}
+
+Result<PalEnrollInput> PalEnrollInput::unmarshal(BytesView data) {
+  BinaryReader r(data);
+  PalEnrollInput in;
+  auto nonce = r.var_bytes();
+  if (!nonce.ok()) return nonce.error();
+  in.nonce = nonce.take();
+  auto bits = r.u32();
+  if (!bits.ok()) return bits.error();
+  in.key_bits = bits.value();
+  if (in.key_bits < 512 || in.key_bits > 4096) {
+    return Error{Err::kInvalidArgument, "enroll: bad key size"};
+  }
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return in;
+}
+
+Bytes PalEnrollOutput::marshal() const {
+  BinaryWriter w;
+  w.var_bytes(pubkey);
+  w.var_bytes(sealed_key);
+  w.var_bytes(quote);
+  return w.take();
+}
+
+Result<PalEnrollOutput> PalEnrollOutput::unmarshal(BytesView data) {
+  BinaryReader r(data);
+  PalEnrollOutput out;
+  auto pk = r.var_bytes();
+  if (!pk.ok()) return pk.error();
+  out.pubkey = pk.take();
+  auto sealed = r.var_bytes();
+  if (!sealed.ok()) return sealed.error();
+  out.sealed_key = sealed.take();
+  auto quote = r.var_bytes();
+  if (!quote.ok()) return quote.error();
+  out.quote = quote.take();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return out;
+}
+
+Bytes enrollment_quote_binding(BytesView pubkey, BytesView nonce) {
+  return crypto::Sha256::hash(concat(pubkey, nonce));
+}
+
+Bytes PalConfirmInput::marshal() const {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(PalCommand::kConfirm));
+  w.var_string(tx_summary);
+  w.var_bytes(tx_digest);
+  w.var_bytes(nonce);
+  w.var_bytes(sealed_key);
+  w.u32(code_len);
+  w.u32(max_attempts);
+  w.u64(static_cast<std::uint64_t>(user_timeout_ns));
+  return w.take();
+}
+
+Result<PalConfirmInput> PalConfirmInput::unmarshal(BytesView data) {
+  BinaryReader r(data);
+  PalConfirmInput in;
+  auto summary = r.var_string();
+  if (!summary.ok()) return summary.error();
+  in.tx_summary = summary.take();
+  auto digest = r.var_bytes();
+  if (!digest.ok()) return digest.error();
+  in.tx_digest = digest.take();
+  auto nonce = r.var_bytes();
+  if (!nonce.ok()) return nonce.error();
+  in.nonce = nonce.take();
+  auto sealed = r.var_bytes();
+  if (!sealed.ok()) return sealed.error();
+  in.sealed_key = sealed.take();
+  auto code_len = r.u32();
+  if (!code_len.ok()) return code_len.error();
+  in.code_len = code_len.value();
+  auto attempts = r.u32();
+  if (!attempts.ok()) return attempts.error();
+  in.max_attempts = attempts.value();
+  auto timeout = r.u64();
+  if (!timeout.ok()) return timeout.error();
+  in.user_timeout_ns = static_cast<std::int64_t>(timeout.value());
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return in;
+}
+
+Bytes PalConfirmOutput::marshal() const {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(verdict));
+  w.var_bytes(signature);
+  w.u32(attempts);
+  return w.take();
+}
+
+Result<PalConfirmOutput> PalConfirmOutput::unmarshal(BytesView data) {
+  BinaryReader r(data);
+  PalConfirmOutput out;
+  auto v = r.u8();
+  if (!v.ok()) return v.error();
+  if (v.value() < 1 || v.value() > 3) {
+    return Error{Err::kInvalidArgument, "confirm output: bad verdict"};
+  }
+  out.verdict = static_cast<Verdict>(v.value());
+  auto sig = r.var_bytes();
+  if (!sig.ok()) return sig.error();
+  out.signature = sig.take();
+  auto attempts = r.u32();
+  if (!attempts.ok()) return attempts.error();
+  out.attempts = attempts.value();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return out;
+}
+
+Bytes PalBatchConfirmInput::marshal() const {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(PalCommand::kConfirmBatch));
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const BatchItem& item : items) {
+    w.var_string(item.summary);
+    w.var_bytes(item.tx_digest);
+    w.var_bytes(item.nonce);
+  }
+  w.var_bytes(sealed_key);
+  w.u32(code_len);
+  w.u32(max_attempts);
+  w.u64(static_cast<std::uint64_t>(user_timeout_ns));
+  return w.take();
+}
+
+Result<PalBatchConfirmInput> PalBatchConfirmInput::unmarshal(BytesView data) {
+  BinaryReader r(data);
+  PalBatchConfirmInput in;
+  auto count = r.u32();
+  if (!count.ok()) return count.error();
+  if (count.value() > 64) {
+    return Error{Err::kInvalidArgument, "batch: too many items"};
+  }
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    BatchItem item;
+    auto summary = r.var_string();
+    if (!summary.ok()) return summary.error();
+    item.summary = summary.take();
+    auto digest = r.var_bytes();
+    if (!digest.ok()) return digest.error();
+    item.tx_digest = digest.take();
+    auto nonce = r.var_bytes();
+    if (!nonce.ok()) return nonce.error();
+    item.nonce = nonce.take();
+    in.items.push_back(std::move(item));
+  }
+  auto sealed = r.var_bytes();
+  if (!sealed.ok()) return sealed.error();
+  in.sealed_key = sealed.take();
+  auto code_len = r.u32();
+  if (!code_len.ok()) return code_len.error();
+  in.code_len = code_len.value();
+  auto attempts = r.u32();
+  if (!attempts.ok()) return attempts.error();
+  in.max_attempts = attempts.value();
+  auto timeout = r.u64();
+  if (!timeout.ok()) return timeout.error();
+  in.user_timeout_ns = static_cast<std::int64_t>(timeout.value());
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return in;
+}
+
+Bytes PalBatchConfirmOutput::marshal() const {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(verdict));
+  w.u32(static_cast<std::uint32_t>(signatures.size()));
+  for (const Bytes& sig : signatures) w.var_bytes(sig);
+  w.u32(attempts);
+  return w.take();
+}
+
+Result<PalBatchConfirmOutput> PalBatchConfirmOutput::unmarshal(
+    BytesView data) {
+  BinaryReader r(data);
+  PalBatchConfirmOutput out;
+  auto v = r.u8();
+  if (!v.ok()) return v.error();
+  if (v.value() < 1 || v.value() > 3) {
+    return Error{Err::kInvalidArgument, "batch output: bad verdict"};
+  }
+  out.verdict = static_cast<Verdict>(v.value());
+  auto count = r.u32();
+  if (!count.ok()) return count.error();
+  if (count.value() > 64) {
+    return Error{Err::kInvalidArgument, "batch output: too many signatures"};
+  }
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto sig = r.var_bytes();
+    if (!sig.ok()) return sig.error();
+    out.signatures.push_back(sig.take());
+  }
+  auto attempts = r.u32();
+  if (!attempts.ok()) return attempts.error();
+  out.attempts = attempts.value();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return out;
+}
+
+Bytes PalLimitedConfirmInput::marshal() const {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(PalCommand::kConfirmLimited));
+  w.var_string(tx_summary);
+  w.var_bytes(tx_digest);
+  w.var_bytes(nonce);
+  w.var_bytes(sealed_key);
+  w.u64(amount_cents);
+  w.u64(limit_cents);
+  w.var_bytes(sealed_state);
+  w.u32(code_len);
+  w.u32(max_attempts);
+  w.u64(static_cast<std::uint64_t>(user_timeout_ns));
+  return w.take();
+}
+
+Result<PalLimitedConfirmInput> PalLimitedConfirmInput::unmarshal(
+    BytesView data) {
+  BinaryReader r(data);
+  PalLimitedConfirmInput in;
+  auto summary = r.var_string();
+  if (!summary.ok()) return summary.error();
+  in.tx_summary = summary.take();
+  auto digest = r.var_bytes();
+  if (!digest.ok()) return digest.error();
+  in.tx_digest = digest.take();
+  auto nonce = r.var_bytes();
+  if (!nonce.ok()) return nonce.error();
+  in.nonce = nonce.take();
+  auto sealed = r.var_bytes();
+  if (!sealed.ok()) return sealed.error();
+  in.sealed_key = sealed.take();
+  auto amount = r.u64();
+  if (!amount.ok()) return amount.error();
+  in.amount_cents = amount.value();
+  auto limit = r.u64();
+  if (!limit.ok()) return limit.error();
+  in.limit_cents = limit.value();
+  auto state = r.var_bytes();
+  if (!state.ok()) return state.error();
+  in.sealed_state = state.take();
+  auto code_len = r.u32();
+  if (!code_len.ok()) return code_len.error();
+  in.code_len = code_len.value();
+  auto attempts = r.u32();
+  if (!attempts.ok()) return attempts.error();
+  in.max_attempts = attempts.value();
+  auto timeout = r.u64();
+  if (!timeout.ok()) return timeout.error();
+  in.user_timeout_ns = static_cast<std::int64_t>(timeout.value());
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return in;
+}
+
+Bytes PalLimitedConfirmOutput::marshal() const {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(verdict));
+  w.var_bytes(signature);
+  w.var_bytes(new_sealed_state);
+  w.u64(spent_cents);
+  w.u64(limit_cents);
+  w.u8(limit_exceeded ? 1 : 0);
+  w.u32(attempts);
+  return w.take();
+}
+
+Result<PalLimitedConfirmOutput> PalLimitedConfirmOutput::unmarshal(
+    BytesView data) {
+  BinaryReader r(data);
+  PalLimitedConfirmOutput out;
+  auto v = r.u8();
+  if (!v.ok()) return v.error();
+  if (v.value() < 1 || v.value() > 3) {
+    return Error{Err::kInvalidArgument, "limited output: bad verdict"};
+  }
+  out.verdict = static_cast<Verdict>(v.value());
+  auto sig = r.var_bytes();
+  if (!sig.ok()) return sig.error();
+  out.signature = sig.take();
+  auto state = r.var_bytes();
+  if (!state.ok()) return state.error();
+  out.new_sealed_state = state.take();
+  auto spent = r.u64();
+  if (!spent.ok()) return spent.error();
+  out.spent_cents = spent.value();
+  auto limit = r.u64();
+  if (!limit.ok()) return limit.error();
+  out.limit_cents = limit.value();
+  auto exceeded = r.u8();
+  if (!exceeded.ok()) return exceeded.error();
+  out.limit_exceeded = exceeded.value() != 0;
+  auto attempts = r.u32();
+  if (!attempts.ok()) return attempts.error();
+  out.attempts = attempts.value();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return out;
+}
+
+Bytes PalQuoteConfirmInput::marshal() const {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(PalCommand::kConfirmQuote));
+  w.var_string(tx_summary);
+  w.var_bytes(tx_digest);
+  w.var_bytes(nonce);
+  w.u32(code_len);
+  w.u32(max_attempts);
+  w.u64(static_cast<std::uint64_t>(user_timeout_ns));
+  return w.take();
+}
+
+Result<PalQuoteConfirmInput> PalQuoteConfirmInput::unmarshal(BytesView data) {
+  BinaryReader r(data);
+  PalQuoteConfirmInput in;
+  auto summary = r.var_string();
+  if (!summary.ok()) return summary.error();
+  in.tx_summary = summary.take();
+  auto digest = r.var_bytes();
+  if (!digest.ok()) return digest.error();
+  in.tx_digest = digest.take();
+  auto nonce = r.var_bytes();
+  if (!nonce.ok()) return nonce.error();
+  in.nonce = nonce.take();
+  auto code_len = r.u32();
+  if (!code_len.ok()) return code_len.error();
+  in.code_len = code_len.value();
+  auto attempts = r.u32();
+  if (!attempts.ok()) return attempts.error();
+  in.max_attempts = attempts.value();
+  auto timeout = r.u64();
+  if (!timeout.ok()) return timeout.error();
+  in.user_timeout_ns = static_cast<std::int64_t>(timeout.value());
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return in;
+}
+
+Bytes PalQuoteConfirmOutput::marshal() const {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(verdict));
+  w.var_bytes(quote);
+  w.u32(attempts);
+  return w.take();
+}
+
+Result<PalQuoteConfirmOutput> PalQuoteConfirmOutput::unmarshal(
+    BytesView data) {
+  BinaryReader r(data);
+  PalQuoteConfirmOutput out;
+  auto v = r.u8();
+  if (!v.ok()) return v.error();
+  if (v.value() < 1 || v.value() > 3) {
+    return Error{Err::kInvalidArgument, "quote output: bad verdict"};
+  }
+  out.verdict = static_cast<Verdict>(v.value());
+  auto quote = r.var_bytes();
+  if (!quote.ok()) return quote.error();
+  out.quote = quote.take();
+  auto attempts = r.u32();
+  if (!attempts.ok()) return attempts.error();
+  out.attempts = attempts.value();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return out;
+}
+
+Bytes quote_confirmation_binding(BytesView tx_digest, BytesView nonce) {
+  return crypto::Sha256::hash(
+      concat(bytes_of("TP-QUOTE-CONFIRM-v1"), tx_digest, nonce));
+}
+
+Status verify_quote_confirmation(
+    const crypto::RsaPublicKey& aik,
+    const std::vector<AttestationPolicy>& accepted, BytesView tx_digest,
+    BytesView nonce, BytesView quote_bytes) {
+  auto quote = tpm::QuoteResult::deserialize(quote_bytes);
+  if (!quote.ok()) return quote.error();
+  if (auto s = tpm::verify_quote(
+          aik, quote.value(), quote_confirmation_binding(tx_digest, nonce));
+      !s.ok()) {
+    return s;
+  }
+  for (const auto& policy : accepted) {
+    if (quote.value().selection != policy.selection ||
+        quote.value().pcr_values.size() != policy.values.size()) {
+      continue;
+    }
+    bool all_equal = true;
+    for (std::size_t i = 0; i < policy.values.size(); ++i) {
+      if (!ct_equal(quote.value().pcr_values[i], policy.values[i])) {
+        all_equal = false;
+        break;
+      }
+    }
+    if (all_equal) return Status::ok_status();
+  }
+  return Error{Err::kPcrMismatch,
+               "quote confirmation: PCRs match no accepted policy"};
+}
+
+std::string batch_summary(const std::vector<BatchItem>& items) {
+  std::string combined = std::to_string(items.size()) + " transactions: ";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) combined += " | ";
+    combined += items[i].summary;
+  }
+  return combined;
+}
+
+// ---- descriptor & cost model ---------------------------------------------
+
+pal::PalDescriptor make_trusted_path_pal() {
+  pal::PalDescriptor pal;
+  pal.name = kPalName;
+  pal.image = pal::PalDescriptor::make_image(kPalName, kPalVersion);
+  pal.entry = pal_entry;
+  return pal;
+}
+
+Bytes golden_pcr17() {
+  const pal::PalDescriptor pal = make_trusted_path_pal();
+  return drtm::predicted_extend_of(pal.image);
+}
+
+AttestationPolicy attestation_policy(drtm::DrtmTechnology technology,
+                                     const drtm::TxtArtifacts& txt) {
+  AttestationPolicy policy;
+  if (technology == drtm::DrtmTechnology::kAmdSkinit) {
+    policy.selection = tpm::PcrSelection::of({17});
+    policy.values = {golden_pcr17()};
+    policy.label = "amd-skinit";
+  } else {
+    policy.selection = tpm::PcrSelection::of({17, 18});
+    policy.values = {drtm::predicted_txt_pcr17(txt), golden_pcr17()};
+    policy.label = "intel-txt";
+  }
+  return policy;
+}
+
+SimDuration pal_keygen_cost(std::uint32_t key_bits) {
+  // Prime search scales roughly with bits^4 for fixed-count MR rounds on
+  // a 2008-class CPU; anchored at ~350 ms for RSA-1024.
+  const double ratio = static_cast<double>(key_bits) / 1024.0;
+  return SimDuration::seconds(0.35 * ratio * ratio * ratio * ratio);
+}
+
+SimDuration pal_sign_cost(std::uint32_t key_bits) {
+  // One CRT private exponentiation; ~6 ms at 1024 bits, ~bits^3 scaling.
+  const double ratio = static_cast<double>(key_bits) / 1024.0;
+  return SimDuration::seconds(0.006 * ratio * ratio * ratio);
+}
+
+}  // namespace tp::core

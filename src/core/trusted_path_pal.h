@@ -1,0 +1,249 @@
+// The trusted-path PAL: the paper's primary contribution.
+//
+// One PAL image implements both protocol commands, which is essential:
+// the confirmation key is sealed to PCR 17 = H(0 || H(image)), so the
+// sealing PAL and the unsealing PAL must be the *same measured image*.
+//
+//   ENROLL  (once): generate an RSA confirmation keypair inside the
+//           isolated environment, seal the private half to this PAL's own
+//           measurement (locality 2 only), and emit the public key plus a
+//           TPM quote over PCR 17 whose external data binds the key to
+//           the service provider's nonce.
+//
+//   CONFIRM (per transaction): render the transaction summary and a fresh
+//           random code on the exclusive display, wait for the human to
+//           re-type the code on the physical keyboard, then unseal the
+//           key and sign (tx digest, SP nonce, verdict). Malware cannot
+//           inject the code (hardware input path), cannot alter the shown
+//           transaction (exclusive display), and cannot extract or use
+//           the key (sealed to this PAL).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/messages.h"
+#include "drtm/platform.h"
+#include "pal/pal.h"
+#include "tpm/pcr.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/sim_clock.h"
+
+namespace tp::core {
+
+inline constexpr char kPalName[] = "tp-confirmation-pal";
+inline constexpr std::uint32_t kPalVersion = 1;
+
+/// PAL command selector (first byte of the marshalled input).
+enum class PalCommand : std::uint8_t {
+  kEnroll = 1,
+  kConfirm = 2,
+  kConfirmBatch = 3,
+  kConfirmLimited = 4,  // spending-limit extension (stateful)
+  kConfirmQuote = 5,    // design alternative: quote instead of sealed key
+};
+
+// ---- ENROLL ----------------------------------------------------------
+
+struct PalEnrollInput {
+  Bytes nonce;                  // SP enrollment nonce
+  std::uint32_t key_bits = 1024;
+
+  Bytes marshal() const;
+  static Result<PalEnrollInput> unmarshal(BytesView data);
+};
+
+struct PalEnrollOutput {
+  Bytes pubkey;      // serialized RsaPublicKey
+  Bytes sealed_key;  // private key sealed to this PAL (PCR 17, locality 2)
+  Bytes quote;       // serialized QuoteResult over PCR 17,
+                     // external = SHA-256(pubkey || nonce)
+
+  Bytes marshal() const;
+  static Result<PalEnrollOutput> unmarshal(BytesView data);
+};
+
+/// External data the enrollment quote carries (recomputed by the SP).
+Bytes enrollment_quote_binding(BytesView pubkey, BytesView nonce);
+
+// ---- CONFIRM ----------------------------------------------------------
+
+struct PalConfirmInput {
+  std::string tx_summary;       // what the human must see
+  Bytes tx_digest;              // SHA-256 of the full transaction
+  Bytes nonce;                  // SP challenge for this transaction
+  Bytes sealed_key;             // from enrollment
+  std::uint32_t code_len = 6;
+  std::uint32_t max_attempts = 3;   // typo tolerance
+  std::int64_t user_timeout_ns = 60'000'000'000;  // 60 s per attempt
+
+  Bytes marshal() const;
+  static Result<PalConfirmInput> unmarshal(BytesView data);
+};
+
+struct PalConfirmOutput {
+  Verdict verdict = Verdict::kTimeout;
+  Bytes signature;          // over confirmation_statement(...); only for
+                            // kConfirmed
+  std::uint32_t attempts = 0;
+
+  Bytes marshal() const;
+  static Result<PalConfirmOutput> unmarshal(BytesView data);
+};
+
+// ---- CONFIRM (batch) ----------------------------------------------------
+//
+// Extension: confirm several transactions in ONE session. The user sees
+// all of them on the trusted screen and types one code; the PAL signs
+// each (digest, nonce) pair individually, so the SP-side verification is
+// unchanged. Amortizes launch + Unseal across the batch (ablation A1).
+
+struct BatchItem {
+  std::string summary;
+  Bytes tx_digest;
+  Bytes nonce;
+};
+
+struct PalBatchConfirmInput {
+  std::vector<BatchItem> items;
+  Bytes sealed_key;
+  std::uint32_t code_len = 6;
+  std::uint32_t max_attempts = 3;
+  std::int64_t user_timeout_ns = 60'000'000'000;
+
+  Bytes marshal() const;
+  static Result<PalBatchConfirmInput> unmarshal(BytesView data);
+};
+
+struct PalBatchConfirmOutput {
+  Verdict verdict = Verdict::kTimeout;  // one verdict for the whole batch
+  std::vector<Bytes> signatures;        // one per item iff kConfirmed
+  std::uint32_t attempts = 0;
+
+  Bytes marshal() const;
+  static Result<PalBatchConfirmOutput> unmarshal(BytesView data);
+};
+
+/// The combined transaction line the batch screen shows (and the human
+/// compares against their combined intention).
+std::string batch_summary(const std::vector<BatchItem>& items);
+
+// ---- CONFIRM (spending limit) ---------------------------------------------
+//
+// Stateful extension: the PAL enforces a cumulative spending limit that
+// even total host compromise cannot raise or roll back. The limit and
+// the running total live in rollback-protected sealed state (see
+// pal/sealed_state.h): on first use the state is initialized with the
+// limit the user sees on the trusted screen; afterwards the limit in the
+// marshalled input is IGNORED in favour of the sealed one, and a stale
+// state blob (the rollback attack: "replay yesterday's total") is
+// rejected by the monotonic-counter check.
+
+/// The TPM monotonic counter dedicated to spending state.
+inline constexpr std::uint32_t kSpendingCounterId = 0x53'50;
+
+struct PalLimitedConfirmInput {
+  std::string tx_summary;
+  Bytes tx_digest;
+  Bytes nonce;
+  Bytes sealed_key;
+  std::uint64_t amount_cents = 0;
+  std::uint64_t limit_cents = 0;  // honoured only when state is empty
+  Bytes sealed_state;             // empty = first use
+  std::uint32_t code_len = 6;
+  std::uint32_t max_attempts = 3;
+  std::int64_t user_timeout_ns = 60'000'000'000;
+
+  Bytes marshal() const;
+  static Result<PalLimitedConfirmInput> unmarshal(BytesView data);
+};
+
+struct PalLimitedConfirmOutput {
+  Verdict verdict = Verdict::kTimeout;
+  Bytes signature;                 // only for kConfirmed
+  Bytes new_sealed_state;          // replaces the old blob on confirm
+  std::uint64_t spent_cents = 0;   // cumulative, incl. this transaction
+  std::uint64_t limit_cents = 0;   // the sealed (authoritative) limit
+  bool limit_exceeded = false;     // rejected without asking the user
+  std::uint32_t attempts = 0;
+
+  Bytes marshal() const;
+  static Result<PalLimitedConfirmOutput> unmarshal(BytesView data);
+};
+
+// ---- CONFIRM (quote design alternative) -----------------------------------
+//
+// Ablation A2: instead of the enrolled sealed signing key, the PAL could
+// attest each confirmation directly with TPM_Quote (external data binds
+// the transaction). Pros: no enrollment phase, no key storage. Cons: a
+// Quote per transaction (the most expensive TPM command on most chips)
+// and an AIK-certificate check per transaction at the SP. The sealed-key
+// design the paper uses wins on the recurring path; this command and
+// bench_design_ablation quantify by how much.
+
+struct PalQuoteConfirmInput {
+  std::string tx_summary;
+  Bytes tx_digest;
+  Bytes nonce;
+  std::uint32_t code_len = 6;
+  std::uint32_t max_attempts = 3;
+  std::int64_t user_timeout_ns = 60'000'000'000;
+
+  Bytes marshal() const;
+  static Result<PalQuoteConfirmInput> unmarshal(BytesView data);
+};
+
+struct PalQuoteConfirmOutput {
+  Verdict verdict = Verdict::kTimeout;
+  Bytes quote;  // serialized tpm::QuoteResult; only for kConfirmed
+  std::uint32_t attempts = 0;
+
+  Bytes marshal() const;
+  static Result<PalQuoteConfirmOutput> unmarshal(BytesView data);
+};
+
+/// What the quote's external data must be for a confirmed transaction.
+Bytes quote_confirmation_binding(BytesView tx_digest, BytesView nonce);
+
+struct AttestationPolicy;  // defined below
+
+/// SP-side check for the quote design: AIK signature, nonce binding, and
+/// PCR values matching one accepted policy.
+Status verify_quote_confirmation(
+    const crypto::RsaPublicKey& aik,
+    const std::vector<AttestationPolicy>& accepted, BytesView tx_digest,
+    BytesView nonce, BytesView quote_bytes);
+
+// ---- descriptor & golden values ------------------------------------------
+
+/// The genuine PAL (identity + behaviour).
+pal::PalDescriptor make_trusted_path_pal();
+
+/// The post-launch value of the PCR holding the genuine PAL's identity
+/// (PCR 17 on AMD, PCR 18 on Intel -- the value is the same, the register
+/// differs): what the service provider publishes as the golden
+/// measurement.
+Bytes golden_pcr17();
+
+/// What a valid enrollment quote must show for one platform flavour:
+/// exactly this PCR selection holding exactly these values.
+struct AttestationPolicy {
+  tpm::PcrSelection selection;
+  std::vector<Bytes> values;
+  std::string label;  // for SP logs ("amd-skinit", "intel-txt")
+};
+
+/// The published golden policy for a DRTM technology. For Intel TXT the
+/// policy additionally pins the SINIT ACM + launch-control-policy chain
+/// in PCR 17.
+AttestationPolicy attestation_policy(drtm::DrtmTechnology technology,
+                                     const drtm::TxtArtifacts& txt = {});
+
+/// Compute cost model of in-PAL software crypto, charged to the virtual
+/// clock (2008-class CPU: keygen dominated by prime search, sign by one
+/// CRT exponentiation).
+SimDuration pal_keygen_cost(std::uint32_t key_bits);
+SimDuration pal_sign_cost(std::uint32_t key_bits);
+
+}  // namespace tp::core

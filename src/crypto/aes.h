@@ -1,0 +1,38 @@
+// AES-128/192/256 block cipher (FIPS 197).
+//
+// The TPM emulator uses AES-256 internally to protect sealed blobs and
+// wrapped keys (the real chip uses its storage hierarchy; the emulator
+// derives symmetric protection keys from the SRK seed -- see
+// tpm/tpm_device.cpp for the rationale).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace tp::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+
+/// Expanded-key AES context. Key size selects AES-128/192/256.
+class Aes {
+ public:
+  /// Throws std::invalid_argument unless key is 16, 24 or 32 bytes.
+  explicit Aes(BytesView key);
+
+  void encrypt_block(const std::uint8_t in[kAesBlockSize],
+                     std::uint8_t out[kAesBlockSize]) const;
+  void decrypt_block(const std::uint8_t in[kAesBlockSize],
+                     std::uint8_t out[kAesBlockSize]) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  int rounds_;
+  // Round keys as 4-byte words, enough for AES-256 (15 round keys).
+  std::array<std::uint32_t, 60> round_keys_{};
+};
+
+}  // namespace tp::crypto

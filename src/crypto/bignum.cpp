@@ -1,0 +1,578 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tp::crypto {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}  // namespace
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BigInt::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_limbs(std::vector<std::uint32_t> limbs) {
+  BigInt out;
+  out.limbs_ = std::move(limbs);
+  out.normalize();
+  return out;
+}
+
+BigInt BigInt::from_bytes_be(BytesView bytes) {
+  BigInt out;
+  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // byte i (from the big end) contributes to limb (n-1-i)/4.
+    const std::size_t pos = bytes.size() - 1 - i;  // little-endian byte index
+    out.limbs_[pos / 4] |= static_cast<std::uint32_t>(bytes[i])
+                           << (8 * (pos % 4));
+  }
+  out.normalize();
+  return out;
+}
+
+BigInt BigInt::from_hex(const std::string& hex) {
+  std::string h = hex;
+  if (h.size() % 2 != 0) h.insert(h.begin(), '0');
+  return from_bytes_be(tp::from_hex(h));
+}
+
+Bytes BigInt::to_bytes_be(std::size_t min_len) const {
+  Bytes out;
+  const std::size_t byte_len = (bit_length() + 7) / 8;
+  const std::size_t total = std::max(byte_len, min_len);
+  out.assign(total, 0);
+  for (std::size_t i = 0; i < byte_len; ++i) {
+    out[total - 1 - i] = static_cast<std::uint8_t>(
+        limbs_[i / 4] >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "00";
+  return tp::to_hex(to_bytes_be());
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+void BigInt::set_bit(std::size_t i) {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) limbs_.resize(limb + 1, 0);
+  limbs_[limb] |= (1u << (i % 32));
+}
+
+std::strong_ordering BigInt::operator<=>(const BigInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() <=> other.limbs_.size();
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] <=> other.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  std::vector<std::uint32_t> out(std::max(limbs_.size(), other.limbs_.size()) +
+                                 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    out[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  return from_limbs(std::move(out));
+}
+
+BigInt BigInt::operator-(const BigInt& other) const {
+  if (*this < other) {
+    throw std::domain_error("BigInt: subtraction underflow (unsigned domain)");
+  }
+  std::vector<std::uint32_t> out(limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < other.limbs_.size()) {
+      diff -= static_cast<std::int64_t>(other.limbs_[i]);
+    }
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<std::uint32_t>(diff);
+  }
+  return from_limbs(std::move(out));
+}
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (is_zero() || other.is_zero()) return BigInt();
+  std::vector<std::uint32_t> out(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = limbs_[i];
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(out[i + j]) + a * other.limbs_[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + other.limbs_.size();
+    while (carry != 0) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(out[k]) + carry;
+      out[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  return from_limbs(std::move(out));
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  if (is_zero()) return BigInt();
+  if (bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  std::vector<std::uint32_t> out(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  return from_limbs(std::move(out));
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  std::vector<std::uint32_t> out(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint64_t v =
+        static_cast<std::uint64_t>(limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out[i] = static_cast<std::uint32_t>(v);
+  }
+  return from_limbs(std::move(out));
+}
+
+std::pair<BigInt, BigInt> BigInt::divmod(const BigInt& divisor) const {
+  if (divisor.is_zero()) throw std::domain_error("BigInt: division by zero");
+  if (*this < divisor) return {BigInt(), *this};
+
+  // Single-limb fast path.
+  if (divisor.limbs_.size() == 1) {
+    const std::uint64_t d = divisor.limbs_[0];
+    std::vector<std::uint32_t> q(limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | limbs_[i];
+      q[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    return {from_limbs(std::move(q)), BigInt(rem)};
+  }
+
+  // Knuth algorithm D. Normalize so the divisor's top limb has its high
+  // bit set.
+  const std::size_t shift = 32 - (divisor.bit_length() % 32 == 0
+                                      ? 32
+                                      : divisor.bit_length() % 32);
+  const BigInt u = *this << shift;
+  const BigInt v = divisor << shift;
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+
+  std::vector<std::uint32_t> un(u.limbs_);
+  un.push_back(0);  // extra high limb for the algorithm
+  const std::vector<std::uint32_t>& vn = v.limbs_;
+  std::vector<std::uint32_t> q(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const std::uint64_t top =
+        (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    std::uint64_t qhat = top / vn[n - 1];
+    std::uint64_t rhat = top % vn[n - 1];
+    while (qhat >= kBase ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= kBase) break;
+    }
+    // After the adjustment loop qhat is q or q+1; qhat == kBase is only
+    // possible when q == kBase-1, so clamping is exact and keeps the
+    // 64-bit products below 2^64.
+    if (qhat >= kBase) qhat = kBase - 1;
+
+    // Multiply and subtract: un[j..j+n] -= qhat * vn.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * vn[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t = static_cast<std::int64_t>(un[i + j]) -
+                             static_cast<std::int64_t>(p & 0xffffffffull) -
+                             borrow;
+      un[i + j] = static_cast<std::uint32_t>(t);
+      borrow = (t < 0) ? 1 : 0;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(un[j + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+    un[j + n] = static_cast<std::uint32_t>(t);
+
+    if (t < 0) {
+      // qhat was one too large: add the divisor back.
+      --qhat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s =
+            static_cast<std::uint64_t>(un[i + j]) + vn[i] + c;
+        un[i + j] = static_cast<std::uint32_t>(s);
+        c = s >> 32;
+      }
+      un[j + n] = static_cast<std::uint32_t>(un[j + n] + c);
+    }
+    q[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  un.resize(n);
+  BigInt remainder = from_limbs(std::move(un)) >> shift;
+  return {from_limbs(std::move(q)), std::move(remainder)};
+}
+
+BigInt BigInt::operator/(const BigInt& divisor) const {
+  return divmod(divisor).first;
+}
+
+BigInt BigInt::operator%(const BigInt& divisor) const {
+  return divmod(divisor).second;
+}
+
+BigInt BigInt::mod_mul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a * b) % m;
+}
+
+namespace {
+
+// Montgomery context for an odd modulus (CIOS multiplication).
+class Montgomery {
+ public:
+  explicit Montgomery(const BigInt& m) : m_(m), n_(m.limbs().size()) {
+    // n0inv = -m^{-1} mod 2^32 via Newton iteration on 2-adic inverse.
+    std::uint32_t inv = 1;
+    const std::uint32_t m0 = m.limbs()[0];
+    for (int i = 0; i < 5; ++i) inv *= 2 - m0 * inv;
+    n0inv_ = ~inv + 1;  // negate mod 2^32
+
+    // R^2 mod m where R = 2^(32n): square-by-doubling.
+    BigInt r2 = BigInt(1) << (32 * n_);
+    r2 = r2 % m_;
+    r2 = (r2 * r2) % m_;
+    r2_ = to_vec(r2);
+    one_ = to_vec(BigInt(1));
+  }
+
+  std::vector<std::uint32_t> to_vec(const BigInt& v) const {
+    std::vector<std::uint32_t> out(v.limbs());
+    out.resize(n_, 0);
+    return out;
+  }
+
+  // Montgomery product: result = a * b * R^{-1} mod m (all length n_).
+  std::vector<std::uint32_t> mul(const std::vector<std::uint32_t>& a,
+                                 const std::vector<std::uint32_t>& b) const {
+    const auto& m = m_.limbs();
+    std::vector<std::uint32_t> t(n_ + 2, 0);
+    for (std::size_t i = 0; i < n_; ++i) {
+      // t += a[i] * b
+      std::uint64_t carry = 0;
+      for (std::size_t j = 0; j < n_; ++j) {
+        const std::uint64_t cur = static_cast<std::uint64_t>(t[j]) +
+                                  static_cast<std::uint64_t>(a[i]) * b[j] +
+                                  carry;
+        t[j] = static_cast<std::uint32_t>(cur);
+        carry = cur >> 32;
+      }
+      std::uint64_t cur = static_cast<std::uint64_t>(t[n_]) + carry;
+      t[n_] = static_cast<std::uint32_t>(cur);
+      t[n_ + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+      // u = t[0] * n0inv mod 2^32; t += u * m; t >>= 32
+      const std::uint32_t u = t[0] * n0inv_;
+      carry = 0;
+      std::uint64_t sum = static_cast<std::uint64_t>(t[0]) +
+                          static_cast<std::uint64_t>(u) * m[0];
+      carry = sum >> 32;
+      for (std::size_t j = 1; j < n_; ++j) {
+        sum = static_cast<std::uint64_t>(t[j]) +
+              static_cast<std::uint64_t>(u) * m[j] + carry;
+        t[j - 1] = static_cast<std::uint32_t>(sum);
+        carry = sum >> 32;
+      }
+      sum = static_cast<std::uint64_t>(t[n_]) + carry;
+      t[n_ - 1] = static_cast<std::uint32_t>(sum);
+      t[n_] = t[n_ + 1] + static_cast<std::uint32_t>(sum >> 32);
+      t[n_ + 1] = 0;
+    }
+
+    t.resize(n_ + 1);
+    // Conditional final subtraction.
+    bool ge = t[n_] != 0;
+    if (!ge) {
+      ge = true;
+      for (std::size_t i = n_; i-- > 0;) {
+        if (t[i] != m[i]) {
+          ge = t[i] > m[i];
+          break;
+        }
+      }
+    }
+    t.resize(n_);
+    if (ge) {
+      std::int64_t borrow = 0;
+      for (std::size_t i = 0; i < n_; ++i) {
+        const std::int64_t d = static_cast<std::int64_t>(t[i]) -
+                               static_cast<std::int64_t>(m[i]) - borrow;
+        t[i] = static_cast<std::uint32_t>(d);
+        borrow = d < 0 ? 1 : 0;
+      }
+    }
+    return t;
+  }
+
+  const std::vector<std::uint32_t>& r2() const { return r2_; }
+  const std::vector<std::uint32_t>& one() const { return one_; }
+
+ private:
+  BigInt m_;
+  std::size_t n_;
+  std::uint32_t n0inv_;
+  std::vector<std::uint32_t> r2_;
+  std::vector<std::uint32_t> one_;
+};
+
+BigInt vec_to_bigint(std::vector<std::uint32_t> v) {
+  return BigInt::from_bytes_be([&] {
+    // Convert little-endian limbs to big-endian bytes.
+    Bytes out(v.size() * 4);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      for (int b = 0; b < 4; ++b) {
+        out[out.size() - 1 - (4 * i + static_cast<std::size_t>(b))] =
+            static_cast<std::uint8_t>(v[i] >> (8 * b));
+      }
+    }
+    return out;
+  }());
+}
+
+}  // namespace
+
+BigInt BigInt::mod_exp(const BigInt& base, const BigInt& exp,
+                       const BigInt& m) {
+  if (m.is_zero()) throw std::domain_error("mod_exp: zero modulus");
+  if (m == BigInt(1)) return BigInt();
+  if (exp.is_zero()) return BigInt(1);
+
+  const BigInt b = base % m;
+
+  if (m.is_odd()) {
+    // Montgomery ladder with 4-bit fixed windows.
+    Montgomery mont(m);
+    const auto b_mont = mont.mul(mont.to_vec(b), mont.r2());
+
+    // Precompute b^0..b^15 in Montgomery form.
+    std::vector<std::vector<std::uint32_t>> table(16);
+    table[0] = mont.mul(mont.one(), mont.r2());  // 1 in Montgomery form
+    table[1] = b_mont;
+    for (std::size_t i = 2; i < 16; ++i) {
+      table[i] = mont.mul(table[i - 1], b_mont);
+    }
+
+    const std::size_t bits = exp.bit_length();
+    const std::size_t windows = (bits + 3) / 4;
+    auto acc = table[0];
+    for (std::size_t w = windows; w-- > 0;) {
+      for (int s = 0; s < 4; ++s) acc = mont.mul(acc, acc);
+      std::size_t idx = 0;
+      for (int s = 3; s >= 0; --s) {
+        idx = (idx << 1) |
+              (exp.bit(w * 4 + static_cast<std::size_t>(s)) ? 1u : 0u);
+      }
+      if (idx != 0) acc = mont.mul(acc, table[idx]);
+    }
+    // Convert out of Montgomery form.
+    acc = mont.mul(acc, mont.one());
+    return vec_to_bigint(std::move(acc));
+  }
+
+  // Even modulus (rare; not an RSA case): plain square-and-multiply.
+  BigInt result(1);
+  BigInt cur = b;
+  for (std::size_t i = 0; i < exp.bit_length(); ++i) {
+    if (exp.bit(i)) result = (result * cur) % m;
+    cur = (cur * cur) % m;
+  }
+  return result;
+}
+
+BigInt BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid tracking coefficients as (value, negative?) pairs to
+  // stay in the unsigned domain.
+  if (m.is_zero()) throw std::domain_error("mod_inverse: zero modulus");
+  BigInt r0 = m, r1 = a % m;
+  BigInt t0, t1(1);
+  bool t0_neg = false, t1_neg = false;
+
+  while (!r1.is_zero()) {
+    const auto [q, r2] = r0.divmod(r1);
+    // t2 = t0 - q * t1 with sign tracking.
+    const BigInt qt1 = q * t1;
+    BigInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      if (t0 >= qt1) {
+        t2 = t0 - qt1;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1 - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + qt1;
+      t2_neg = t0_neg;
+    }
+    r0 = r1;
+    r1 = r2;
+    t0 = t1;
+    t0_neg = t1_neg;
+    t1 = t2;
+    t1_neg = t2_neg;
+  }
+
+  if (r0 != BigInt(1)) return BigInt();  // not invertible
+  if (t0_neg) return m - (t0 % m);
+  return t0 % m;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::random_below(
+    const BigInt& bound,
+    const std::function<Bytes(std::size_t)>& random_bytes) {
+  if (bound.is_zero()) {
+    throw std::invalid_argument("random_below: zero bound");
+  }
+  const std::size_t bits = bound.bit_length();
+  const std::size_t bytes = (bits + 7) / 8;
+  // Rejection sampling with the top byte masked to the bound's width.
+  const unsigned top_bits = static_cast<unsigned>(bits % 8 == 0 ? 8 : bits % 8);
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << top_bits) - 1);
+  for (;;) {
+    Bytes buf = random_bytes(bytes);
+    buf[0] &= mask;
+    BigInt candidate = from_bytes_be(buf);
+    if (candidate < bound) return candidate;
+  }
+}
+
+bool BigInt::is_probable_prime(
+    const BigInt& n, int rounds,
+    const std::function<Bytes(std::size_t)>& random_bytes) {
+  if (n < BigInt(2)) return false;
+  // Trial division by small primes screens out most candidates cheaply.
+  static constexpr std::uint32_t kSmallPrimes[] = {
+      2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,
+      43,  47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101,
+      103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167,
+      173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239,
+      241, 251};
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+
+  // Write n-1 = d * 2^s with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  std::size_t s = 0;
+  while (d.is_even()) {
+    d = d >> 1;
+    ++s;
+  }
+
+  const BigInt two(2);
+  for (int round = 0; round < rounds; ++round) {
+    // Base a in [2, n-2].
+    const BigInt a =
+        random_below(n - BigInt(3), random_bytes) + two;
+    BigInt x = mod_exp(a, d, n);
+    if (x == BigInt(1) || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = mod_mul(x, x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::generate_prime(
+    std::size_t bits, const std::function<Bytes(std::size_t)>& random_bytes) {
+  if (bits < 16) throw std::invalid_argument("generate_prime: bits < 16");
+  for (;;) {
+    Bytes buf = random_bytes((bits + 7) / 8);
+    BigInt candidate = from_bytes_be(buf);
+    // Clamp to exactly `bits` bits, top two bits set, odd.
+    for (std::size_t i = candidate.bit_length(); i > bits; --i) {
+      // Clear any excess: rebuild via shift.
+      candidate = candidate >> (candidate.bit_length() - bits);
+    }
+    candidate.set_bit(bits - 1);
+    candidate.set_bit(bits - 2);
+    candidate.set_bit(0);
+    if (candidate.bit_length() != bits) continue;
+    if (is_probable_prime(candidate, 24, random_bytes)) return candidate;
+  }
+}
+
+}  // namespace tp::crypto

@@ -1,0 +1,95 @@
+// Arbitrary-precision unsigned integers for RSA.
+//
+// Only the operations RSA needs: the value domain is non-negative integers
+// (key material, moduli, message representatives are all unsigned), which
+// keeps the invariants simple. Limbs are 32-bit, little-endian, normalized
+// (no high zero limbs). Modular exponentiation uses Montgomery
+// multiplication (CIOS) for odd moduli, which covers every RSA modulus and
+// prime.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace tp::crypto {
+
+class BigInt {
+ public:
+  BigInt() = default;                      // zero
+  BigInt(std::uint64_t v);                 // NOLINT(implicit) convenience
+
+  /// Big-endian byte-string decode (TPM/RSA wire convention).
+  static BigInt from_bytes_be(BytesView bytes);
+  /// Hex decode (for test vectors); accepts leading zeros.
+  static BigInt from_hex(const std::string& hex);
+
+  /// Big-endian encode, left-padded with zeros to at least `min_len`.
+  Bytes to_bytes_be(std::size_t min_len = 0) const;
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool is_even() const { return !is_odd(); }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+  /// Value of bit i (false beyond bit_length).
+  bool bit(std::size_t i) const;
+  void set_bit(std::size_t i);
+
+  std::strong_ordering operator<=>(const BigInt& other) const;
+  bool operator==(const BigInt& other) const = default;
+
+  BigInt operator+(const BigInt& other) const;
+  /// Requires *this >= other (unsigned domain); throws otherwise.
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  BigInt operator<<(std::size_t bits) const;
+  BigInt operator>>(std::size_t bits) const;
+
+  /// Knuth algorithm D: returns {quotient, remainder}. Throws
+  /// std::domain_error on division by zero.
+  std::pair<BigInt, BigInt> divmod(const BigInt& divisor) const;
+  BigInt operator/(const BigInt& divisor) const;
+  BigInt operator%(const BigInt& divisor) const;
+
+  /// (a * b) mod m.
+  static BigInt mod_mul(const BigInt& a, const BigInt& b, const BigInt& m);
+  /// base^exp mod m. m must be >= 1; Montgomery path when m is odd.
+  static BigInt mod_exp(const BigInt& base, const BigInt& exp,
+                        const BigInt& m);
+  /// Multiplicative inverse mod m; returns zero BigInt if gcd(a, m) != 1.
+  static BigInt mod_inverse(const BigInt& a, const BigInt& m);
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Uniform value in [0, bound) using `random_bytes` as the entropy
+  /// source (n -> n random octets). bound must be > 0.
+  static BigInt random_below(
+      const BigInt& bound,
+      const std::function<Bytes(std::size_t)>& random_bytes);
+
+  /// Miller-Rabin probable-prime test with `rounds` random bases.
+  static bool is_probable_prime(
+      const BigInt& n, int rounds,
+      const std::function<Bytes(std::size_t)>& random_bytes);
+
+  /// Random probable prime of exactly `bits` bits (top two bits set so
+  /// products of two such primes have full length).
+  static BigInt generate_prime(
+      std::size_t bits, const std::function<Bytes(std::size_t)>& random_bytes);
+
+  const std::vector<std::uint32_t>& limbs() const { return limbs_; }
+
+ private:
+  void normalize();
+  static BigInt from_limbs(std::vector<std::uint32_t> limbs);
+
+  std::vector<std::uint32_t> limbs_;  // little-endian, normalized
+};
+
+}  // namespace tp::crypto

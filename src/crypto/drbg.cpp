@@ -1,0 +1,43 @@
+#include "crypto/drbg.h"
+
+#include "crypto/hmac.h"
+
+namespace tp::crypto {
+
+HmacDrbg::HmacDrbg(BytesView seed_material)
+    : key_(32, 0x00), v_(32, 0x01) {
+  update(seed_material);
+}
+
+void HmacDrbg::update(BytesView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  Bytes msg(v_);
+  msg.push_back(0x00);
+  append(msg, provided);
+  key_ = hmac_sha256(key_, msg);
+  v_ = hmac_sha256(key_, v_);
+  if (!provided.empty()) {
+    msg.assign(v_.begin(), v_.end());
+    msg.push_back(0x01);
+    append(msg, provided);
+    key_ = hmac_sha256(key_, msg);
+    v_ = hmac_sha256(key_, v_);
+  }
+}
+
+Bytes HmacDrbg::generate(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    v_ = hmac_sha256(key_, v_);
+    const std::size_t take = std::min(v_.size(), n - out.size());
+    out.insert(out.end(), v_.begin(),
+               v_.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  update({});
+  return out;
+}
+
+void HmacDrbg::reseed(BytesView seed_material) { update(seed_material); }
+
+}  // namespace tp::crypto

@@ -1,0 +1,31 @@
+// HMAC-DRBG with SHA-256 (NIST SP 800-90A).
+//
+// Deterministic when seeded deterministically, which is exactly what the
+// simulation needs: the emulated TPM's RNG and every key generation is
+// reproducible from the experiment seed, while the construction itself is
+// the real cryptographic one.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace tp::crypto {
+
+class HmacDrbg {
+ public:
+  /// Instantiates from seed material (entropy || nonce || personalization).
+  explicit HmacDrbg(BytesView seed_material);
+
+  /// Returns n pseudo-random bytes and advances the state.
+  Bytes generate(std::size_t n);
+
+  /// Mixes fresh material into the state.
+  void reseed(BytesView seed_material);
+
+ private:
+  void update(BytesView provided);
+
+  Bytes key_;  // K
+  Bytes v_;    // V
+};
+
+}  // namespace tp::crypto

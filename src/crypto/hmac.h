@@ -1,0 +1,14 @@
+// HMAC (RFC 2104) over SHA-1 and SHA-256.
+//
+// Used for sealed-blob integrity inside the TPM emulator (SHA-1, matching
+// the TPM 1.2 HMAC authorization design) and by the HMAC-DRBG (SHA-256).
+#pragma once
+
+#include "util/bytes.h"
+
+namespace tp::crypto {
+
+Bytes hmac_sha1(BytesView key, BytesView message);
+Bytes hmac_sha256(BytesView key, BytesView message);
+
+}  // namespace tp::crypto

@@ -1,0 +1,87 @@
+#include "crypto/modes.h"
+
+#include <stdexcept>
+
+namespace tp::crypto {
+
+Bytes cbc_encrypt(const Aes& cipher, BytesView iv, BytesView plaintext) {
+  if (iv.size() != kAesBlockSize) {
+    throw std::invalid_argument("cbc_encrypt: IV must be 16 bytes");
+  }
+  const std::size_t pad =
+      kAesBlockSize - (plaintext.size() % kAesBlockSize);
+  Bytes padded(plaintext.begin(), plaintext.end());
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+
+  Bytes out(padded.size());
+  std::uint8_t chain[kAesBlockSize];
+  std::copy(iv.begin(), iv.end(), chain);
+  for (std::size_t off = 0; off < padded.size(); off += kAesBlockSize) {
+    std::uint8_t block[kAesBlockSize];
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) {
+      block[i] = padded[off + i] ^ chain[i];
+    }
+    cipher.encrypt_block(block, &out[off]);
+    std::copy(&out[off], &out[off] + kAesBlockSize, chain);
+  }
+  return out;
+}
+
+Result<Bytes> cbc_decrypt(const Aes& cipher, BytesView iv,
+                          BytesView ciphertext) {
+  if (iv.size() != kAesBlockSize) {
+    return Error{Err::kCryptoError, "cbc_decrypt: IV must be 16 bytes"};
+  }
+  if (ciphertext.empty() || ciphertext.size() % kAesBlockSize != 0) {
+    return Error{Err::kCryptoError,
+                 "cbc_decrypt: ciphertext not a positive block multiple"};
+  }
+  Bytes out(ciphertext.size());
+  std::uint8_t chain[kAesBlockSize];
+  std::copy(iv.begin(), iv.end(), chain);
+  for (std::size_t off = 0; off < ciphertext.size(); off += kAesBlockSize) {
+    std::uint8_t block[kAesBlockSize];
+    cipher.decrypt_block(&ciphertext[off], block);
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) {
+      out[off + i] = block[i] ^ chain[i];
+    }
+    std::copy(ciphertext.begin() + static_cast<std::ptrdiff_t>(off),
+              ciphertext.begin() + static_cast<std::ptrdiff_t>(off) +
+                  kAesBlockSize,
+              chain);
+  }
+  const std::uint8_t pad = out.back();
+  if (pad == 0 || pad > kAesBlockSize || pad > out.size()) {
+    return Error{Err::kCryptoError, "cbc_decrypt: bad padding"};
+  }
+  for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) {
+      return Error{Err::kCryptoError, "cbc_decrypt: bad padding"};
+    }
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+Bytes ctr_crypt(const Aes& cipher, BytesView nonce, BytesView data) {
+  if (nonce.size() != kAesBlockSize) {
+    throw std::invalid_argument("ctr_crypt: nonce must be 16 bytes");
+  }
+  std::uint8_t counter[kAesBlockSize];
+  std::copy(nonce.begin(), nonce.end(), counter);
+
+  Bytes out(data.begin(), data.end());
+  std::uint8_t keystream[kAesBlockSize];
+  for (std::size_t off = 0; off < out.size(); off += kAesBlockSize) {
+    cipher.encrypt_block(counter, keystream);
+    const std::size_t n = std::min(kAesBlockSize, out.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] ^= keystream[i];
+    // Big-endian increment of the counter block.
+    for (int i = kAesBlockSize - 1; i >= 0; --i) {
+      if (++counter[i] != 0) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace tp::crypto

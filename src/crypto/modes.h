@@ -1,0 +1,22 @@
+// AES block-cipher modes: CBC with PKCS#7 padding, and CTR.
+#pragma once
+
+#include "crypto/aes.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tp::crypto {
+
+/// CBC encryption with PKCS#7 padding. IV must be 16 bytes.
+Bytes cbc_encrypt(const Aes& cipher, BytesView iv, BytesView plaintext);
+
+/// CBC decryption; validates and strips PKCS#7 padding. Returns
+/// kCryptoError for malformed ciphertext or padding.
+Result<Bytes> cbc_decrypt(const Aes& cipher, BytesView iv,
+                          BytesView ciphertext);
+
+/// CTR keystream XOR (encryption == decryption). Nonce must be 16 bytes
+/// and is used as the initial counter block (big-endian increment).
+Bytes ctr_crypt(const Aes& cipher, BytesView nonce, BytesView data);
+
+}  // namespace tp::crypto

@@ -1,0 +1,117 @@
+#include "crypto/sha1.h"
+
+#include <stdexcept>
+
+namespace tp::crypto {
+
+namespace {
+std::uint32_t rotl32(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+}  // namespace
+
+Sha1::Sha1()
+    : h_{0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u, 0xc3d2e1f0u} {}
+
+void Sha1::update(BytesView data) {
+  if (finalized_) throw std::logic_error("Sha1: update after finalize");
+  total_len_ += data.size();
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffer_len_);
+    std::copy(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(take),
+              buffer_.begin() + static_cast<std::ptrdiff_t>(buffer_len_));
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == 64) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(offset), data.end(),
+              buffer_.begin());
+    buffer_len_ = data.size() - offset;
+  }
+}
+
+Bytes Sha1::finalize() {
+  if (finalized_) throw std::logic_error("Sha1: double finalize");
+  const std::uint64_t bit_len = total_len_ * 8;
+  std::uint8_t pad[72] = {0x80};
+  // Pad to 56 mod 64, then the 64-bit big-endian length.
+  const std::size_t pad_len =
+      (buffer_len_ < 56) ? (56 - buffer_len_) : (120 - buffer_len_);
+  update(BytesView(pad, pad_len));
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(BytesView(len_bytes, 8));
+  finalized_ = true;
+
+  Bytes digest(kSha1DigestSize);
+  for (int i = 0; i < 5; ++i) {
+    for (int b = 0; b < 4; ++b) {
+      digest[static_cast<std::size_t>(4 * i + b)] =
+          static_cast<std::uint8_t>(h_[static_cast<std::size_t>(i)] >>
+                                    (24 - 8 * b));
+    }
+  }
+  return digest;
+}
+
+Bytes Sha1::hash(BytesView data) {
+  Sha1 ctx;
+  ctx.update(data);
+  return ctx.finalize();
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdcu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6u;
+    }
+    const std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+}  // namespace tp::crypto

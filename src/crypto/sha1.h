@@ -1,0 +1,41 @@
+// SHA-1 (FIPS 180-4).
+//
+// TPM 1.2 is a SHA-1 device: PCRs are 20-byte SHA-1 digests and every
+// extend/quote/seal composite is a SHA-1 computation, so the emulator needs
+// a faithful implementation. SHA-1 is cryptographically broken for
+// collision resistance; it is used here only to reproduce TPM 1.2
+// semantics, and the application layer hashes with SHA-256.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace tp::crypto {
+
+inline constexpr std::size_t kSha1DigestSize = 20;
+
+/// Incremental SHA-1.
+class Sha1 {
+ public:
+  Sha1();
+
+  void update(BytesView data);
+  /// Finalizes and returns the digest; the object must not be reused after.
+  Bytes finalize();
+
+  /// One-shot convenience.
+  static Bytes hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace tp::crypto

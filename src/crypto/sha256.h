@@ -1,0 +1,36 @@
+// SHA-256 (FIPS 180-4). Application-layer hash for transactions, wire
+// messages, and the HMAC-DRBG.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace tp::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(BytesView data);
+  /// Finalizes and returns the digest; the object must not be reused after.
+  Bytes finalize();
+
+  /// One-shot convenience.
+  static Bytes hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace tp::crypto

@@ -1,0 +1,26 @@
+#include "devices/display.h"
+
+namespace tp::devices {
+
+std::string DisplayContent::find_field(const std::string& prefix) const {
+  for (const std::string& line : lines) {
+    if (line.rfind(prefix, 0) == 0) return line.substr(prefix.size());
+  }
+  return {};
+}
+
+Status Display::render(DeviceAccess access, const DisplayContent& content) {
+  if (exclusive_ && access == DeviceAccess::kHost) {
+    ++blocked_;
+    return Error{Err::kIsolationViolation,
+                 "display: host render blocked during PAL session"};
+  }
+  content_ = content;
+  return Status::ok_status();
+}
+
+void Display::acquire_exclusive() { exclusive_ = true; }
+
+void Display::release_exclusive() { exclusive_ = false; }
+
+}  // namespace tp::devices

@@ -1,0 +1,61 @@
+// Simulated text display with an exclusivity gate.
+//
+// The real PAL drives the VGA text console directly after late launch, so
+// malware cannot alter what the user sees *during* a session (before a
+// session it can spoof anything -- that asymmetry is exactly why the
+// trusted path is "uni-directional"). The simulation reproduces the gate:
+// while a PAL session holds the display, host writes are rejected and
+// counted; outside a session the host draws freely, including spoofed
+// content.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tp::devices {
+
+/// Who is touching a device.
+enum class DeviceAccess : std::uint8_t {
+  kHost = 0,  // untrusted OS / applications / malware
+  kPal = 1,   // the isolated environment during a DRTM session
+};
+
+/// What is on screen: plain text lines (the PAL uses a text console).
+struct DisplayContent {
+  std::vector<std::string> lines;
+
+  bool operator==(const DisplayContent& other) const = default;
+
+  /// First line starting with `prefix`, without the prefix; empty string
+  /// if absent. Convention used by the confirmation screen ("TX: ...",
+  /// "CODE: ...").
+  std::string find_field(const std::string& prefix) const;
+};
+
+class Display {
+ public:
+  /// Draws `content`. Host access while the PAL holds the display is
+  /// blocked (content unchanged) and returns kIsolationViolation.
+  Status render(DeviceAccess access, const DisplayContent& content);
+
+  const DisplayContent& content() const { return content_; }
+
+  /// PAL session entry/exit.
+  void acquire_exclusive();
+  void release_exclusive();
+  bool exclusive() const { return exclusive_; }
+
+  /// How many host draws were blocked during PAL sessions (attack
+  /// telemetry for the efficacy experiments).
+  std::uint64_t blocked_host_renders() const { return blocked_; }
+
+ private:
+  DisplayContent content_;
+  bool exclusive_ = false;
+  std::uint64_t blocked_ = 0;
+};
+
+}  // namespace tp::devices

@@ -1,0 +1,57 @@
+#include "devices/human.h"
+
+namespace tp::devices {
+
+namespace {
+// A typo replaces the intended character with a neighbour; any wrong
+// character defeats the code check equally, so a fixed substitution
+// keeps the model simple.
+char typo_of(char ch) { return ch == 'x' ? 'y' : 'x'; }
+}  // namespace
+
+std::string HumanModel::transcribe(const std::string& text) {
+  std::string typed;
+  typed.reserve(text.size());
+  for (char ch : text) {
+    typed.push_back(rng_.chance(params_.typo_prob) ? typo_of(ch) : ch);
+  }
+  return typed;
+}
+
+SimDuration HumanModel::respond_to_confirmation(
+    const DisplayContent& screen, const std::string& intended_summary,
+    Keyboard& kb) {
+  const std::string shown_tx = screen.find_field(kFieldTransaction);
+  const std::string code = screen.find_field(kFieldCode);
+
+  SimDuration elapsed = SimDuration::seconds(
+      rng_.next_normal(params_.reaction_mean_s, params_.reaction_std_s, 0.1));
+
+  const bool mismatch = shown_tx != intended_summary;
+  if (code.empty() || (mismatch && rng_.chance(params_.attention))) {
+    // No code on screen, or the user spotted a substituted transaction.
+    kb.press_line(KeySource::kPhysical, kRejectLine);
+    elapsed = elapsed + typing_time(sizeof(kRejectLine) - 1);
+    return elapsed;
+  }
+
+  const std::string typed = transcribe(code);
+  kb.press_line(KeySource::kPhysical, typed);
+  return elapsed + typing_time(typed.size());
+}
+
+bool HumanModel::solves_captcha() {
+  return rng_.chance(params_.captcha_solve_prob);
+}
+
+SimDuration HumanModel::captcha_time() {
+  return SimDuration::seconds(rng_.next_normal(
+      params_.captcha_solve_mean_s, params_.captcha_solve_std_s, 1.0));
+}
+
+SimDuration HumanModel::typing_time(std::size_t n) {
+  return SimDuration::seconds(params_.per_char_s *
+                              static_cast<double>(n));
+}
+
+}  // namespace tp::devices

@@ -1,0 +1,76 @@
+// Parameterized human operator model.
+//
+// The human in the loop is what the service provider is actually buying
+// with the trusted path: only a person at the physical keyboard can read
+// the confirmation screen and re-type the code. The model covers the
+// behaviours the experiments need:
+//   - reaction + per-character typing time (drives end-to-end latency);
+//   - typos (drives the retry machinery);
+//   - attention: the probability of noticing that the transaction shown
+//     on the trusted screen differs from what the user intended (drives
+//     the transaction-substitution experiment);
+//   - captcha solving ability and time (drives the captcha-comparison
+//     experiment, F4).
+// Parameters default to values in the range of the HCI literature on
+// transcription typing and captcha solving.
+#pragma once
+
+#include <string>
+
+#include "devices/display.h"
+#include "devices/keyboard.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace tp::devices {
+
+struct HumanParams {
+  double reaction_mean_s = 1.2;   // time to orient on a new screen
+  double reaction_std_s = 0.4;
+  double per_char_s = 0.28;       // transcription typing, incl. visual check
+  double typo_prob = 0.02;        // per character
+  double attention = 0.95;        // P(notice transaction mismatch)
+  double captcha_solve_prob = 0.92;
+  double captcha_solve_mean_s = 9.8;
+  double captcha_solve_std_s = 3.1;
+};
+
+/// Screen-field conventions the confirmation PAL renders and the human
+/// reads (see core/confirmation_pal.cpp).
+inline constexpr char kFieldTransaction[] = "TX: ";
+inline constexpr char kFieldCode[] = "CODE: ";
+inline constexpr char kRejectLine[] = "reject";
+
+class HumanModel {
+ public:
+  HumanModel(HumanParams params, SimRng rng)
+      : params_(params), rng_(std::move(rng)) {}
+
+  const HumanParams& params() const { return params_; }
+
+  /// The human looks at the confirmation screen, compares the rendered
+  /// transaction summary against what they intended, and either types the
+  /// displayed code (with possible typos) or the reject line. Keystrokes
+  /// go to `kb` as physical events; the returned duration is the human
+  /// time spent (reaction + typing), to be charged by the caller.
+  SimDuration respond_to_confirmation(const DisplayContent& screen,
+                                      const std::string& intended_summary,
+                                      Keyboard& kb);
+
+  /// One captcha attempt: whether the human got it right.
+  bool solves_captcha();
+  /// Time spent on one captcha attempt.
+  SimDuration captcha_time();
+
+  /// Typing time for `n` characters including reaction (used by the
+  /// human-cost benchmark to report components separately).
+  SimDuration typing_time(std::size_t n);
+
+ private:
+  std::string transcribe(const std::string& text);
+
+  HumanParams params_;
+  SimRng rng_;
+};
+
+}  // namespace tp::devices

@@ -1,0 +1,42 @@
+#include "devices/keyboard.h"
+
+namespace tp::devices {
+
+void Keyboard::press(KeySource source, char ch) {
+  queue_.push_back(KeyEvent{ch, source});
+}
+
+void Keyboard::press_line(KeySource source, const std::string& line) {
+  for (char ch : line) press(source, ch);
+  press(source, '\n');
+}
+
+std::optional<KeyEvent> Keyboard::poll() {
+  while (!queue_.empty()) {
+    const KeyEvent ev = queue_.front();
+    queue_.pop_front();
+    if (exclusive_ && ev.source == KeySource::kInjected) {
+      ++blocked_;
+      continue;  // injected input never reaches the PAL
+    }
+    return ev;
+  }
+  return std::nullopt;
+}
+
+std::string Keyboard::read_line() {
+  std::string out;
+  while (auto ev = poll()) {
+    if (ev->ch == '\n') break;
+    out.push_back(ev->ch);
+  }
+  return out;
+}
+
+void Keyboard::acquire_exclusive() { exclusive_ = true; }
+
+void Keyboard::release_exclusive() { exclusive_ = false; }
+
+void Keyboard::clear() { queue_.clear(); }
+
+}  // namespace tp::devices

@@ -1,0 +1,61 @@
+// Simulated PS/2 keyboard with source attribution and an exclusivity gate.
+//
+// The trusted-path property on the input side: during a PAL session the
+// PAL polls the keyboard controller directly, so software-injected
+// keystrokes (malware synthesizing input) never reach it -- only scancodes
+// from the physical device do. The simulation tags every event with its
+// origin and drops host-injected events while a session is active,
+// counting them as attack telemetry.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "devices/display.h"
+
+namespace tp::devices {
+
+/// Origin of a keystroke.
+enum class KeySource : std::uint8_t {
+  kPhysical = 0,  // the human at the machine
+  kInjected = 1,  // synthesized by software on the untrusted host
+};
+
+struct KeyEvent {
+  char ch;
+  KeySource source;
+};
+
+class Keyboard {
+ public:
+  void press(KeySource source, char ch);
+  /// Convenience: the characters of `line` followed by '\n'.
+  void press_line(KeySource source, const std::string& line);
+
+  /// Pops the next deliverable event. While exclusive (PAL session),
+  /// injected events are silently discarded (and counted) exactly as the
+  /// real hardware path would never carry them.
+  std::optional<KeyEvent> poll();
+
+  /// Reads characters until '\n' (consumed, not returned) or queue
+  /// exhaustion; returns what was typed.
+  std::string read_line();
+
+  void acquire_exclusive();
+  void release_exclusive();
+  bool exclusive() const { return exclusive_; }
+
+  void clear();
+  bool empty() const { return queue_.empty(); }
+
+  std::uint64_t blocked_injections() const { return blocked_; }
+
+ private:
+  std::deque<KeyEvent> queue_;
+  bool exclusive_ = false;
+  std::uint64_t blocked_ = 0;
+};
+
+}  // namespace tp::devices

@@ -1,0 +1,120 @@
+#include "drtm/late_launch.h"
+
+#include "crypto/sha1.h"
+
+namespace tp::drtm {
+
+using crypto::Sha1;
+using tpm::Locality;
+
+std::vector<Bytes> Measurement::predicted_pcr_values() const {
+  const Bytes zeros(tpm::kPcrSize, 0x00);
+  return {Sha1::hash(concat(zeros, pal_digest)),
+          Sha1::hash(concat(zeros, input_digest))};
+}
+
+Bytes predicted_extend_of(BytesView data) {
+  const Bytes zeros(tpm::kPcrSize, 0x00);
+  return Sha1::hash(concat(zeros, Sha1::hash(data)));
+}
+
+Bytes predicted_txt_pcr17(const TxtArtifacts& artifacts) {
+  const Bytes after_sinit = predicted_extend_of(artifacts.sinit_acm);
+  return Sha1::hash(concat(after_sinit, Sha1::hash(artifacts.lcp_policy)));
+}
+
+Measurement LateLaunch::measure(BytesView pal_image,
+                                BytesView marshalled_input) {
+  return Measurement{Sha1::hash(pal_image), Sha1::hash(marshalled_input)};
+}
+
+Bytes LateLaunch::exit_cap_digest() {
+  static const Bytes cap = Sha1::hash(bytes_of("drtm-session-exit-cap"));
+  return cap;
+}
+
+Result<LaunchGuard> LateLaunch::launch(BytesView pal_image,
+                                       BytesView marshalled_input) {
+  if (platform_->in_pal_session()) {
+    return Error{Err::kBadState, "late launch: session already active"};
+  }
+  if (pal_image.empty()) {
+    return Error{Err::kInvalidArgument, "late launch: empty PAL image"};
+  }
+
+  SimClock& clock = platform_->clock();
+  const DrtmCosts& costs = platform_->drtm_costs();
+
+  // 1. Suspend the OS (save CPU state, mask devices).
+  clock.charge("drtm:suspend", costs.state_save);
+
+  // 2. SKINIT: the CPU streams the PAL image to the TPM for hashing.
+  const auto kib = static_cast<std::int64_t>((pal_image.size() + 1023) / 1024);
+  clock.charge("drtm:skinit",
+               costs.skinit_base +
+                   SimDuration{costs.hash_per_kib.ns * std::max<std::int64_t>(
+                                                           kib, 1)});
+
+  // 3. Hardware-locality PCR transitions: reset, then extend the
+  //    technology's measurement chain.
+  tpm::TpmDevice& tpm = platform_->tpm();
+  const std::uint32_t reset_high =
+      platform_->technology() == DrtmTechnology::kAmdSkinit ? 18u : 19u;
+  for (std::uint32_t pcr = 17; pcr <= reset_high; ++pcr) {
+    if (auto s = tpm.pcr_reset(Locality::kDrtmHardware, pcr); !s.ok()) {
+      return s.error();
+    }
+  }
+  auto extend = [&](std::uint32_t pcr, BytesView data) -> Status {
+    auto r = tpm.pcr_extend(Locality::kDrtmHardware, pcr, Sha1::hash(data));
+    if (!r.ok()) return r.error();
+    return Status::ok_status();
+  };
+  if (platform_->technology() == DrtmTechnology::kAmdSkinit) {
+    // SKINIT: PCR17 <- PAL, PCR18 <- inputs.
+    if (auto s = extend(17, pal_image); !s.ok()) return s.error();
+    if (auto s = extend(18, marshalled_input); !s.ok()) return s.error();
+  } else {
+    // TXT: PCR17 <- SINIT ACM then LCP policy; PCR18 <- MLE (the PAL);
+    // PCR19 <- inputs.
+    const TxtArtifacts& txt = platform_->txt_artifacts();
+    if (auto s = extend(17, txt.sinit_acm); !s.ok()) return s.error();
+    if (auto s = extend(17, txt.lcp_policy); !s.ok()) return s.error();
+    if (auto s = extend(18, pal_image); !s.ok()) return s.error();
+    if (auto s = extend(19, marshalled_input); !s.ok()) return s.error();
+  }
+
+  // 4. Enter the isolated environment: exclusive devices, attack gates on.
+  clock.charge("drtm:pal_setup", costs.pal_setup);
+  platform_->set_in_session(true);
+  platform_->display().acquire_exclusive();
+  platform_->keyboard().acquire_exclusive();
+
+  return LaunchGuard(platform_);
+}
+
+LaunchGuard::LaunchGuard(LaunchGuard&& other) noexcept
+    : platform_(other.platform_) {
+  other.platform_ = nullptr;
+}
+
+LaunchGuard::~LaunchGuard() {
+  if (platform_ == nullptr) return;
+
+  // Cap the DRTM PCRs so the resumed OS cannot impersonate the PAL, then
+  // resume the OS.
+  const Bytes cap = LateLaunch::exit_cap_digest();
+  const std::uint32_t cap_high =
+      platform_->technology() == DrtmTechnology::kAmdSkinit ? 18u : 19u;
+  for (std::uint32_t pcr = 17; pcr <= cap_high; ++pcr) {
+    (void)platform_->tpm().pcr_extend(tpm::Locality::kPal, pcr, cap);
+  }
+
+  platform_->display().release_exclusive();
+  platform_->keyboard().release_exclusive();
+  platform_->set_in_session(false);
+  platform_->clock().charge("drtm:resume",
+                            platform_->drtm_costs().state_restore);
+}
+
+}  // namespace tp::drtm

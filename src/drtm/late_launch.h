@@ -1,0 +1,82 @@
+// DRTM late launch (AMD SKINIT / Intel GETSEC[SENTER]) simulator.
+//
+// The hardware contract being reproduced:
+//   - the CPU suspends the OS, disables interrupts and DMA into the
+//     secure region, and asserts TPM locality 4;
+//   - PCR 17 (and 18) are reset to zero -- something software can never
+//     do -- and PCR 17 is extended with the hash of the launched code, so
+//     the TPM state now *is* the identity of what runs;
+//   - on exit, the DRTM PCRs are capped with a terminator extend so the
+//     resumed OS cannot masquerade as the (finished) PAL.
+//
+// LaunchGuard is the RAII session window; everything that must hold
+// "while isolated" (device exclusivity, attack blocking) keys off it.
+#pragma once
+
+#include "drtm/platform.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tp::drtm {
+
+/// Identity of an AMD SKINIT launch: what PCR17/18 will contain.
+struct Measurement {
+  Bytes pal_digest;    // SHA-1 of the PAL image        -> PCR 17
+  Bytes input_digest;  // SHA-1 of the marshalled input -> PCR 18
+
+  /// Predicts the post-launch PCR{17,18} values for golden-value
+  /// computation by verifiers (SHA1(zeros || digest) for each).
+  std::vector<Bytes> predicted_pcr_values() const;
+};
+
+/// Value a freshly reset PCR holds after one extend with SHA1(data):
+/// the building block of every golden-measurement computation.
+Bytes predicted_extend_of(BytesView data);
+
+/// Predicted PCR 17 after an Intel TXT launch: the SINIT ACM measurement
+/// extended with the launch control policy.
+Bytes predicted_txt_pcr17(const TxtArtifacts& artifacts);
+
+/// RAII isolation window. Construction = the launch already happened;
+/// destruction caps the DRTM PCRs, releases devices and resumes the OS.
+class [[nodiscard]] LaunchGuard {
+ public:
+  LaunchGuard(LaunchGuard&& other) noexcept;
+  LaunchGuard& operator=(LaunchGuard&&) = delete;
+  LaunchGuard(const LaunchGuard&) = delete;
+  ~LaunchGuard();
+
+  tpm::Locality locality() const { return tpm::Locality::kPal; }
+
+ private:
+  friend class LateLaunch;
+  explicit LaunchGuard(Platform* platform) : platform_(platform) {}
+
+  Platform* platform_;
+};
+
+class LateLaunch {
+ public:
+  explicit LateLaunch(Platform& platform) : platform_(&platform) {}
+
+  /// Performs the measured launch for the platform's technology: charges
+  /// suspend + launch costs, resets and extends the DRTM PCRs per the
+  /// SKINIT or TXT chain, flips the platform into session state and takes
+  /// exclusive ownership of keyboard and display.
+  ///
+  /// `pal_image` is the code being launched (its hash lands in the
+  /// platform's identity PCR); `marshalled_input` is the parameter block.
+  /// Fails with kBadState if a session is already active.
+  Result<LaunchGuard> launch(BytesView pal_image, BytesView marshalled_input);
+
+  /// The measurement an AMD SKINIT launch of this image/input produces.
+  static Measurement measure(BytesView pal_image, BytesView marshalled_input);
+
+  /// The digest used to cap PCR 17/18 at session exit.
+  static Bytes exit_cap_digest();
+
+ private:
+  Platform* platform_;
+};
+
+}  // namespace tp::drtm

@@ -1,0 +1,42 @@
+#include "drtm/platform.h"
+
+namespace tp::drtm {
+
+Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
+  const tpm::ChipProfile& chip = config_.chip_name.empty()
+                                     ? tpm::default_chip()
+                                     : tpm::chip_by_name(config_.chip_name);
+  tpm_ = std::make_unique<tpm::TpmDevice>(
+      chip, config_.seed, clock_,
+      tpm::TpmDevice::Options{.key_bits = config_.tpm_key_bits});
+}
+
+Status Platform::attempt_dma_write(BytesView payload) {
+  (void)payload;
+  if (in_session_) {
+    ++blocked_dma_;
+    return Error{Err::kIsolationViolation,
+                 "DMA into PAL memory blocked by device exclusion"};
+  }
+  return Status::ok_status();
+}
+
+Status Platform::attempt_interrupt_injection() {
+  if (in_session_) {
+    ++blocked_irq_;
+    return Error{Err::kIsolationViolation,
+                 "interrupts disabled during late-launch session"};
+  }
+  return Status::ok_status();
+}
+
+Status Platform::attempt_pal_memory_read() {
+  if (in_session_) {
+    ++blocked_reads_;
+    return Error{Err::kIsolationViolation,
+                 "PAL memory is inaccessible to the suspended host"};
+  }
+  return Status::ok_status();
+}
+
+}  // namespace tp::drtm

@@ -1,0 +1,130 @@
+// The simulated client machine.
+//
+// One Platform bundles everything a physical box contributes to the
+// system: a TPM chip, keyboard, display, the virtual clock the hardware
+// charges time to, and the isolation state a DRTM session flips. The
+// attack hooks (DMA writes, interrupt injection) are the interface the
+// adversary models in src/host use; during a session the hardware blocks
+// them, which is precisely the property SKINIT/SENTER buy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "devices/display.h"
+#include "devices/keyboard.h"
+#include "tpm/chip_profile.h"
+#include "tpm/tpm_device.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/sim_clock.h"
+
+namespace tp::drtm {
+
+/// Which late-launch technology the CPU implements. Both give the same
+/// guarantee (measured, isolated execution rooted in a dynamic PCR), but
+/// the measurement chains differ:
+///   - AMD SKINIT: PCR17 <- H(PAL), PCR18 <- H(inputs);
+///   - Intel TXT:  PCR17 <- H(SINIT ACM) then H(LCP policy),
+///                 PCR18 <- H(PAL/MLE), PCR19 <- H(inputs).
+/// The PAL's identity therefore lives in PCR 17 on AMD and PCR 18 on
+/// Intel; code asks the platform via identity_pcr().
+enum class DrtmTechnology { kAmdSkinit, kIntelTxt };
+
+/// Intel-only launch artifacts: the chipset-matched SINIT authenticated
+/// code module and the launch control policy. Synthetic stand-ins for
+/// the signed Intel binaries; what matters is that they are measured.
+struct TxtArtifacts {
+  Bytes sinit_acm = bytes_of("SINIT-ACM v2.1 for simulated chipset");
+  Bytes lcp_policy = bytes_of("LCP: any MLE, PS policy");
+};
+
+/// Cost model of the late-launch machinery itself (chip-independent CPU
+/// costs; the TPM costs come from the chip profile). Values approximate
+/// the published SKINIT measurements: the dominant term is the TPM-side
+/// hashing of the PAL image, which scales with its size.
+struct DrtmCosts {
+  SimDuration state_save = SimDuration::millis(2);      // suspend OS
+  SimDuration skinit_base = SimDuration::micros(80);    // the instruction
+  SimDuration hash_per_kib = SimDuration::micros(160);  // PAL measurement
+  SimDuration pal_setup = SimDuration::micros(500);     // env init inside PAL
+  SimDuration state_restore = SimDuration::millis(3);   // resume OS
+};
+
+struct PlatformConfig {
+  std::string platform_id = "client-0";
+  std::string chip_name;        // empty -> default chip
+  Bytes seed = bytes_of("platform-seed");
+  std::size_t tpm_key_bits = 1024;
+  DrtmCosts drtm_costs;
+  DrtmTechnology technology = DrtmTechnology::kAmdSkinit;
+  TxtArtifacts txt;             // used only for kIntelTxt
+};
+
+class Platform {
+ public:
+  explicit Platform(PlatformConfig config);
+
+  const std::string& id() const { return config_.platform_id; }
+  SimClock& clock() { return clock_; }
+  tpm::TpmDevice& tpm() { return *tpm_; }
+  devices::Display& display() { return display_; }
+  devices::Keyboard& keyboard() { return keyboard_; }
+  const DrtmCosts& drtm_costs() const { return config_.drtm_costs; }
+
+  /// True while a late-launch session is active.
+  bool in_pal_session() const { return in_session_; }
+
+  DrtmTechnology technology() const { return config_.technology; }
+  const TxtArtifacts& txt_artifacts() const { return config_.txt; }
+
+  /// The PCR that holds the launched PAL's identity after a measured
+  /// launch: 17 on AMD SKINIT, 18 on Intel TXT.
+  std::uint32_t identity_pcr() const {
+    return config_.technology == DrtmTechnology::kAmdSkinit ? 17u : 18u;
+  }
+
+  /// The PCRs a remote verifier must see in a quote to judge the launch:
+  /// {17} on AMD; {17, 18} on Intel (SINIT/policy chain + MLE identity).
+  tpm::PcrSelection attestation_selection() const {
+    return config_.technology == DrtmTechnology::kAmdSkinit
+               ? tpm::PcrSelection::of({17})
+               : tpm::PcrSelection::of({17, 18});
+  }
+
+  // ---- attack surface --------------------------------------------------
+  /// A device (or malware programming a device) attempts a DMA write into
+  /// PAL memory. Blocked during a session (the DEV / NoDMA protection),
+  /// permitted -- and irrelevant -- outside one.
+  Status attempt_dma_write(BytesView payload);
+
+  /// Malware attempts to inject an interrupt/SMI to hijack control flow
+  /// inside the session. Blocked: interrupts are disabled by SKINIT.
+  Status attempt_interrupt_injection();
+
+  /// Malware attempts to read PAL memory from the (suspended) host.
+  /// Blocked during a session.
+  Status attempt_pal_memory_read();
+
+  std::uint64_t blocked_dma_writes() const { return blocked_dma_; }
+  std::uint64_t blocked_interrupts() const { return blocked_irq_; }
+  std::uint64_t blocked_memory_reads() const { return blocked_reads_; }
+
+ private:
+  friend class LateLaunch;
+  friend class LaunchGuard;
+  void set_in_session(bool v) { in_session_ = v; }
+
+  PlatformConfig config_;
+  SimClock clock_;
+  std::unique_ptr<tpm::TpmDevice> tpm_;
+  devices::Display display_;
+  devices::Keyboard keyboard_;
+  bool in_session_ = false;
+  std::uint64_t blocked_dma_ = 0;
+  std::uint64_t blocked_irq_ = 0;
+  std::uint64_t blocked_reads_ = 0;
+};
+
+}  // namespace tp::drtm

@@ -1,0 +1,256 @@
+#include "host/adversary.h"
+
+#include "crypto/rsa.h"
+#include "devices/human.h"
+#include "util/serial.h"
+
+namespace tp::host {
+
+using namespace core;
+
+pal::PalDescriptor make_tampered_pal() {
+  pal::PalDescriptor pal;
+  pal.name = std::string(kPalName) + "-tampered";
+  // A patched binary: same name/version but different build content.
+  pal.image =
+      pal::PalDescriptor::make_image(kPalName, kPalVersion, "backdoor-patch");
+  pal.entry = [](pal::PalContext& ctx) {
+    // Skip the command byte parsing subtleties: accept CONFIRM only.
+    BinaryReader r(ctx.input());
+    auto cmd = r.u8();
+    if (!cmd.ok() ||
+        static_cast<PalCommand>(cmd.value()) != PalCommand::kConfirm) {
+      return Status(Err::kInvalidArgument, "tampered pal: confirm only");
+    }
+    const Bytes body(ctx.input().begin() + 1, ctx.input().end());
+    auto input = PalConfirmInput::unmarshal(body);
+    if (!input.ok()) return Status(input.error());
+
+    // No screen, no human: straight to the key. This is the step the
+    // sealing policy kills: PCR 17 holds the TAMPERED image's hash.
+    auto key_material =
+        ctx.tpm().unseal(ctx.locality(), input.value().sealed_key);
+    if (!key_material.ok()) return Status(key_material.error());
+
+    auto key = crypto::RsaPrivateKey::deserialize(key_material.value());
+    if (!key.ok()) return Status(key.error());
+    PalConfirmOutput out;
+    out.verdict = Verdict::kConfirmed;
+    out.attempts = 0;
+    out.signature = crypto::rsa_sign(
+        key.value(), crypto::HashAlg::kSha256,
+        confirmation_statement(input.value().tx_digest, input.value().nonce,
+                               Verdict::kConfirmed));
+    ctx.set_output(out.marshal());
+    return Status::ok_status();
+  };
+  return pal;
+}
+
+MalwareKit::MalwareKit(drtm::Platform& platform, net::Endpoint& sp,
+                       std::string victim_client_id, Bytes stolen_sealed_key,
+                       SimRng rng)
+    : platform_(&platform),
+      sp_(&sp),
+      victim_id_(std::move(victim_client_id)),
+      stolen_sealed_key_(std::move(stolen_sealed_key)),
+      rng_(std::move(rng)) {}
+
+Result<TxChallenge> MalwareKit::submit(const std::string& summary,
+                                       BytesView payload) {
+  TxSubmit msg{victim_id_, summary, Bytes(payload.begin(), payload.end())};
+  sp_->send(envelope(MsgType::kTxSubmit, msg.serialize()));
+  auto frame = sp_->receive();
+  if (!frame.ok()) return frame.error();
+  auto opened = open_envelope(frame.value());
+  if (!opened.ok()) return opened.error();
+  return TxChallenge::deserialize(opened.value().second);
+}
+
+Result<TxResult> MalwareKit::finish(std::uint64_t tx_id, Verdict verdict,
+                                    BytesView signature) {
+  TxConfirm msg;
+  msg.client_id = victim_id_;
+  msg.tx_id = tx_id;
+  msg.verdict = verdict;
+  msg.signature.assign(signature.begin(), signature.end());
+  sp_->send(envelope(MsgType::kTxConfirm, msg.serialize()));
+  auto frame = sp_->receive();
+  if (!frame.ok()) return frame.error();
+  auto opened = open_envelope(frame.value());
+  if (!opened.ok()) return opened.error();
+  return TxResult::deserialize(opened.value().second);
+}
+
+AttackOutcome MalwareKit::settle(const Result<TxResult>& result,
+                                 const std::string& stage_on_reject) {
+  AttackOutcome outcome;
+  if (!result.ok()) {
+    outcome.stage = stage_on_reject;
+    outcome.detail = result.error().to_string();
+    return outcome;
+  }
+  outcome.sp_accepted = result.value().accepted;
+  outcome.stage = result.value().accepted ? "accepted" : stage_on_reject;
+  outcome.detail = result.value().reason;
+  return outcome;
+}
+
+AttackOutcome MalwareKit::forge_signature(const std::string& summary,
+                                          BytesView payload) {
+  auto challenge = submit(summary, payload);
+  if (!challenge.ok()) {
+    return AttackOutcome{false, "submit", challenge.error().to_string()};
+  }
+  const Bytes junk = rng_.next_bytes(128);
+  return settle(finish(challenge.value().tx_id, Verdict::kConfirmed, junk),
+                "sp-signature-check");
+}
+
+AttackOutcome MalwareKit::confirm_without_signature(
+    const std::string& summary, BytesView payload) {
+  auto challenge = submit(summary, payload);
+  if (!challenge.ok()) {
+    return AttackOutcome{false, "submit", challenge.error().to_string()};
+  }
+  return settle(finish(challenge.value().tx_id, Verdict::kConfirmed, {}),
+                "sp-signature-check");
+}
+
+namespace {
+/// Malware answering the PAL's prompt: reads the code off the screen
+/// buffer and injects it as synthetic keystrokes.
+class InjectingAgent : public pal::UserAgent {
+ public:
+  std::optional<SimDuration> on_prompt(const devices::DisplayContent& screen,
+                                       devices::Keyboard& kb) override {
+    kb.press_line(devices::KeySource::kInjected,
+                  screen.find_field(devices::kFieldCode));
+    return SimDuration::millis(1);
+  }
+};
+}  // namespace
+
+AttackOutcome MalwareKit::inject_keystrokes(const std::string& summary,
+                                            BytesView payload) {
+  auto challenge = submit(summary, payload);
+  if (!challenge.ok()) {
+    return AttackOutcome{false, "submit", challenge.error().to_string()};
+  }
+
+  TxSubmit msg{victim_id_, summary, Bytes(payload.begin(), payload.end())};
+  PalConfirmInput input;
+  input.tx_summary = summary;
+  input.tx_digest = msg.digest();
+  input.nonce = challenge.value().nonce;
+  input.sealed_key = stolen_sealed_key_;
+  // Keep the session short: one attempt, tight timeout.
+  input.max_attempts = 1;
+  input.user_timeout_ns = SimDuration::seconds(5).ns;
+
+  pal::SessionDriver driver(*platform_);
+  InjectingAgent agent;
+  driver.set_user_agent(&agent);
+  auto session = driver.run(make_trusted_path_pal(), input.marshal());
+  if (!session.ok() || !session.value().status.ok()) {
+    return AttackOutcome{false, "pal-session", "session failed"};
+  }
+  auto out = PalConfirmOutput::unmarshal(session.value().output);
+  if (!out.ok() || out.value().verdict != Verdict::kConfirmed) {
+    // The injected code never arrived: the PAL timed out. Report honestly
+    // to exercise the SP path (a lying report is forge_signature).
+    return settle(finish(challenge.value().tx_id,
+                         out.ok() ? out.value().verdict : Verdict::kTimeout,
+                         {}),
+                  "keyboard-exclusivity");
+  }
+  return settle(finish(challenge.value().tx_id, Verdict::kConfirmed,
+                       out.value().signature),
+                "sp-signature-check");
+}
+
+AttackOutcome MalwareKit::run_tampered_pal(const std::string& summary,
+                                           BytesView payload) {
+  auto challenge = submit(summary, payload);
+  if (!challenge.ok()) {
+    return AttackOutcome{false, "submit", challenge.error().to_string()};
+  }
+
+  TxSubmit msg{victim_id_, summary, Bytes(payload.begin(), payload.end())};
+  PalConfirmInput input;
+  input.tx_summary = summary;
+  input.tx_digest = msg.digest();
+  input.nonce = challenge.value().nonce;
+  input.sealed_key = stolen_sealed_key_;
+
+  pal::SessionDriver driver(*platform_);
+  auto session = driver.run(make_tampered_pal(), input.marshal());
+  if (!session.ok()) {
+    return AttackOutcome{false, "pal-session",
+                         session.error().to_string()};
+  }
+  if (!session.value().status.ok()) {
+    // Expected: unseal failed under the tampered measurement. The attack
+    // has no signature; try to bluff the SP anyway.
+    const Bytes junk = rng_.next_bytes(128);
+    auto result =
+        finish(challenge.value().tx_id, Verdict::kConfirmed, junk);
+    auto outcome = settle(result, "sealed-storage-pcr-binding");
+    outcome.detail = session.value().status.to_string();
+    return outcome;
+  }
+  auto out = PalConfirmOutput::unmarshal(session.value().output);
+  if (!out.ok()) {
+    return AttackOutcome{false, "pal-output", out.error().to_string()};
+  }
+  return settle(finish(challenge.value().tx_id, out.value().verdict,
+                       out.value().signature),
+                "sp-signature-check");
+}
+
+AttackOutcome MalwareKit::replay_confirmation(const TxConfirm& observed,
+                                              const std::string& summary,
+                                              BytesView payload) {
+  auto challenge = submit(summary, payload);
+  if (!challenge.ok()) {
+    return AttackOutcome{false, "submit", challenge.error().to_string()};
+  }
+  // Re-send the old signature under the fresh tx_id.
+  return settle(finish(challenge.value().tx_id, observed.verdict,
+                       observed.signature),
+                "nonce-freshness");
+}
+
+AttackOutcome MalwareKit::substitute_transaction(
+    pal::UserAgent& victim_user, const std::string& forged_summary,
+    BytesView forged_payload) {
+  auto challenge = submit(forged_summary, forged_payload);
+  if (!challenge.ok()) {
+    return AttackOutcome{false, "submit", challenge.error().to_string()};
+  }
+
+  TxSubmit msg{victim_id_, forged_summary,
+               Bytes(forged_payload.begin(), forged_payload.end())};
+  PalConfirmInput input;
+  input.tx_summary = forged_summary;  // the trusted display shows the truth
+  input.tx_digest = msg.digest();
+  input.nonce = challenge.value().nonce;
+  input.sealed_key = stolen_sealed_key_;
+
+  pal::SessionDriver driver(*platform_);
+  driver.set_user_agent(&victim_user);
+  auto session = driver.run(make_trusted_path_pal(), input.marshal());
+  if (!session.ok() || !session.value().status.ok()) {
+    return AttackOutcome{false, "pal-session", "session failed"};
+  }
+  auto out = PalConfirmOutput::unmarshal(session.value().output);
+  if (!out.ok()) {
+    return AttackOutcome{false, "pal-output", out.error().to_string()};
+  }
+  auto outcome = settle(finish(challenge.value().tx_id, out.value().verdict,
+                               out.value().signature),
+                        "human-attention");
+  return outcome;
+}
+
+}  // namespace tp::host

@@ -1,0 +1,99 @@
+// The adversary: malware with full control of the client OS.
+//
+// This is the paper's threat model -- the attacker owns ring 0, the
+// browser, the disk (including the sealed key blob!) and the network
+// stack, but not the TPM, the CPU's late-launch machinery, or the
+// human's eyes and fingers. MalwareKit implements every attack strategy
+// the design must defeat; the efficacy experiment (F2) runs them all and
+// reports who gets through.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/messages.h"
+#include "core/trusted_path_pal.h"
+#include "drtm/platform.h"
+#include "net/channel.h"
+#include "pal/pal.h"
+#include "pal/session.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace tp::host {
+
+/// What one attack attempt produced.
+struct AttackOutcome {
+  bool sp_accepted = false;   // did the forged transaction go through?
+  std::string stage;          // where the attack died (or "accepted")
+  std::string detail;
+};
+
+/// A tampered trusted-path PAL: same protocol surface, but skips the
+/// human check and tries to unseal + sign unconditionally. Its image
+/// differs from the genuine one (that is what "tampered binary" means),
+/// so its PCR 17 measurement differs -- the unseal must fail.
+pal::PalDescriptor make_tampered_pal();
+
+class MalwareKit {
+ public:
+  /// `stolen_sealed_key`: the enrollment blob lifted from the victim's
+  /// disk -- the attacker legitimately has it; it is sealed, which is the
+  /// only thing protecting it.
+  MalwareKit(drtm::Platform& platform, net::Endpoint& sp,
+             std::string victim_client_id, Bytes stolen_sealed_key,
+             SimRng rng);
+
+  // ---- attack strategies, one per protocol weakness probed -------------
+
+  /// Submit the transaction and answer the challenge with a random
+  /// "signature" (pure transaction generator, no TPM involvement).
+  AttackOutcome forge_signature(const std::string& summary,
+                                BytesView payload);
+
+  /// Claim kConfirmed with an empty signature (protocol laziness probe).
+  AttackOutcome confirm_without_signature(const std::string& summary,
+                                          BytesView payload);
+
+  /// Run the GENUINE PAL but answer its prompt by injecting the displayed
+  /// code as synthetic keystrokes (defeated by the hardware input path).
+  AttackOutcome inject_keystrokes(const std::string& summary,
+                                  BytesView payload);
+
+  /// Run a TAMPERED PAL that skips the human and signs directly
+  /// (defeated by sealed-storage PCR binding).
+  AttackOutcome run_tampered_pal(const std::string& summary,
+                                 BytesView payload);
+
+  /// Replay a previously observed valid confirmation against a fresh
+  /// submission of the same transaction (defeated by one-shot nonces).
+  AttackOutcome replay_confirmation(const core::TxConfirm& observed,
+                                    const std::string& summary,
+                                    BytesView payload);
+
+  /// Substitute the transaction: let the real human confirm, but hand the
+  /// PAL a forged transaction instead of the intended one. The trusted
+  /// display shows the forgery; only an INATTENTIVE human confirms it.
+  /// This is the residual risk the paper accepts on the user side.
+  AttackOutcome substitute_transaction(pal::UserAgent& victim_user,
+                                       const std::string& forged_summary,
+                                       BytesView forged_payload);
+
+ private:
+  /// Submits the transaction and returns the SP's challenge.
+  Result<core::TxChallenge> submit(const std::string& summary,
+                                   BytesView payload);
+  /// Sends TxConfirm, returns the SP's decision.
+  Result<core::TxResult> finish(std::uint64_t tx_id, core::Verdict verdict,
+                                BytesView signature);
+  AttackOutcome settle(const Result<core::TxResult>& result,
+                       const std::string& stage_on_reject);
+
+  drtm::Platform* platform_;
+  net::Endpoint* sp_;
+  std::string victim_id_;
+  Bytes stolen_sealed_key_;
+  SimRng rng_;
+};
+
+}  // namespace tp::host

@@ -1,0 +1,56 @@
+#include "net/channel.h"
+
+namespace tp::net {
+
+Link::Link(NetParams params, SimClock& clock, SimRng rng)
+    : params_(params), clock_(&clock), rng_(std::move(rng)) {
+  a_ = std::unique_ptr<Endpoint>(new Endpoint(this, true));
+  b_ = std::unique_ptr<Endpoint>(new Endpoint(this, false));
+}
+
+void Link::send_from(bool from_a, BytesView payload) {
+  ++sent_;
+  if (rng_.chance(params_.loss_prob)) {
+    ++lost_;
+    return;
+  }
+  const double latency_ms = rng_.next_normal(
+      params_.latency_mean_ms, params_.latency_jitter_ms, 0.1);
+  const SimTime deliver_at =
+      clock_->now() + SimDuration::seconds(latency_ms / 1000.0);
+  auto& queue = from_a ? to_b_ : to_a_;
+  queue.push_back(InFlight{Bytes(payload.begin(), payload.end()), deliver_at});
+}
+
+Result<Bytes> Link::receive_for(bool for_a) {
+  auto& queue = for_a ? to_a_ : to_b_;
+  if (queue.empty()) {
+    // Synchronous RPC: pump pending requests through the peer's service.
+    Endpoint& peer = for_a ? *b_ : *a_;
+    auto& peer_queue = for_a ? to_b_ : to_a_;
+    while (queue.empty() && peer.service_ && !peer_queue.empty()) {
+      auto request = receive_for(!for_a);
+      if (!request.ok()) break;
+      peer.send(peer.service_(request.value()));
+    }
+  }
+  if (queue.empty()) {
+    return Error{Err::kTimeout, "receive: no message pending"};
+  }
+  InFlight msg = std::move(queue.front());
+  queue.pop_front();
+  if (msg.deliver_at > clock_->now()) {
+    clock_->charge("net:wait", msg.deliver_at - clock_->now());
+  }
+  return std::move(msg.payload);
+}
+
+void Endpoint::send(BytesView payload) { link_->send_from(is_a_, payload); }
+
+Result<Bytes> Endpoint::receive() { return link_->receive_for(is_a_); }
+
+void Endpoint::set_service(std::function<Bytes(BytesView)> handler) {
+  service_ = std::move(handler);
+}
+
+}  // namespace tp::net

@@ -1,0 +1,94 @@
+// Simulated client <-> service-provider network.
+//
+// The paper's protocol runs over an ordinary TLS connection on the
+// Internet; its contribution is not in the transport, so the simulation
+// models the only transport property the evaluation cares about: delivery
+// latency (mean + jitter, optional loss). Endpoints exchange opaque byte
+// messages; the virtual clock advances to the delivery time on receive,
+// which is how round trips show up in the end-to-end latency experiment.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace tp::net {
+
+struct NetParams {
+  double latency_mean_ms = 40.0;  // one-way
+  double latency_jitter_ms = 8.0; // stddev of the normal jitter
+  double loss_prob = 0.0;         // per message
+};
+
+class Endpoint;
+
+/// A bidirectional link between two endpoints, sharing one clock and one
+/// latency model.
+class Link {
+ public:
+  Link(NetParams params, SimClock& clock, SimRng rng);
+
+  /// The two ends; `a` is conventionally the client, `b` the SP.
+  Endpoint& a() { return *a_; }
+  Endpoint& b() { return *b_; }
+
+  std::uint64_t messages_sent() const { return sent_; }
+  std::uint64_t messages_lost() const { return lost_; }
+
+ private:
+  friend class Endpoint;
+
+  struct InFlight {
+    Bytes payload;
+    SimTime deliver_at;
+  };
+
+  void send_from(bool from_a, BytesView payload);
+  Result<Bytes> receive_for(bool for_a);
+
+  NetParams params_;
+  SimClock* clock_;
+  SimRng rng_;
+  std::deque<InFlight> to_a_;
+  std::deque<InFlight> to_b_;
+  std::unique_ptr<Endpoint> a_;
+  std::unique_ptr<Endpoint> b_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+/// One side of a link.
+class Endpoint {
+ public:
+  /// Queues a message for the peer; delivery time is stamped now.
+  void send(BytesView payload);
+
+  /// Pops the next message for this side. If it is still "in flight" the
+  /// virtual clock advances to its delivery time (the caller waited).
+  /// kTimeout when nothing is pending (e.g., the message was lost).
+  ///
+  /// Synchronous-RPC convenience: if this side's queue is empty but the
+  /// PEER has a registered service handler and pending messages, those are
+  /// pumped through the handler first (request -> response), exactly like
+  /// waiting on a reply from a remote server.
+  Result<Bytes> receive();
+
+  /// Registers this side as a server: each incoming request is mapped to
+  /// one response frame.
+  void set_service(std::function<Bytes(BytesView)> handler);
+
+ private:
+  friend class Link;
+  Endpoint(Link* link, bool is_a) : link_(link), is_a_(is_a) {}
+
+  Link* link_;
+  bool is_a_;
+  std::function<Bytes(BytesView)> service_;
+};
+
+}  // namespace tp::net

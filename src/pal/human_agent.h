@@ -1,0 +1,40 @@
+// Adapter: a devices::HumanModel acting as the session UserAgent.
+//
+// The benign case: a person who intends a specific transaction sits at
+// the machine and answers the PAL's prompt. The intention is what the
+// human compares the trusted screen against -- if malware substituted the
+// transaction, an attentive human notices here.
+#pragma once
+
+#include <string>
+
+#include "devices/human.h"
+#include "pal/pal.h"
+
+namespace tp::pal {
+
+class HumanAgent : public UserAgent {
+ public:
+  HumanAgent(devices::HumanModel human, std::string intended_summary)
+      : human_(std::move(human)),
+        intended_summary_(std::move(intended_summary)) {}
+
+  /// Updates what the user currently means to authorize.
+  void set_intended_summary(std::string summary) {
+    intended_summary_ = std::move(summary);
+  }
+
+  std::optional<SimDuration> on_prompt(const devices::DisplayContent& screen,
+                                       devices::Keyboard& keyboard) override {
+    return human_.respond_to_confirmation(screen, intended_summary_,
+                                          keyboard);
+  }
+
+  devices::HumanModel& human() { return human_; }
+
+ private:
+  devices::HumanModel human_;
+  std::string intended_summary_;
+};
+
+}  // namespace tp::pal

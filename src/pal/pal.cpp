@@ -1,0 +1,50 @@
+#include "pal/pal.h"
+
+#include "util/serial.h"
+
+namespace tp::pal {
+
+Bytes PalDescriptor::make_image(const std::string& name,
+                                std::uint32_t version,
+                                const std::string& build_salt) {
+  BinaryWriter w;
+  w.var_string("pal-image");
+  w.var_string(name);
+  w.u32(version);
+  w.var_string(build_salt);
+  return w.take();
+}
+
+PalContext::PalContext(drtm::Platform& platform, BytesView input,
+                       UserAgent* agent)
+    : platform_(&platform), input_(input), agent_(agent) {}
+
+void PalContext::show(const devices::DisplayContent& screen) {
+  // The PAL owns the display during the session; this cannot fail.
+  (void)platform_->display().render(devices::DeviceAccess::kPal, screen);
+}
+
+std::optional<std::string> PalContext::show_and_read_line(
+    const devices::DisplayContent& screen, SimDuration timeout) {
+  show(screen);
+  if (agent_ == nullptr) {
+    // Nobody at the machine: the PAL waits out its timeout.
+    platform_->clock().charge("pal:user_timeout", timeout);
+    return std::nullopt;
+  }
+  const std::optional<SimDuration> took =
+      agent_->on_prompt(platform_->display().content(), platform_->keyboard());
+  if (!took.has_value() || *took > timeout) {
+    platform_->clock().charge("pal:user_timeout", timeout);
+    platform_->keyboard().clear();  // discard late keystrokes
+    return std::nullopt;
+  }
+  platform_->clock().charge("pal:user", *took);
+  return platform_->keyboard().read_line();
+}
+
+void PalContext::charge_compute(const std::string& label, SimDuration d) {
+  platform_->clock().charge("pal:" + label, d);
+}
+
+}  // namespace tp::pal

@@ -1,0 +1,98 @@
+// PAL (Piece of Application Logic) runtime, Flicker style.
+//
+// A PAL is the small program that runs inside the DRTM session. In the
+// real system it is a self-contained binary measured by SKINIT; in the
+// simulation a PAL is (identity bytes, entry function): the identity
+// bytes stand in for the binary image -- they are what gets measured into
+// PCR 17 -- and the entry function is the behaviour. A *modified* PAL
+// therefore has different identity bytes, which is exactly how the real
+// attack (running a tampered PAL) manifests: a different measurement.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "devices/display.h"
+#include "devices/keyboard.h"
+#include "drtm/platform.h"
+#include "tpm/tpm_device.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tp::pal {
+
+class PalContext;
+
+/// The PAL's main function. Runs with the platform isolated; returns the
+/// PAL's status (marshalled outputs go through the context).
+using PalEntry = std::function<Status(PalContext&)>;
+
+/// A registered PAL: identity + behaviour.
+struct PalDescriptor {
+  std::string name;
+  Bytes image;     // stands in for the binary; SHA-1(image) -> PCR 17
+  PalEntry entry;
+
+  /// Identity bytes for a PAL built from `name` and `version`. Stable
+  /// across processes so golden measurements can be published.
+  static Bytes make_image(const std::string& name, std::uint32_t version,
+                          const std::string& build_salt = "");
+};
+
+/// Supplies the human (or the absence of one) during a session: invoked
+/// whenever the PAL shows a screen and waits for input. Implementations
+/// put keystrokes on the keyboard and return how long the operator took;
+/// std::nullopt means nobody responded (timeout).
+class UserAgent {
+ public:
+  virtual ~UserAgent() = default;
+  virtual std::optional<SimDuration> on_prompt(
+      const devices::DisplayContent& screen, devices::Keyboard& keyboard) = 0;
+};
+
+/// Everything a PAL may touch while isolated. Access to the TPM is at
+/// locality 2 (kPal); access to devices is exclusive by construction.
+class PalContext {
+ public:
+  PalContext(drtm::Platform& platform, BytesView input, UserAgent* agent);
+
+  tpm::TpmDevice& tpm() { return platform_->tpm(); }
+  tpm::Locality locality() const { return tpm::Locality::kPal; }
+
+  /// The PCR holding this PAL's identity on this platform's DRTM
+  /// technology (17 on AMD SKINIT, 18 on Intel TXT); what sealing
+  /// policies should bind to.
+  std::uint32_t identity_pcr() const { return platform_->identity_pcr(); }
+
+  /// The PCRs a quote must cover for a remote verifier to judge the
+  /// launch on this platform.
+  tpm::PcrSelection attestation_selection() const {
+    return platform_->attestation_selection();
+  }
+
+  BytesView input() const { return input_; }
+  void set_output(Bytes output) { output_ = std::move(output); }
+  Bytes take_output() { return std::move(output_); }
+
+  /// Renders `screen` on the exclusive display, lets the user agent
+  /// react, then reads one line of physical input. std::nullopt when no
+  /// user responds or the response exceeds `timeout` (human time is
+  /// charged to the clock either way).
+  std::optional<std::string> show_and_read_line(
+      const devices::DisplayContent& screen, SimDuration timeout);
+
+  /// Renders without waiting for input (progress/final screens).
+  void show(const devices::DisplayContent& screen);
+
+  /// Charges PAL compute time (the PAL's own cycles, not TPM time).
+  void charge_compute(const std::string& label, SimDuration d);
+
+ private:
+  drtm::Platform* platform_;
+  BytesView input_;
+  Bytes output_;
+  UserAgent* agent_;
+};
+
+}  // namespace tp::pal

@@ -1,0 +1,39 @@
+#include "pal/sealed_state.h"
+
+#include "util/serial.h"
+
+namespace tp::pal {
+
+Result<Bytes> SealedStateChannel::save(tpm::Locality locality,
+                                       const tpm::PcrSelection& selection,
+                                       std::uint8_t release_locality_mask,
+                                       BytesView state) {
+  auto counter = tpm_->counter_increment(counter_id_);
+  if (!counter.ok()) return counter.error();
+  BinaryWriter w;
+  w.u64(counter.value());
+  w.var_bytes(state);
+  return tpm_->seal(locality, selection, release_locality_mask, w.data());
+}
+
+Result<Bytes> SealedStateChannel::load(tpm::Locality locality,
+                                       BytesView blob) {
+  auto payload = tpm_->unseal(locality, blob);
+  if (!payload.ok()) return payload.error();
+  BinaryReader r(payload.value());
+  auto saved_at = r.u64();
+  if (!saved_at.ok()) return saved_at.error();
+  auto state = r.var_bytes();
+  if (!state.ok()) return state.error();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+
+  auto current = tpm_->counter_read(counter_id_);
+  if (!current.ok()) return current.error();
+  if (saved_at.value() != current.value()) {
+    return Error{Err::kReplay,
+                 "sealed state is stale (rollback attack or lost update)"};
+  }
+  return state.take();
+}
+
+}  // namespace tp::pal

@@ -1,0 +1,44 @@
+// Rollback-protected sealed state across PAL sessions.
+//
+// A PAL that keeps state between sessions (counters, balances, rate
+// limits) must seal it to itself -- but sealing alone does not stop the
+// untrusted host from feeding the PAL an OLD sealed blob (a rollback /
+// state-replay attack: "replay the blob from before my daily limit was
+// reached"). The Flicker-style fix, reproduced here: bind every saved
+// state to a TPM monotonic counter value and bump the counter on save;
+// on load, a blob whose embedded value does not match the live counter
+// is stale and is rejected with kReplay.
+#pragma once
+
+#include <cstdint>
+
+#include "tpm/pcr.h"
+#include "tpm/tpm_device.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tp::pal {
+
+class SealedStateChannel {
+ public:
+  /// `counter_id` selects the TPM monotonic counter dedicated to this
+  /// state stream (one counter per channel).
+  SealedStateChannel(tpm::TpmDevice& tpm, std::uint32_t counter_id)
+      : tpm_(&tpm), counter_id_(counter_id) {}
+
+  /// Bumps the counter and seals (counter_value || state) under the given
+  /// PCR policy. Every successful save invalidates all earlier blobs.
+  Result<Bytes> save(tpm::Locality locality,
+                     const tpm::PcrSelection& selection,
+                     std::uint8_t release_locality_mask, BytesView state);
+
+  /// Unseals and returns the state iff the blob is the LATEST one.
+  /// Stale blob -> kReplay; tampered/foreign blob -> the unseal error.
+  Result<Bytes> load(tpm::Locality locality, BytesView blob);
+
+ private:
+  tpm::TpmDevice* tpm_;
+  std::uint32_t counter_id_;
+};
+
+}  // namespace tp::pal

@@ -1,0 +1,66 @@
+#include "pal/session.h"
+
+#include <stdexcept>
+
+namespace tp::pal {
+
+namespace {
+// Sums the spans with the given label that started at or after `from`.
+SimDuration span_total_since(const SimClock& clock, SimTime from,
+                             const std::string& label) {
+  SimDuration total{};
+  for (const auto& s : clock.spans()) {
+    if (s.start >= from && s.label == label) total = total + s.duration;
+  }
+  return total;
+}
+
+// Sums all spans whose label starts with `prefix`, started at/after `from`.
+SimDuration span_prefix_total_since(const SimClock& clock, SimTime from,
+                                    const std::string& prefix) {
+  SimDuration total{};
+  for (const auto& s : clock.spans()) {
+    if (s.start >= from && s.label.rfind(prefix, 0) == 0) {
+      total = total + s.duration;
+    }
+  }
+  return total;
+}
+}  // namespace
+
+Result<SessionResult> SessionDriver::run(const PalDescriptor& pal,
+                                         BytesView input) {
+  if (!pal.entry) {
+    return Error{Err::kInvalidArgument, "session: PAL has no entry point"};
+  }
+  SimClock& clock = platform_->clock();
+  const SimTime start = clock.now();
+
+  drtm::LateLaunch launcher(*platform_);
+  auto guard = launcher.launch(pal.image, input);
+  if (!guard.ok()) return guard.error();
+
+  SessionResult result;
+  {
+    // Keep the guard alive for the PAL's whole execution; destruction
+    // caps the PCRs and resumes the OS.
+    drtm::LaunchGuard window = guard.take();
+    PalContext ctx(*platform_, input, agent_);
+    result.status = pal.entry(ctx);
+    result.output = ctx.take_output();
+  }
+
+  SessionTiming& t = result.timing;
+  t.suspend = span_total_since(clock, start, "drtm:suspend");
+  t.skinit = span_total_since(clock, start, "drtm:skinit");
+  t.pal_setup = span_total_since(clock, start, "drtm:pal_setup");
+  t.resume = span_total_since(clock, start, "drtm:resume");
+  t.tpm = span_prefix_total_since(clock, start, "tpm:");
+  t.user = span_total_since(clock, start, "pal:user") +
+           span_total_since(clock, start, "pal:user_timeout");
+  t.pal_compute = span_prefix_total_since(clock, start, "pal:") - t.user;
+  t.total = clock.now() - start;
+  return result;
+}
+
+}  // namespace tp::pal

@@ -1,0 +1,60 @@
+// Session driver: one complete Flicker-style trusted session.
+//
+// Orchestrates the full lifecycle the kernel module performs on real
+// hardware: marshal inputs -> suspend & late launch (measured) -> run the
+// PAL entry -> collect outputs -> resume the OS. It also extracts the
+// per-phase timing breakdown from the virtual clock's span log, which is
+// the data source for the latency experiments (T2).
+#pragma once
+
+#include <string>
+
+#include "drtm/late_launch.h"
+#include "drtm/platform.h"
+#include "pal/pal.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/sim_clock.h"
+
+namespace tp::pal {
+
+/// Per-phase virtual-time costs of one session.
+struct SessionTiming {
+  SimDuration suspend;     // OS state save
+  SimDuration skinit;      // late-launch instruction incl. PAL hashing
+  SimDuration pal_setup;   // environment init inside the PAL
+  SimDuration tpm;         // all TPM commands issued by the PAL
+  SimDuration pal_compute; // the PAL's own cycles
+  SimDuration user;        // human think/typing time (incl. timeouts)
+  SimDuration resume;      // OS state restore
+  SimDuration total;       // wall-clock (virtual) of the whole session
+
+  /// total - user: the machine overhead the paper reports separately,
+  /// since human time dominates end-to-end but is not system cost.
+  SimDuration machine() const { return total - user; }
+};
+
+struct SessionResult {
+  Status status = Status::ok_status();  // the PAL's verdict
+  Bytes output;                         // marshalled PAL output
+  SessionTiming timing;
+};
+
+class SessionDriver {
+ public:
+  explicit SessionDriver(drtm::Platform& platform) : platform_(&platform) {}
+
+  /// The agent that answers PAL prompts (nullptr = unattended machine).
+  void set_user_agent(UserAgent* agent) { agent_ = agent; }
+
+  /// Runs `pal` with `input` through a full late-launch session.
+  /// Launch-level failures surface as the returned Result error; the
+  /// PAL's own verdict is SessionResult::status.
+  Result<SessionResult> run(const PalDescriptor& pal, BytesView input);
+
+ private:
+  drtm::Platform* platform_;
+  UserAgent* agent_ = nullptr;
+};
+
+}  // namespace tp::pal

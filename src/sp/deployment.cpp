@@ -1,0 +1,67 @@
+#include "sp/deployment.h"
+
+#include <memory>
+
+#include "core/trusted_path_pal.h"
+
+namespace tp::sp {
+
+Deployment::Deployment(DeploymentConfig config)
+    : config_(std::move(config)) {
+  drtm::PlatformConfig pc;
+  pc.platform_id = config_.client_id;
+  pc.chip_name = config_.chip_name;
+  pc.seed = concat(config_.seed, bytes_of(":platform"));
+  pc.tpm_key_bits = config_.tpm_key_bits;
+  pc.drtm_costs = config_.drtm_costs;
+  pc.technology = config_.technology;
+  pc.txt = config_.txt;
+  platform_ = std::make_unique<drtm::Platform>(pc);
+
+  ca_ = std::make_unique<tpm::PrivacyCa>(concat(config_.seed, bytes_of(":ca")),
+                                         config_.tpm_key_bits);
+
+  SpConfig sp_config;
+  sp_config.golden_pcr17 = core::golden_pcr17();
+  sp_config.ca_public = ca_->public_key();
+  sp_config.seed = concat(config_.seed, bytes_of(":sp"));
+  // The SP supports both platform flavours out of the box.
+  sp_config.accepted_policies = {
+      core::attestation_policy(drtm::DrtmTechnology::kAmdSkinit),
+      core::attestation_policy(drtm::DrtmTechnology::kIntelTxt, config_.txt),
+  };
+  sp_ = std::make_unique<ServiceProvider>(sp_config);
+
+  link_ = std::make_unique<net::Link>(
+      config_.net, platform_->clock(),
+      SimRng(0x6e6574 ^ static_cast<std::uint64_t>(config_.seed.size())));
+  if (config_.secure_transport) {
+    // TLS stand-in: the SP's long-term key plays the server certificate.
+    auto server_drbg = std::make_shared<crypto::HmacDrbg>(
+        concat(config_.seed, bytes_of(":tls-server")));
+    const crypto::RsaPrivateKey server_key = crypto::rsa_generate(
+        1024, [&](std::size_t n) { return server_drbg->generate(n); });
+    secure_server_ = std::make_unique<net::SecureServerTransport>(
+        server_key,
+        [this](BytesView frame) { return sp_->handle_frame(frame); });
+    link_->b().set_service(
+        [this](BytesView frame) { return secure_server_->handle(frame); });
+    secure_client_ = std::make_unique<net::SecureClientTransport>(
+        link_->a(), server_key.public_key(),
+        concat(config_.seed, bytes_of(":tls-client")));
+  } else {
+    link_->b().set_service(
+        [this](BytesView frame) { return sp_->handle_frame(frame); });
+  }
+
+  const tpm::AikCertificate cert =
+      ca_->certify(config_.client_id, platform_->tpm().aik_public());
+  core::ClientConfig cc;
+  cc.client_id = config_.client_id;
+  cc.key_bits = config_.client_key_bits;
+  client_ = std::make_unique<core::TrustedPathClient>(*platform_, link_->a(),
+                                                      cert, cc);
+  if (secure_client_) client_->set_transport(secure_client_.get());
+}
+
+}  // namespace tp::sp

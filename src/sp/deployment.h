@@ -1,0 +1,70 @@
+// Deployment: one client machine + Privacy CA + service provider wired
+// over a simulated link.
+//
+// This is the five-line entry point a downstream user starts from (see
+// examples/quickstart.cpp): it performs the out-of-band setup the paper
+// assumes -- the CA certifies the platform's AIK, the SP is provisioned
+// with the CA root and the golden PAL measurement -- and exposes the
+// pieces for direct use.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/client.h"
+#include "drtm/platform.h"
+#include "net/channel.h"
+#include "net/secure_channel.h"
+#include "sp/service_provider.h"
+#include "tpm/privacy_ca.h"
+
+namespace tp::sp {
+
+struct DeploymentConfig {
+  std::string client_id = "client-0";
+  std::string chip_name;                 // empty -> default (Infineon)
+  Bytes seed = bytes_of("deployment");
+  std::size_t tpm_key_bits = 1024;       // AIK / CA key size
+  std::uint32_t client_key_bits = 1024;  // confirmation key size
+  net::NetParams net;
+  drtm::DrtmCosts drtm_costs;
+  drtm::DrtmTechnology technology = drtm::DrtmTechnology::kAmdSkinit;
+  drtm::TxtArtifacts txt;                // used only for kIntelTxt
+
+  /// Wrap the client<->SP link in the authenticated-encryption channel
+  /// (the deployment's TLS stand-in). Off by default: the trusted path's
+  /// guarantees are end-to-end and most tests exercise them directly.
+  bool secure_transport = false;
+};
+
+class Deployment {
+ public:
+  explicit Deployment(DeploymentConfig config);
+
+  drtm::Platform& platform() { return *platform_; }
+  SimClock& clock() { return platform_->clock(); }
+  ServiceProvider& sp() { return *sp_; }
+  tpm::PrivacyCa& ca() { return *ca_; }
+  core::TrustedPathClient& client() { return *client_; }
+  /// The client's endpoint (the SP side answers via its service handler).
+  net::Endpoint& client_endpoint() { return link_->a(); }
+  net::Link& link() { return *link_; }
+  const DeploymentConfig& config() const { return config_; }
+
+  /// Set iff secure_transport is on.
+  net::SecureServerTransport* secure_server() {
+    return secure_server_.get();
+  }
+
+ private:
+  DeploymentConfig config_;
+  std::unique_ptr<drtm::Platform> platform_;
+  std::unique_ptr<tpm::PrivacyCa> ca_;
+  std::unique_ptr<ServiceProvider> sp_;
+  std::unique_ptr<net::Link> link_;
+  std::unique_ptr<net::SecureServerTransport> secure_server_;
+  std::unique_ptr<net::SecureClientTransport> secure_client_;
+  std::unique_ptr<core::TrustedPathClient> client_;
+};
+
+}  // namespace tp::sp

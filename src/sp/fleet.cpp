@@ -1,0 +1,63 @@
+#include "sp/fleet.h"
+
+#include "core/trusted_path_pal.h"
+
+namespace tp::sp {
+
+Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
+  ca_ = std::make_unique<tpm::PrivacyCa>(
+      concat(config_.seed, bytes_of(":ca")), config_.tpm_key_bits);
+
+  SpConfig sp_config;
+  sp_config.golden_pcr17 = core::golden_pcr17();
+  sp_config.ca_public = ca_->public_key();
+  sp_config.seed = concat(config_.seed, bytes_of(":sp"));
+  sp_config.accepted_policies = {
+      core::attestation_policy(drtm::DrtmTechnology::kAmdSkinit),
+      core::attestation_policy(drtm::DrtmTechnology::kIntelTxt),
+  };
+  sp_ = std::make_unique<ServiceProvider>(sp_config);
+
+  for (std::size_t i = 0; i < config_.num_clients; ++i) {
+    Member member;
+    member.id = "fleet-client-" + std::to_string(i);
+
+    drtm::PlatformConfig pc;
+    pc.platform_id = member.id;
+    pc.seed = concat(config_.seed, bytes_of(":platform:" + member.id));
+    pc.tpm_key_bits = config_.tpm_key_bits;
+    if (!config_.chip_mix.empty()) {
+      pc.chip_name = config_.chip_mix[i % config_.chip_mix.size()];
+    }
+    if (!config_.technology_mix.empty()) {
+      pc.technology =
+          config_.technology_mix[i % config_.technology_mix.size()];
+    }
+    member.platform = std::make_unique<drtm::Platform>(pc);
+
+    member.link = std::make_unique<net::Link>(
+        config_.net, member.platform->clock(), SimRng(0xf1ee7 + i));
+    member.link->b().set_service(
+        [this](BytesView frame) { return sp_->handle_frame(frame); });
+
+    const tpm::AikCertificate cert =
+        ca_->certify(member.id, member.platform->tpm().aik_public());
+    core::ClientConfig cc;
+    cc.client_id = member.id;
+    cc.key_bits = config_.client_key_bits;
+    member.client = std::make_unique<core::TrustedPathClient>(
+        *member.platform, member.link->a(), cert, cc);
+
+    members_.push_back(std::move(member));
+  }
+}
+
+std::size_t Fleet::enroll_all() {
+  std::size_t ok = 0;
+  for (auto& member : members_) {
+    if (member.client->enroll().ok()) ++ok;
+  }
+  return ok;
+}
+
+}  // namespace tp::sp

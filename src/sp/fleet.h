@@ -1,0 +1,72 @@
+// Fleet: many client machines against ONE service provider.
+//
+// The single-client Deployment answers "does the protocol work"; the
+// fleet answers the deployment questions -- does one SP instance handle a
+// population of heterogeneous platforms (mixed TPM chips, mixed DRTM
+// technologies), and what does the population-level latency distribution
+// look like? Experiment F3's simulation arm runs on this.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "drtm/platform.h"
+#include "net/channel.h"
+#include "sp/service_provider.h"
+#include "tpm/privacy_ca.h"
+
+namespace tp::sp {
+
+struct FleetConfig {
+  std::size_t num_clients = 8;
+  Bytes seed = bytes_of("fleet");
+  std::size_t tpm_key_bits = 768;
+  std::uint32_t client_key_bits = 768;
+  net::NetParams net;
+  /// Chips are assigned round-robin from this list (empty -> default).
+  std::vector<std::string> chip_mix;
+  /// Technologies assigned round-robin (empty -> all AMD).
+  std::vector<drtm::DrtmTechnology> technology_mix;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(FleetConfig config);
+
+  std::size_t size() const { return members_.size(); }
+  ServiceProvider& sp() { return *sp_; }
+  tpm::PrivacyCa& ca() { return *ca_; }
+
+  core::TrustedPathClient& client(std::size_t i) {
+    return *members_.at(i).client;
+  }
+  drtm::Platform& platform(std::size_t i) {
+    return *members_.at(i).platform;
+  }
+  const std::string& client_id(std::size_t i) const {
+    return members_.at(i).id;
+  }
+  net::Endpoint& endpoint(std::size_t i) {
+    return members_.at(i).link->a();
+  }
+
+  /// Enrolls every member; returns how many succeeded.
+  std::size_t enroll_all();
+
+ private:
+  struct Member {
+    std::string id;
+    std::unique_ptr<drtm::Platform> platform;
+    std::unique_ptr<net::Link> link;
+    std::unique_ptr<core::TrustedPathClient> client;
+  };
+
+  FleetConfig config_;
+  std::unique_ptr<tpm::PrivacyCa> ca_;
+  std::unique_ptr<ServiceProvider> sp_;
+  std::vector<Member> members_;
+};
+
+}  // namespace tp::sp

@@ -1,0 +1,202 @@
+#include "sp/service_provider.h"
+
+#include "core/trusted_path_pal.h"
+#include "tpm/quote.h"
+
+namespace tp::sp {
+
+using namespace core;  // message types
+
+ServiceProvider::ServiceProvider(SpConfig config)
+    : config_(std::move(config)),
+      drbg_(concat(bytes_of("service-provider:"), config_.seed)) {}
+
+Bytes ServiceProvider::fresh_nonce() {
+  return drbg_.generate(config_.nonce_len);
+}
+
+EnrollResult ServiceProvider::reject_enrollment(const std::string& reason) {
+  ++stats_.enroll_rejected;
+  ++stats_.reject_reasons[reason];
+  return EnrollResult{false, reason};
+}
+
+TxResult ServiceProvider::reject_tx(std::uint64_t tx_id,
+                                    const std::string& reason) {
+  ++stats_.tx_rejected;
+  ++stats_.reject_reasons[reason];
+  return TxResult{tx_id, false, reason};
+}
+
+EnrollChallenge ServiceProvider::begin_enrollment(const EnrollBegin& msg) {
+  EnrollChallenge challenge{fresh_nonce()};
+  pending_enroll_[msg.client_id] = challenge.nonce;
+  return challenge;
+}
+
+EnrollResult ServiceProvider::complete_enrollment(const EnrollComplete& msg) {
+  const auto pending = pending_enroll_.find(msg.client_id);
+  if (pending == pending_enroll_.end()) {
+    return reject_enrollment("no pending enrollment challenge");
+  }
+  const Bytes nonce = pending->second;
+  pending_enroll_.erase(pending);  // challenges are one-shot
+
+  // 1. AIK certificate chains to the Privacy CA.
+  auto cert = tpm::AikCertificate::deserialize(msg.aik_certificate);
+  if (!cert.ok()) return reject_enrollment("malformed AIK certificate");
+  if (!tpm::PrivacyCa::verify(config_.ca_public, cert.value()).ok()) {
+    return reject_enrollment("AIK certificate not signed by trusted CA");
+  }
+
+  // 2. Quote: valid AIK signature over PCR 17 and OUR nonce binding.
+  auto quote = tpm::QuoteResult::deserialize(msg.quote);
+  if (!quote.ok()) return reject_enrollment("malformed quote");
+  const Bytes binding =
+      enrollment_quote_binding(msg.confirmation_pubkey, nonce);
+  if (!tpm::verify_quote(cert.value().aik_public, quote.value(), binding)
+           .ok()) {
+    return reject_enrollment("quote verification failed");
+  }
+
+  // 3. The quoted PCRs must match one accepted attestation policy: the
+  // key was generated inside the GENUINE trusted-path PAL on a supported
+  // platform flavour.
+  std::vector<core::AttestationPolicy> policies = config_.accepted_policies;
+  if (policies.empty()) {
+    policies.push_back(core::AttestationPolicy{
+        tpm::PcrSelection::of({17}), {config_.golden_pcr17}, "default"});
+  }
+  bool policy_match = false;
+  for (const auto& policy : policies) {
+    if (quote.value().selection != policy.selection ||
+        quote.value().pcr_values.size() != policy.values.size()) {
+      continue;
+    }
+    bool all_equal = true;
+    for (std::size_t i = 0; i < policy.values.size(); ++i) {
+      if (!ct_equal(quote.value().pcr_values[i], policy.values[i])) {
+        all_equal = false;
+        break;
+      }
+    }
+    if (all_equal) {
+      policy_match = true;
+      break;
+    }
+  }
+  if (!policy_match) {
+    return reject_enrollment("PCR17 does not match golden PAL measurement");
+  }
+
+  // 4. The key itself must parse.
+  auto pk = crypto::RsaPublicKey::deserialize(msg.confirmation_pubkey);
+  if (!pk.ok()) return reject_enrollment("malformed public key");
+
+  enrolled_[msg.client_id] = pk.take();
+  ++stats_.enrolled;
+  return EnrollResult{true, "enrolled"};
+}
+
+TxChallenge ServiceProvider::begin_transaction(const TxSubmit& msg) {
+  TxChallenge challenge;
+  challenge.tx_id = next_tx_id_++;
+  challenge.nonce = fresh_nonce();
+  pending_tx_[challenge.tx_id] =
+      PendingTx{msg.client_id, msg.digest(), challenge.nonce};
+  return challenge;
+}
+
+TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
+  const auto pending = pending_tx_.find(msg.tx_id);
+  if (pending == pending_tx_.end()) {
+    return reject_tx(msg.tx_id, "unknown or already-settled transaction");
+  }
+  const PendingTx tx = pending->second;
+  pending_tx_.erase(pending);  // challenges are one-shot: replay dies here
+
+  if (tx.client_id != msg.client_id) {
+    return reject_tx(msg.tx_id, "client mismatch");
+  }
+  if (!config_.require_trusted_path) {
+    // Baseline mode: execute whatever the (possibly compromised) client
+    // software asked for. This is the world before the trusted path.
+    ++stats_.tx_accepted;
+    return TxResult{msg.tx_id, true, "accepted without verification"};
+  }
+
+  const auto enrolled = enrolled_.find(msg.client_id);
+  if (enrolled == enrolled_.end()) {
+    return reject_tx(msg.tx_id, "client not enrolled");
+  }
+  if (msg.verdict != Verdict::kConfirmed) {
+    return reject_tx(msg.tx_id, std::string("not confirmed by user: ") +
+                                    verdict_name(msg.verdict));
+  }
+
+  // Defence in depth: a signature is never accepted twice even if the
+  // one-shot challenge logic were bypassed.
+  if (seen_signatures_.count(msg.signature) != 0) {
+    return reject_tx(msg.tx_id, "replayed confirmation signature");
+  }
+
+  const Bytes statement =
+      confirmation_statement(tx.digest, tx.nonce, Verdict::kConfirmed);
+  if (!crypto::rsa_verify(enrolled->second, crypto::HashAlg::kSha256,
+                          statement, msg.signature)
+           .ok()) {
+    return reject_tx(msg.tx_id, "confirmation signature invalid");
+  }
+
+  seen_signatures_.insert(msg.signature);
+  ++stats_.tx_accepted;
+  return TxResult{msg.tx_id, true, "confirmed by human via trusted path"};
+}
+
+Bytes ServiceProvider::handle_frame(BytesView frame) {
+  auto opened = open_envelope(frame);
+  if (!opened.ok()) {
+    return envelope(MsgType::kTxResult,
+                    TxResult{0, false, "malformed frame"}.serialize());
+  }
+  const auto& [type, payload] = opened.value();
+  switch (type) {
+    case MsgType::kEnrollBegin: {
+      auto msg = EnrollBegin::deserialize(payload);
+      if (!msg.ok()) break;
+      return envelope(MsgType::kEnrollChallenge,
+                      begin_enrollment(msg.value()).serialize());
+    }
+    case MsgType::kEnrollComplete: {
+      auto msg = EnrollComplete::deserialize(payload);
+      if (!msg.ok()) {
+        return envelope(MsgType::kEnrollResult,
+                        reject_enrollment("malformed EnrollComplete")
+                            .serialize());
+      }
+      return envelope(MsgType::kEnrollResult,
+                      complete_enrollment(msg.value()).serialize());
+    }
+    case MsgType::kTxSubmit: {
+      auto msg = TxSubmit::deserialize(payload);
+      if (!msg.ok()) break;
+      return envelope(MsgType::kTxChallenge,
+                      begin_transaction(msg.value()).serialize());
+    }
+    case MsgType::kTxConfirm: {
+      auto msg = TxConfirm::deserialize(payload);
+      if (!msg.ok()) {
+        return envelope(MsgType::kTxResult,
+                        reject_tx(0, "malformed TxConfirm").serialize());
+      }
+      return envelope(MsgType::kTxResult,
+                      complete_transaction(msg.value()).serialize());
+    }
+    default:
+      break;
+  }
+  return envelope(MsgType::kTxResult,
+                  TxResult{0, false, "unexpected message"}.serialize());
+}
+
+}  // namespace tp::sp

@@ -1,0 +1,93 @@
+// Service provider: the remote party the trusted path protects.
+//
+// The SP trusts two things only: the Privacy CA's key and the published
+// golden measurement of the trusted-path PAL. From those it derives,
+// per client, "this public key was generated inside the genuine PAL on a
+// genuine TPM" (enrollment) and, per transaction, "a human at that
+// machine confirmed exactly this transaction" (signature over the
+// one-time challenge). Everything between -- the OS, the browser, the
+// network -- is assumed hostile.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/messages.h"
+#include "core/trusted_path_pal.h"
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+#include "tpm/privacy_ca.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tp::sp {
+
+struct SpConfig {
+  Bytes golden_pcr17;               // published PAL measurement
+  crypto::RsaPublicKey ca_public;   // Privacy CA root
+  Bytes seed = bytes_of("sp-seed"); // nonce generator seed
+  std::size_t nonce_len = 20;
+
+  /// Attestation policies this SP accepts, one per supported platform
+  /// flavour (AMD SKINIT, Intel TXT, ...). When empty, the SP falls back
+  /// to the classic {PCR 17} == golden_pcr17 policy.
+  std::vector<core::AttestationPolicy> accepted_policies;
+
+  /// Policy knob for the baseline experiments: when false the SP behaves
+  /// like an unprotected 2011 web service -- any well-formed TxConfirm is
+  /// executed without verification (the "no defence" row of F2).
+  bool require_trusted_path = true;
+};
+
+/// Why a message was rejected (aggregated for the security experiments).
+struct SpStats {
+  std::uint64_t enrolled = 0;
+  std::uint64_t enroll_rejected = 0;
+  std::uint64_t tx_accepted = 0;
+  std::uint64_t tx_rejected = 0;
+  std::map<std::string, std::uint64_t> reject_reasons;
+};
+
+class ServiceProvider {
+ public:
+  explicit ServiceProvider(SpConfig config);
+
+  /// Server loop entry: one request frame in, one response frame out.
+  /// Malformed input yields a rejecting response, never a crash.
+  Bytes handle_frame(BytesView frame);
+
+  // Direct-call API (same logic; used by unit tests and benches).
+  core::EnrollChallenge begin_enrollment(const core::EnrollBegin& msg);
+  core::EnrollResult complete_enrollment(const core::EnrollComplete& msg);
+  core::TxChallenge begin_transaction(const core::TxSubmit& msg);
+  core::TxResult complete_transaction(const core::TxConfirm& msg);
+
+  bool is_enrolled(const std::string& client_id) const {
+    return enrolled_.count(client_id) != 0;
+  }
+  const SpStats& stats() const { return stats_; }
+
+ private:
+  struct PendingTx {
+    std::string client_id;
+    Bytes digest;
+    Bytes nonce;
+  };
+
+  Bytes fresh_nonce();
+  core::EnrollResult reject_enrollment(const std::string& reason);
+  core::TxResult reject_tx(std::uint64_t tx_id, const std::string& reason);
+
+  SpConfig config_;
+  crypto::HmacDrbg drbg_;
+  std::map<std::string, Bytes> pending_enroll_;           // client -> nonce
+  std::map<std::string, crypto::RsaPublicKey> enrolled_;  // client -> pk
+  std::map<std::uint64_t, PendingTx> pending_tx_;
+  std::set<Bytes> seen_signatures_;  // defence-in-depth replay cache
+  std::uint64_t next_tx_id_ = 1;
+  SpStats stats_;
+};
+
+}  // namespace tp::sp

@@ -1,0 +1,105 @@
+#include "tpm/chip_profile.h"
+
+#include <stdexcept>
+
+namespace tp::tpm {
+
+namespace {
+using D = SimDuration;
+
+std::vector<ChipProfile> make_profiles() {
+  std::vector<ChipProfile> chips;
+
+  // Broadcom BCM5752: notoriously slow storage operations.
+  chips.push_back(ChipProfile{
+      .name = "Broadcom BCM5752",
+      .startup = D::millis(25),
+      .pcr_extend = D::millis(20),
+      .pcr_read = D::millis(2),
+      .quote = D::millis(972),
+      .seal = D::millis(919),
+      .unseal = D::millis(1013),
+      .sign = D::millis(940),
+      .create_wrap_key = D::seconds(35.0),
+      .load_key2 = D::millis(1082),
+      .get_random_16 = D::millis(3),
+      .nv_read = D::millis(12),
+      .nv_write = D::millis(28),
+      .counter_increment = D::millis(24),
+  });
+
+  // Atmel AT97SC3203: quick Seal, slow Quote/Unseal.
+  chips.push_back(ChipProfile{
+      .name = "Atmel AT97SC3203",
+      .startup = D::millis(18),
+      .pcr_extend = D::millis(6),
+      .pcr_read = D::millis(1),
+      .quote = D::millis(778),
+      .seal = D::millis(393),
+      .unseal = D::millis(802),
+      .sign = D::millis(755),
+      .create_wrap_key = D::seconds(20.0),
+      .load_key2 = D::millis(742),
+      .get_random_16 = D::millis(2),
+      .nv_read = D::millis(9),
+      .nv_write = D::millis(21),
+      .counter_increment = D::millis(19),
+  });
+
+  // Infineon SLB9635: the fastest of the generation; primary platform.
+  chips.push_back(ChipProfile{
+      .name = "Infineon SLB9635",
+      .startup = D::millis(14),
+      .pcr_extend = D::millis(12),
+      .pcr_read = D::millis(1),
+      .quote = D::millis(331),
+      .seal = D::millis(191),
+      .unseal = D::millis(262),
+      .sign = D::millis(318),
+      .create_wrap_key = D::seconds(11.0),
+      .load_key2 = D::millis(285),
+      .get_random_16 = D::millis(2),
+      .nv_read = D::millis(7),
+      .nv_write = D::millis(15),
+      .counter_increment = D::millis(13),
+  });
+
+  // STMicro ST19NP18: mid-field.
+  chips.push_back(ChipProfile{
+      .name = "STMicro ST19NP18",
+      .startup = D::millis(20),
+      .pcr_extend = D::millis(8),
+      .pcr_read = D::millis(1),
+      .quote = D::millis(429),
+      .seal = D::millis(313),
+      .unseal = D::millis(565),
+      .sign = D::millis(414),
+      .create_wrap_key = D::seconds(16.0),
+      .load_key2 = D::millis(510),
+      .get_random_16 = D::millis(2),
+      .nv_read = D::millis(8),
+      .nv_write = D::millis(18),
+      .counter_increment = D::millis(16),
+  });
+
+  return chips;
+}
+}  // namespace
+
+const std::vector<ChipProfile>& standard_chips() {
+  static const std::vector<ChipProfile> chips = make_profiles();
+  return chips;
+}
+
+const ChipProfile& chip_by_name(const std::string& name) {
+  for (const auto& chip : standard_chips()) {
+    if (chip.name == name) return chip;
+  }
+  throw std::invalid_argument("chip_by_name: unknown chip " + name);
+}
+
+const ChipProfile& default_chip() {
+  return chip_by_name("Infineon SLB9635");
+}
+
+}  // namespace tp::tpm

@@ -1,0 +1,137 @@
+#include "tpm/pcr.h"
+
+#include <algorithm>
+
+#include "crypto/sha1.h"
+#include "util/serial.h"
+
+namespace tp::tpm {
+
+PcrSelection PcrSelection::of(std::initializer_list<std::uint32_t> idx) {
+  PcrSelection sel;
+  sel.indices.assign(idx);
+  std::sort(sel.indices.begin(), sel.indices.end());
+  sel.indices.erase(std::unique(sel.indices.begin(), sel.indices.end()),
+                    sel.indices.end());
+  return sel;
+}
+
+PcrSelection PcrSelection::drtm() {
+  return of({kPcrDrtmMeasurement, kPcrDrtmInputs});
+}
+
+Bytes PcrSelection::serialize() const {
+  BinaryWriter w;
+  w.u32(static_cast<std::uint32_t>(indices.size()));
+  for (std::uint32_t i : indices) w.u32(i);
+  return w.take();
+}
+
+Result<PcrSelection> PcrSelection::deserialize(BytesView data) {
+  BinaryReader r(data);
+  auto count = r.u32();
+  if (!count.ok()) return count.error();
+  if (count.value() > kNumPcrs) {
+    return Error{Err::kInvalidArgument, "PcrSelection: too many indices"};
+  }
+  PcrSelection sel;
+  std::uint32_t prev = 0;
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto idx = r.u32();
+    if (!idx.ok()) return idx.error();
+    if (idx.value() >= kNumPcrs) {
+      return Error{Err::kInvalidArgument, "PcrSelection: index out of range"};
+    }
+    if (i > 0 && idx.value() <= prev) {
+      return Error{Err::kInvalidArgument, "PcrSelection: not sorted/unique"};
+    }
+    prev = idx.value();
+    sel.indices.push_back(idx.value());
+  }
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return sel;
+}
+
+PcrBank::PcrBank() {
+  for (std::size_t i = 0; i < kNumPcrs; ++i) {
+    // DRTM-resettable registers (17-22) power on as all-ones so that no
+    // sealing policy can match before a genuine late launch happened.
+    const bool drtm_register = i >= 17 && i <= 22;
+    pcrs_[i] = Bytes(kPcrSize, drtm_register ? 0xff : 0x00);
+  }
+}
+
+Result<Bytes> PcrBank::extend(std::uint32_t index, BytesView digest) {
+  if (index >= kNumPcrs) {
+    return Error{Err::kInvalidArgument, "PcrBank: index out of range"};
+  }
+  if (digest.size() != kPcrSize) {
+    return Error{Err::kInvalidArgument, "PcrBank: digest must be 20 bytes"};
+  }
+  pcrs_[index] = crypto::Sha1::hash(concat(pcrs_[index], digest));
+  return pcrs_[index];
+}
+
+Result<Bytes> PcrBank::read(std::uint32_t index) const {
+  if (index >= kNumPcrs) {
+    return Error{Err::kInvalidArgument, "PcrBank: index out of range"};
+  }
+  return pcrs_[index];
+}
+
+Status PcrBank::reset(std::uint32_t index, Locality locality) {
+  if (index >= kNumPcrs) {
+    return Error{Err::kInvalidArgument, "PcrBank: index out of range"};
+  }
+  if (index <= 15) {
+    return Error{Err::kBadState, "PcrBank: static PCRs are not resettable"};
+  }
+  if (index == 16 || index == 23) {
+    pcrs_[index] = Bytes(kPcrSize, 0x00);
+    return Status::ok_status();
+  }
+  // DRTM registers: 17 and 18 demand the hardware late-launch locality;
+  // 19-22 accept locality >= 2 per the PC client spec's simplified model.
+  const Locality required = (index == 17 || index == 18)
+                                ? Locality::kDrtmHardware
+                                : Locality::kPal;
+  if (static_cast<std::uint8_t>(locality) <
+      static_cast<std::uint8_t>(required)) {
+    return Error{Err::kIsolationViolation,
+                 "PcrBank: insufficient locality for DRTM PCR reset"};
+  }
+  pcrs_[index] = Bytes(kPcrSize, 0x00);
+  return Status::ok_status();
+}
+
+Result<Bytes> PcrBank::composite(const PcrSelection& selection) const {
+  std::vector<Bytes> values;
+  values.reserve(selection.indices.size());
+  for (std::uint32_t i : selection.indices) {
+    auto v = read(i);
+    if (!v.ok()) return v.error();
+    values.push_back(v.take());
+  }
+  return composite_of(selection, values);
+}
+
+Result<Bytes> PcrBank::composite_of(const PcrSelection& selection,
+                                    const std::vector<Bytes>& values) {
+  if (selection.indices.empty()) {
+    return Error{Err::kInvalidArgument, "composite: empty selection"};
+  }
+  if (selection.indices.size() != values.size()) {
+    return Error{Err::kInvalidArgument, "composite: selection/value mismatch"};
+  }
+  BinaryWriter w;
+  w.raw(selection.serialize());
+  for (const Bytes& v : values) {
+    if (v.size() != kPcrSize) {
+      return Error{Err::kInvalidArgument, "composite: bad PCR value size"};
+    }
+    w.raw(v);
+  }
+  return crypto::Sha1::hash(w.data());
+}
+
+}  // namespace tp::tpm

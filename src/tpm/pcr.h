@@ -1,0 +1,85 @@
+// Platform Configuration Registers with TPM 1.2 locality semantics.
+//
+// The security argument of the whole system rests on three PCR facts:
+//   1. PCRs can only be *extended* (hash-chained), never set;
+//   2. the DRTM PCRs (17-22) boot to the all-ones "uninitialized" value
+//      and can only be reset to zero by the hardware late-launch event
+//      (locality 4), so software can never fake a clean DRTM state;
+//   3. sealing and quoting bind to PCR *composites*, so any deviation in
+//      the measured-launch history is visible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tp::tpm {
+
+inline constexpr std::size_t kNumPcrs = 24;
+inline constexpr std::size_t kPcrSize = 20;  // SHA-1 digests
+
+/// DRTM registers: reset by late launch, never by software.
+inline constexpr std::uint32_t kPcrDrtmMeasurement = 17;  // PAL identity
+inline constexpr std::uint32_t kPcrDrtmInputs = 18;       // PAL inputs/extra
+inline constexpr std::uint32_t kPcrDrtmDetails = 19;
+
+/// Hardware locality of a TPM access. Locality 4 is asserted only by the
+/// CPU during the late-launch instruction; software (even ring 0) cannot
+/// produce it. The PAL runs at locality 2; the legacy OS at locality 0/1.
+enum class Locality : std::uint8_t {
+  kLegacy = 0,
+  kOs = 1,
+  kPal = 2,
+  kAux = 3,
+  kDrtmHardware = 4,
+};
+
+/// Which PCRs participate in a composite (selection bitmap, TPM 1.2
+/// TPM_PCR_SELECTION semantics).
+struct PcrSelection {
+  std::vector<std::uint32_t> indices;  // sorted, unique
+
+  static PcrSelection of(std::initializer_list<std::uint32_t> idx);
+  /// The selection used by the trusted path: {17, 18}.
+  static PcrSelection drtm();
+
+  Bytes serialize() const;
+  static Result<PcrSelection> deserialize(BytesView data);
+
+  bool operator==(const PcrSelection& other) const = default;
+};
+
+class PcrBank {
+ public:
+  /// Power-on state: static PCRs zero, DRTM PCRs all-ones.
+  PcrBank();
+
+  /// SHA-1 extend: pcr[i] = SHA1(pcr[i] || digest). digest must be 20
+  /// bytes. Returns the new value.
+  Result<Bytes> extend(std::uint32_t index, BytesView digest);
+
+  Result<Bytes> read(std::uint32_t index) const;
+
+  /// TPM_PCR_Reset semantics: PCRs 16 and 23 are resettable by software;
+  /// 17-22 only at locality >= the per-register requirement (17 requires
+  /// locality 4, i.e., the hardware late-launch event). Static PCRs 0-15
+  /// are never resettable.
+  Status reset(std::uint32_t index, Locality locality);
+
+  /// SHA-1 over the canonical encoding of (selection, values): the
+  /// TPM_COMPOSITE_HASH that Seal and Quote bind to.
+  Result<Bytes> composite(const PcrSelection& selection) const;
+
+  /// Composite over explicitly provided values (used by remote verifiers
+  /// that hold golden values rather than a live bank).
+  static Result<Bytes> composite_of(const PcrSelection& selection,
+                                    const std::vector<Bytes>& values);
+
+ private:
+  std::array<Bytes, kNumPcrs> pcrs_;
+};
+
+}  // namespace tp::tpm

@@ -1,0 +1,65 @@
+#include "tpm/privacy_ca.h"
+
+#include "crypto/drbg.h"
+#include <memory>
+#include "util/serial.h"
+
+namespace tp::tpm {
+
+Bytes AikCertificate::signed_payload() const {
+  BinaryWriter w;
+  w.var_string(platform_id);
+  w.var_bytes(aik_public.serialize());
+  return w.take();
+}
+
+Bytes AikCertificate::serialize() const {
+  BinaryWriter w;
+  w.var_string(platform_id);
+  w.var_bytes(aik_public.serialize());
+  w.var_bytes(ca_signature);
+  return w.take();
+}
+
+Result<AikCertificate> AikCertificate::deserialize(BytesView data) {
+  BinaryReader r(data);
+  auto id = r.var_string();
+  if (!id.ok()) return id.error();
+  auto pk_bytes = r.var_bytes();
+  if (!pk_bytes.ok()) return pk_bytes.error();
+  auto pk = crypto::RsaPublicKey::deserialize(pk_bytes.value());
+  if (!pk.ok()) return pk.error();
+  auto sig = r.var_bytes();
+  if (!sig.ok()) return sig.error();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return AikCertificate{id.take(), pk.take(), sig.take()};
+}
+
+PrivacyCa::PrivacyCa(BytesView seed, std::size_t key_bits) {
+  auto drbg = std::make_shared<crypto::HmacDrbg>(
+      concat(bytes_of("privacy-ca:"), seed));
+  key_ = crypto::rsa_generate(
+      key_bits, [drbg](std::size_t n) { return drbg->generate(n); });
+  public_key_ = key_.public_key();
+}
+
+AikCertificate PrivacyCa::certify(
+    const std::string& platform_id,
+    const crypto::RsaPublicKey& aik_public) const {
+  AikCertificate cert{platform_id, aik_public, {}};
+  cert.ca_signature =
+      crypto::rsa_sign(key_, crypto::HashAlg::kSha256, cert.signed_payload());
+  return cert;
+}
+
+Status PrivacyCa::verify(const crypto::RsaPublicKey& ca_public,
+                         const AikCertificate& cert) {
+  auto verdict = crypto::rsa_verify(ca_public, crypto::HashAlg::kSha256,
+                                    cert.signed_payload(), cert.ca_signature);
+  if (!verdict.ok()) {
+    return Error{Err::kAuthFail, "AIK certificate signature invalid"};
+  }
+  return Status::ok_status();
+}
+
+}  // namespace tp::tpm

@@ -1,0 +1,54 @@
+// Privacy CA: certifies Attestation Identity Keys.
+//
+// In the deployed system a Privacy CA (or DAA) vouches that an AIK lives
+// inside a genuine TPM, so a service provider that trusts the CA can trust
+// quotes signed by the AIK. The emulation keeps the same trust topology:
+// the CA signs (platform_id, aik_public) and the SP verifies that
+// certificate before accepting any quote.
+#pragma once
+
+#include <string>
+
+#include "crypto/rsa.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tp::tpm {
+
+/// AIK certificate: binds a platform identity to an AIK public key.
+struct AikCertificate {
+  std::string platform_id;
+  crypto::RsaPublicKey aik_public;
+  Bytes ca_signature;
+
+  Bytes serialize() const;
+  static Result<AikCertificate> deserialize(BytesView data);
+
+  /// The byte string the CA signs.
+  Bytes signed_payload() const;
+};
+
+class PrivacyCa {
+ public:
+  /// `seed` makes the CA key deterministic per experiment.
+  explicit PrivacyCa(BytesView seed, std::size_t key_bits = 1024);
+
+  const crypto::RsaPublicKey& public_key() const { return public_key_; }
+
+  /// Issues a certificate for `aik_public` under `platform_id`. A real CA
+  /// would run the TPM_MakeIdentity/ActivateIdentity challenge first; the
+  /// emulated TPM hands its AIK straight to the caller, so issuance here
+  /// is unconditional and the interesting verification happens at the SP.
+  AikCertificate certify(const std::string& platform_id,
+                         const crypto::RsaPublicKey& aik_public) const;
+
+  /// Checks a certificate against a known CA public key.
+  static Status verify(const crypto::RsaPublicKey& ca_public,
+                       const AikCertificate& cert);
+
+ private:
+  crypto::RsaPrivateKey key_;
+  crypto::RsaPublicKey public_key_;
+};
+
+}  // namespace tp::tpm

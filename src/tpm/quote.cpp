@@ -1,0 +1,72 @@
+#include "tpm/quote.h"
+
+#include "util/serial.h"
+
+namespace tp::tpm {
+
+Bytes QuoteResult::serialize() const {
+  BinaryWriter w;
+  w.var_bytes(selection.serialize());
+  w.u32(static_cast<std::uint32_t>(pcr_values.size()));
+  for (const Bytes& v : pcr_values) w.var_bytes(v);
+  w.var_bytes(external_data);
+  w.var_bytes(signature);
+  return w.take();
+}
+
+Result<QuoteResult> QuoteResult::deserialize(BytesView data) {
+  BinaryReader r(data);
+  auto sel_bytes = r.var_bytes();
+  if (!sel_bytes.ok()) return sel_bytes.error();
+  auto sel = PcrSelection::deserialize(sel_bytes.value());
+  if (!sel.ok()) return sel.error();
+
+  auto count = r.u32();
+  if (!count.ok()) return count.error();
+  if (count.value() > kNumPcrs) {
+    return Error{Err::kInvalidArgument, "QuoteResult: too many PCR values"};
+  }
+  QuoteResult q;
+  q.selection = sel.take();
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto v = r.var_bytes();
+    if (!v.ok()) return v.error();
+    q.pcr_values.push_back(v.take());
+  }
+  auto ext = r.var_bytes();
+  if (!ext.ok()) return ext.error();
+  q.external_data = ext.take();
+  auto sig = r.var_bytes();
+  if (!sig.ok()) return sig.error();
+  q.signature = sig.take();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return q;
+}
+
+Bytes quote_info(BytesView composite, BytesView external_data) {
+  BinaryWriter w;
+  w.raw(bytes_of("QUOT"));
+  w.u16(0x0101);  // structure version 1.1, as in TPM 1.2
+  w.var_bytes(composite);
+  w.var_bytes(external_data);
+  return w.take();
+}
+
+Status verify_quote(const crypto::RsaPublicKey& aik, const QuoteResult& quote,
+                    BytesView expected_nonce) {
+  if (!ct_equal(quote.external_data, expected_nonce)) {
+    return Error{Err::kNonceMismatch, "verify_quote: stale or wrong nonce"};
+  }
+  auto composite =
+      PcrBank::composite_of(quote.selection, quote.pcr_values);
+  if (!composite.ok()) return composite.error();
+  const Bytes info = quote_info(composite.value(), quote.external_data);
+  auto verdict =
+      crypto::rsa_verify(aik, crypto::HashAlg::kSha1, info, quote.signature);
+  if (!verdict.ok()) {
+    return Error{Err::kAuthFail, "verify_quote: AIK signature invalid"};
+  }
+  return Status::ok_status();
+}
+
+}  // namespace tp::tpm

@@ -1,0 +1,44 @@
+// TPM_Quote structures and remote verification.
+//
+// A quote is the TPM's signed statement "these PCRs held these values when
+// I was given this fresh challenge". The service provider uses it during
+// enrollment to convince itself that the client's confirmation key was
+// created inside the genuine PAL.
+#pragma once
+
+#include <vector>
+
+#include "crypto/rsa.h"
+#include "tpm/pcr.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tp::tpm {
+
+/// Output of TPM_Quote. Carries the selection and values so a remote
+/// verifier can recompute the composite; the signature covers the
+/// composite and the caller's anti-replay challenge.
+struct QuoteResult {
+  PcrSelection selection;
+  std::vector<Bytes> pcr_values;  // one 20-byte value per selected PCR
+  Bytes external_data;            // verifier nonce (anti-replay)
+  Bytes signature;                // AIK signature over the quote info
+
+  Bytes serialize() const;
+  static Result<QuoteResult> deserialize(BytesView data);
+};
+
+/// Canonical TPM_QUOTE_INFO byte string: "QUOT" || version || composite ||
+/// external data. This is what the AIK signs.
+Bytes quote_info(BytesView composite, BytesView external_data);
+
+/// Full remote verification:
+///   1. recompute the composite from (selection, pcr_values);
+///   2. rebuild the quote info with `expected_nonce`;
+///   3. check the AIK signature.
+/// Comparing pcr_values against golden values is the caller's job (the
+/// quote proves what the values WERE; policy decides what they MUST be).
+Status verify_quote(const crypto::RsaPublicKey& aik, const QuoteResult& quote,
+                    BytesView expected_nonce);
+
+}  // namespace tp::tpm

@@ -1,0 +1,496 @@
+#include "tpm/tpm_device.h"
+
+#include "crypto/aes.h"
+#include "crypto/sha1.h"
+#include "crypto/hmac.h"
+#include "crypto/modes.h"
+#include "util/serial.h"
+
+namespace tp::tpm {
+
+namespace {
+constexpr char kSealMagic[] = "SEALv1";
+constexpr char kWrapMagic[] = "WKEYv1";
+constexpr std::size_t kMagicLen = 6;
+constexpr std::size_t kMacLen = 32;
+
+// Maximum NV area size; matches the small NVRAM of real v1.2 parts.
+constexpr std::size_t kMaxNvSize = 2048;
+}  // namespace
+
+TpmDevice::TpmDevice(const ChipProfile& profile, BytesView seed,
+                     SimClock& clock)
+    : TpmDevice(profile, seed, clock, Options{}) {}
+
+TpmDevice::TpmDevice(const ChipProfile& profile, BytesView seed,
+                     SimClock& clock, Options options)
+    : profile_(profile), clock_(&clock), options_(options) {
+  drbg_ = std::make_unique<crypto::HmacDrbg>(
+      concat(bytes_of("tpm-device:"), seed));
+  srk_seed_ = drbg_->generate(32);
+  aik_ = crypto::rsa_generate(
+      options_.key_bits, [this](std::size_t n) { return drbg_->generate(n); });
+  aik_public_ = aik_.public_key();
+}
+
+void TpmDevice::charge(const char* label, SimDuration d) {
+  ++command_count_;
+  clock_->charge(std::string("tpm:") + label, d);
+}
+
+Bytes TpmDevice::seal_mac_key() const {
+  return crypto::hmac_sha256(srk_seed_, bytes_of("seal-mac"));
+}
+
+Bytes TpmDevice::seal_enc_key() const {
+  return crypto::hmac_sha256(srk_seed_, bytes_of("seal-enc"));
+}
+
+Result<Bytes> TpmDevice::pcr_extend(Locality locality, std::uint32_t index,
+                                    BytesView digest) {
+  charge("pcr_extend", profile_.pcr_extend);
+  // DRTM registers may only be extended from the dynamic environment
+  // (locality >= 2); the legacy OS cannot influence them.
+  if (index >= 17 && index <= 22 &&
+      static_cast<std::uint8_t>(locality) <
+          static_cast<std::uint8_t>(Locality::kPal)) {
+    return Error{Err::kIsolationViolation,
+                 "pcr_extend: DRTM PCR requires locality >= 2"};
+  }
+  return pcrs_.extend(index, digest);
+}
+
+Result<Bytes> TpmDevice::pcr_read(std::uint32_t index) {
+  charge("pcr_read", profile_.pcr_read);
+  return pcrs_.read(index);
+}
+
+Status TpmDevice::pcr_reset(Locality locality, std::uint32_t index) {
+  charge("pcr_reset", profile_.pcr_extend);
+  return pcrs_.reset(index, locality);
+}
+
+Result<Bytes> TpmDevice::pcr_composite(const PcrSelection& selection) const {
+  return pcrs_.composite(selection);
+}
+
+Bytes TpmDevice::get_random(std::size_t n) {
+  const auto blocks = static_cast<std::int64_t>((n + 15) / 16);
+  charge("get_random",
+         SimDuration{profile_.get_random_16.ns * std::max<std::int64_t>(
+                                                     blocks, 1)});
+  return drbg_->generate(n);
+}
+
+Result<QuoteResult> TpmDevice::quote(BytesView external_data,
+                                     const PcrSelection& selection) {
+  charge("quote", profile_.quote);
+  QuoteResult q;
+  q.selection = selection;
+  for (std::uint32_t i : selection.indices) {
+    auto v = pcrs_.read(i);
+    if (!v.ok()) return v.error();
+    q.pcr_values.push_back(v.take());
+  }
+  q.external_data.assign(external_data.begin(), external_data.end());
+  auto composite = PcrBank::composite_of(selection, q.pcr_values);
+  if (!composite.ok()) return composite.error();
+  const Bytes info = quote_info(composite.value(), external_data);
+  q.signature = crypto::rsa_sign(aik_, crypto::HashAlg::kSha1, info);
+  return q;
+}
+
+Status TpmDevice::check_release_policy(Locality locality,
+                                       std::uint8_t locality_mask,
+                                       const PcrSelection& selection,
+                                       BytesView composite) const {
+  const std::uint8_t loc_bit =
+      static_cast<std::uint8_t>(1u << static_cast<std::uint8_t>(locality));
+  if ((locality_mask & loc_bit) == 0) {
+    return Error{Err::kIsolationViolation,
+                 "release policy: locality not authorized"};
+  }
+  auto current = pcrs_.composite(selection);
+  if (!current.ok()) return current.error();
+  if (!ct_equal(current.value(), composite)) {
+    return Error{Err::kPcrMismatch,
+                 "release policy: PCR composite mismatch"};
+  }
+  return Status::ok_status();
+}
+
+Result<Bytes> TpmDevice::seal(Locality locality, const PcrSelection& selection,
+                              std::uint8_t release_locality_mask,
+                              BytesView data) {
+  std::vector<Bytes> current_values;
+  for (std::uint32_t i : selection.indices) {
+    auto v = pcrs_.read(i);
+    if (!v.ok()) return v.error();
+    current_values.push_back(v.take());
+  }
+  return seal_to(locality, selection, current_values, release_locality_mask,
+                 data);
+}
+
+Result<Bytes> TpmDevice::seal_to(Locality locality,
+                                 const PcrSelection& selection,
+                                 const std::vector<Bytes>& release_values,
+                                 std::uint8_t release_locality_mask,
+                                 BytesView data) {
+  charge("seal", profile_.seal);
+  (void)locality;  // any locality may create a seal; release is restricted
+  auto release_composite = PcrBank::composite_of(selection, release_values);
+  if (!release_composite.ok()) return release_composite.error();
+
+  const Bytes iv = drbg_->generate(crypto::kAesBlockSize);
+  const crypto::Aes enc(seal_enc_key());
+  const Bytes ciphertext = crypto::cbc_encrypt(enc, iv, data);
+
+  BinaryWriter w;
+  w.raw(bytes_of(kSealMagic));
+  w.u8(release_locality_mask);
+  w.var_bytes(selection.serialize());
+  w.raw(release_composite.value());
+  w.raw(iv);
+  w.var_bytes(ciphertext);
+  Bytes blob = w.take();
+  const Bytes mac = crypto::hmac_sha256(seal_mac_key(), blob);
+  append(blob, mac);
+  return blob;
+}
+
+Result<Bytes> TpmDevice::unseal(Locality locality, BytesView blob) {
+  charge("unseal", profile_.unseal);
+  if (blob.size() < kMagicLen + kMacLen) {
+    return Error{Err::kAuthFail, "unseal: blob too short"};
+  }
+  const BytesView body = blob.subspan(0, blob.size() - kMacLen);
+  const BytesView mac = blob.subspan(blob.size() - kMacLen);
+  if (!ct_equal(crypto::hmac_sha256(seal_mac_key(), body), mac)) {
+    return Error{Err::kAuthFail, "unseal: MAC mismatch (tampered blob)"};
+  }
+
+  BinaryReader r(body);
+  auto magic = r.raw(kMagicLen);
+  if (!magic.ok() || !ct_equal(magic.value(), bytes_of(kSealMagic))) {
+    return Error{Err::kAuthFail, "unseal: bad magic"};
+  }
+  auto locality_mask = r.u8();
+  if (!locality_mask.ok()) return locality_mask.error();
+  auto sel_bytes = r.var_bytes();
+  if (!sel_bytes.ok()) return sel_bytes.error();
+  auto selection = PcrSelection::deserialize(sel_bytes.value());
+  if (!selection.ok()) return selection.error();
+  auto release_composite = r.raw(kPcrSize);
+  if (!release_composite.ok()) return release_composite.error();
+  auto iv = r.raw(crypto::kAesBlockSize);
+  if (!iv.ok()) return iv.error();
+  auto ciphertext = r.var_bytes();
+  if (!ciphertext.ok()) return ciphertext.error();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+
+  if (auto s = check_release_policy(locality, locality_mask.value(),
+                                    selection.value(),
+                                    release_composite.value());
+      !s.ok()) {
+    return s.error();
+  }
+
+  const crypto::Aes enc(seal_enc_key());
+  auto plaintext = crypto::cbc_decrypt(enc, iv.value(), ciphertext.value());
+  if (!plaintext.ok()) {
+    return Error{Err::kAuthFail, "unseal: decryption failed"};
+  }
+  return plaintext.take();
+}
+
+Result<Bytes> TpmDevice::create_wrap_key(const PcrSelection& selection) {
+  charge("create_wrap_key", profile_.create_wrap_key);
+  auto policy_composite = pcrs_.composite(selection);
+  if (!policy_composite.ok()) return policy_composite.error();
+
+  const crypto::RsaPrivateKey key = crypto::rsa_generate(
+      options_.key_bits, [this](std::size_t n) { return drbg_->generate(n); });
+
+  const Bytes iv = drbg_->generate(crypto::kAesBlockSize);
+  const crypto::Aes enc(seal_enc_key());
+  const Bytes wrapped_priv = crypto::cbc_encrypt(enc, iv, key.serialize());
+
+  BinaryWriter w;
+  w.raw(bytes_of(kWrapMagic));
+  w.var_bytes(key.public_key().serialize());
+  w.var_bytes(selection.serialize());
+  w.raw(policy_composite.value());
+  w.raw(iv);
+  w.var_bytes(wrapped_priv);
+  Bytes blob = w.take();
+  const Bytes mac = crypto::hmac_sha256(seal_mac_key(), blob);
+  append(blob, mac);
+  return blob;
+}
+
+Result<std::uint32_t> TpmDevice::load_key2(BytesView wrapped) {
+  charge("load_key2", profile_.load_key2);
+  if (wrapped.size() < kMagicLen + kMacLen) {
+    return Error{Err::kAuthFail, "load_key2: blob too short"};
+  }
+  const BytesView body = wrapped.subspan(0, wrapped.size() - kMacLen);
+  const BytesView mac = wrapped.subspan(wrapped.size() - kMacLen);
+  if (!ct_equal(crypto::hmac_sha256(seal_mac_key(), body), mac)) {
+    return Error{Err::kAuthFail, "load_key2: MAC mismatch"};
+  }
+
+  BinaryReader r(body);
+  auto magic = r.raw(kMagicLen);
+  if (!magic.ok() || !ct_equal(magic.value(), bytes_of(kWrapMagic))) {
+    return Error{Err::kAuthFail, "load_key2: bad magic"};
+  }
+  auto pub_bytes = r.var_bytes();
+  if (!pub_bytes.ok()) return pub_bytes.error();
+  auto sel_bytes = r.var_bytes();
+  if (!sel_bytes.ok()) return sel_bytes.error();
+  auto selection = PcrSelection::deserialize(sel_bytes.value());
+  if (!selection.ok()) return selection.error();
+  auto policy_composite = r.raw(kPcrSize);
+  if (!policy_composite.ok()) return policy_composite.error();
+  auto iv = r.raw(crypto::kAesBlockSize);
+  if (!iv.ok()) return iv.error();
+  auto wrapped_priv = r.var_bytes();
+  if (!wrapped_priv.ok()) return wrapped_priv.error();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+
+  const crypto::Aes enc(seal_enc_key());
+  auto priv_bytes = crypto::cbc_decrypt(enc, iv.value(), wrapped_priv.value());
+  if (!priv_bytes.ok()) {
+    return Error{Err::kAuthFail, "load_key2: unwrap failed"};
+  }
+  auto priv = crypto::RsaPrivateKey::deserialize(priv_bytes.value());
+  if (!priv.ok()) return priv.error();
+
+  const std::uint32_t handle = next_handle_++;
+  loaded_keys_[handle] = LoadedKey{priv.take(), selection.take(),
+                                   policy_composite.take()};
+  return handle;
+}
+
+Result<crypto::RsaPublicKey> TpmDevice::key_public(
+    std::uint32_t handle) const {
+  const auto it = loaded_keys_.find(handle);
+  if (it == loaded_keys_.end()) {
+    return Error{Err::kNotFound, "key_public: unknown handle"};
+  }
+  return it->second.key.public_key();
+}
+
+Result<Bytes> TpmDevice::sign(std::uint32_t handle, BytesView message) {
+  charge("sign", profile_.sign);
+  const auto it = loaded_keys_.find(handle);
+  if (it == loaded_keys_.end()) {
+    return Error{Err::kNotFound, "sign: unknown handle"};
+  }
+  // PCR use-policy is evaluated at signing time: the key refuses to sign
+  // unless the platform is currently in the configuration it was created
+  // under. This is what makes PAL-substitution attacks fail.
+  auto current = pcrs_.composite(it->second.policy_selection);
+  if (!current.ok()) return current.error();
+  if (!ct_equal(current.value(), it->second.policy_composite)) {
+    return Error{Err::kPcrMismatch, "sign: PCR use policy mismatch"};
+  }
+  return crypto::rsa_sign(it->second.key, crypto::HashAlg::kSha256, message);
+}
+
+void TpmDevice::flush_key(std::uint32_t handle) { loaded_keys_.erase(handle); }
+
+Status TpmDevice::take_ownership(BytesView owner_auth_secret) {
+  charge("take_ownership", profile_.create_wrap_key);  // expensive op
+  if (owner_secret_.has_value()) {
+    return Error{Err::kBadState, "take_ownership: TPM already owned"};
+  }
+  if (owner_auth_secret.empty()) {
+    return Error{Err::kInvalidArgument, "take_ownership: empty secret"};
+  }
+  owner_secret_ = Bytes(owner_auth_secret.begin(), owner_auth_secret.end());
+  return Status::ok_status();
+}
+
+Result<std::uint32_t> TpmDevice::oiap_start() {
+  charge("oiap_start", profile_.pcr_read);
+  const std::uint32_t handle = next_session_++;
+  oiap_sessions_[handle] = drbg_->generate(20);  // nonce_even
+  return handle;
+}
+
+Result<Bytes> TpmDevice::oiap_nonce(std::uint32_t session) const {
+  const auto it = oiap_sessions_.find(session);
+  if (it == oiap_sessions_.end()) {
+    return Error{Err::kNotFound, "oiap_nonce: unknown session"};
+  }
+  return it->second;
+}
+
+Bytes TpmDevice::compute_auth(BytesView secret, BytesView param_digest,
+                              BytesView nonce_even, BytesView nonce_odd) {
+  return crypto::hmac_sha1(secret,
+                           concat(param_digest, nonce_even, nonce_odd));
+}
+
+Bytes TpmDevice::owner_clear_params() {
+  return crypto::Sha1::hash(bytes_of("TPM_OwnerClear"));
+}
+
+Bytes TpmDevice::owner_nv_define_params(std::uint32_t index,
+                                        std::size_t size) {
+  BinaryWriter w;
+  w.var_string("TPM_NV_DefineSpace");
+  w.u32(index);
+  w.u32(static_cast<std::uint32_t>(size));
+  return crypto::Sha1::hash(w.data());
+}
+
+Status TpmDevice::check_owner_auth(std::uint32_t session,
+                                   BytesView param_digest,
+                                   BytesView nonce_odd, BytesView auth) {
+  if (!owner_secret_.has_value()) {
+    return Error{Err::kBadState, "owner auth: TPM is not owned"};
+  }
+  const auto it = oiap_sessions_.find(session);
+  if (it == oiap_sessions_.end()) {
+    return Error{Err::kNotFound, "owner auth: unknown session"};
+  }
+  const Bytes expected =
+      compute_auth(*owner_secret_, param_digest, it->second, nonce_odd);
+  // Roll the even nonce regardless of outcome: a captured auth value is
+  // single-use even when it was wrong.
+  it->second = drbg_->generate(20);
+  if (!ct_equal(expected, auth)) {
+    return Error{Err::kAuthFail, "owner auth: HMAC mismatch"};
+  }
+  return Status::ok_status();
+}
+
+Status TpmDevice::owner_nv_define(std::uint32_t session, std::uint32_t index,
+                                  std::size_t size, BytesView nonce_odd,
+                                  BytesView auth) {
+  charge("owner_nv_define", profile_.nv_write);
+  if (index < 0x10000000u) {
+    return Error{Err::kInvalidArgument,
+                 "owner_nv_define: index outside owner-protected range"};
+  }
+  if (auto s = check_owner_auth(session, owner_nv_define_params(index, size),
+                                nonce_odd, auth);
+      !s.ok()) {
+    return s;
+  }
+  if (size == 0 || size > kMaxNvSize) {
+    return Error{Err::kInvalidArgument, "owner_nv_define: bad size"};
+  }
+  if (nvram_.count(index) != 0) {
+    return Error{Err::kBadState, "owner_nv_define: index already defined"};
+  }
+  nvram_[index] = Bytes(size, 0x00);
+  return Status::ok_status();
+}
+
+Status TpmDevice::owner_clear(std::uint32_t session, BytesView nonce_odd,
+                              BytesView auth) {
+  charge("owner_clear", profile_.create_wrap_key);
+  if (auto s =
+          check_owner_auth(session, owner_clear_params(), nonce_odd, auth);
+      !s.ok()) {
+    return s;
+  }
+  // Clearing regenerates the storage hierarchy: every existing sealed
+  // blob and wrapped key becomes permanently undecryptable.
+  owner_secret_.reset();
+  oiap_sessions_.clear();
+  loaded_keys_.clear();
+  counters_.clear();
+  nvram_.clear();
+  srk_seed_ = drbg_->generate(32);
+  return Status::ok_status();
+}
+
+TpmCapabilities TpmDevice::get_capability() const {
+  return TpmCapabilities{
+      .spec_version_major = 1,
+      .spec_version_minor = 2,
+      .vendor = profile_.name,
+      .num_pcrs = kNumPcrs,
+      .max_nv_size = kMaxNvSize,
+      .supports_locality_4 = true,
+  };
+}
+
+Status TpmDevice::self_test() {
+  charge("self_test", profile_.create_wrap_key);  // slow, like real parts
+  // Known-answer checks over the internal crypto paths.
+  const Bytes abc = bytes_of("abc");
+  if (to_hex(crypto::Sha1::hash(abc)) !=
+      "a9993e364706816aba3e25717850c26c9cd0d89d") {
+    return Error{Err::kInternal, "self_test: SHA-1 KAT failed"};
+  }
+  if (drbg_->generate(16) == drbg_->generate(16)) {
+    return Error{Err::kInternal, "self_test: RNG stuck"};
+  }
+  // Seal/unseal loopback.
+  auto blob = seal(Locality::kLegacy, PcrSelection::of({16}), 0xff,
+                   bytes_of("kat"));
+  if (!blob.ok()) return blob.error();
+  auto out = unseal(Locality::kLegacy, blob.value());
+  if (!out.ok() || !ct_equal(out.value(), bytes_of("kat"))) {
+    return Error{Err::kInternal, "self_test: seal loopback failed"};
+  }
+  return Status::ok_status();
+}
+
+std::uint64_t TpmDevice::read_tick() {
+  charge("read_tick", profile_.pcr_read);
+  return static_cast<std::uint64_t>(clock_->now().ns / 1000);
+}
+
+Result<std::uint64_t> TpmDevice::counter_increment(std::uint32_t counter_id) {
+  charge("counter_increment", profile_.counter_increment);
+  return ++counters_[counter_id];
+}
+
+Result<std::uint64_t> TpmDevice::counter_read(std::uint32_t counter_id) {
+  charge("counter_read", profile_.nv_read);
+  const auto it = counters_.find(counter_id);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+Status TpmDevice::nv_define(std::uint32_t index, std::size_t size) {
+  charge("nv_define", profile_.nv_write);
+  if (size == 0 || size > kMaxNvSize) {
+    return Error{Err::kInvalidArgument, "nv_define: bad size"};
+  }
+  if (nvram_.count(index) != 0) {
+    return Error{Err::kBadState, "nv_define: index already defined"};
+  }
+  nvram_[index] = Bytes(size, 0x00);
+  return Status::ok_status();
+}
+
+Status TpmDevice::nv_write(std::uint32_t index, BytesView data) {
+  charge("nv_write", profile_.nv_write);
+  auto it = nvram_.find(index);
+  if (it == nvram_.end()) {
+    return Error{Err::kNotFound, "nv_write: undefined index"};
+  }
+  if (data.size() > it->second.size()) {
+    return Error{Err::kInvalidArgument, "nv_write: data exceeds area"};
+  }
+  std::copy(data.begin(), data.end(), it->second.begin());
+  return Status::ok_status();
+}
+
+Result<Bytes> TpmDevice::nv_read(std::uint32_t index) {
+  charge("nv_read", profile_.nv_read);
+  const auto it = nvram_.find(index);
+  if (it == nvram_.end()) {
+    return Error{Err::kNotFound, "nv_read: undefined index"};
+  }
+  return it->second;
+}
+
+}  // namespace tp::tpm

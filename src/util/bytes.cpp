@@ -1,0 +1,82 @@
+#include "util/bytes.h"
+
+#include <stdexcept>
+
+namespace tp {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: invalid hex character");
+}
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((hex_nibble(hex[i]) << 4) |
+                                            hex_nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+Bytes bytes_of(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string string_of(BytesView data) {
+  return std::string(data.begin(), data.end());
+}
+
+void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+Bytes concat(BytesView a, BytesView b) {
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  append(out, a);
+  append(out, b);
+  return out;
+}
+
+Bytes concat(BytesView a, BytesView b, BytesView c) {
+  Bytes out;
+  out.reserve(a.size() + b.size() + c.size());
+  append(out, a);
+  append(out, b);
+  append(out, c);
+  return out;
+}
+
+bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+void secure_wipe(Bytes& b) {
+  volatile std::uint8_t* p = b.data();
+  for (std::size_t i = 0; i < b.size(); ++i) p[i] = 0;
+}
+
+}  // namespace tp

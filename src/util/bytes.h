@@ -1,0 +1,48 @@
+// Byte-buffer primitives shared by every module.
+//
+// The whole code base traffics in octet strings (hashes, keys, wire
+// messages, sealed blobs), so we fix one representation -- std::vector of
+// uint8_t -- and provide the conversions everybody needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tp {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Lowercase hex encoding of `data` ("" for empty input).
+std::string to_hex(BytesView data);
+
+/// Parses lowercase/uppercase hex. Throws std::invalid_argument on odd
+/// length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Copies the raw characters of `s` into a byte buffer (no terminator).
+Bytes bytes_of(std::string_view s);
+
+/// Interprets `data` as raw characters.
+std::string string_of(BytesView data);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Concatenation convenience for building hash preimages.
+Bytes concat(BytesView a, BytesView b);
+Bytes concat(BytesView a, BytesView b, BytesView c);
+
+/// Byte-wise equality that does not depend on the contents (timing-safe).
+/// Buffers of different length compare unequal, and the length check is the
+/// only data-dependent branch.
+bool ct_equal(BytesView a, BytesView b);
+
+/// Overwrites the buffer with zeros. Used to scrub key material; the
+/// volatile write prevents the store from being elided.
+void secure_wipe(Bytes& b);
+
+}  // namespace tp

@@ -1,0 +1,43 @@
+// Minimal leveled logger.
+//
+// Default level is kWarn so tests and benchmarks stay quiet; examples raise
+// it to kInfo to narrate the protocol.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tp {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+/// Stream-style helper: TP_LOG(kInfo, "tpm") << "quote ok";
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, out_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream out_;
+};
+
+}  // namespace tp
+
+#define TP_LOG(level, component) ::tp::LogStream(::tp::LogLevel::level, component)

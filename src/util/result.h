@@ -1,0 +1,137 @@
+// Result<T>: explicit success-or-error return values.
+//
+// Protocol code has many *expected* failure outcomes (bad signature, stale
+// nonce, PCR mismatch) that are not programming errors, so we return them
+// as values rather than throwing. Exceptions remain for precondition
+// violations and unrecoverable misuse.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace tp {
+
+/// Machine-readable failure category. Mirrors the failure modes of the real
+/// system: TPM command failures, attestation failures, protocol failures.
+enum class Err {
+  kNone = 0,
+  kInvalidArgument,
+  kBadState,
+  kNotFound,
+  kAuthFail,          // signature / MAC / auth value mismatch
+  kPcrMismatch,       // sealing policy or quote composite mismatch
+  kNonceMismatch,     // freshness violation
+  kReplay,            // transaction seen before
+  kTimeout,           // human did not confirm in time
+  kUserRejected,      // human explicitly declined
+  kIsolationViolation,// blocked DMA/interrupt access during a PAL session
+  kCryptoError,       // malformed ciphertext / padding / key
+  kUnsupported,
+  kInternal,
+};
+
+/// Human-readable name for an error category (for logs and test output).
+constexpr const char* err_name(Err e) {
+  switch (e) {
+    case Err::kNone: return "ok";
+    case Err::kInvalidArgument: return "invalid_argument";
+    case Err::kBadState: return "bad_state";
+    case Err::kNotFound: return "not_found";
+    case Err::kAuthFail: return "auth_fail";
+    case Err::kPcrMismatch: return "pcr_mismatch";
+    case Err::kNonceMismatch: return "nonce_mismatch";
+    case Err::kReplay: return "replay";
+    case Err::kTimeout: return "timeout";
+    case Err::kUserRejected: return "user_rejected";
+    case Err::kIsolationViolation: return "isolation_violation";
+    case Err::kCryptoError: return "crypto_error";
+    case Err::kUnsupported: return "unsupported";
+    case Err::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Error payload: category plus context message.
+struct Error {
+  Err code = Err::kInternal;
+  std::string message;
+
+  std::string to_string() const {
+    return std::string(err_name(code)) + ": " + message;
+  }
+};
+
+/// A value or an error. Accessing the wrong arm throws std::logic_error,
+/// which marks a bug in the caller, not a runtime condition.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}           // NOLINT(implicit)
+  Result(Error error) : error_(std::move(error)) {}       // NOLINT(implicit)
+  Result(Err code, std::string message)
+      : error_(Error{code, std::move(message)}) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    require_ok();
+    return *value_;
+  }
+  T& value() & {
+    require_ok();
+    return *value_;
+  }
+  /// Moves the value out (the Result is left valueless but destructible).
+  T take() {
+    require_ok();
+    return std::move(*value_);
+  }
+
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Result: error() on success value");
+    return *error_;
+  }
+  Err code() const { return ok() ? Err::kNone : error_->code; }
+
+ private:
+  void require_ok() const {
+    if (!ok()) {
+      throw std::logic_error("Result: value() on error: " +
+                             error_->to_string());
+    }
+  }
+
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+/// Result specialization for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(implicit)
+  Status(Err code, std::string message)
+      : error_(Error{code, std::move(message)}) {}
+
+  static Status ok_status() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Status: error() on success");
+    return *error_;
+  }
+  Err code() const { return ok() ? Err::kNone : error_->code; }
+  std::string to_string() const {
+    return ok() ? "ok" : error_->to_string();
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace tp

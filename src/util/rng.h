@@ -1,0 +1,50 @@
+// Deterministic pseudo-random source for *simulation* decisions.
+//
+// Everything stochastic in the simulator (human reaction times, network
+// jitter, attacker behaviour) draws from this generator so experiments are
+// reproducible from a seed. Cryptographic randomness is a different
+// concern and lives in crypto/drbg.h.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace tp {
+
+/// xoshiro256** seeded via SplitMix64. Small, fast, and good enough for
+/// simulation (not for keys).
+class SimRng {
+ public:
+  explicit SimRng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw.
+  bool chance(double probability);
+
+  /// Exponentially distributed value with the given mean (> 0); used for
+  /// inter-arrival and latency modelling.
+  double next_exponential(double mean);
+
+  /// Normal draw (Box-Muller), clamped at `min`.
+  double next_normal(double mean, double stddev, double min = 0.0);
+
+  /// Fills a buffer (for simulated noise payloads, not keys).
+  Bytes next_bytes(std::size_t n);
+
+  /// Forks an independent stream; children of distinct labels are
+  /// decorrelated even from the same parent.
+  SimRng fork(std::uint64_t label);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace tp

@@ -1,0 +1,95 @@
+#include "util/serial.h"
+
+namespace tp {
+
+void BinaryWriter::u8(std::uint8_t v) { out_.push_back(v); }
+
+void BinaryWriter::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void BinaryWriter::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void BinaryWriter::raw(BytesView data) { append(out_, data); }
+
+void BinaryWriter::var_bytes(BytesView data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  raw(data);
+}
+
+void BinaryWriter::var_string(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+Result<std::uint8_t> BinaryReader::u8() {
+  if (!need(1)) return Error{Err::kInvalidArgument, "truncated u8"};
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> BinaryReader::u16() {
+  if (!need(2)) return Error{Err::kInvalidArgument, "truncated u16"};
+  std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> BinaryReader::u32() {
+  if (!need(4)) return Error{Err::kInvalidArgument, "truncated u32"};
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> BinaryReader::u64() {
+  if (!need(8)) return Error{Err::kInvalidArgument, "truncated u64"};
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+Result<Bytes> BinaryReader::raw(std::size_t n) {
+  if (!need(n)) return Error{Err::kInvalidArgument, "truncated raw bytes"};
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Result<Bytes> BinaryReader::var_bytes(std::size_t max_len) {
+  auto len = u32();
+  if (!len.ok()) return len.error();
+  if (len.value() > max_len) {
+    return Error{Err::kInvalidArgument, "var_bytes length exceeds bound"};
+  }
+  return raw(len.value());
+}
+
+Result<std::string> BinaryReader::var_string(std::size_t max_len) {
+  auto bytes = var_bytes(max_len);
+  if (!bytes.ok()) return bytes.error();
+  return string_of(bytes.value());
+}
+
+Status BinaryReader::expect_exhausted() const {
+  if (!exhausted()) {
+    return Error{Err::kInvalidArgument, "trailing bytes after message"};
+  }
+  return Status::ok_status();
+}
+
+}  // namespace tp

@@ -1,0 +1,69 @@
+// Binary serialization for wire messages, sealed blobs and TPM structures.
+//
+// All integers are big-endian (network order), matching the TPM 1.2
+// structure conventions. Variable-length fields carry a u32 length prefix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tp {
+
+/// Appends fields to a growing byte buffer.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Raw bytes, no length prefix (fixed-size fields such as digests).
+  void raw(BytesView data);
+  /// u32 length prefix followed by the bytes.
+  void var_bytes(BytesView data);
+  /// u32 length prefix followed by the characters.
+  void var_string(std::string_view s);
+
+  const Bytes& data() const { return out_; }
+  Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Consumes fields from a byte buffer. Every accessor reports truncation
+/// via Result instead of reading out of bounds.
+class BinaryReader {
+ public:
+  explicit BinaryReader(BytesView data) : data_(data) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  /// Exactly n raw bytes.
+  Result<Bytes> raw(std::size_t n);
+  /// u32 length prefix followed by that many bytes. `max_len` bounds the
+  /// accepted length so corrupt input cannot trigger huge allocations.
+  Result<Bytes> var_bytes(std::size_t max_len = kDefaultMaxLen);
+  Result<std::string> var_string(std::size_t max_len = kDefaultMaxLen);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+
+  /// Succeeds only when the whole buffer has been consumed; trailing bytes
+  /// in a protocol message indicate tampering or version mismatch.
+  Status expect_exhausted() const;
+
+  static constexpr std::size_t kDefaultMaxLen = 1u << 24;  // 16 MiB
+
+ private:
+  bool need(std::size_t n) const { return remaining() >= n; }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tp

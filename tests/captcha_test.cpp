@@ -1,0 +1,102 @@
+// Captcha baseline tests: service lifecycle and solver models.
+#include <gtest/gtest.h>
+
+#include "captcha/captcha.h"
+
+namespace tp::captcha {
+namespace {
+
+TEST(CaptchaService, IssueAndSolveCorrectly) {
+  CaptchaService service(bytes_of("seed"));
+  const CaptchaChallenge ch = service.issue(0.5);
+  EXPECT_EQ(ch.embedded_text.size(), 6u);
+  EXPECT_TRUE(service.verify(ch.id, ch.embedded_text).ok());
+  EXPECT_EQ(service.issued(), 1u);
+  EXPECT_EQ(service.solved(), 1u);
+}
+
+TEST(CaptchaService, WrongAnswerRejected) {
+  CaptchaService service(bytes_of("seed"));
+  const CaptchaChallenge ch = service.issue(0.5);
+  EXPECT_EQ(service.verify(ch.id, "wrong!").code(), Err::kAuthFail);
+}
+
+TEST(CaptchaService, ChallengesAreOneShot) {
+  CaptchaService service(bytes_of("seed"));
+  const CaptchaChallenge ch = service.issue(0.5);
+  ASSERT_TRUE(service.verify(ch.id, ch.embedded_text).ok());
+  EXPECT_EQ(service.verify(ch.id, ch.embedded_text).code(), Err::kNotFound);
+}
+
+TEST(CaptchaService, WrongAnswerConsumesChallenge) {
+  CaptchaService service(bytes_of("seed"));
+  const CaptchaChallenge ch = service.issue(0.5);
+  ASSERT_FALSE(service.verify(ch.id, "wrong!").ok());
+  // No second chance on the same challenge (anti brute-force).
+  EXPECT_EQ(service.verify(ch.id, ch.embedded_text).code(), Err::kNotFound);
+}
+
+TEST(CaptchaService, UnknownIdRejected) {
+  CaptchaService service(bytes_of("seed"));
+  EXPECT_EQ(service.verify(12345, "x").code(), Err::kNotFound);
+}
+
+TEST(CaptchaService, ChallengesAreDistinct) {
+  CaptchaService service(bytes_of("seed"));
+  const auto a = service.issue(0.3);
+  const auto b = service.issue(0.3);
+  EXPECT_NE(a.id, b.id);
+  EXPECT_NE(a.embedded_text, b.embedded_text);
+}
+
+TEST(CaptchaService, DistortionClamped) {
+  CaptchaService service(bytes_of("seed"));
+  EXPECT_EQ(service.issue(7.0).distortion, 1.0);
+  EXPECT_EQ(service.issue(-3.0).distortion, 0.0);
+}
+
+TEST(HumanSolveProb, DegradesWithDistortion) {
+  EXPECT_DOUBLE_EQ(human_solve_prob(0.92, 0.0), 0.92);
+  EXPECT_GT(human_solve_prob(0.92, 0.2), human_solve_prob(0.92, 0.8));
+  EXPECT_GE(human_solve_prob(0.1, 1.0), 0.2);  // floor
+}
+
+TEST(OcrAttacker, StrengthAndDistortionShapeSolveProb) {
+  SimRng rng(1);
+  OcrAttacker weak(0.3, rng.fork(1));
+  OcrAttacker strong(0.95, rng.fork(2));
+  // Stronger attackers solve more at every distortion.
+  for (double d : {0.0, 0.3, 0.6, 0.9}) {
+    EXPECT_GT(strong.solve_prob(d), weak.solve_prob(d)) << d;
+  }
+  // Distortion hurts the weak attacker drastically.
+  EXPECT_LT(weak.solve_prob(0.8), 0.5 * weak.solve_prob(0.0));
+  // Near-human attackers barely degrade: the arms-race point.
+  EXPECT_GT(strong.solve_prob(0.8), 0.4);
+}
+
+TEST(OcrAttacker, AttemptRateMatchesSolveProb) {
+  CaptchaService service(bytes_of("seed"));
+  OcrAttacker attacker(0.6, SimRng(42));
+  int correct = 0;
+  const int kTrials = 3000;
+  double expected = 0.0;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto ch = service.issue(0.5);
+    expected = attacker.solve_prob(0.5);
+    if (service.verify(ch.id, attacker.attempt(ch)).ok()) ++correct;
+  }
+  EXPECT_NEAR(correct / static_cast<double>(kTrials), expected, 0.04);
+}
+
+TEST(OcrAttacker, FailedAttemptIsWrongNotEmpty) {
+  OcrAttacker attacker(0.0, SimRng(7));  // never recognizes
+  CaptchaService service(bytes_of("seed"));
+  const auto ch = service.issue(0.0);
+  const std::string guess = attacker.attempt(ch);
+  EXPECT_FALSE(guess.empty());
+  EXPECT_NE(guess, ch.embedded_text);
+}
+
+}  // namespace
+}  // namespace tp::captcha

@@ -1,0 +1,407 @@
+// Core protocol tests: message formats, the trusted-path PAL, and the
+// statement the whole security argument hangs on.
+#include <gtest/gtest.h>
+
+#include "core/messages.h"
+#include "core/trusted_path_pal.h"
+#include "crypto/rsa.h"
+#include "drtm/late_launch.h"
+#include "pal/human_agent.h"
+#include "pal/session.h"
+#include "tpm/quote.h"
+
+namespace tp::core {
+namespace {
+
+using drtm::Platform;
+using drtm::PlatformConfig;
+
+PlatformConfig test_platform_config(const std::string& id = "client-A") {
+  PlatformConfig cfg;
+  cfg.platform_id = id;
+  cfg.seed = bytes_of("core-test:" + id);
+  cfg.tpm_key_bits = 768;
+  return cfg;
+}
+
+devices::HumanParams perfect_human() {
+  devices::HumanParams p;
+  p.typo_prob = 0.0;
+  p.attention = 1.0;
+  return p;
+}
+
+// ---------------------------------------------------------------- Messages
+
+TEST(Messages, AllRoundTrip) {
+  {
+    const EnrollBegin m{"client-1"};
+    EXPECT_EQ(EnrollBegin::deserialize(m.serialize()).value().client_id,
+              "client-1");
+  }
+  {
+    const EnrollChallenge m{Bytes{1, 2, 3}};
+    EXPECT_EQ(EnrollChallenge::deserialize(m.serialize()).value().nonce,
+              (Bytes{1, 2, 3}));
+  }
+  {
+    const EnrollComplete m{"c", Bytes{4}, Bytes{5, 6}, Bytes{7}};
+    auto back = EnrollComplete::deserialize(m.serialize()).value();
+    EXPECT_EQ(back.client_id, "c");
+    EXPECT_EQ(back.confirmation_pubkey, Bytes{4});
+    EXPECT_EQ(back.quote, (Bytes{5, 6}));
+    EXPECT_EQ(back.aik_certificate, Bytes{7});
+  }
+  {
+    const EnrollResult m{true, "ok"};
+    auto back = EnrollResult::deserialize(m.serialize()).value();
+    EXPECT_TRUE(back.accepted);
+    EXPECT_EQ(back.reason, "ok");
+  }
+  {
+    const TxSubmit m{"c", "pay 5", Bytes{9, 9}};
+    auto back = TxSubmit::deserialize(m.serialize()).value();
+    EXPECT_EQ(back.summary, "pay 5");
+    EXPECT_EQ(back.digest(), m.digest());
+  }
+  {
+    const TxChallenge m{77, Bytes{1}};
+    auto back = TxChallenge::deserialize(m.serialize()).value();
+    EXPECT_EQ(back.tx_id, 77u);
+  }
+  {
+    const TxConfirm m{"c", 77, Verdict::kConfirmed, Bytes{2, 2}};
+    auto back = TxConfirm::deserialize(m.serialize()).value();
+    EXPECT_EQ(back.verdict, Verdict::kConfirmed);
+    EXPECT_EQ(back.signature, (Bytes{2, 2}));
+  }
+  {
+    const TxResult m{77, false, "nope"};
+    auto back = TxResult::deserialize(m.serialize()).value();
+    EXPECT_FALSE(back.accepted);
+    EXPECT_EQ(back.reason, "nope");
+  }
+}
+
+TEST(Messages, DeserializeRejectsTruncationAndTrailing) {
+  const TxSubmit m{"c", "pay 5", Bytes{9}};
+  Bytes wire = m.serialize();
+  Bytes truncated(wire.begin(), wire.end() - 1);
+  EXPECT_FALSE(TxSubmit::deserialize(truncated).ok());
+  Bytes padded = wire;
+  padded.push_back(0x00);
+  EXPECT_FALSE(TxSubmit::deserialize(padded).ok());
+}
+
+TEST(Messages, TxConfirmRejectsBadVerdict) {
+  TxConfirm m{"c", 1, Verdict::kConfirmed, {}};
+  Bytes wire = m.serialize();
+  // Patch the verdict byte (after client_id length+1 bytes and u64).
+  wire[4 + 1 + 8] = 99;
+  EXPECT_FALSE(TxConfirm::deserialize(wire).ok());
+}
+
+TEST(Messages, DigestBindsSummaryAndPayload) {
+  const TxSubmit a{"c", "pay 5", Bytes{1}};
+  const TxSubmit b{"c", "pay 6", Bytes{1}};
+  const TxSubmit c{"c", "pay 5", Bytes{2}};
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(Messages, ConfirmationStatementBindsAllFields) {
+  const Bytes d1(32, 1), d2(32, 2), n1(20, 3), n2(20, 4);
+  const Bytes base = confirmation_statement(d1, n1, Verdict::kConfirmed);
+  EXPECT_NE(base, confirmation_statement(d2, n1, Verdict::kConfirmed));
+  EXPECT_NE(base, confirmation_statement(d1, n2, Verdict::kConfirmed));
+  EXPECT_NE(base, confirmation_statement(d1, n1, Verdict::kRejected));
+}
+
+TEST(Messages, EnvelopeRoundTripAndValidation) {
+  const Bytes frame = envelope(MsgType::kTxSubmit, Bytes{1, 2});
+  auto opened = open_envelope(frame);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value().first, MsgType::kTxSubmit);
+  EXPECT_EQ(opened.value().second, (Bytes{1, 2}));
+  EXPECT_FALSE(open_envelope({}).ok());
+  EXPECT_FALSE(open_envelope(Bytes{0x99}).ok());
+}
+
+// ------------------------------------------------------- PAL marshalling
+
+TEST(PalMarshalling, EnrollInputRoundTrip) {
+  PalEnrollInput in;
+  in.nonce = Bytes(20, 7);
+  in.key_bits = 2048;
+  Bytes wire = in.marshal();
+  EXPECT_EQ(wire[0], static_cast<std::uint8_t>(PalCommand::kEnroll));
+  auto back = PalEnrollInput::unmarshal(BytesView(wire).subspan(1));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().nonce, in.nonce);
+  EXPECT_EQ(back.value().key_bits, 2048u);
+}
+
+TEST(PalMarshalling, EnrollInputRejectsSillyKeySizes) {
+  PalEnrollInput in;
+  in.key_bits = 64;
+  Bytes wire = in.marshal();
+  EXPECT_FALSE(PalEnrollInput::unmarshal(BytesView(wire).subspan(1)).ok());
+}
+
+TEST(PalMarshalling, ConfirmInputRoundTrip) {
+  PalConfirmInput in;
+  in.tx_summary = "pay 10 EUR to bob";
+  in.tx_digest = Bytes(32, 1);
+  in.nonce = Bytes(20, 2);
+  in.sealed_key = Bytes(100, 3);
+  in.code_len = 8;
+  in.max_attempts = 2;
+  in.user_timeout_ns = 5'000'000'000;
+  Bytes wire = in.marshal();
+  auto back = PalConfirmInput::unmarshal(BytesView(wire).subspan(1));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().tx_summary, in.tx_summary);
+  EXPECT_EQ(back.value().code_len, 8u);
+  EXPECT_EQ(back.value().user_timeout_ns, 5'000'000'000);
+}
+
+TEST(PalMarshalling, ConfirmOutputRoundTripAndValidation) {
+  PalConfirmOutput out;
+  out.verdict = Verdict::kConfirmed;
+  out.signature = Bytes(96, 9);
+  out.attempts = 2;
+  auto back = PalConfirmOutput::unmarshal(out.marshal());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().verdict, Verdict::kConfirmed);
+  EXPECT_EQ(back.value().attempts, 2u);
+  EXPECT_FALSE(PalConfirmOutput::unmarshal(Bytes{9}).ok());
+}
+
+// ------------------------------------------------------------ PAL: enroll
+
+class PalTest : public ::testing::Test {
+ protected:
+  PalTest()
+      : platform_(test_platform_config()),
+        driver_(platform_),
+        pal_(make_trusted_path_pal()) {}
+
+  PalEnrollOutput enroll(const Bytes& nonce) {
+    PalEnrollInput in;
+    in.nonce = nonce;
+    in.key_bits = 768;
+    auto session = driver_.run(pal_, in.marshal());
+    EXPECT_TRUE(session.ok());
+    EXPECT_TRUE(session.value().status.ok())
+        << session.value().status.to_string();
+    auto out = PalEnrollOutput::unmarshal(session.value().output);
+    EXPECT_TRUE(out.ok());
+    return out.take();
+  }
+
+  Platform platform_;
+  pal::SessionDriver driver_;
+  pal::PalDescriptor pal_;
+};
+
+TEST_F(PalTest, EnrollProducesVerifiableQuoteAtGoldenMeasurement) {
+  const Bytes nonce(20, 5);
+  const PalEnrollOutput out = enroll(nonce);
+
+  auto quote = tpm::QuoteResult::deserialize(out.quote);
+  ASSERT_TRUE(quote.ok());
+  EXPECT_TRUE(tpm::verify_quote(platform_.tpm().aik_public(), quote.value(),
+                                enrollment_quote_binding(out.pubkey, nonce))
+                  .ok());
+  ASSERT_EQ(quote.value().pcr_values.size(), 1u);
+  EXPECT_EQ(quote.value().pcr_values[0], golden_pcr17());
+}
+
+TEST_F(PalTest, GoldenPcr17MatchesLaunchPrediction) {
+  const auto m = drtm::LateLaunch::measure(pal_.image, bytes_of("whatever"));
+  EXPECT_EQ(m.predicted_pcr_values()[0], golden_pcr17());
+}
+
+TEST_F(PalTest, EnrollKeyIsSealedNotBare) {
+  const PalEnrollOutput out = enroll(Bytes(20, 5));
+  // The blob must not be loadable as a plain private key.
+  EXPECT_FALSE(crypto::RsaPrivateKey::deserialize(out.sealed_key).ok());
+  // And the OS cannot unseal it (locality + capped PCR).
+  EXPECT_FALSE(
+      platform_.tpm().unseal(tpm::Locality::kOs, out.sealed_key).ok());
+}
+
+// ----------------------------------------------------------- PAL: confirm
+
+class ConfirmTest : public PalTest {
+ protected:
+  ConfirmTest() { out_ = enroll(Bytes(20, 5)); }
+
+  PalConfirmInput confirm_input(const std::string& summary) {
+    TxSubmit submit{"client-A", summary, bytes_of("payload")};
+    PalConfirmInput in;
+    in.tx_summary = summary;
+    in.tx_digest = submit.digest();
+    in.nonce = Bytes(20, 9);
+    in.sealed_key = out_.sealed_key;
+    return in;
+  }
+
+  Result<PalConfirmOutput> run_confirm(const PalConfirmInput& in,
+                                       pal::UserAgent* agent) {
+    driver_.set_user_agent(agent);
+    auto session = driver_.run(pal_, in.marshal());
+    if (!session.ok()) return session.error();
+    if (!session.value().status.ok()) return session.value().status.error();
+    return PalConfirmOutput::unmarshal(session.value().output);
+  }
+
+  crypto::RsaPublicKey pubkey() {
+    return crypto::RsaPublicKey::deserialize(out_.pubkey).take();
+  }
+
+  PalEnrollOutput out_;
+};
+
+TEST_F(ConfirmTest, AttentiveHumanConfirmsAndSignatureVerifies) {
+  const auto in = confirm_input("pay 10 EUR to bob");
+  pal::HumanAgent agent(devices::HumanModel(perfect_human(), SimRng(1)),
+                        "pay 10 EUR to bob");
+  auto out = run_confirm(in, &agent);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().verdict, Verdict::kConfirmed);
+  EXPECT_EQ(out.value().attempts, 1u);
+  EXPECT_TRUE(crypto::rsa_verify(
+                  pubkey(), crypto::HashAlg::kSha256,
+                  confirmation_statement(in.tx_digest, in.nonce,
+                                         Verdict::kConfirmed),
+                  out.value().signature)
+                  .ok());
+}
+
+TEST_F(ConfirmTest, SignatureDoesNotVerifyForDifferentTransaction) {
+  const auto in = confirm_input("pay 10 EUR to bob");
+  pal::HumanAgent agent(devices::HumanModel(perfect_human(), SimRng(1)),
+                        "pay 10 EUR to bob");
+  auto out = run_confirm(in, &agent);
+  ASSERT_TRUE(out.ok());
+  const TxSubmit other{"client-A", "pay 9999 EUR to mallory",
+                       bytes_of("payload")};
+  EXPECT_FALSE(crypto::rsa_verify(
+                   pubkey(), crypto::HashAlg::kSha256,
+                   confirmation_statement(other.digest(), in.nonce,
+                                          Verdict::kConfirmed),
+                   out.value().signature)
+                   .ok());
+}
+
+TEST_F(ConfirmTest, HumanRejectsMismatchedTransaction) {
+  // Malware substituted the transaction; the trusted display shows the
+  // forgery and the attentive user declines.
+  const auto in = confirm_input("pay 9999 EUR to mallory");
+  pal::HumanAgent agent(devices::HumanModel(perfect_human(), SimRng(1)),
+                        "pay 10 EUR to bob");
+  auto out = run_confirm(in, &agent);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().verdict, Verdict::kRejected);
+  EXPECT_TRUE(out.value().signature.empty());
+}
+
+TEST_F(ConfirmTest, UnattendedSessionTimesOut) {
+  const auto in = confirm_input("pay 10 EUR to bob");
+  auto out = run_confirm(in, nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().verdict, Verdict::kTimeout);
+  EXPECT_TRUE(out.value().signature.empty());
+}
+
+TEST_F(ConfirmTest, TypoRetriesThenSucceeds) {
+  // An agent that fat-fingers the first attempt, then types correctly.
+  class TypoAgent : public pal::UserAgent {
+   public:
+    std::optional<SimDuration> on_prompt(
+        const devices::DisplayContent& screen,
+        devices::Keyboard& kb) override {
+      std::string code = screen.find_field(devices::kFieldCode);
+      if (++calls_ == 1) code[0] = (code[0] == 'x') ? 'y' : 'x';
+      kb.press_line(devices::KeySource::kPhysical, code);
+      return SimDuration::seconds(3);
+    }
+    int calls_ = 0;
+  };
+  TypoAgent agent;
+  const auto in = confirm_input("pay 10 EUR to bob");
+  auto out = run_confirm(in, &agent);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().verdict, Verdict::kConfirmed);
+  EXPECT_EQ(out.value().attempts, 2u);
+}
+
+TEST_F(ConfirmTest, AllAttemptsWrongRejects) {
+  class HopelessAgent : public pal::UserAgent {
+   public:
+    std::optional<SimDuration> on_prompt(const devices::DisplayContent&,
+                                         devices::Keyboard& kb) override {
+      kb.press_line(devices::KeySource::kPhysical, "nope");
+      return SimDuration::seconds(2);
+    }
+  };
+  HopelessAgent agent;
+  auto in = confirm_input("pay 10 EUR to bob");
+  in.max_attempts = 3;
+  auto out = run_confirm(in, &agent);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().verdict, Verdict::kRejected);
+  EXPECT_EQ(out.value().attempts, 3u);
+}
+
+TEST_F(ConfirmTest, FreshCodeEveryAttempt) {
+  class CodeCollector : public pal::UserAgent {
+   public:
+    std::optional<SimDuration> on_prompt(
+        const devices::DisplayContent& screen,
+        devices::Keyboard& kb) override {
+      codes.push_back(screen.find_field(devices::kFieldCode));
+      kb.press_line(devices::KeySource::kPhysical, "wrong");
+      return SimDuration::seconds(1);
+    }
+    std::vector<std::string> codes;
+  };
+  CodeCollector agent;
+  auto in = confirm_input("t");
+  in.max_attempts = 3;
+  ASSERT_TRUE(run_confirm(in, &agent).ok());
+  ASSERT_EQ(agent.codes.size(), 3u);
+  EXPECT_NE(agent.codes[0], agent.codes[1]);
+  EXPECT_NE(agent.codes[1], agent.codes[2]);
+}
+
+TEST_F(ConfirmTest, DegenerateParametersRejected) {
+  auto in = confirm_input("t");
+  in.code_len = 0;
+  pal::HumanAgent agent(devices::HumanModel(perfect_human(), SimRng(1)), "t");
+  driver_.set_user_agent(&agent);
+  auto session = driver_.run(pal_, in.marshal());
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE(session.value().status.ok());
+}
+
+TEST_F(ConfirmTest, SealedKeyFromAnotherPlatformFails) {
+  Platform other(test_platform_config("client-B"));
+  pal::SessionDriver other_driver(other);
+  auto in = confirm_input("pay 10 EUR to bob");  // sealed on platform A
+  pal::HumanAgent agent(devices::HumanModel(perfect_human(), SimRng(1)),
+                        "pay 10 EUR to bob");
+  other_driver.set_user_agent(&agent);
+  auto session = other_driver.run(pal_, in.marshal());
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session.value().status.code(), Err::kAuthFail);
+}
+
+TEST(CostModel, ScalesWithKeySize) {
+  EXPECT_GT(pal_keygen_cost(2048).ns, pal_keygen_cost(1024).ns * 8);
+  EXPECT_GT(pal_sign_cost(2048).ns, pal_sign_cost(1024).ns * 4);
+}
+
+}  // namespace
+}  // namespace tp::core

@@ -1,0 +1,204 @@
+// Device-substrate tests: display/keyboard exclusivity (the trusted-path
+// property) and the human model's behaviour distribution.
+#include <gtest/gtest.h>
+
+#include "devices/display.h"
+#include "devices/human.h"
+#include "devices/keyboard.h"
+
+namespace tp::devices {
+namespace {
+
+DisplayContent screen(std::initializer_list<std::string> lines) {
+  return DisplayContent{std::vector<std::string>(lines)};
+}
+
+// ---------------------------------------------------------------- Display
+
+TEST(Display, HostDrawsFreelyOutsideSession) {
+  Display d;
+  EXPECT_TRUE(d.render(DeviceAccess::kHost, screen({"hello"})).ok());
+  EXPECT_EQ(d.content().lines, std::vector<std::string>{"hello"});
+}
+
+TEST(Display, HostBlockedDuringSession) {
+  Display d;
+  d.acquire_exclusive();
+  ASSERT_TRUE(d.render(DeviceAccess::kPal, screen({"TX: pay 10"})).ok());
+  const auto before = d.content();
+  EXPECT_EQ(d.render(DeviceAccess::kHost, screen({"TX: pay 9999"})).code(),
+            Err::kIsolationViolation);
+  EXPECT_EQ(d.content(), before);  // spoof did not land
+  EXPECT_EQ(d.blocked_host_renders(), 1u);
+  d.release_exclusive();
+  EXPECT_TRUE(d.render(DeviceAccess::kHost, screen({"free again"})).ok());
+}
+
+TEST(Display, SpoofBeforeSessionSucceeds) {
+  // The "uni-directional" caveat: before the session, malware CAN draw a
+  // fake screen. The display does not prevent it -- the protocol does not
+  // rely on it.
+  Display d;
+  EXPECT_TRUE(
+      d.render(DeviceAccess::kHost, screen({"TX: fake prompt"})).ok());
+  EXPECT_EQ(d.blocked_host_renders(), 0u);
+}
+
+TEST(DisplayContent, FindField) {
+  const auto c = screen({"title", "TX: pay 10 EUR to bob", "CODE: x7k2"});
+  EXPECT_EQ(c.find_field("TX: "), "pay 10 EUR to bob");
+  EXPECT_EQ(c.find_field("CODE: "), "x7k2");
+  EXPECT_EQ(c.find_field("MISSING: "), "");
+}
+
+// --------------------------------------------------------------- Keyboard
+
+TEST(Keyboard, PhysicalKeysAlwaysDelivered) {
+  Keyboard kb;
+  kb.press_line(KeySource::kPhysical, "abc");
+  EXPECT_EQ(kb.read_line(), "abc");
+  EXPECT_TRUE(kb.empty());
+}
+
+TEST(Keyboard, InjectedKeysDeliveredOutsideSession) {
+  // Outside a session malware may synthesize input (it owns the OS).
+  Keyboard kb;
+  kb.press_line(KeySource::kInjected, "evil");
+  EXPECT_EQ(kb.read_line(), "evil");
+}
+
+TEST(Keyboard, InjectedKeysDroppedDuringSession) {
+  Keyboard kb;
+  kb.acquire_exclusive();
+  kb.press_line(KeySource::kInjected, "x7k2");  // malware types the code
+  kb.press_line(KeySource::kPhysical, "real");
+  EXPECT_EQ(kb.read_line(), "real");
+  EXPECT_EQ(kb.blocked_injections(), 5u);  // "x7k2" + newline
+}
+
+TEST(Keyboard, InterleavedSourcesFilterCorrectly) {
+  Keyboard kb;
+  kb.acquire_exclusive();
+  kb.press(KeySource::kPhysical, 'a');
+  kb.press(KeySource::kInjected, 'Z');
+  kb.press(KeySource::kPhysical, 'b');
+  kb.press(KeySource::kPhysical, '\n');
+  EXPECT_EQ(kb.read_line(), "ab");
+}
+
+TEST(Keyboard, ReleaseRestoresInjection) {
+  Keyboard kb;
+  kb.acquire_exclusive();
+  kb.release_exclusive();
+  kb.press_line(KeySource::kInjected, "ok");
+  EXPECT_EQ(kb.read_line(), "ok");
+}
+
+TEST(Keyboard, ClearDiscardsQueue) {
+  Keyboard kb;
+  kb.press_line(KeySource::kPhysical, "stale");
+  kb.clear();
+  EXPECT_TRUE(kb.empty());
+  EXPECT_EQ(kb.read_line(), "");
+}
+
+TEST(Keyboard, PollReportsSource) {
+  Keyboard kb;
+  kb.press(KeySource::kPhysical, 'p');
+  const auto ev = kb.poll();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->ch, 'p');
+  EXPECT_EQ(ev->source, KeySource::kPhysical);
+  EXPECT_FALSE(kb.poll().has_value());
+}
+
+// ------------------------------------------------------------ Human model
+
+class HumanTest : public ::testing::Test {
+ protected:
+  HumanModel make(HumanParams p, std::uint64_t seed = 1) {
+    return HumanModel(p, SimRng(seed));
+  }
+};
+
+TEST_F(HumanTest, TypesDisplayedCodeWhenTransactionMatches) {
+  HumanParams p;
+  p.typo_prob = 0.0;
+  HumanModel human = make(p);
+  Keyboard kb;
+  const auto dur = human.respond_to_confirmation(
+      DisplayContent{{"TX: pay 10 EUR to bob", "CODE: k3m9"}},
+      "pay 10 EUR to bob", kb);
+  EXPECT_EQ(kb.read_line(), "k3m9");
+  EXPECT_GT(dur.ns, 0);
+}
+
+TEST_F(HumanTest, AttentiveUserRejectsSubstitutedTransaction) {
+  HumanParams p;
+  p.attention = 1.0;
+  HumanModel human = make(p);
+  Keyboard kb;
+  (void)human.respond_to_confirmation(
+      DisplayContent{{"TX: pay 9999 EUR to mallory", "CODE: k3m9"}},
+      "pay 10 EUR to bob", kb);
+  EXPECT_EQ(kb.read_line(), kRejectLine);
+}
+
+TEST_F(HumanTest, CarelessUserConfirmsSubstitutedTransaction) {
+  // attention = 0: the user never compares. This is the residual risk the
+  // paper accepts for the user-side direction.
+  HumanParams p;
+  p.attention = 0.0;
+  p.typo_prob = 0.0;
+  HumanModel human = make(p);
+  Keyboard kb;
+  (void)human.respond_to_confirmation(
+      DisplayContent{{"TX: pay 9999 EUR to mallory", "CODE: k3m9"}},
+      "pay 10 EUR to bob", kb);
+  EXPECT_EQ(kb.read_line(), "k3m9");
+}
+
+TEST_F(HumanTest, RejectsWhenNoCodeShown) {
+  HumanModel human = make(HumanParams{});
+  Keyboard kb;
+  (void)human.respond_to_confirmation(DisplayContent{{"TX: pay 10"}},
+                                      "pay 10", kb);
+  EXPECT_EQ(kb.read_line(), kRejectLine);
+}
+
+TEST_F(HumanTest, TypoRateObserved) {
+  HumanParams p;
+  p.typo_prob = 0.2;
+  HumanModel human = make(p, 7);
+  int wrong = 0;
+  const int kTrials = 400;
+  for (int i = 0; i < kTrials; ++i) {
+    Keyboard kb;
+    (void)human.respond_to_confirmation(
+        DisplayContent{{"TX: t", "CODE: abcdef"}}, "t", kb);
+    if (kb.read_line() != "abcdef") ++wrong;
+  }
+  // P(at least one typo in 6 chars) = 1 - 0.8^6 = 0.738.
+  EXPECT_NEAR(wrong / static_cast<double>(kTrials), 0.738, 0.08);
+}
+
+TEST_F(HumanTest, CaptchaSolveRate) {
+  HumanParams p;
+  p.captcha_solve_prob = 0.75;
+  HumanModel human = make(p, 3);
+  int solved = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (human.solves_captcha()) ++solved;
+  }
+  EXPECT_NEAR(solved / 2000.0, 0.75, 0.04);
+}
+
+TEST_F(HumanTest, TimesArePositiveAndScale) {
+  HumanModel human = make(HumanParams{}, 5);
+  EXPECT_GT(human.captcha_time().ns, 0);
+  EXPECT_GT(human.typing_time(10).ns, human.typing_time(2).ns);
+  EXPECT_EQ(human.typing_time(0).ns, 0);
+}
+
+}  // namespace
+}  // namespace tp::devices

@@ -1,0 +1,374 @@
+// DRTM + PAL runtime tests: measured launch semantics, isolation window,
+// PCR capping, session timing breakdown, and the seal-to-PAL flow that the
+// whole trusted path is built on.
+#include <gtest/gtest.h>
+
+#include "crypto/sha1.h"
+#include "drtm/late_launch.h"
+#include "drtm/platform.h"
+#include "pal/pal.h"
+#include "pal/session.h"
+
+namespace tp::pal {
+namespace {
+
+using drtm::LateLaunch;
+using drtm::Platform;
+using drtm::PlatformConfig;
+using tpm::Locality;
+using tpm::PcrSelection;
+
+PlatformConfig test_config() {
+  PlatformConfig cfg;
+  cfg.platform_id = "test-client";
+  cfg.seed = bytes_of("drtm-pal-test");
+  cfg.tpm_key_bits = 768;
+  return cfg;
+}
+
+PalDescriptor trivial_pal(Status result = Status::ok_status()) {
+  PalDescriptor pal;
+  pal.name = "trivial";
+  pal.image = PalDescriptor::make_image("trivial", 1);
+  pal.entry = [result](PalContext& ctx) {
+    ctx.set_output(bytes_of("output"));
+    return result;
+  };
+  return pal;
+}
+
+// ----------------------------------------------------------- Late launch
+
+TEST(LateLaunch, SetsDrtmPcrsToMeasurement) {
+  Platform platform(test_config());
+  LateLaunch launcher(platform);
+  const Bytes image = PalDescriptor::make_image("p", 1);
+  const Bytes input = bytes_of("input");
+
+  auto guard = launcher.launch(image, input);
+  ASSERT_TRUE(guard.ok());
+
+  const auto m = LateLaunch::measure(image, input);
+  const auto predicted = m.predicted_pcr_values();
+  EXPECT_EQ(platform.tpm().pcr_read(17).value(), predicted[0]);
+  EXPECT_EQ(platform.tpm().pcr_read(18).value(), predicted[1]);
+}
+
+TEST(LateLaunch, DifferentImagesDifferentMeasurements) {
+  const Bytes in = bytes_of("i");
+  const auto m1 = LateLaunch::measure(PalDescriptor::make_image("a", 1), in);
+  const auto m2 = LateLaunch::measure(PalDescriptor::make_image("a", 2), in);
+  const auto m3 = LateLaunch::measure(PalDescriptor::make_image("b", 1), in);
+  EXPECT_NE(m1.pal_digest, m2.pal_digest);
+  EXPECT_NE(m1.pal_digest, m3.pal_digest);
+}
+
+TEST(LateLaunch, GuardExitCapsPcrs) {
+  Platform platform(test_config());
+  LateLaunch launcher(platform);
+  const Bytes image = PalDescriptor::make_image("p", 1);
+  Bytes pcr17_inside;
+  {
+    auto guard = launcher.launch(image, bytes_of("in"));
+    ASSERT_TRUE(guard.ok());
+    pcr17_inside = platform.tpm().pcr_read(17).value();
+    auto g = guard.take();
+  }
+  // After the session, PCR17 was extended with the cap: the OS can no
+  // longer present the PAL's PCR state.
+  EXPECT_NE(platform.tpm().pcr_read(17).value(), pcr17_inside);
+  EXPECT_FALSE(platform.in_pal_session());
+}
+
+TEST(LateLaunch, NestedLaunchRejected) {
+  Platform platform(test_config());
+  LateLaunch launcher(platform);
+  auto g1 = launcher.launch(PalDescriptor::make_image("p", 1), {});
+  ASSERT_TRUE(g1.ok());
+  auto hold = g1.take();
+  auto g2 = launcher.launch(PalDescriptor::make_image("q", 1), {});
+  EXPECT_EQ(g2.code(), Err::kBadState);
+}
+
+TEST(LateLaunch, EmptyImageRejected) {
+  Platform platform(test_config());
+  LateLaunch launcher(platform);
+  EXPECT_EQ(launcher.launch({}, {}).code(), Err::kInvalidArgument);
+}
+
+TEST(LateLaunch, AttacksBlockedOnlyDuringSession) {
+  Platform platform(test_config());
+  // Outside a session the host does what it wants.
+  EXPECT_TRUE(platform.attempt_dma_write(bytes_of("x")).ok());
+  EXPECT_TRUE(platform.attempt_interrupt_injection().ok());
+  EXPECT_TRUE(platform.attempt_pal_memory_read().ok());
+
+  LateLaunch launcher(platform);
+  auto guard = launcher.launch(PalDescriptor::make_image("p", 1), {});
+  ASSERT_TRUE(guard.ok());
+  auto hold = guard.take();
+  EXPECT_EQ(platform.attempt_dma_write(bytes_of("x")).code(),
+            Err::kIsolationViolation);
+  EXPECT_EQ(platform.attempt_interrupt_injection().code(),
+            Err::kIsolationViolation);
+  EXPECT_EQ(platform.attempt_pal_memory_read().code(),
+            Err::kIsolationViolation);
+  EXPECT_EQ(platform.blocked_dma_writes(), 1u);
+  EXPECT_EQ(platform.blocked_interrupts(), 1u);
+  EXPECT_EQ(platform.blocked_memory_reads(), 1u);
+}
+
+TEST(LateLaunch, DevicesExclusiveDuringSession) {
+  Platform platform(test_config());
+  LateLaunch launcher(platform);
+  auto guard = launcher.launch(PalDescriptor::make_image("p", 1), {});
+  ASSERT_TRUE(guard.ok());
+  {
+    auto hold = guard.take();
+    EXPECT_TRUE(platform.display().exclusive());
+    EXPECT_TRUE(platform.keyboard().exclusive());
+  }
+  EXPECT_FALSE(platform.display().exclusive());
+  EXPECT_FALSE(platform.keyboard().exclusive());
+}
+
+// --------------------------------------------------------------- Sessions
+
+TEST(SessionDriver, RunsPalAndReturnsOutput) {
+  Platform platform(test_config());
+  SessionDriver driver(platform);
+  auto result = driver.run(trivial_pal(), bytes_of("in"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().status.ok());
+  EXPECT_EQ(string_of(result.value().output), "output");
+}
+
+TEST(SessionDriver, PalVerdictPropagates) {
+  Platform platform(test_config());
+  SessionDriver driver(platform);
+  auto result =
+      driver.run(trivial_pal(Status(Err::kUserRejected, "declined")), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().status.code(), Err::kUserRejected);
+}
+
+TEST(SessionDriver, MissingEntryRejected) {
+  Platform platform(test_config());
+  SessionDriver driver(platform);
+  PalDescriptor pal;
+  pal.name = "no-entry";
+  pal.image = PalDescriptor::make_image("no-entry", 1);
+  EXPECT_EQ(driver.run(pal, {}).code(), Err::kInvalidArgument);
+}
+
+TEST(SessionDriver, TimingBreakdownAccountsForPhases) {
+  Platform platform(test_config());
+  SessionDriver driver(platform);
+
+  PalDescriptor pal;
+  pal.name = "busy";
+  pal.image = PalDescriptor::make_image("busy", 1);
+  pal.entry = [](PalContext& ctx) {
+    ctx.charge_compute("work", SimDuration::millis(5));
+    (void)ctx.tpm().get_random(16);
+    auto blob = ctx.tpm().seal(ctx.locality(), PcrSelection::drtm(), 0xff,
+                               bytes_of("s"));
+    return blob.ok() ? Status::ok_status()
+                     : Status(blob.error());
+  };
+
+  auto result = driver.run(pal, bytes_of("in"));
+  ASSERT_TRUE(result.ok());
+  const SessionTiming& t = result.value().timing;
+  EXPECT_GT(t.suspend.ns, 0);
+  EXPECT_GT(t.skinit.ns, 0);
+  EXPECT_GT(t.resume.ns, 0);
+  EXPECT_EQ(t.pal_compute.ns, SimDuration::millis(5).ns);
+  // TPM time: get_random + seal + the launch's own PCR ops + exit caps.
+  EXPECT_GT(t.tpm.ns, tpm::default_chip().seal.ns);
+  EXPECT_EQ(t.user.ns, 0);
+  // Total covers all phases.
+  EXPECT_GE(t.total.ns, (t.suspend + t.skinit + t.pal_setup + t.tpm +
+                         t.pal_compute + t.resume)
+                            .ns);
+  EXPECT_EQ(t.machine().ns, t.total.ns);  // no user time here
+}
+
+TEST(SessionDriver, SealInsidePalUnsealableOnlyByNextLaunchOfSamePal) {
+  Platform platform(test_config());
+  SessionDriver driver(platform);
+
+  // PAL run 1: seal a secret to the CURRENT DRTM PCRs (itself).
+  Bytes blob;
+  PalDescriptor sealer;
+  sealer.name = "sealer";
+  sealer.image = PalDescriptor::make_image("sealer", 1);
+  const Bytes fixed_input = bytes_of("fixed");
+  sealer.entry = [&blob](PalContext& ctx) {
+    auto b = ctx.tpm().seal(ctx.locality(), PcrSelection::drtm(),
+                            static_cast<std::uint8_t>(1u << 2),
+                            bytes_of("pal secret"));
+    if (!b.ok()) return Status(b.error());
+    blob = b.value();
+    return Status::ok_status();
+  };
+  ASSERT_TRUE(driver.run(sealer, fixed_input).ok());
+  ASSERT_FALSE(blob.empty());
+
+  // The OS (outside any session) cannot unseal: the blob is released only
+  // at locality 2, and even at a permitted locality the capped PCRs would
+  // no longer match.
+  EXPECT_EQ(platform.tpm().unseal(Locality::kOs, blob).code(),
+            Err::kIsolationViolation);
+  EXPECT_EQ(platform.tpm().unseal(Locality::kPal, blob).code(),
+            Err::kPcrMismatch);
+
+  // A DIFFERENT PAL cannot unseal (different measurement).
+  PalDescriptor thief;
+  thief.name = "thief";
+  thief.image = PalDescriptor::make_image("thief", 1);
+  Err thief_result = Err::kNone;
+  thief.entry = [&blob, &thief_result](PalContext& ctx) {
+    thief_result = ctx.tpm().unseal(ctx.locality(), blob).code();
+    return Status::ok_status();
+  };
+  ASSERT_TRUE(driver.run(thief, fixed_input).ok());
+  EXPECT_EQ(thief_result, Err::kPcrMismatch);
+
+  // The SAME PAL with the SAME input unseals fine.
+  PalDescriptor reader = sealer;
+  Bytes recovered;
+  reader.entry = [&blob, &recovered](PalContext& ctx) {
+    auto r = ctx.tpm().unseal(ctx.locality(), blob);
+    if (!r.ok()) return Status(r.error());
+    recovered = r.value();
+    return Status::ok_status();
+  };
+  auto rr = driver.run(reader, fixed_input);
+  ASSERT_TRUE(rr.ok());
+  EXPECT_TRUE(rr.value().status.ok());
+  EXPECT_EQ(string_of(recovered), "pal secret");
+}
+
+TEST(SessionDriver, UserAgentPromptFlow) {
+  Platform platform(test_config());
+  SessionDriver driver(platform);
+
+  // A scripted agent that types a fixed answer in 2 seconds.
+  class ScriptedAgent : public UserAgent {
+   public:
+    std::optional<SimDuration> on_prompt(
+        const devices::DisplayContent& screen,
+        devices::Keyboard& keyboard) override {
+      last_screen = screen;
+      keyboard.press_line(devices::KeySource::kPhysical, "typed-answer");
+      return SimDuration::seconds(2.0);
+    }
+    devices::DisplayContent last_screen;
+  };
+  ScriptedAgent agent;
+  driver.set_user_agent(&agent);
+
+  PalDescriptor pal;
+  pal.name = "prompter";
+  pal.image = PalDescriptor::make_image("prompter", 1);
+  std::string answer;
+  pal.entry = [&answer](PalContext& ctx) {
+    auto line = ctx.show_and_read_line(
+        devices::DisplayContent{{"CODE: abc"}}, SimDuration::seconds(30));
+    if (!line.has_value()) return Status(Err::kTimeout, "no user");
+    answer = *line;
+    return Status::ok_status();
+  };
+  auto result = driver.run(pal, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().status.ok());
+  EXPECT_EQ(answer, "typed-answer");
+  EXPECT_EQ(agent.last_screen.find_field("CODE: "), "abc");
+  EXPECT_EQ(result.value().timing.user.ns, SimDuration::seconds(2.0).ns);
+  EXPECT_EQ(result.value().timing.machine().ns,
+            (result.value().timing.total - SimDuration::seconds(2.0)).ns);
+}
+
+TEST(SessionDriver, UnattendedPromptTimesOut) {
+  Platform platform(test_config());
+  SessionDriver driver(platform);  // no agent
+  PalDescriptor pal;
+  pal.name = "prompter";
+  pal.image = PalDescriptor::make_image("prompter", 1);
+  pal.entry = [](PalContext& ctx) {
+    auto line = ctx.show_and_read_line(devices::DisplayContent{{"CODE: x"}},
+                                       SimDuration::seconds(30));
+    return line.has_value() ? Status::ok_status()
+                            : Status(Err::kTimeout, "no user");
+  };
+  auto result = driver.run(pal, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().status.code(), Err::kTimeout);
+  EXPECT_EQ(result.value().timing.user.ns, SimDuration::seconds(30).ns);
+}
+
+TEST(SessionDriver, SlowAgentTreatedAsTimeout) {
+  Platform platform(test_config());
+  SessionDriver driver(platform);
+  class SlowAgent : public UserAgent {
+   public:
+    std::optional<SimDuration> on_prompt(const devices::DisplayContent&,
+                                         devices::Keyboard& kb) override {
+      kb.press_line(devices::KeySource::kPhysical, "late");
+      return SimDuration::seconds(120);
+    }
+  };
+  SlowAgent agent;
+  driver.set_user_agent(&agent);
+  PalDescriptor pal;
+  pal.name = "prompter";
+  pal.image = PalDescriptor::make_image("prompter", 1);
+  pal.entry = [](PalContext& ctx) {
+    auto line = ctx.show_and_read_line(devices::DisplayContent{{"CODE: x"}},
+                                       SimDuration::seconds(30));
+    return line.has_value() ? Status::ok_status()
+                            : Status(Err::kTimeout, "no user");
+  };
+  auto result = driver.run(pal, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().status.code(), Err::kTimeout);
+  // Late keystrokes were discarded, not left for the host.
+  EXPECT_TRUE(platform.keyboard().empty());
+}
+
+TEST(SessionDriver, InjectedKeystrokesNeverReachPal) {
+  // THE input-side trusted-path property, end to end: malware that types
+  // the confirmation code cannot satisfy the PAL.
+  Platform platform(test_config());
+  SessionDriver driver(platform);
+  class MalwareAgent : public UserAgent {
+   public:
+    std::optional<SimDuration> on_prompt(
+        const devices::DisplayContent& screen,
+        devices::Keyboard& kb) override {
+      // Malware reads the code off the screen buffer and "types" it.
+      kb.press_line(devices::KeySource::kInjected,
+                    screen.find_field("CODE: "));
+      return SimDuration::millis(1);  // much faster than any human
+    }
+  };
+  MalwareAgent agent;
+  driver.set_user_agent(&agent);
+  PalDescriptor pal;
+  pal.name = "prompter";
+  pal.image = PalDescriptor::make_image("prompter", 1);
+  std::string got;
+  pal.entry = [&got](PalContext& ctx) {
+    auto line = ctx.show_and_read_line(
+        devices::DisplayContent{{"CODE: s3cret"}}, SimDuration::seconds(30));
+    got = line.value_or("");
+    return Status::ok_status();
+  };
+  ASSERT_TRUE(driver.run(pal, {}).ok());
+  EXPECT_EQ(got, "");  // the injected line was dropped by the hardware path
+  EXPECT_GT(platform.keyboard().blocked_injections(), 0u);
+}
+
+}  // namespace
+}  // namespace tp::pal

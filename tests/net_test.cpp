@@ -1,0 +1,95 @@
+// Simulated-network tests: delivery, ordering, latency accounting, loss.
+#include <gtest/gtest.h>
+
+#include "net/channel.h"
+
+namespace tp::net {
+namespace {
+
+TEST(Link, DeliversBothDirections) {
+  SimClock clock;
+  Link link(NetParams{}, clock, SimRng(1));
+  link.a().send(bytes_of("hello sp"));
+  auto at_b = link.b().receive();
+  ASSERT_TRUE(at_b.ok());
+  EXPECT_EQ(string_of(at_b.value()), "hello sp");
+
+  link.b().send(bytes_of("hello client"));
+  auto at_a = link.a().receive();
+  ASSERT_TRUE(at_a.ok());
+  EXPECT_EQ(string_of(at_a.value()), "hello client");
+}
+
+TEST(Link, FifoOrderPreserved) {
+  SimClock clock;
+  Link link(NetParams{}, clock, SimRng(2));
+  link.a().send(bytes_of("1"));
+  link.a().send(bytes_of("2"));
+  link.a().send(bytes_of("3"));
+  EXPECT_EQ(string_of(link.b().receive().value()), "1");
+  EXPECT_EQ(string_of(link.b().receive().value()), "2");
+  EXPECT_EQ(string_of(link.b().receive().value()), "3");
+}
+
+TEST(Link, ReceiveAdvancesClockByLatency) {
+  SimClock clock;
+  NetParams params;
+  params.latency_mean_ms = 40;
+  params.latency_jitter_ms = 0.001;  // effectively fixed
+  Link link(params, clock, SimRng(3));
+  link.a().send(bytes_of("x"));
+  ASSERT_TRUE(link.b().receive().ok());
+  EXPECT_NEAR(clock.now().ns / 1e6, 40.0, 1.0);
+}
+
+TEST(Link, EmptyQueueIsTimeout) {
+  SimClock clock;
+  Link link(NetParams{}, clock, SimRng(4));
+  EXPECT_EQ(link.b().receive().code(), Err::kTimeout);
+}
+
+TEST(Link, LossDropsMessages) {
+  SimClock clock;
+  NetParams params;
+  params.loss_prob = 1.0;
+  Link link(params, clock, SimRng(5));
+  link.a().send(bytes_of("doomed"));
+  EXPECT_EQ(link.b().receive().code(), Err::kTimeout);
+  EXPECT_EQ(link.messages_sent(), 1u);
+  EXPECT_EQ(link.messages_lost(), 1u);
+}
+
+TEST(Link, LossRateApproximatelyHonoured) {
+  SimClock clock;
+  NetParams params;
+  params.loss_prob = 0.3;
+  Link link(params, clock, SimRng(6));
+  for (int i = 0; i < 2000; ++i) link.a().send(bytes_of("m"));
+  EXPECT_NEAR(static_cast<double>(link.messages_lost()) / 2000.0, 0.3, 0.04);
+}
+
+TEST(Link, RoundTripAccumulatesBothLegs) {
+  SimClock clock;
+  NetParams params;
+  params.latency_mean_ms = 25;
+  params.latency_jitter_ms = 0.001;
+  Link link(params, clock, SimRng(7));
+  link.a().send(bytes_of("req"));
+  ASSERT_TRUE(link.b().receive().ok());
+  link.b().send(bytes_of("resp"));
+  ASSERT_TRUE(link.a().receive().ok());
+  EXPECT_NEAR(clock.now().ns / 1e6, 50.0, 2.0);
+}
+
+TEST(Link, LargeAndEmptyPayloads) {
+  SimClock clock;
+  Link link(NetParams{}, clock, SimRng(8));
+  const Bytes big(1 << 16, 0xaa);
+  link.a().send(big);
+  link.a().send(Bytes{});
+  EXPECT_EQ(link.b().receive().value(), big);
+  EXPECT_TRUE(link.b().receive().value().empty());
+}
+
+}  // namespace
+}  // namespace tp::net

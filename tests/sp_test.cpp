@@ -1,0 +1,295 @@
+// Service-provider and end-to-end protocol tests: the verifier logic,
+// enrollment edge cases, replay defence, and the full benign flow over
+// the simulated network.
+#include <gtest/gtest.h>
+
+#include "core/trusted_path_pal.h"
+#include "pal/human_agent.h"
+#include "sp/deployment.h"
+
+namespace tp::sp {
+namespace {
+
+using core::TrustedPathClient;
+using core::Verdict;
+
+devices::HumanParams perfect_human() {
+  devices::HumanParams p;
+  p.typo_prob = 0.0;
+  p.attention = 1.0;
+  return p;
+}
+
+DeploymentConfig fast_config(const std::string& id = "alice") {
+  DeploymentConfig cfg;
+  cfg.client_id = id;
+  cfg.seed = bytes_of("sp-test:" + id);
+  cfg.tpm_key_bits = 768;
+  cfg.client_key_bits = 768;
+  return cfg;
+}
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  EndToEndTest()
+      : world_(fast_config()),
+        agent_(devices::HumanModel(perfect_human(), SimRng(11)), "") {
+    world_.client().set_user_agent(&agent_);
+  }
+
+  Status enroll() { return world_.client().enroll(); }
+
+  Result<TrustedPathClient::ConfirmOutcome> confirm(
+      const std::string& summary) {
+    agent_.set_intended_summary(summary);
+    return world_.client().submit_transaction(summary, bytes_of("payload"));
+  }
+
+  Deployment world_;
+  pal::HumanAgent agent_;
+};
+
+// --------------------------------------------------------------- Benign
+
+TEST_F(EndToEndTest, EnrollmentSucceeds) {
+  ASSERT_TRUE(enroll().ok());
+  EXPECT_TRUE(world_.client().enrolled());
+  EXPECT_TRUE(world_.sp().is_enrolled("alice"));
+  EXPECT_EQ(world_.sp().stats().enrolled, 1u);
+}
+
+TEST_F(EndToEndTest, HappyPathTransactionAccepted) {
+  ASSERT_TRUE(enroll().ok());
+  auto outcome = confirm("pay 100 EUR to bob");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome.value().accepted);
+  EXPECT_EQ(outcome.value().verdict, Verdict::kConfirmed);
+  EXPECT_EQ(world_.sp().stats().tx_accepted, 1u);
+}
+
+TEST_F(EndToEndTest, MultipleTransactionsEachNeedConfirmation) {
+  ASSERT_TRUE(enroll().ok());
+  for (int i = 0; i < 3; ++i) {
+    auto outcome = confirm("pay " + std::to_string(i) + " EUR");
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome.value().accepted);
+  }
+  EXPECT_EQ(world_.sp().stats().tx_accepted, 3u);
+}
+
+TEST_F(EndToEndTest, UserRejectionIsRespected) {
+  ASSERT_TRUE(enroll().ok());
+  // The human intends a different transaction than what arrives.
+  agent_.set_intended_summary("pay 1 EUR to bob");
+  auto outcome =
+      world_.client().submit_transaction("pay 9999 EUR", bytes_of("p"));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome.value().accepted);
+  EXPECT_EQ(outcome.value().verdict, Verdict::kRejected);
+}
+
+TEST_F(EndToEndTest, SubmitBeforeEnrollFails) {
+  auto outcome = confirm("pay 1");
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.code(), Err::kBadState);
+}
+
+TEST_F(EndToEndTest, SessionTimingIsPlausible) {
+  ASSERT_TRUE(enroll().ok());
+  auto outcome = confirm("pay 100 EUR to bob");
+  ASSERT_TRUE(outcome.ok());
+  const auto& t = outcome.value().timing;
+  // The paper's headline: machine overhead is dominated by TPM ops
+  // (unseal at minimum), human time dominates the total.
+  EXPECT_GT(t.tpm.ns, tpm::default_chip().unseal.ns / 2);
+  EXPECT_GT(t.user.ns, SimDuration::seconds(1).ns);
+  EXPECT_GT(t.total.ns, t.machine().ns);
+  EXPECT_LT(t.machine().ns, SimDuration::seconds(5).ns);
+}
+
+// ---------------------------------------------------- Verifier edge cases
+
+TEST(ServiceProviderTest, RejectsEnrollmentWithoutChallenge) {
+  Deployment world(fast_config());
+  core::EnrollComplete msg;
+  msg.client_id = "stranger";
+  const auto result = world.sp().complete_enrollment(msg);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reason, "no pending enrollment challenge");
+}
+
+TEST(ServiceProviderTest, RejectsForgedCaCertificate) {
+  Deployment world(fast_config());
+  // A certificate signed by a rogue CA.
+  tpm::PrivacyCa rogue(bytes_of("rogue-ca"), 768);
+  const auto cert =
+      rogue.certify("alice", world.platform().tpm().aik_public());
+
+  const auto challenge =
+      world.sp().begin_enrollment(core::EnrollBegin{"alice"});
+  core::EnrollComplete msg;
+  msg.client_id = "alice";
+  msg.confirmation_pubkey = Bytes(10, 1);
+  msg.quote = Bytes(10, 2);
+  msg.aik_certificate = cert.serialize();
+  (void)challenge;
+  const auto result = world.sp().complete_enrollment(msg);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reason, "AIK certificate not signed by trusted CA");
+}
+
+TEST(ServiceProviderTest, RejectsQuoteFromTamperedPal) {
+  // Full pipeline, but the quote comes from a session of a DIFFERENT PAL
+  // image: PCR17 != golden.
+  Deployment world(fast_config());
+  auto& platform = world.platform();
+
+  const auto challenge =
+      world.sp().begin_enrollment(core::EnrollBegin{"alice"});
+
+  // Run enrollment inside a look-alike PAL with a patched image.
+  pal::PalDescriptor evil = core::make_trusted_path_pal();
+  evil.image = pal::PalDescriptor::make_image(core::kPalName,
+                                              core::kPalVersion, "patched");
+  core::PalEnrollInput in;
+  in.nonce = challenge.nonce;
+  in.key_bits = 768;
+  pal::SessionDriver driver(platform);
+  auto session = driver.run(evil, in.marshal());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().status.ok());
+  auto out = core::PalEnrollOutput::unmarshal(session.value().output);
+  ASSERT_TRUE(out.ok());
+
+  core::EnrollComplete msg;
+  msg.client_id = "alice";
+  msg.confirmation_pubkey = out.value().pubkey;
+  msg.quote = out.value().quote;
+  msg.aik_certificate =
+      world.ca().certify("alice", platform.tpm().aik_public()).serialize();
+  const auto result = world.sp().complete_enrollment(msg);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reason, "PCR17 does not match golden PAL measurement");
+}
+
+TEST(ServiceProviderTest, RejectsQuoteBoundToWrongNonce) {
+  // Replay a quote produced under an older challenge.
+  Deployment world(fast_config());
+  auto& platform = world.platform();
+
+  // Legit PAL run bound to nonce A...
+  const Bytes stale_nonce(20, 0x77);
+  core::PalEnrollInput in;
+  in.nonce = stale_nonce;
+  in.key_bits = 768;
+  pal::SessionDriver driver(platform);
+  auto session = driver.run(core::make_trusted_path_pal(), in.marshal());
+  ASSERT_TRUE(session.ok());
+  auto out = core::PalEnrollOutput::unmarshal(session.value().output);
+  ASSERT_TRUE(out.ok());
+
+  // ...submitted against a fresh challenge B.
+  (void)world.sp().begin_enrollment(core::EnrollBegin{"alice"});
+  core::EnrollComplete msg;
+  msg.client_id = "alice";
+  msg.confirmation_pubkey = out.value().pubkey;
+  msg.quote = out.value().quote;
+  msg.aik_certificate =
+      world.ca().certify("alice", platform.tpm().aik_public()).serialize();
+  const auto result = world.sp().complete_enrollment(msg);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reason, "quote verification failed");
+}
+
+TEST(ServiceProviderTest, TxChallengesAreOneShot) {
+  Deployment world(fast_config());
+  devices::HumanParams hp = perfect_human();
+  pal::HumanAgent agent(devices::HumanModel(hp, SimRng(3)), "pay 5");
+  world.client().set_user_agent(&agent);
+  ASSERT_TRUE(world.client().enroll().ok());
+  auto outcome = world.client().submit_transaction("pay 5", bytes_of("p"));
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome.value().accepted);
+
+  // Completing the same tx_id again must fail (challenge consumed).
+  core::TxConfirm stale;
+  stale.client_id = "alice";
+  stale.tx_id = 1;
+  stale.verdict = Verdict::kConfirmed;
+  stale.signature = Bytes(96, 1);
+  const auto result = world.sp().complete_transaction(stale);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reason, "unknown or already-settled transaction");
+}
+
+TEST(ServiceProviderTest, RejectsClientMismatch) {
+  Deployment world(fast_config());
+  const auto challenge = world.sp().begin_transaction(
+      core::TxSubmit{"alice", "pay 5", bytes_of("p")});
+  core::TxConfirm msg;
+  msg.client_id = "mallory";
+  msg.tx_id = challenge.tx_id;
+  msg.verdict = Verdict::kConfirmed;
+  msg.signature = Bytes(96, 1);
+  const auto result = world.sp().complete_transaction(msg);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reason, "client mismatch");
+}
+
+TEST(ServiceProviderTest, RejectsUnenrolledClient) {
+  Deployment world(fast_config());
+  const auto challenge = world.sp().begin_transaction(
+      core::TxSubmit{"nobody", "pay 5", bytes_of("p")});
+  core::TxConfirm msg;
+  msg.client_id = "nobody";
+  msg.tx_id = challenge.tx_id;
+  msg.verdict = Verdict::kConfirmed;
+  msg.signature = Bytes(96, 1);
+  const auto result = world.sp().complete_transaction(msg);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reason, "client not enrolled");
+}
+
+TEST(ServiceProviderTest, NonConfirmedVerdictsRejected) {
+  Deployment world(fast_config());
+  pal::HumanAgent agent(
+      devices::HumanModel(perfect_human(), SimRng(3)), "x");
+  world.client().set_user_agent(&agent);
+  ASSERT_TRUE(world.client().enroll().ok());
+  for (Verdict v : {Verdict::kRejected, Verdict::kTimeout}) {
+    const auto challenge = world.sp().begin_transaction(
+        core::TxSubmit{"alice", "pay 5", bytes_of("p")});
+    core::TxConfirm msg;
+    msg.client_id = "alice";
+    msg.tx_id = challenge.tx_id;
+    msg.verdict = v;
+    const auto result = world.sp().complete_transaction(msg);
+    EXPECT_FALSE(result.accepted);
+  }
+}
+
+TEST(ServiceProviderTest, MalformedFramesAnsweredNotCrashed) {
+  Deployment world(fast_config());
+  (void)world.sp().handle_frame(Bytes{});
+  (void)world.sp().handle_frame(Bytes{0xff, 0x01});
+  (void)world.sp().handle_frame(Bytes{0x05});  // TxSubmit with no body
+  (void)world.sp().handle_frame(Bytes{0x07, 0x01, 0x02});  // bad TxConfirm
+  // Stats recorded a rejection for the malformed TxConfirm.
+  EXPECT_GE(world.sp().stats().reject_reasons.count("malformed TxConfirm"),
+            1u);
+}
+
+TEST(ServiceProviderTest, StatsTrackRejectReasons) {
+  Deployment world(fast_config());
+  core::EnrollComplete msg;
+  msg.client_id = "ghost";
+  (void)world.sp().complete_enrollment(msg);
+  EXPECT_EQ(world.sp()
+                .stats()
+                .reject_reasons.at("no pending enrollment challenge"),
+            1u);
+  EXPECT_EQ(world.sp().stats().enroll_rejected, 1u);
+}
+
+}  // namespace
+}  // namespace tp::sp

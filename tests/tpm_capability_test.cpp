@@ -1,0 +1,54 @@
+// Tests for TPM capability reporting, self-test, and the tick counter.
+#include <gtest/gtest.h>
+
+#include "tpm/tpm_device.h"
+
+namespace tp::tpm {
+namespace {
+
+class TpmCapTest : public ::testing::Test {
+ protected:
+  TpmCapTest()
+      : tpm_(default_chip(), bytes_of("cap"), clock_,
+             TpmDevice::Options{.key_bits = 768}) {}
+  SimClock clock_;
+  TpmDevice tpm_;
+};
+
+TEST_F(TpmCapTest, CapabilityReportsVersionAndVendor) {
+  const TpmCapabilities caps = tpm_.get_capability();
+  EXPECT_EQ(caps.spec_version_major, 1u);
+  EXPECT_EQ(caps.spec_version_minor, 2u);
+  EXPECT_EQ(caps.vendor, default_chip().name);
+  EXPECT_EQ(caps.num_pcrs, kNumPcrs);
+  EXPECT_EQ(caps.max_nv_size, 2048u);
+  EXPECT_TRUE(caps.supports_locality_4);
+}
+
+TEST_F(TpmCapTest, SelfTestPassesOnHealthyDevice) {
+  EXPECT_TRUE(tpm_.self_test().ok());
+  // Self-test is a real TPM command: it costs time.
+  EXPECT_GT(clock_.total_for("tpm:self_test").ns, 0);
+}
+
+TEST_F(TpmCapTest, TickCounterTracksVirtualTime) {
+  const std::uint64_t t0 = tpm_.read_tick();
+  clock_.advance(SimDuration::millis(100));
+  const std::uint64_t t1 = tpm_.read_tick();
+  EXPECT_GT(t1, t0);
+  // Ticks are microseconds of virtual time (plus the read costs).
+  EXPECT_GE(t1 - t0, 100'000u);
+}
+
+TEST_F(TpmCapTest, TickCounterIsMonotone) {
+  std::uint64_t last = 0;
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t tick = tpm_.read_tick();
+    EXPECT_GE(tick, last);
+    last = tick;
+    clock_.advance(SimDuration::micros(3));
+  }
+}
+
+}  // namespace
+}  // namespace tp::tpm

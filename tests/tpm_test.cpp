@@ -1,0 +1,459 @@
+// TPM 1.2 emulator tests: PCR semantics, quote verification, sealing
+// policies, wrapped keys, counters, NVRAM, and the timing model.
+#include <gtest/gtest.h>
+
+#include "crypto/sha1.h"
+#include "tpm/chip_profile.h"
+#include "tpm/pcr.h"
+#include "tpm/privacy_ca.h"
+#include "tpm/quote.h"
+#include "tpm/tpm_device.h"
+
+namespace tp::tpm {
+namespace {
+
+using crypto::Sha1;
+
+Bytes digest_of(const std::string& s) { return Sha1::hash(bytes_of(s)); }
+
+class TpmTest : public ::testing::Test {
+ protected:
+  TpmTest()
+      : tpm_(default_chip(), bytes_of("tpm-test-seed"), clock_,
+             TpmDevice::Options{.key_bits = 768}) {}
+
+  SimClock clock_;
+  TpmDevice tpm_;
+};
+
+// ------------------------------------------------------------------ PCRs
+
+TEST(PcrBank, PowerOnState) {
+  PcrBank bank;
+  EXPECT_EQ(bank.read(0).value(), Bytes(kPcrSize, 0x00));
+  EXPECT_EQ(bank.read(16).value(), Bytes(kPcrSize, 0x00));
+  EXPECT_EQ(bank.read(17).value(), Bytes(kPcrSize, 0xff));
+  EXPECT_EQ(bank.read(22).value(), Bytes(kPcrSize, 0xff));
+  EXPECT_EQ(bank.read(23).value(), Bytes(kPcrSize, 0x00));
+}
+
+TEST(PcrBank, ExtendIsHashChain) {
+  PcrBank bank;
+  const Bytes d = digest_of("measurement");
+  const Bytes v1 = bank.extend(0, d).value();
+  EXPECT_EQ(v1, Sha1::hash(concat(Bytes(kPcrSize, 0x00), d)));
+  const Bytes v2 = bank.extend(0, d).value();
+  EXPECT_EQ(v2, Sha1::hash(concat(v1, d)));
+  EXPECT_NE(v1, v2);  // extends never commute with identity
+}
+
+TEST(PcrBank, ExtendOrderMatters) {
+  PcrBank a, b;
+  (void)a.extend(0, digest_of("x"));
+  (void)a.extend(0, digest_of("y"));
+  (void)b.extend(0, digest_of("y"));
+  (void)b.extend(0, digest_of("x"));
+  EXPECT_NE(a.read(0).value(), b.read(0).value());
+}
+
+TEST(PcrBank, ExtendValidation) {
+  PcrBank bank;
+  EXPECT_FALSE(bank.extend(24, digest_of("x")).ok());
+  EXPECT_FALSE(bank.extend(0, Bytes(19, 0)).ok());
+}
+
+TEST(PcrBank, ResetPolicy) {
+  PcrBank bank;
+  // Static PCRs never reset.
+  EXPECT_EQ(bank.reset(0, Locality::kDrtmHardware).code(), Err::kBadState);
+  // 16 and 23 reset at any locality.
+  EXPECT_TRUE(bank.reset(16, Locality::kLegacy).ok());
+  EXPECT_TRUE(bank.reset(23, Locality::kLegacy).ok());
+  // 17 requires the hardware late-launch locality.
+  EXPECT_EQ(bank.reset(17, Locality::kLegacy).code(),
+            Err::kIsolationViolation);
+  EXPECT_EQ(bank.reset(17, Locality::kPal).code(), Err::kIsolationViolation);
+  EXPECT_TRUE(bank.reset(17, Locality::kDrtmHardware).ok());
+  EXPECT_EQ(bank.read(17).value(), Bytes(kPcrSize, 0x00));
+  // 19 resets from the PAL environment.
+  EXPECT_TRUE(bank.reset(19, Locality::kPal).ok());
+  EXPECT_FALSE(bank.reset(19, Locality::kOs).ok());
+}
+
+TEST(PcrBank, SoftwareCannotFakeCleanDrtmState) {
+  // The invariant behind the whole design: without locality 4, PCR17 can
+  // never reach the value a genuine late launch would produce.
+  PcrBank bank;
+  EXPECT_FALSE(bank.reset(17, Locality::kOs).ok());
+  // Extending from the all-ones state can never produce the post-reset
+  // extend chain, because the chain starts from zeros.
+  const Bytes pal_digest = digest_of("pal");
+  PcrBank launched;
+  ASSERT_TRUE(launched.reset(17, Locality::kDrtmHardware).ok());
+  (void)launched.extend(17, pal_digest);
+  (void)bank.extend(17, pal_digest);
+  EXPECT_NE(bank.read(17).value(), launched.read(17).value());
+}
+
+TEST(PcrSelection, SortedUniqueAndSerialization) {
+  const PcrSelection sel = PcrSelection::of({18, 17, 18});
+  EXPECT_EQ(sel.indices, (std::vector<std::uint32_t>{17, 18}));
+  auto back = PcrSelection::deserialize(sel.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), sel);
+}
+
+TEST(PcrSelection, DeserializeRejectsMalformed) {
+  EXPECT_FALSE(PcrSelection::deserialize(Bytes{1, 2}).ok());
+  // Out-of-range index.
+  PcrSelection sel;
+  sel.indices = {30};
+  EXPECT_FALSE(PcrSelection::deserialize(sel.serialize()).ok());
+  // Unsorted.
+  PcrSelection bad;
+  bad.indices = {5, 3};
+  EXPECT_FALSE(PcrSelection::deserialize(bad.serialize()).ok());
+}
+
+TEST(PcrBank, CompositeBindsSelectionAndValues) {
+  PcrBank bank;
+  const Bytes c1 = bank.composite(PcrSelection::of({0, 1})).value();
+  const Bytes c2 = bank.composite(PcrSelection::of({0, 2})).value();
+  EXPECT_NE(c1, c2);  // same values (all zero), different selection
+  (void)bank.extend(0, digest_of("m"));
+  EXPECT_NE(bank.composite(PcrSelection::of({0, 1})).value(), c1);
+}
+
+TEST(PcrBank, CompositeOfValidation) {
+  EXPECT_FALSE(PcrBank::composite_of(PcrSelection{}, {}).ok());
+  EXPECT_FALSE(
+      PcrBank::composite_of(PcrSelection::of({0}), {Bytes(19, 0)}).ok());
+  EXPECT_FALSE(PcrBank::composite_of(PcrSelection::of({0, 1}),
+                                     {Bytes(kPcrSize, 0)})
+                   .ok());
+}
+
+// ---------------------------------------------------------------- Quote
+
+TEST_F(TpmTest, QuoteVerifies) {
+  (void)tpm_.pcr_extend(Locality::kOs, 10, digest_of("app"));
+  const Bytes nonce = tpm_.get_random(20);
+  auto quote = tpm_.quote(nonce, PcrSelection::of({10}));
+  ASSERT_TRUE(quote.ok());
+  EXPECT_TRUE(verify_quote(tpm_.aik_public(), quote.value(), nonce).ok());
+}
+
+TEST_F(TpmTest, QuoteRejectsWrongNonce) {
+  const Bytes nonce = tpm_.get_random(20);
+  auto quote = tpm_.quote(nonce, PcrSelection::of({10}));
+  ASSERT_TRUE(quote.ok());
+  const Bytes other(20, 0xab);
+  EXPECT_EQ(verify_quote(tpm_.aik_public(), quote.value(), other).code(),
+            Err::kNonceMismatch);
+}
+
+TEST_F(TpmTest, QuoteRejectsTamperedPcrValues) {
+  const Bytes nonce = tpm_.get_random(20);
+  auto quote = tpm_.quote(nonce, PcrSelection::of({10}));
+  ASSERT_TRUE(quote.ok());
+  QuoteResult forged = quote.value();
+  forged.pcr_values[0] = digest_of("forged value");
+  EXPECT_EQ(verify_quote(tpm_.aik_public(), forged, nonce).code(),
+            Err::kAuthFail);
+}
+
+TEST_F(TpmTest, QuoteRejectsTamperedSelection) {
+  const Bytes nonce = tpm_.get_random(20);
+  auto quote = tpm_.quote(nonce, PcrSelection::of({10}));
+  ASSERT_TRUE(quote.ok());
+  QuoteResult forged = quote.value();
+  forged.selection = PcrSelection::of({11});
+  EXPECT_FALSE(verify_quote(tpm_.aik_public(), forged, nonce).ok());
+}
+
+TEST_F(TpmTest, QuoteRejectsWrongAik) {
+  SimClock clock2;
+  TpmDevice other(default_chip(), bytes_of("other-seed"), clock2,
+                  TpmDevice::Options{.key_bits = 768});
+  const Bytes nonce = tpm_.get_random(20);
+  auto quote = tpm_.quote(nonce, PcrSelection::of({10}));
+  ASSERT_TRUE(quote.ok());
+  EXPECT_FALSE(verify_quote(other.aik_public(), quote.value(), nonce).ok());
+}
+
+TEST_F(TpmTest, QuoteSerializationRoundTrip) {
+  const Bytes nonce = tpm_.get_random(20);
+  auto quote = tpm_.quote(nonce, PcrSelection::drtm());
+  ASSERT_TRUE(quote.ok());
+  auto back = QuoteResult::deserialize(quote.value().serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(verify_quote(tpm_.aik_public(), back.value(), nonce).ok());
+}
+
+// ----------------------------------------------------------------- Seal
+
+TEST_F(TpmTest, SealUnsealRoundTrip) {
+  (void)tpm_.pcr_extend(Locality::kOs, 10, digest_of("state"));
+  const Bytes secret = bytes_of("the confirmation signing key");
+  auto blob = tpm_.seal(Locality::kOs, PcrSelection::of({10}), 0xff, secret);
+  ASSERT_TRUE(blob.ok());
+  auto out = tpm_.unseal(Locality::kOs, blob.value());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), secret);
+}
+
+TEST_F(TpmTest, UnsealFailsAfterPcrChange) {
+  auto blob = tpm_.seal(Locality::kOs, PcrSelection::of({10}), 0xff,
+                        bytes_of("secret"));
+  ASSERT_TRUE(blob.ok());
+  (void)tpm_.pcr_extend(Locality::kOs, 10, digest_of("different state"));
+  EXPECT_EQ(tpm_.unseal(Locality::kOs, blob.value()).code(),
+            Err::kPcrMismatch);
+}
+
+TEST_F(TpmTest, UnsealEnforcesLocality) {
+  // Release allowed only at locality 2 (the PAL).
+  auto blob = tpm_.seal(Locality::kOs, PcrSelection::of({10}),
+                        static_cast<std::uint8_t>(1u << 2), bytes_of("s"));
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(tpm_.unseal(Locality::kOs, blob.value()).code(),
+            Err::kIsolationViolation);
+  EXPECT_TRUE(tpm_.unseal(Locality::kPal, blob.value()).ok());
+}
+
+TEST_F(TpmTest, UnsealRejectsTamperedBlob) {
+  auto blob = tpm_.seal(Locality::kOs, PcrSelection::of({10}), 0xff,
+                        bytes_of("secret"));
+  ASSERT_TRUE(blob.ok());
+  Bytes tampered = blob.value();
+  tampered[tampered.size() / 2] ^= 0x01;
+  EXPECT_EQ(tpm_.unseal(Locality::kOs, tampered).code(), Err::kAuthFail);
+  EXPECT_EQ(tpm_.unseal(Locality::kOs, Bytes{1, 2, 3}).code(),
+            Err::kAuthFail);
+}
+
+TEST_F(TpmTest, SealedBlobIsDeviceBound) {
+  SimClock clock2;
+  TpmDevice other(default_chip(), bytes_of("other-device"), clock2,
+                  TpmDevice::Options{.key_bits = 768});
+  auto blob = tpm_.seal(Locality::kOs, PcrSelection::of({10}), 0xff,
+                        bytes_of("secret"));
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(other.unseal(Locality::kOs, blob.value()).code(), Err::kAuthFail);
+}
+
+TEST_F(TpmTest, SealToTargetsFutureConfiguration) {
+  // Seal against PCR17 values of a configuration that is NOT live yet:
+  // pre-computed post-launch values (what the enrollment PAL does).
+  const Bytes pal_digest = digest_of("golden pal");
+  Bytes pcr17_after = Sha1::hash(concat(Bytes(kPcrSize, 0x00), pal_digest));
+  auto blob = tpm_.seal_to(Locality::kOs, PcrSelection::of({17}),
+                           {pcr17_after}, 0xff, bytes_of("for the pal"));
+  ASSERT_TRUE(blob.ok());
+  // Live PCR17 is all-ones (no launch): unseal fails.
+  EXPECT_EQ(tpm_.unseal(Locality::kPal, blob.value()).code(),
+            Err::kPcrMismatch);
+  // Simulate the hardware launch: reset + extend the golden digest.
+  ASSERT_TRUE(tpm_.pcr_reset(Locality::kDrtmHardware, 17).ok());
+  ASSERT_TRUE(tpm_.pcr_extend(Locality::kDrtmHardware, 17, pal_digest).ok());
+  EXPECT_TRUE(tpm_.unseal(Locality::kPal, blob.value()).ok());
+}
+
+TEST_F(TpmTest, EmptyPayloadSealable) {
+  auto blob = tpm_.seal(Locality::kOs, PcrSelection::of({10}), 0xff, {});
+  ASSERT_TRUE(blob.ok());
+  auto out = tpm_.unseal(Locality::kOs, blob.value());
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().empty());
+}
+
+// ----------------------------------------------------------- Wrapped keys
+
+TEST_F(TpmTest, WrapKeySignVerify) {
+  (void)tpm_.pcr_extend(Locality::kOs, 10, digest_of("config"));
+  auto wrapped = tpm_.create_wrap_key(PcrSelection::of({10}));
+  ASSERT_TRUE(wrapped.ok());
+  auto handle = tpm_.load_key2(wrapped.value());
+  ASSERT_TRUE(handle.ok());
+  auto pub = tpm_.key_public(handle.value());
+  ASSERT_TRUE(pub.ok());
+
+  const Bytes msg = bytes_of("statement");
+  auto sig = tpm_.sign(handle.value(), msg);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(crypto::rsa_verify(pub.value(), crypto::HashAlg::kSha256, msg,
+                                 sig.value())
+                  .ok());
+}
+
+TEST_F(TpmTest, SignEnforcesPcrPolicyAtUseTime) {
+  auto wrapped = tpm_.create_wrap_key(PcrSelection::of({10}));
+  ASSERT_TRUE(wrapped.ok());
+  auto handle = tpm_.load_key2(wrapped.value());
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(tpm_.sign(handle.value(), bytes_of("ok")).ok());
+  // Change the platform state: the loaded key must refuse to sign.
+  (void)tpm_.pcr_extend(Locality::kOs, 10, digest_of("malware ran"));
+  EXPECT_EQ(tpm_.sign(handle.value(), bytes_of("bad")).code(),
+            Err::kPcrMismatch);
+}
+
+TEST_F(TpmTest, LoadKeyRejectsTamperedBlob) {
+  auto wrapped = tpm_.create_wrap_key(PcrSelection::of({10}));
+  ASSERT_TRUE(wrapped.ok());
+  Bytes tampered = wrapped.value();
+  tampered[10] ^= 0x01;
+  EXPECT_EQ(tpm_.load_key2(tampered).code(), Err::kAuthFail);
+}
+
+TEST_F(TpmTest, WrappedKeyIsDeviceBound) {
+  SimClock clock2;
+  TpmDevice other(default_chip(), bytes_of("other"), clock2,
+                  TpmDevice::Options{.key_bits = 768});
+  auto wrapped = tpm_.create_wrap_key(PcrSelection::of({10}));
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_FALSE(other.load_key2(wrapped.value()).ok());
+}
+
+TEST_F(TpmTest, FlushKeyInvalidatesHandle) {
+  auto wrapped = tpm_.create_wrap_key(PcrSelection::of({10}));
+  auto handle = tpm_.load_key2(wrapped.value());
+  ASSERT_TRUE(handle.ok());
+  tpm_.flush_key(handle.value());
+  EXPECT_EQ(tpm_.sign(handle.value(), bytes_of("x")).code(), Err::kNotFound);
+  EXPECT_FALSE(tpm_.key_public(handle.value()).ok());
+}
+
+TEST_F(TpmTest, SealBlobNotLoadableAsKey) {
+  auto blob = tpm_.seal(Locality::kOs, PcrSelection::of({10}), 0xff,
+                        bytes_of("data"));
+  ASSERT_TRUE(blob.ok());
+  EXPECT_FALSE(tpm_.load_key2(blob.value()).ok());
+}
+
+// ---------------------------------------------------- Counters and NVRAM
+
+TEST_F(TpmTest, MonotonicCounter) {
+  EXPECT_EQ(tpm_.counter_read(1).value(), 0u);
+  EXPECT_EQ(tpm_.counter_increment(1).value(), 1u);
+  EXPECT_EQ(tpm_.counter_increment(1).value(), 2u);
+  EXPECT_EQ(tpm_.counter_read(1).value(), 2u);
+  EXPECT_EQ(tpm_.counter_read(2).value(), 0u);  // independent counters
+}
+
+TEST_F(TpmTest, NvramLifecycle) {
+  ASSERT_TRUE(tpm_.nv_define(0x1000, 64).ok());
+  EXPECT_EQ(tpm_.nv_define(0x1000, 64).code(), Err::kBadState);
+  EXPECT_FALSE(tpm_.nv_define(0x2000, 0).ok());
+  EXPECT_FALSE(tpm_.nv_define(0x2000, 1 << 20).ok());
+
+  ASSERT_TRUE(tpm_.nv_write(0x1000, bytes_of("golden-measurement")).ok());
+  auto data = tpm_.nv_read(0x1000);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(string_of(BytesView(data.value()).subspan(0, 18)),
+            "golden-measurement");
+
+  EXPECT_EQ(tpm_.nv_write(0x9999, bytes_of("x")).code(), Err::kNotFound);
+  EXPECT_EQ(tpm_.nv_read(0x9999).code(), Err::kNotFound);
+  EXPECT_FALSE(tpm_.nv_write(0x1000, Bytes(65, 0)).ok());
+}
+
+// --------------------------------------------------------- Timing model
+
+TEST_F(TpmTest, CommandsChargeVirtualTime) {
+  const SimTime before = clock_.now();
+  (void)tpm_.quote(tpm_.get_random(16), PcrSelection::of({10}));
+  // Quote charges quote-time plus one GetRandom block for the nonce;
+  // internal PCR reads are free.
+  EXPECT_EQ((clock_.now() - before).ns,
+            (default_chip().quote + default_chip().get_random_16).ns);
+  EXPECT_GT(clock_.total_for("tpm:quote").ns, 0);
+}
+
+TEST_F(TpmTest, SlowChipCostsMore) {
+  SimClock clock_slow;
+  TpmDevice slow(chip_by_name("Broadcom BCM5752"), bytes_of("s"), clock_slow,
+                 TpmDevice::Options{.key_bits = 768});
+  SimClock clock_fast;
+  TpmDevice fast(chip_by_name("Infineon SLB9635"), bytes_of("s"), clock_fast,
+                 TpmDevice::Options{.key_bits = 768});
+  (void)slow.seal(Locality::kOs, PcrSelection::of({10}), 0xff, bytes_of("x"));
+  (void)fast.seal(Locality::kOs, PcrSelection::of({10}), 0xff, bytes_of("x"));
+  EXPECT_GT(clock_slow.now().ns, clock_fast.now().ns);
+}
+
+TEST_F(TpmTest, GetRandomChargesPerBlock) {
+  SimClock c;
+  TpmDevice t(default_chip(), bytes_of("r"), c,
+              TpmDevice::Options{.key_bits = 768});
+  (void)t.get_random(16);
+  const auto one_block = c.now();
+  (void)t.get_random(64);
+  EXPECT_EQ((c.now() - one_block).ns, default_chip().get_random_16.ns * 4);
+}
+
+TEST_F(TpmTest, CommandCountTracksUsage) {
+  const auto before = tpm_.command_count();
+  (void)tpm_.pcr_read(0);
+  (void)tpm_.get_random(8);
+  EXPECT_EQ(tpm_.command_count(), before + 2);
+}
+
+TEST(ChipProfiles, CatalogueIsSane) {
+  EXPECT_EQ(standard_chips().size(), 4u);
+  EXPECT_THROW(chip_by_name("nonexistent"), std::invalid_argument);
+  for (const auto& chip : standard_chips()) {
+    EXPECT_GT(chip.quote.ns, 0) << chip.name;
+    EXPECT_GT(chip.seal.ns, 0) << chip.name;
+    EXPECT_GT(chip.unseal.ns, 0) << chip.name;
+    // The paper's premise: storage/attestation ops are hundreds of ms,
+    // i.e., they dominate a session; reads are cheap.
+    EXPECT_GT(chip.quote.ns, SimDuration::millis(100).ns) << chip.name;
+    EXPECT_LT(chip.pcr_read.ns, SimDuration::millis(10).ns) << chip.name;
+  }
+}
+
+// ----------------------------------------------------------- Privacy CA
+
+TEST(PrivacyCaTest, CertifyAndVerify) {
+  SimClock clock;
+  TpmDevice tpm(default_chip(), bytes_of("t"), clock,
+                TpmDevice::Options{.key_bits = 768});
+  PrivacyCa ca(bytes_of("ca-seed"), 768);
+  const AikCertificate cert = ca.certify("platform-1", tpm.aik_public());
+  EXPECT_TRUE(PrivacyCa::verify(ca.public_key(), cert).ok());
+}
+
+TEST(PrivacyCaTest, VerifyRejectsTamperedIdentity) {
+  SimClock clock;
+  TpmDevice tpm(default_chip(), bytes_of("t"), clock,
+                TpmDevice::Options{.key_bits = 768});
+  PrivacyCa ca(bytes_of("ca-seed"), 768);
+  AikCertificate cert = ca.certify("platform-1", tpm.aik_public());
+  cert.platform_id = "platform-2";
+  EXPECT_EQ(PrivacyCa::verify(ca.public_key(), cert).code(), Err::kAuthFail);
+}
+
+TEST(PrivacyCaTest, VerifyRejectsWrongCa) {
+  SimClock clock;
+  TpmDevice tpm(default_chip(), bytes_of("t"), clock,
+                TpmDevice::Options{.key_bits = 768});
+  PrivacyCa ca(bytes_of("ca-1"), 768), rogue(bytes_of("ca-2"), 768);
+  const AikCertificate cert = ca.certify("platform-1", tpm.aik_public());
+  EXPECT_FALSE(PrivacyCa::verify(rogue.public_key(), cert).ok());
+}
+
+TEST(PrivacyCaTest, CertificateSerializationRoundTrip) {
+  SimClock clock;
+  TpmDevice tpm(default_chip(), bytes_of("t"), clock,
+                TpmDevice::Options{.key_bits = 768});
+  PrivacyCa ca(bytes_of("ca-seed"), 768);
+  const AikCertificate cert = ca.certify("platform-1", tpm.aik_public());
+  auto back = AikCertificate::deserialize(cert.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(PrivacyCa::verify(ca.public_key(), back.value()).ok());
+  EXPECT_EQ(back.value().platform_id, "platform-1");
+}
+
+}  // namespace
+}  // namespace tp::tpm

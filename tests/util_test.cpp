@@ -1,0 +1,255 @@
+// Unit tests for the util substrate: bytes/hex, serialization, Result,
+// deterministic RNG, virtual clock.
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/serial.h"
+#include "util/sim_clock.h"
+
+namespace tp {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, StringConversions) {
+  EXPECT_EQ(string_of(bytes_of("hello")), "hello");
+  EXPECT_EQ(bytes_of("").size(), 0u);
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2}, b = {3}, c = {4, 5};
+  EXPECT_EQ(concat(a, b), (Bytes{1, 2, 3}));
+  EXPECT_EQ(concat(a, b, c), (Bytes{1, 2, 3, 4, 5}));
+}
+
+TEST(Bytes, CtEqual) {
+  EXPECT_TRUE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2}, Bytes{1, 2, 3}));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, SecureWipe) {
+  Bytes secret = {1, 2, 3, 4};
+  secure_wipe(secret);
+  EXPECT_EQ(secret, (Bytes{0, 0, 0, 0}));
+}
+
+TEST(Result, ValueAccess) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.code(), Err::kNone);
+}
+
+TEST(Result, ErrorAccess) {
+  Result<int> r(Err::kAuthFail, "bad signature");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Err::kAuthFail);
+  EXPECT_EQ(r.error().message, "bad signature");
+  EXPECT_THROW(r.value(), std::logic_error);
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  Result<int> ok(7);
+  EXPECT_THROW(ok.error(), std::logic_error);
+}
+
+TEST(Status, OkAndError) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.to_string(), "ok");
+  Status bad(Err::kReplay, "seen before");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), Err::kReplay);
+}
+
+TEST(Status, ErrNames) {
+  EXPECT_STREQ(err_name(Err::kPcrMismatch), "pcr_mismatch");
+  EXPECT_STREQ(err_name(Err::kIsolationViolation), "isolation_violation");
+}
+
+TEST(Serial, RoundTripAllTypes) {
+  BinaryWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.var_bytes(Bytes{9, 8, 7});
+  w.var_string("trusted path");
+  w.raw(Bytes{0xff});
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.u8().value(), 0xab);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+  EXPECT_EQ(r.u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.var_bytes().value(), (Bytes{9, 8, 7}));
+  EXPECT_EQ(r.var_string().value(), "trusted path");
+  EXPECT_EQ(r.raw(1).value(), (Bytes{0xff}));
+  EXPECT_TRUE(r.expect_exhausted().ok());
+}
+
+TEST(Serial, BigEndianLayout) {
+  BinaryWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Serial, TruncationDetected) {
+  BinaryReader r(Bytes{0x01});
+  EXPECT_FALSE(r.u32().ok());
+  EXPECT_EQ(r.u32().code(), Err::kInvalidArgument);
+}
+
+TEST(Serial, VarBytesLengthBound) {
+  BinaryWriter w;
+  w.u32(1u << 30);  // absurd length claim
+  BinaryReader r(w.data());
+  EXPECT_FALSE(r.var_bytes().ok());
+}
+
+TEST(Serial, TrailingBytesDetected) {
+  BinaryWriter w;
+  w.u8(1);
+  w.u8(2);
+  BinaryReader r(w.data());
+  EXPECT_TRUE(r.u8().ok());
+  EXPECT_FALSE(r.expect_exhausted().ok());
+}
+
+TEST(SimRng, Deterministic) {
+  SimRng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(SimRng, DifferentSeedsDiffer) {
+  SimRng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(SimRng, NextBelowInRange) {
+  SimRng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(SimRng, DoubleInUnitInterval) {
+  SimRng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SimRng, ChanceExtremes) {
+  SimRng rng(3);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(SimRng, ChanceFrequency) {
+  SimRng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(SimRng, ExponentialMean) {
+  SimRng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / 20000.0, 5.0, 0.3);
+}
+
+TEST(SimRng, NormalMeanAndClamp) {
+  SimRng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.next_normal(10.0, 2.0, 0.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 10.0, 0.2);
+}
+
+TEST(SimRng, BytesLengthAndDeterminism) {
+  SimRng a(21), b(21);
+  EXPECT_EQ(a.next_bytes(33).size(), 33u);
+  EXPECT_EQ(b.next_bytes(33), SimRng(21).next_bytes(33));
+}
+
+TEST(SimRng, ForkDecorrelates) {
+  SimRng parent(5);
+  SimRng c1 = parent.fork(1);
+  SimRng parent2(5);
+  SimRng c2 = parent2.fork(2);
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(SimClock, AdvanceAndCharge) {
+  SimClock clock;
+  EXPECT_EQ(clock.now().ns, 0);
+  clock.advance(SimDuration::millis(5));
+  EXPECT_EQ(clock.now().ns, 5'000'000);
+  clock.charge("tpm_quote", SimDuration::millis(300));
+  EXPECT_EQ(clock.now().ns, 305'000'000);
+  ASSERT_EQ(clock.spans().size(), 1u);
+  EXPECT_EQ(clock.spans()[0].label, "tpm_quote");
+  EXPECT_EQ(clock.spans()[0].start.ns, 5'000'000);
+}
+
+TEST(SimClock, NegativeAdvanceRejected) {
+  SimClock clock;
+  EXPECT_THROW(clock.advance(SimDuration{-1}), std::invalid_argument);
+}
+
+TEST(SimClock, TotalForAggregates) {
+  SimClock clock;
+  clock.charge("a", SimDuration::millis(10));
+  clock.charge("b", SimDuration::millis(5));
+  clock.charge("a", SimDuration::millis(7));
+  EXPECT_EQ(clock.total_for("a").ns, 17'000'000);
+  EXPECT_EQ(clock.total_for("b").ns, 5'000'000);
+  EXPECT_EQ(clock.total_for("missing").ns, 0);
+}
+
+TEST(SimDuration, ConversionsAndArithmetic) {
+  EXPECT_EQ(SimDuration::seconds(1.5).ns, 1'500'000'000);
+  EXPECT_DOUBLE_EQ(SimDuration::millis(250).to_seconds(), 0.25);
+  EXPECT_EQ((SimDuration::millis(2) + SimDuration::micros(500)).ns,
+            2'500'000);
+  EXPECT_LT(SimDuration::millis(1), SimDuration::millis(2));
+}
+
+}  // namespace
+}  // namespace tp
