@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_efficacy.dir/bench_attack_efficacy.cpp.o"
+  "CMakeFiles/bench_attack_efficacy.dir/bench_attack_efficacy.cpp.o.d"
+  "bench_attack_efficacy"
+  "bench_attack_efficacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_efficacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_design_ablation.dir/bench_design_ablation.cpp.o"
+  "CMakeFiles/bench_design_ablation.dir/bench_design_ablation.cpp.o.d"
+  "bench_design_ablation"
+  "bench_design_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_design_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

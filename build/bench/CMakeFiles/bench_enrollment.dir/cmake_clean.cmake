@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enrollment.dir/bench_enrollment.cpp.o"
+  "CMakeFiles/bench_enrollment.dir/bench_enrollment.cpp.o.d"
+  "bench_enrollment"
+  "bench_enrollment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enrollment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

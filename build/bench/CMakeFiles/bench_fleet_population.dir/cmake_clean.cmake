@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fleet_population.dir/bench_fleet_population.cpp.o"
+  "CMakeFiles/bench_fleet_population.dir/bench_fleet_population.cpp.o.d"
+  "bench_fleet_population"
+  "bench_fleet_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fleet_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_human_cost.dir/bench_human_cost.cpp.o"
+  "CMakeFiles/bench_human_cost.dir/bench_human_cost.cpp.o.d"
+  "bench_human_cost"
+  "bench_human_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_human_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

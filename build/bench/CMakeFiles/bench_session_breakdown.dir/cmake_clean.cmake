@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_session_breakdown.dir/bench_session_breakdown.cpp.o"
+  "CMakeFiles/bench_session_breakdown.dir/bench_session_breakdown.cpp.o.d"
+  "bench_session_breakdown"
+  "bench_session_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_session_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/captcha_replacement.dir/captcha_replacement.cpp.o"
+  "CMakeFiles/captcha_replacement.dir/captcha_replacement.cpp.o.d"
+  "captcha_replacement"
+  "captcha_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/captcha_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

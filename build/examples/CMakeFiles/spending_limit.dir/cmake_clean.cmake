@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spending_limit.dir/spending_limit.cpp.o"
+  "CMakeFiles/spending_limit.dir/spending_limit.cpp.o.d"
+  "spending_limit"
+  "spending_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spending_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

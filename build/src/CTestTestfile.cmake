@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("tpm")
+subdirs("net")
+subdirs("devices")
+subdirs("drtm")
+subdirs("pal")
+subdirs("captcha")
+subdirs("core")
+subdirs("sp")
+subdirs("host")

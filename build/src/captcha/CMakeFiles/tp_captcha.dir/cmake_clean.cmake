@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_captcha.dir/captcha.cpp.o"
+  "CMakeFiles/tp_captcha.dir/captcha.cpp.o.d"
+  "libtp_captcha.a"
+  "libtp_captcha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_captcha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_core.dir/client.cpp.o"
+  "CMakeFiles/tp_core.dir/client.cpp.o.d"
+  "CMakeFiles/tp_core.dir/messages.cpp.o"
+  "CMakeFiles/tp_core.dir/messages.cpp.o.d"
+  "CMakeFiles/tp_core.dir/trusted_path_pal.cpp.o"
+  "CMakeFiles/tp_core.dir/trusted_path_pal.cpp.o.d"
+  "libtp_core.a"
+  "libtp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

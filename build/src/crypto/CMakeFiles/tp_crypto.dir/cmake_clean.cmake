@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_crypto.dir/aes.cpp.o"
+  "CMakeFiles/tp_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/tp_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/tp_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/tp_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/tp_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/tp_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/tp_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/tp_crypto.dir/modes.cpp.o"
+  "CMakeFiles/tp_crypto.dir/modes.cpp.o.d"
+  "CMakeFiles/tp_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/tp_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/tp_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/tp_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/tp_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/tp_crypto.dir/sha256.cpp.o.d"
+  "libtp_crypto.a"
+  "libtp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

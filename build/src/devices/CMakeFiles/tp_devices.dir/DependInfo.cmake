@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/display.cpp" "src/devices/CMakeFiles/tp_devices.dir/display.cpp.o" "gcc" "src/devices/CMakeFiles/tp_devices.dir/display.cpp.o.d"
+  "/root/repo/src/devices/human.cpp" "src/devices/CMakeFiles/tp_devices.dir/human.cpp.o" "gcc" "src/devices/CMakeFiles/tp_devices.dir/human.cpp.o.d"
+  "/root/repo/src/devices/keyboard.cpp" "src/devices/CMakeFiles/tp_devices.dir/keyboard.cpp.o" "gcc" "src/devices/CMakeFiles/tp_devices.dir/keyboard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

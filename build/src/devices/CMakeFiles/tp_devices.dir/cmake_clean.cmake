@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_devices.dir/display.cpp.o"
+  "CMakeFiles/tp_devices.dir/display.cpp.o.d"
+  "CMakeFiles/tp_devices.dir/human.cpp.o"
+  "CMakeFiles/tp_devices.dir/human.cpp.o.d"
+  "CMakeFiles/tp_devices.dir/keyboard.cpp.o"
+  "CMakeFiles/tp_devices.dir/keyboard.cpp.o.d"
+  "libtp_devices.a"
+  "libtp_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_drtm.dir/late_launch.cpp.o"
+  "CMakeFiles/tp_drtm.dir/late_launch.cpp.o.d"
+  "CMakeFiles/tp_drtm.dir/platform.cpp.o"
+  "CMakeFiles/tp_drtm.dir/platform.cpp.o.d"
+  "libtp_drtm.a"
+  "libtp_drtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_drtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_host.dir/adversary.cpp.o"
+  "CMakeFiles/tp_host.dir/adversary.cpp.o.d"
+  "libtp_host.a"
+  "libtp_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

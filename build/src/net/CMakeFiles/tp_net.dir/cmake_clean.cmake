@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_net.dir/channel.cpp.o"
+  "CMakeFiles/tp_net.dir/channel.cpp.o.d"
+  "CMakeFiles/tp_net.dir/secure_channel.cpp.o"
+  "CMakeFiles/tp_net.dir/secure_channel.cpp.o.d"
+  "libtp_net.a"
+  "libtp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pal/pal.cpp" "src/pal/CMakeFiles/tp_pal.dir/pal.cpp.o" "gcc" "src/pal/CMakeFiles/tp_pal.dir/pal.cpp.o.d"
+  "/root/repo/src/pal/sealed_state.cpp" "src/pal/CMakeFiles/tp_pal.dir/sealed_state.cpp.o" "gcc" "src/pal/CMakeFiles/tp_pal.dir/sealed_state.cpp.o.d"
+  "/root/repo/src/pal/session.cpp" "src/pal/CMakeFiles/tp_pal.dir/session.cpp.o" "gcc" "src/pal/CMakeFiles/tp_pal.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drtm/CMakeFiles/tp_drtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/tp_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/tp_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tp_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_pal.dir/pal.cpp.o"
+  "CMakeFiles/tp_pal.dir/pal.cpp.o.d"
+  "CMakeFiles/tp_pal.dir/sealed_state.cpp.o"
+  "CMakeFiles/tp_pal.dir/sealed_state.cpp.o.d"
+  "CMakeFiles/tp_pal.dir/session.cpp.o"
+  "CMakeFiles/tp_pal.dir/session.cpp.o.d"
+  "libtp_pal.a"
+  "libtp_pal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_pal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

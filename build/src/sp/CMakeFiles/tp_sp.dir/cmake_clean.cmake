@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_sp.dir/deployment.cpp.o"
+  "CMakeFiles/tp_sp.dir/deployment.cpp.o.d"
+  "CMakeFiles/tp_sp.dir/fleet.cpp.o"
+  "CMakeFiles/tp_sp.dir/fleet.cpp.o.d"
+  "CMakeFiles/tp_sp.dir/service_provider.cpp.o"
+  "CMakeFiles/tp_sp.dir/service_provider.cpp.o.d"
+  "libtp_sp.a"
+  "libtp_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpm/chip_profile.cpp" "src/tpm/CMakeFiles/tp_tpm.dir/chip_profile.cpp.o" "gcc" "src/tpm/CMakeFiles/tp_tpm.dir/chip_profile.cpp.o.d"
+  "/root/repo/src/tpm/pcr.cpp" "src/tpm/CMakeFiles/tp_tpm.dir/pcr.cpp.o" "gcc" "src/tpm/CMakeFiles/tp_tpm.dir/pcr.cpp.o.d"
+  "/root/repo/src/tpm/privacy_ca.cpp" "src/tpm/CMakeFiles/tp_tpm.dir/privacy_ca.cpp.o" "gcc" "src/tpm/CMakeFiles/tp_tpm.dir/privacy_ca.cpp.o.d"
+  "/root/repo/src/tpm/quote.cpp" "src/tpm/CMakeFiles/tp_tpm.dir/quote.cpp.o" "gcc" "src/tpm/CMakeFiles/tp_tpm.dir/quote.cpp.o.d"
+  "/root/repo/src/tpm/tpm_device.cpp" "src/tpm/CMakeFiles/tp_tpm.dir/tpm_device.cpp.o" "gcc" "src/tpm/CMakeFiles/tp_tpm.dir/tpm_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/tp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_tpm.dir/chip_profile.cpp.o"
+  "CMakeFiles/tp_tpm.dir/chip_profile.cpp.o.d"
+  "CMakeFiles/tp_tpm.dir/pcr.cpp.o"
+  "CMakeFiles/tp_tpm.dir/pcr.cpp.o.d"
+  "CMakeFiles/tp_tpm.dir/privacy_ca.cpp.o"
+  "CMakeFiles/tp_tpm.dir/privacy_ca.cpp.o.d"
+  "CMakeFiles/tp_tpm.dir/quote.cpp.o"
+  "CMakeFiles/tp_tpm.dir/quote.cpp.o.d"
+  "CMakeFiles/tp_tpm.dir/tpm_device.cpp.o"
+  "CMakeFiles/tp_tpm.dir/tpm_device.cpp.o.d"
+  "libtp_tpm.a"
+  "libtp_tpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_tpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/captcha_test.dir/captcha_test.cpp.o"
+  "CMakeFiles/captcha_test.dir/captcha_test.cpp.o.d"
+  "captcha_test"
+  "captcha_test.pdb"
+  "captcha_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/captcha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

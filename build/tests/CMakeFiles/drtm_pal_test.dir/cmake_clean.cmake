@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtm_pal_test.dir/drtm_pal_test.cpp.o"
+  "CMakeFiles/drtm_pal_test.dir/drtm_pal_test.cpp.o.d"
+  "drtm_pal_test"
+  "drtm_pal_test.pdb"
+  "drtm_pal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtm_pal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sp/CMakeFiles/tp_sp.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/tp_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pal/CMakeFiles/tp_pal.dir/DependInfo.cmake"
+  "/root/repo/build/src/drtm/CMakeFiles/tp_drtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/tp_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/tp_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_channel_test.dir/secure_channel_test.cpp.o"
+  "CMakeFiles/secure_channel_test.dir/secure_channel_test.cpp.o.d"
+  "secure_channel_test"
+  "secure_channel_test.pdb"
+  "secure_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

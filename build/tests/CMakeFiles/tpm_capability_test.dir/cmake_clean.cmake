@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpm_capability_test.dir/tpm_capability_test.cpp.o"
+  "CMakeFiles/tpm_capability_test.dir/tpm_capability_test.cpp.o.d"
+  "tpm_capability_test"
+  "tpm_capability_test.pdb"
+  "tpm_capability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpm_capability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
