@@ -6,12 +6,18 @@ Link::Link(NetParams params, SimClock& clock, SimRng rng)
     : params_(params), clock_(&clock), rng_(std::move(rng)) {
   a_ = std::unique_ptr<Endpoint>(new Endpoint(this, true));
   b_ = std::unique_ptr<Endpoint>(new Endpoint(this, false));
+  if (params_.metrics != nullptr) {
+    c_sent_ = &params_.metrics->counter("net.messages_sent");
+    c_lost_ = &params_.metrics->counter("net.messages_lost");
+  }
 }
 
 void Link::send_from(bool from_a, BytesView payload) {
   ++sent_;
+  if (c_sent_ != nullptr) c_sent_->inc();
   if (rng_.chance(params_.loss_prob)) {
     ++lost_;
+    if (c_lost_ != nullptr) c_lost_->inc();
     return;
   }
   const double latency_ms = rng_.next_normal(

@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 
+#include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -23,6 +24,11 @@ struct NetParams {
   double latency_mean_ms = 40.0;  // one-way
   double latency_jitter_ms = 8.0; // stddev of the normal jitter
   double loss_prob = 0.0;         // per message
+
+  /// Optional metrics registry; when set, every link built with these
+  /// params also counts "net.messages_sent"/"net.messages_lost" there
+  /// (shared across links, unlike the per-link accessors below).
+  obs::Registry* metrics = nullptr;
 };
 
 class Endpoint;
@@ -60,6 +66,8 @@ class Link {
   std::unique_ptr<Endpoint> b_;
   std::uint64_t sent_ = 0;
   std::uint64_t lost_ = 0;
+  obs::Counter* c_sent_ = nullptr;  // registry-backed (may stay null)
+  obs::Counter* c_lost_ = nullptr;
 };
 
 /// One side of a link.

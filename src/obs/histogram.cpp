@@ -1,0 +1,84 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+
+namespace tp::obs {
+
+std::uint64_t HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the sample we are after, 1-based.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * count + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Report the bucket's upper bound, clamped into the observed range
+      // so p100 == max and tiny histograms stay exact-ish.
+      const std::uint64_t bound =
+          i < bounds.size() ? bounds[i] : max;  // +inf bucket -> max
+      return std::clamp(bound, min, max);
+    }
+  }
+  return max;
+}
+
+Histogram::Histogram(Options options) {
+  std::uint64_t bound = std::max<std::uint64_t>(1, options.lowest);
+  const double growth = std::max(1.01, options.growth);
+  while (bound < options.highest) {
+    bounds_.push_back(bound);
+    const auto next = static_cast<std::uint64_t>(bound * growth);
+    bound = next > bound ? next : bound + 1;
+  }
+  bounds_.push_back(options.highest);
+  // One extra +inf bucket for values above `highest`.
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::record(std::uint64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - bounds_.begin());  // may be the +inf slot
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = (min == ~0ull) ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.bounds = bounds_;
+  snap.buckets.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tp::obs

@@ -1,0 +1,123 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace tp::obs {
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               Histogram::Options options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(options))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<Registry::CounterSample> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back(CounterSample{name, counter->value()});
+  }
+  return out;
+}
+
+std::vector<Registry::HistogramSample> Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    out.push_back(HistogramSample{name, hist->snapshot()});
+  }
+  return out;
+}
+
+std::uint64_t Registry::counter_total(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [name, counter] : counters_) {
+    if (name.size() >= prefix.size() &&
+        std::string_view(name).substr(0, prefix.size()) == prefix) {
+      total += counter->value();
+    }
+  }
+  return total;
+}
+
+void Registry::reset(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    if (std::string_view(name).substr(0, prefix.size()) == prefix) {
+      counter->reset();
+    }
+  }
+  for (auto& [name, hist] : histograms_) {
+    if (std::string_view(name).substr(0, prefix.size()) == prefix) {
+      hist->reset();
+    }
+  }
+}
+
+namespace {
+
+// Metric names are code-controlled identifiers, but reject reasons feed
+// into counter names, so escape the characters JSON cares about.
+void append_json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  const auto counter_samples = counters();
+  const auto histogram_samples = histograms();
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& sample : counter_samples) {
+    if (!first) out << ',';
+    first = false;
+    append_json_string(out, sample.name);
+    out << ':' << sample.value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& sample : histogram_samples) {
+    if (!first) out << ',';
+    first = false;
+    const auto& s = sample.snapshot;
+    append_json_string(out, sample.name);
+    out << ":{\"count\":" << s.count << ",\"mean_us\":" << s.mean() / 1e3
+        << ",\"min_us\":" << s.min / 1e3 << ",\"p50_us\":" << s.p50() / 1e3
+        << ",\"p95_us\":" << s.p95() / 1e3 << ",\"p99_us\":" << s.p99() / 1e3
+        << ",\"max_us\":" << s.max / 1e3 << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace tp::obs

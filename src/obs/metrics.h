@@ -1,0 +1,107 @@
+// Metrics registry: named counters and histograms for the serving stack.
+//
+// Registration (name -> instrument lookup) takes a mutex; the returned
+// references are stable for the registry's lifetime, so hot paths look up
+// once and then update lock-free. This is the usual two-tier design of
+// server metric libraries (cf. Prometheus client internals) shrunk to what
+// the verifier service needs: counters, latency histograms, scoped timers,
+// and a JSON dump for the daemon's shutdown report.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace tp::obs {
+
+/// Monotonic event counter. Saturates at uint64 max instead of wrapping,
+/// so long-running aggregations (e.g. SpStats reject reasons) can never
+/// overflow into misleading small values.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    while (true) {
+      const std::uint64_t next = (cur > kMax - delta) ? kMax : cur + delta;
+      if (value_.compare_exchange_weak(cur, next,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Registry {
+ public:
+  /// Returns the counter/histogram named `name`, creating it on first use.
+  /// References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       Histogram::Options options = Histogram::Options{});
+
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct HistogramSample {
+    std::string name;
+    HistogramSnapshot snapshot;
+  };
+
+  /// Weakly-consistent point-in-time views (writers are not paused).
+  std::vector<CounterSample> counters() const;
+  std::vector<HistogramSample> histograms() const;
+
+  /// Sum of all counters whose name starts with `prefix`.
+  std::uint64_t counter_total(std::string_view prefix) const;
+
+  /// Zeroes instruments whose name starts with `prefix` ("" = all).
+  void reset(std::string_view prefix = "");
+
+  /// {"counters":{...},"histograms":{name:{count,mean,p50,p95,p99,...}}}
+  /// Histogram values are reported in microseconds (they record ns).
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// RAII wall-clock timer: records elapsed nanoseconds into a histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist)
+      : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tp::obs

@@ -8,15 +8,14 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
   ca_ = std::make_unique<tpm::PrivacyCa>(
       concat(config_.seed, bytes_of(":ca")), config_.tpm_key_bits);
 
-  SpConfig sp_config;
-  sp_config.golden_pcr17 = core::golden_pcr17();
-  sp_config.ca_public = ca_->public_key();
-  sp_config.seed = concat(config_.seed, bytes_of(":sp"));
-  sp_config.accepted_policies = {
+  sp_config_.golden_pcr17 = core::golden_pcr17();
+  sp_config_.ca_public = ca_->public_key();
+  sp_config_.seed = concat(config_.seed, bytes_of(":sp"));
+  sp_config_.accepted_policies = {
       core::attestation_policy(drtm::DrtmTechnology::kAmdSkinit),
       core::attestation_policy(drtm::DrtmTechnology::kIntelTxt),
   };
-  sp_ = std::make_unique<ServiceProvider>(sp_config);
+  sp_ = std::make_unique<ServiceProvider>(sp_config_);
 
   for (std::size_t i = 0; i < config_.num_clients; ++i) {
     Member member;
@@ -49,6 +48,15 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
         *member.platform, member.link->a(), cert, cc);
 
     members_.push_back(std::move(member));
+  }
+}
+
+void Fleet::route_frames_to(FrameHandler handler) {
+  for (auto& member : members_) {
+    member.link->b().set_service(
+        [handler, id = member.id](BytesView frame) {
+          return handler(id, frame);
+        });
   }
 }
 

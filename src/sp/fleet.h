@@ -7,6 +7,7 @@
 // look like? Experiment F3's simulation arm runs on this.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,6 +53,18 @@ class Fleet {
     return members_.at(i).link->a();
   }
 
+  /// The SP configuration this fleet was built against (same CA root,
+  /// golden measurement and policies). Lets an external serving runtime
+  /// (svc::VerifierService) spin up compatible verifier shards.
+  const SpConfig& sp_config() const { return sp_config_; }
+
+  /// Redirects every member's server-side endpoint to `handler`
+  /// (client id, request frame) -> response frame, replacing the built-in
+  /// single ServiceProvider. Used to put the whole fleet behind a
+  /// svc::VerifierService.
+  using FrameHandler = std::function<Bytes(const std::string&, BytesView)>;
+  void route_frames_to(FrameHandler handler);
+
   /// Enrolls every member; returns how many succeeded.
   std::size_t enroll_all();
 
@@ -64,6 +77,7 @@ class Fleet {
   };
 
   FleetConfig config_;
+  SpConfig sp_config_;
   std::unique_ptr<tpm::PrivacyCa> ca_;
   std::unique_ptr<ServiceProvider> sp_;
   std::vector<Member> members_;

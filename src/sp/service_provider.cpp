@@ -9,22 +9,63 @@ using namespace core;  // message types
 
 ServiceProvider::ServiceProvider(SpConfig config)
     : config_(std::move(config)),
-      drbg_(concat(bytes_of("service-provider:"), config_.seed)) {}
+      drbg_(concat(bytes_of("service-provider:"), config_.seed)) {
+  if (config_.metrics != nullptr) {
+    registry_ = config_.metrics;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  const std::string& p = config_.metrics_prefix;
+  c_enrolled_ = &registry_->counter(p + ".enrolled");
+  c_enroll_rejected_ = &registry_->counter(p + ".enroll_rejected");
+  c_tx_accepted_ = &registry_->counter(p + ".tx_accepted");
+  c_tx_rejected_ = &registry_->counter(p + ".tx_rejected");
+  h_enroll_ = &registry_->histogram(p + ".enroll_ns");
+  h_tx_ = &registry_->histogram(p + ".tx_ns");
+}
 
 Bytes ServiceProvider::fresh_nonce() {
   return drbg_.generate(config_.nonce_len);
 }
 
+SpStats ServiceProvider::stats_snapshot() const {
+  SpStats snap;
+  snap.enrolled = c_enrolled_->value();
+  snap.enroll_rejected = c_enroll_rejected_->value();
+  snap.tx_accepted = c_tx_accepted_->value();
+  snap.tx_rejected = c_tx_rejected_->value();
+  const std::string reject_prefix = config_.metrics_prefix + ".reject.";
+  for (const auto& [name, value] : registry_->counters()) {
+    // Zero-valued entries (possible after reset_stats) are skipped so the
+    // map keeps its historical "reasons that actually occurred" meaning.
+    if (value > 0 && name.size() > reject_prefix.size() &&
+        name.compare(0, reject_prefix.size(), reject_prefix) == 0) {
+      snap.reject_reasons[name.substr(reject_prefix.size())] = value;
+    }
+  }
+  return snap;
+}
+
+const SpStats& ServiceProvider::stats() const {
+  stats_ = stats_snapshot();
+  return stats_;
+}
+
+void ServiceProvider::reset_stats() {
+  registry_->reset(config_.metrics_prefix + ".");
+}
+
 EnrollResult ServiceProvider::reject_enrollment(const std::string& reason) {
-  ++stats_.enroll_rejected;
-  ++stats_.reject_reasons[reason];
+  c_enroll_rejected_->inc();
+  registry_->counter(config_.metrics_prefix + ".reject." + reason).inc();
   return EnrollResult{false, reason};
 }
 
 TxResult ServiceProvider::reject_tx(std::uint64_t tx_id,
                                     const std::string& reason) {
-  ++stats_.tx_rejected;
-  ++stats_.reject_reasons[reason];
+  c_tx_rejected_->inc();
+  registry_->counter(config_.metrics_prefix + ".reject." + reason).inc();
   return TxResult{tx_id, false, reason};
 }
 
@@ -35,6 +76,7 @@ EnrollChallenge ServiceProvider::begin_enrollment(const EnrollBegin& msg) {
 }
 
 EnrollResult ServiceProvider::complete_enrollment(const EnrollComplete& msg) {
+  obs::ScopedTimer timer(*h_enroll_);
   const auto pending = pending_enroll_.find(msg.client_id);
   if (pending == pending_enroll_.end()) {
     return reject_enrollment("no pending enrollment challenge");
@@ -94,7 +136,7 @@ EnrollResult ServiceProvider::complete_enrollment(const EnrollComplete& msg) {
   if (!pk.ok()) return reject_enrollment("malformed public key");
 
   enrolled_[msg.client_id] = pk.take();
-  ++stats_.enrolled;
+  c_enrolled_->inc();
   return EnrollResult{true, "enrolled"};
 }
 
@@ -108,6 +150,7 @@ TxChallenge ServiceProvider::begin_transaction(const TxSubmit& msg) {
 }
 
 TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
+  obs::ScopedTimer timer(*h_tx_);
   const auto pending = pending_tx_.find(msg.tx_id);
   if (pending == pending_tx_.end()) {
     return reject_tx(msg.tx_id, "unknown or already-settled transaction");
@@ -121,7 +164,7 @@ TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
   if (!config_.require_trusted_path) {
     // Baseline mode: execute whatever the (possibly compromised) client
     // software asked for. This is the world before the trusted path.
-    ++stats_.tx_accepted;
+    c_tx_accepted_->inc();
     return TxResult{msg.tx_id, true, "accepted without verification"};
   }
 
@@ -149,7 +192,7 @@ TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
   }
 
   seen_signatures_.insert(msg.signature);
-  ++stats_.tx_accepted;
+  c_tx_accepted_->inc();
   return TxResult{msg.tx_id, true, "confirmed by human via trusted path"};
 }
 

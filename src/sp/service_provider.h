@@ -7,10 +7,17 @@
 // machine confirmed exactly this transaction" (signature over the
 // one-time challenge). Everything between -- the OS, the browser, the
 // network -- is assumed hostile.
+//
+// Concurrency: one ServiceProvider is single-threaded by design (the
+// one-shot challenge maps and replay cache have no interleavings to
+// reason about). svc::VerifierService scales it by running one instance
+// per client shard; only the metrics counters underneath stats() are
+// cross-thread safe.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -18,6 +25,7 @@
 #include "core/trusted_path_pal.h"
 #include "crypto/drbg.h"
 #include "crypto/rsa.h"
+#include "obs/metrics.h"
 #include "tpm/privacy_ca.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -39,15 +47,25 @@ struct SpConfig {
   /// like an unprotected 2011 web service -- any well-formed TxConfirm is
   /// executed without verification (the "no defence" row of F2).
   bool require_trusted_path = true;
+
+  /// Metrics registry the SP's counters and latency histograms live in;
+  /// nullptr -> the SP owns a private registry. A shared registry needs a
+  /// distinct prefix per SP instance (svc uses "sp.shard<k>").
+  obs::Registry* metrics = nullptr;
+  std::string metrics_prefix = "sp";
 };
 
 /// Why a message was rejected (aggregated for the security experiments).
+/// Snapshot of the registry-backed counters; the counters themselves are
+/// overflow-safe (they saturate instead of wrapping).
 struct SpStats {
   std::uint64_t enrolled = 0;
   std::uint64_t enroll_rejected = 0;
   std::uint64_t tx_accepted = 0;
   std::uint64_t tx_rejected = 0;
   std::map<std::string, std::uint64_t> reject_reasons;
+
+  void reset() { *this = SpStats{}; }
 };
 
 class ServiceProvider {
@@ -67,7 +85,22 @@ class ServiceProvider {
   bool is_enrolled(const std::string& client_id) const {
     return enrolled_.count(client_id) != 0;
   }
-  const SpStats& stats() const { return stats_; }
+
+  /// Counter snapshot, cached in this object. Call from one thread at a
+  /// time (the usual single-threaded use); under the sharded service use
+  /// stats_snapshot() or VerifierService::stats() instead.
+  const SpStats& stats() const;
+
+  /// By-value snapshot, safe while a worker thread drives this SP.
+  SpStats stats_snapshot() const;
+
+  /// Zeroes this SP's counters/histograms so benches can take clean
+  /// per-phase measurements.
+  void reset_stats();
+
+  /// The registry backing stats(); also carries the enroll/tx latency
+  /// histograms ("<prefix>.enroll_ns", "<prefix>.tx_ns").
+  obs::Registry& metrics() { return *registry_; }
 
  private:
   struct PendingTx {
@@ -87,7 +120,16 @@ class ServiceProvider {
   std::map<std::uint64_t, PendingTx> pending_tx_;
   std::set<Bytes> seen_signatures_;  // defence-in-depth replay cache
   std::uint64_t next_tx_id_ = 1;
-  SpStats stats_;
+
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_;
+  obs::Counter* c_enrolled_;
+  obs::Counter* c_enroll_rejected_;
+  obs::Counter* c_tx_accepted_;
+  obs::Counter* c_tx_rejected_;
+  obs::Histogram* h_enroll_;
+  obs::Histogram* h_tx_;
+  mutable SpStats stats_;  // refreshed by stats()
 };
 
 }  // namespace tp::sp

@@ -1,0 +1,38 @@
+#include "svc/shard_router.h"
+
+#include "core/messages.h"
+
+namespace tp::svc {
+
+Result<std::string> ShardRouter::client_id_of(BytesView frame) {
+  auto opened = core::open_envelope(frame);
+  if (!opened.ok()) return opened.error();
+  const auto& [type, payload] = opened.value();
+  switch (type) {
+    case core::MsgType::kEnrollBegin: {
+      auto msg = core::EnrollBegin::deserialize(payload);
+      if (!msg.ok()) return msg.error();
+      return msg.value().client_id;
+    }
+    case core::MsgType::kEnrollComplete: {
+      auto msg = core::EnrollComplete::deserialize(payload);
+      if (!msg.ok()) return msg.error();
+      return msg.value().client_id;
+    }
+    case core::MsgType::kTxSubmit: {
+      auto msg = core::TxSubmit::deserialize(payload);
+      if (!msg.ok()) return msg.error();
+      return msg.value().client_id;
+    }
+    case core::MsgType::kTxConfirm: {
+      auto msg = core::TxConfirm::deserialize(payload);
+      if (!msg.ok()) return msg.error();
+      return msg.value().client_id;
+    }
+    default:
+      return Error{Err::kInvalidArgument,
+                   "frame type carries no client id"};
+  }
+}
+
+}  // namespace tp::svc

@@ -1,0 +1,52 @@
+// Client-to-shard routing.
+//
+// All SP state is keyed by client id (pending challenges, enrolled keys,
+// replay cache), so partitioning clients by a stable hash gives each shard
+// a disjoint slice of state and lets the existing single-threaded
+// ServiceProvider run unmodified inside its shard -- the SEDAT-style
+// "embarrassingly parallel per device" observation. FNV-1a is used for its
+// good avalanche on short id strings (std::hash makes no cross-platform
+// distribution promise).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tp::svc {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t num_shards)
+      : num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+  std::size_t num_shards() const { return num_shards_; }
+
+  std::size_t shard_for(std::string_view client_id) const {
+    return static_cast<std::size_t>(hash(client_id) % num_shards_);
+  }
+
+  /// FNV-1a 64-bit.
+  static std::uint64_t hash(std::string_view s) {
+    std::uint64_t h = 14695981039346656037ull;
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  /// Peeks the client id out of a request frame without fully handling
+  /// it, for callers that hold only opaque frames (e.g. a network front
+  /// end). Fails on malformed frames and on message types that carry no
+  /// client id (responses).
+  static Result<std::string> client_id_of(BytesView frame);
+
+ private:
+  std::size_t num_shards_;
+};
+
+}  // namespace tp::svc

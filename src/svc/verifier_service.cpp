@@ -1,0 +1,211 @@
+#include "svc/verifier_service.h"
+
+#include <utility>
+
+#include "util/log.h"
+
+namespace tp::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_between(Clock::time_point from, Clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+std::future<SvcResponse> immediate(SvcStatus status) {
+  std::promise<SvcResponse> promise;
+  auto future = promise.get_future();
+  promise.set_value(SvcResponse{status, {}});
+  return future;
+}
+
+}  // namespace
+
+VerifierService::VerifierService(SvcConfig config)
+    : config_(std::move(config)),
+      router_(config_.num_workers == 0 ? 1 : config_.num_workers) {
+  if (config_.metrics != nullptr) {
+    registry_ = config_.metrics;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  c_submitted_ = &registry_->counter("svc.requests_submitted");
+  c_completed_ = &registry_->counter("svc.requests_completed");
+  c_expired_ = &registry_->counter("svc.deadline_expired");
+  c_rejected_full_ = &registry_->counter("svc.rejected_queue_full");
+  c_rejected_shutdown_ = &registry_->counter("svc.rejected_shutdown");
+  c_backpressure_waits_ = &registry_->counter("svc.backpressure_waits");
+  h_queue_wait_ = &registry_->histogram("svc.queue_wait_ns");
+  h_handle_ = &registry_->histogram("svc.handle_ns");
+  h_request_ = &registry_->histogram("svc.request_ns");
+
+  const std::size_t n = router_.num_shards();
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    sp::SpConfig sp_config = config_.sp;
+    // Distinct nonce stream and metrics namespace per shard.
+    sp_config.seed =
+        concat(sp_config.seed, bytes_of(":shard" + std::to_string(i)));
+    sp_config.metrics = registry_;
+    sp_config.metrics_prefix = "sp.shard" + std::to_string(i);
+    shard->sp = std::make_unique<sp::ServiceProvider>(std::move(sp_config));
+    shard->queue =
+        std::make_unique<BoundedQueue<Request>>(config_.queue_depth);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+VerifierService::~VerifierService() { drain(); }
+
+void VerifierService::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  discard_remaining_.store(false, std::memory_order_release);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->worker = std::thread([this, i] { worker_loop(i); });
+  }
+  accepting_.store(true, std::memory_order_release);
+  TP_LOG(kInfo, "svc") << "verifier service started: "
+                       << shards_.size() << " shard(s), queue depth "
+                       << config_.queue_depth;
+}
+
+std::future<SvcResponse> VerifierService::enqueue(
+    const std::string& client_id, Bytes frame, Clock::time_point deadline,
+    bool blocking) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    c_rejected_shutdown_->inc();
+    return immediate(SvcStatus::kShutdown);
+  }
+  Request request;
+  request.frame = std::move(frame);
+  request.enqueued = Clock::now();
+  request.deadline = deadline;
+  auto future = request.promise.get_future();
+  c_submitted_->inc();
+
+  auto& queue = *shards_[router_.shard_for(client_id)]->queue;
+  if (blocking) {
+    if (!queue.try_push(std::move(request))) {
+      // Full (or closing): record the backpressure event, then block.
+      // try_push leaves `request` intact on failure, so the retry below
+      // pushes the same promise.
+      c_backpressure_waits_->inc();
+      if (!queue.push(std::move(request))) {
+        c_rejected_shutdown_->inc();
+        return immediate(SvcStatus::kShutdown);
+      }
+    }
+  } else if (!queue.try_push(std::move(request))) {
+    if (queue.closed()) {
+      c_rejected_shutdown_->inc();
+      return immediate(SvcStatus::kShutdown);
+    }
+    c_rejected_full_->inc();
+    return immediate(SvcStatus::kQueueFull);
+  }
+  return future;
+}
+
+std::future<SvcResponse> VerifierService::submit(const std::string& client_id,
+                                                 Bytes frame) {
+  Clock::time_point deadline{};  // epoch == no deadline
+  if (config_.default_deadline.count() > 0) {
+    deadline = Clock::now() + config_.default_deadline;
+  }
+  return enqueue(client_id, std::move(frame), deadline, /*blocking=*/true);
+}
+
+std::future<SvcResponse> VerifierService::submit(const std::string& client_id,
+                                                 Bytes frame,
+                                                 Clock::time_point deadline) {
+  return enqueue(client_id, std::move(frame), deadline, /*blocking=*/true);
+}
+
+std::future<SvcResponse> VerifierService::try_submit(
+    const std::string& client_id, Bytes frame) {
+  Clock::time_point deadline{};
+  if (config_.default_deadline.count() > 0) {
+    deadline = Clock::now() + config_.default_deadline;
+  }
+  return enqueue(client_id, std::move(frame), deadline, /*blocking=*/false);
+}
+
+SvcResponse VerifierService::call(const std::string& client_id,
+                                  BytesView frame) {
+  return submit(client_id, Bytes(frame.begin(), frame.end())).get();
+}
+
+void VerifierService::worker_loop(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  while (auto popped = shard.queue->pop()) {
+    Request request = std::move(*popped);
+    const auto start = Clock::now();
+    h_queue_wait_->record(ns_between(request.enqueued, start));
+
+    if (discard_remaining_.load(std::memory_order_acquire)) {
+      c_rejected_shutdown_->inc();
+      request.promise.set_value(SvcResponse{SvcStatus::kShutdown, {}});
+      continue;
+    }
+    if (request.deadline != Clock::time_point{} &&
+        start > request.deadline) {
+      c_expired_->inc();
+      request.promise.set_value(SvcResponse{SvcStatus::kDeadlineExpired, {}});
+      continue;
+    }
+
+    Bytes response;
+    {
+      obs::ScopedTimer timer(*h_handle_);
+      response = shard.sp->handle_frame(request.frame);
+    }
+    if (config_.simulated_backend_latency.count() > 0) {
+      std::this_thread::sleep_for(config_.simulated_backend_latency);
+    }
+    c_completed_->inc();
+    h_request_->record(ns_between(request.enqueued, Clock::now()));
+    request.promise.set_value(SvcResponse{SvcStatus::kOk, std::move(response)});
+  }
+}
+
+void VerifierService::stop_workers(bool process_remaining) {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  accepting_.store(false, std::memory_order_release);
+  discard_remaining_.store(!process_remaining, std::memory_order_release);
+  for (auto& shard : shards_) shard->queue->close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  TP_LOG(kInfo, "svc") << "verifier service stopped ("
+                       << (process_remaining ? "drained" : "aborted") << ", "
+                       << c_completed_->value() << " requests served)";
+}
+
+void VerifierService::drain() { stop_workers(/*process_remaining=*/true); }
+
+void VerifierService::shutdown_now() {
+  stop_workers(/*process_remaining=*/false);
+}
+
+sp::SpStats VerifierService::stats() const {
+  sp::SpStats total;
+  for (const auto& shard : shards_) {
+    const sp::SpStats s = shard->sp->stats_snapshot();
+    total.enrolled += s.enrolled;
+    total.enroll_rejected += s.enroll_rejected;
+    total.tx_accepted += s.tx_accepted;
+    total.tx_rejected += s.tx_rejected;
+    for (const auto& [reason, count] : s.reject_reasons) {
+      total.reject_reasons[reason] += count;
+    }
+  }
+  return total;
+}
+
+}  // namespace tp::svc

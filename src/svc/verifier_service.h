@@ -1,0 +1,171 @@
+// Concurrent verifier service: the SP's serving runtime.
+//
+// The protocol logic (ServiceProvider) is strictly sequential by design --
+// its correctness argument leans on one-shot challenge maps and a replay
+// cache with no interleavings to reason about. This runtime scales it the
+// way SEDAT scales attestation verification: partition clients across N
+// shards (hash of client id), give each shard its own ServiceProvider and
+// its own worker thread, and feed the shards through bounded queues.
+// Within a shard everything stays single-threaded; across shards there is
+// no shared protocol state at all. The service adds the serving concerns
+// the paper's evaluation abstracts away: backpressure, per-request
+// deadlines, graceful drain, and metrics.
+//
+// Thread-safety contract:
+//   - submit()/try_submit()/call() are safe from any number of threads.
+//   - shard_sp() must only be touched while the service is NOT running
+//     (before start() or after drain()/shutdown_now()).
+//   - metrics()/stats() are safe at any time (atomic snapshots).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sp/service_provider.h"
+#include "svc/bounded_queue.h"
+#include "svc/shard_router.h"
+#include "util/bytes.h"
+
+namespace tp::svc {
+
+enum class SvcStatus : std::uint8_t {
+  kOk = 0,          // frame holds the SP's response
+  kDeadlineExpired, // request sat in the queue past its deadline
+  kQueueFull,       // try_submit with the shard queue at capacity
+  kShutdown,        // service not running / draining
+};
+
+constexpr const char* svc_status_name(SvcStatus s) {
+  switch (s) {
+    case SvcStatus::kOk: return "ok";
+    case SvcStatus::kDeadlineExpired: return "deadline_expired";
+    case SvcStatus::kQueueFull: return "queue_full";
+    case SvcStatus::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+struct SvcResponse {
+  SvcStatus status = SvcStatus::kShutdown;
+  Bytes frame;  // SP response frame; empty unless status == kOk
+};
+
+struct SvcConfig {
+  std::size_t num_workers = 4;  // == number of SP shards
+  std::size_t queue_depth = 256;  // per-shard bound (backpressure point)
+  /// Applied to requests submitted without an explicit deadline;
+  /// zero means no deadline.
+  std::chrono::milliseconds default_deadline{0};
+  /// Models the per-request backing-store commit (ledger write / DB round
+  /// trip) a deployed SP performs after verification -- the same
+  /// calibrated-latency methodology the rest of the repo uses, in real
+  /// time because this layer is real-threaded. Zero (default) disables
+  /// it. With it on, worker scaling measures latency hiding, which is the
+  /// regime that matters on an oversubscribed or single-core host where
+  /// CPU-bound work cannot speed up.
+  std::chrono::microseconds simulated_backend_latency{0};
+  /// Template for every shard's ServiceProvider (the shard index is mixed
+  /// into the nonce seed and the metrics prefix).
+  sp::SpConfig sp;
+  /// External registry; nullptr -> the service owns a private one.
+  obs::Registry* metrics = nullptr;
+};
+
+class VerifierService {
+ public:
+  explicit VerifierService(SvcConfig config);
+  ~VerifierService();
+
+  VerifierService(const VerifierService&) = delete;
+  VerifierService& operator=(const VerifierService&) = delete;
+
+  /// Launches the worker threads. Idempotent while running.
+  void start();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t shard_for(std::string_view client_id) const {
+    return router_.shard_for(client_id);
+  }
+
+  /// Routes the frame to its client's shard. Blocks for backpressure when
+  /// the shard queue is full. The future always resolves exactly once.
+  std::future<SvcResponse> submit(const std::string& client_id, Bytes frame);
+  std::future<SvcResponse> submit(
+      const std::string& client_id, Bytes frame,
+      std::chrono::steady_clock::time_point deadline);
+
+  /// Like submit(), but fails fast with kQueueFull instead of blocking.
+  std::future<SvcResponse> try_submit(const std::string& client_id,
+                                      Bytes frame);
+
+  /// Synchronous convenience: submit and wait. Never deadlocks -- if the
+  /// service is not running the response is an immediate kShutdown.
+  SvcResponse call(const std::string& client_id, BytesView frame);
+
+  /// Graceful shutdown: stop accepting, let workers finish every queued
+  /// request, join. Safe to call twice or on a never-started service.
+  void drain();
+
+  /// Fast shutdown: stop accepting, fail still-queued requests with
+  /// kShutdown (their futures still resolve), join.
+  void shutdown_now();
+
+  /// Direct shard access for setup/inspection; see thread-safety contract.
+  sp::ServiceProvider& shard_sp(std::size_t i) { return *shards_[i]->sp; }
+
+  obs::Registry& metrics() { return *registry_; }
+
+  /// Protocol stats aggregated across all shards (safe while running).
+  sp::SpStats stats() const;
+
+ private:
+  struct Request {
+    Bytes frame;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;  // epoch == none
+    std::promise<SvcResponse> promise;
+  };
+
+  struct Shard {
+    std::unique_ptr<sp::ServiceProvider> sp;
+    std::unique_ptr<BoundedQueue<Request>> queue;
+    std::thread worker;
+  };
+
+  std::future<SvcResponse> enqueue(const std::string& client_id, Bytes frame,
+                                   std::chrono::steady_clock::time_point
+                                       deadline,
+                                   bool blocking);
+  void worker_loop(std::size_t shard_index);
+  void stop_workers(bool process_remaining);
+
+  SvcConfig config_;
+  ShardRouter router_;
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> discard_remaining_{false};
+
+  // Hot-path instruments, resolved once at construction.
+  obs::Counter* c_submitted_;
+  obs::Counter* c_completed_;
+  obs::Counter* c_expired_;
+  obs::Counter* c_rejected_full_;
+  obs::Counter* c_rejected_shutdown_;
+  obs::Counter* c_backpressure_waits_;
+  obs::Histogram* h_queue_wait_;
+  obs::Histogram* h_handle_;
+  obs::Histogram* h_request_;
+};
+
+}  // namespace tp::svc

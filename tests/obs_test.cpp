@@ -1,0 +1,127 @@
+// Metrics layer: counters, histograms, registry, scoped timers.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace tp::obs {
+namespace {
+
+TEST(Counter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, SaturatesInsteadOfWrapping) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  Counter c;
+  c.inc(kMax - 1);
+  c.inc(5);  // would wrap to 3
+  EXPECT_EQ(c.value(), kMax);
+  c.inc();
+  EXPECT_EQ(c.value(), kMax);
+}
+
+TEST(Counter, ConcurrentIncrementsAllLand) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Histogram, AggregatesAndPercentiles) {
+  Histogram h;
+  // 1..100 us in nanoseconds: p50 ~ 50us, p99 ~ 99us.
+  for (std::uint64_t us = 1; us <= 100; ++us) h.record(us * 1000);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.min, 1000u);
+  EXPECT_EQ(s.max, 100'000u);
+  EXPECT_NEAR(s.mean(), 50'500.0, 1.0);
+  // Geometric buckets (ratio 1.25): estimates within ~30%.
+  EXPECT_NEAR(static_cast<double>(s.p50()), 50'000.0, 16'000.0);
+  EXPECT_NEAR(static_cast<double>(s.p99()), 99'000.0, 30'000.0);
+  EXPECT_LE(s.p50(), s.p95());
+  EXPECT_LE(s.p95(), s.p99());
+}
+
+TEST(Histogram, OutOfRangeValuesStayCounted) {
+  Histogram h(Histogram::Options{.lowest = 1000, .highest = 10'000});
+  h.record(0);
+  h.record(1'000'000'000);  // above `highest` -> +inf bucket
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 1'000'000'000u);
+  EXPECT_EQ(s.buckets.back(), 1u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5000);
+  h.reset();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.percentile(0.5), 0u);
+}
+
+TEST(Registry, SameNameSameInstrument) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  a.inc();
+  EXPECT_EQ(reg.counter("x").value(), 1u);
+  EXPECT_NE(&reg.counter("x"), &reg.counter("y"));
+  Histogram& h = reg.histogram("lat");
+  h.record(123);
+  EXPECT_EQ(reg.histogram("lat").count(), 1u);
+}
+
+TEST(Registry, PrefixTotalsAndReset) {
+  Registry reg;
+  reg.counter("sp.reject.bad_sig").inc(3);
+  reg.counter("sp.reject.replay").inc(2);
+  reg.counter("svc.completed").inc(7);
+  EXPECT_EQ(reg.counter_total("sp.reject."), 5u);
+  EXPECT_EQ(reg.counter_total(""), 12u);
+  reg.reset("sp.");
+  EXPECT_EQ(reg.counter_total("sp.reject."), 0u);
+  EXPECT_EQ(reg.counter("svc.completed").value(), 7u);
+}
+
+TEST(Registry, JsonDumpContainsInstruments) {
+  Registry reg;
+  reg.counter("svc.requests").inc(3);
+  reg.histogram("svc.request_ns").record(42'000);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"svc.requests\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"svc.request_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(ScopedTimer, RecordsElapsed) {
+  Registry reg;
+  Histogram& h = reg.histogram("t");
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace tp::obs

@@ -291,5 +291,35 @@ TEST(ServiceProviderTest, StatsTrackRejectReasons) {
   EXPECT_EQ(world.sp().stats().enroll_rejected, 1u);
 }
 
+TEST(ServiceProviderTest, StatsResetGivesCleanPhaseMeasurements) {
+  Deployment world(fast_config());
+  core::EnrollComplete msg;
+  msg.client_id = "ghost";
+  (void)world.sp().complete_enrollment(msg);
+  core::TxConfirm confirm;
+  confirm.client_id = "ghost";
+  confirm.tx_id = 1234;
+  (void)world.sp().complete_transaction(confirm);
+  ASSERT_EQ(world.sp().stats().enroll_rejected, 1u);
+  ASSERT_EQ(world.sp().stats().tx_rejected, 1u);
+
+  world.sp().reset_stats();
+  const SpStats& stats = world.sp().stats();
+  EXPECT_EQ(stats.enroll_rejected, 0u);
+  EXPECT_EQ(stats.tx_rejected, 0u);
+  EXPECT_TRUE(stats.reject_reasons.empty());
+
+  // The struct itself resets too (for snapshot copies held by benches).
+  SpStats copy = world.sp().stats_snapshot();
+  copy.tx_accepted = 7;
+  copy.reset();
+  EXPECT_EQ(copy.tx_accepted, 0u);
+  EXPECT_TRUE(copy.reject_reasons.empty());
+
+  // And the latency histograms are registry-backed alongside.
+  (void)world.sp().complete_transaction(confirm);
+  EXPECT_EQ(world.sp().stats().tx_rejected, 1u);
+}
+
 }  // namespace
 }  // namespace tp::sp
