@@ -104,6 +104,46 @@ void BM_RsaVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_RsaVerify)->Arg(1024)->Arg(2048);
 
+// The SP's hot path: one RsaVerifyContext per enrolled key, reused for
+// every confirmation. Compare against BM_RsaVerify (per-call Montgomery
+// setup) and BM_RsaVerifyCtxWindowed (the seed's windowed exponentiation,
+// isolating the small-exponent win).
+void BM_RsaVerifyCtx(benchmark::State& state) {
+  const auto& key = key_of(static_cast<std::size_t>(state.range(0)));
+  const RsaVerifyContext ctx(key.public_key());
+  const Bytes msg = bytes_of("confirmation statement");
+  const Bytes sig = rsa_sign(key, HashAlg::kSha256, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.verify(HashAlg::kSha256, msg, sig));
+  }
+  state.SetLabel("cached per-key Montgomery ctx");
+}
+BENCHMARK(BM_RsaVerifyCtx)->Arg(1024)->Arg(2048);
+
+void BM_RsaVerifyCtxWindowed(benchmark::State& state) {
+  // e = 65537 forced through the 4-bit windowed path with a cached ctx:
+  // the exponentiation the seed performed, minus its per-call setup.
+  const auto& key = key_of(static_cast<std::size_t>(state.range(0)));
+  const MontgomeryCtx ctx(key.n);
+  const Bytes msg = bytes_of("confirmation statement");
+  const Bytes sig = rsa_sign(key, HashAlg::kSha256, msg);
+  const BigInt s = BigInt::from_bytes_be(sig);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.mod_exp_windowed(s, key.e));
+  }
+  state.SetLabel("windowed e=65537 (legacy path)");
+}
+BENCHMARK(BM_RsaVerifyCtxWindowed)->Arg(1024)->Arg(2048);
+
+void BM_MontgomeryCtxSetup(benchmark::State& state) {
+  // The per-verify cost the per-key cache removes (R^2 mod n division).
+  const auto& key = key_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MontgomeryCtx(key.n));
+  }
+}
+BENCHMARK(BM_MontgomeryCtxSetup)->Arg(1024)->Arg(2048);
+
 void BM_RsaKeygen(benchmark::State& state) {
   auto rand = entropy("keygen-bench");
   for (auto _ : state) {
@@ -124,6 +164,23 @@ void BM_ModExp2048(benchmark::State& state) {
   state.SetLabel("full 2048-bit exponent");
 }
 BENCHMARK(BM_ModExp2048)->Unit(benchmark::kMillisecond);
+
+void BM_ModExpSmallExponent(benchmark::State& state) {
+  // Small-exponent square-and-multiply vs the windowed path, same cached
+  // ctx, e = 65537 (every RSA verify exponent in practice).
+  auto rand = entropy("modexp-small");
+  const BigInt m = key_of(2048).n;
+  const MontgomeryCtx ctx(m);
+  const BigInt base = BigInt::from_bytes_be(rand(256)) % m;
+  const BigInt e65537(65537);
+  const bool windowed = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(windowed ? ctx.mod_exp_windowed(base, e65537)
+                                      : ctx.mod_exp(base, e65537));
+  }
+  state.SetLabel(windowed ? "windowed" : "small-exp fast path");
+}
+BENCHMARK(BM_ModExpSmallExponent)->Arg(0)->Arg(1);
 
 void BM_HmacDrbg(benchmark::State& state) {
   HmacDrbg drbg(bytes_of("seed"));

@@ -136,6 +136,32 @@ static void BM_ConfirmationVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_ConfirmationVerify)->Arg(1024)->Arg(2048);
 
+static void BM_ConfirmationVerifyCtx(benchmark::State& state) {
+  // The fast path the SP actually runs since the enrollment-time
+  // RsaVerifyContext cache: same statement rebuild + verify as
+  // BM_ConfirmationVerify, minus the per-call Montgomery setup.
+  const std::size_t key_bits = static_cast<std::size_t>(state.range(0));
+  auto drbg = std::make_shared<crypto::HmacDrbg>(bytes_of("f3v"));
+  auto rand = [drbg](std::size_t len) { return drbg->generate(len); };
+  const crypto::RsaPrivateKey key = crypto::rsa_generate(key_bits, rand);
+
+  TxSubmit submit{"c", "pay 10", Bytes(64, 1)};
+  const Bytes nonce = rand(20);
+  const Bytes statement =
+      confirmation_statement(submit.digest(), nonce, Verdict::kConfirmed);
+  const Bytes sig = crypto::rsa_sign(key, crypto::HashAlg::kSha256, statement);
+  const crypto::RsaVerifyContext ctx(key.public_key());
+
+  for (auto _ : state) {
+    const Bytes st =
+        confirmation_statement(submit.digest(), nonce, Verdict::kConfirmed);
+    benchmark::DoNotOptimize(ctx.verify(crypto::HashAlg::kSha256, st, sig));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("cached per-key verify ctx");
+}
+BENCHMARK(BM_ConfirmationVerifyCtx)->Arg(1024)->Arg(2048);
+
 static void BM_SpAcceptPath(benchmark::State& state) {
   static Fixture fixture;  // shared across runs: enrollment amortized
   constexpr int kBatch = 64;

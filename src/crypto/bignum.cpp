@@ -280,120 +280,144 @@ BigInt BigInt::mod_mul(const BigInt& a, const BigInt& b, const BigInt& m) {
   return (a * b) % m;
 }
 
-namespace {
-
-// Montgomery context for an odd modulus (CIOS multiplication).
-class Montgomery {
- public:
-  explicit Montgomery(const BigInt& m) : m_(m), n_(m.limbs().size()) {
-    // n0inv = -m^{-1} mod 2^32 via Newton iteration on 2-adic inverse.
-    std::uint32_t inv = 1;
-    const std::uint32_t m0 = m.limbs()[0];
-    for (int i = 0; i < 5; ++i) inv *= 2 - m0 * inv;
-    n0inv_ = ~inv + 1;  // negate mod 2^32
-
-    // R^2 mod m where R = 2^(32n): square-by-doubling.
-    BigInt r2 = BigInt(1) << (32 * n_);
-    r2 = r2 % m_;
-    r2 = (r2 * r2) % m_;
-    r2_ = to_vec(r2);
-    one_ = to_vec(BigInt(1));
+MontgomeryCtx::MontgomeryCtx(const BigInt& m)
+    : m_(m), n_(m.limbs().size()) {
+  if (m.is_even() || m < BigInt(3)) {
+    throw std::domain_error("MontgomeryCtx: modulus must be odd and >= 3");
   }
+  // n0inv = -m^{-1} mod 2^32 via Newton iteration on 2-adic inverse.
+  std::uint32_t inv = 1;
+  const std::uint32_t m0 = m.limbs()[0];
+  for (int i = 0; i < 5; ++i) inv *= 2 - m0 * inv;
+  n0inv_ = ~inv + 1;  // negate mod 2^32
 
-  std::vector<std::uint32_t> to_vec(const BigInt& v) const {
-    std::vector<std::uint32_t> out(v.limbs());
-    out.resize(n_, 0);
-    return out;
-  }
-
-  // Montgomery product: result = a * b * R^{-1} mod m (all length n_).
-  std::vector<std::uint32_t> mul(const std::vector<std::uint32_t>& a,
-                                 const std::vector<std::uint32_t>& b) const {
-    const auto& m = m_.limbs();
-    std::vector<std::uint32_t> t(n_ + 2, 0);
-    for (std::size_t i = 0; i < n_; ++i) {
-      // t += a[i] * b
-      std::uint64_t carry = 0;
-      for (std::size_t j = 0; j < n_; ++j) {
-        const std::uint64_t cur = static_cast<std::uint64_t>(t[j]) +
-                                  static_cast<std::uint64_t>(a[i]) * b[j] +
-                                  carry;
-        t[j] = static_cast<std::uint32_t>(cur);
-        carry = cur >> 32;
-      }
-      std::uint64_t cur = static_cast<std::uint64_t>(t[n_]) + carry;
-      t[n_] = static_cast<std::uint32_t>(cur);
-      t[n_ + 1] = static_cast<std::uint32_t>(cur >> 32);
-
-      // u = t[0] * n0inv mod 2^32; t += u * m; t >>= 32
-      const std::uint32_t u = t[0] * n0inv_;
-      carry = 0;
-      std::uint64_t sum = static_cast<std::uint64_t>(t[0]) +
-                          static_cast<std::uint64_t>(u) * m[0];
-      carry = sum >> 32;
-      for (std::size_t j = 1; j < n_; ++j) {
-        sum = static_cast<std::uint64_t>(t[j]) +
-              static_cast<std::uint64_t>(u) * m[j] + carry;
-        t[j - 1] = static_cast<std::uint32_t>(sum);
-        carry = sum >> 32;
-      }
-      sum = static_cast<std::uint64_t>(t[n_]) + carry;
-      t[n_ - 1] = static_cast<std::uint32_t>(sum);
-      t[n_] = t[n_ + 1] + static_cast<std::uint32_t>(sum >> 32);
-      t[n_ + 1] = 0;
-    }
-
-    t.resize(n_ + 1);
-    // Conditional final subtraction.
-    bool ge = t[n_] != 0;
-    if (!ge) {
-      ge = true;
-      for (std::size_t i = n_; i-- > 0;) {
-        if (t[i] != m[i]) {
-          ge = t[i] > m[i];
-          break;
-        }
-      }
-    }
-    t.resize(n_);
-    if (ge) {
-      std::int64_t borrow = 0;
-      for (std::size_t i = 0; i < n_; ++i) {
-        const std::int64_t d = static_cast<std::int64_t>(t[i]) -
-                               static_cast<std::int64_t>(m[i]) - borrow;
-        t[i] = static_cast<std::uint32_t>(d);
-        borrow = d < 0 ? 1 : 0;
-      }
-    }
-    return t;
-  }
-
-  const std::vector<std::uint32_t>& r2() const { return r2_; }
-  const std::vector<std::uint32_t>& one() const { return one_; }
-
- private:
-  BigInt m_;
-  std::size_t n_;
-  std::uint32_t n0inv_;
-  std::vector<std::uint32_t> r2_;
-  std::vector<std::uint32_t> one_;
-};
-
-BigInt vec_to_bigint(std::vector<std::uint32_t> v) {
-  return BigInt::from_bytes_be([&] {
-    // Convert little-endian limbs to big-endian bytes.
-    Bytes out(v.size() * 4);
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      for (int b = 0; b < 4; ++b) {
-        out[out.size() - 1 - (4 * i + static_cast<std::size_t>(b))] =
-            static_cast<std::uint8_t>(v[i] >> (8 * b));
-      }
-    }
-    return out;
-  }());
+  // R^2 mod m where R = 2^(32n): square-by-doubling.
+  BigInt r2 = BigInt(1) << (32 * n_);
+  r2 = r2 % m_;
+  r2 = (r2 * r2) % m_;
+  r2_ = to_vec(r2);
+  one_ = to_vec(BigInt(1));
 }
 
-}  // namespace
+MontgomeryCtx::Limbs MontgomeryCtx::to_vec(const BigInt& v) const {
+  Limbs out(v.limbs());
+  out.resize(n_, 0);
+  return out;
+}
+
+MontgomeryCtx::Limbs MontgomeryCtx::mul(const Limbs& a,
+                                        const Limbs& b) const {
+  const auto& m = m_.limbs();
+  Limbs t(n_ + 2, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    // t += a[i] * b
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(t[j]) +
+                                static_cast<std::uint64_t>(a[i]) * b[j] +
+                                carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = static_cast<std::uint64_t>(t[n_]) + carry;
+    t[n_] = static_cast<std::uint32_t>(cur);
+    t[n_ + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+    // u = t[0] * n0inv mod 2^32; t += u * m; t >>= 32
+    const std::uint32_t u = t[0] * n0inv_;
+    carry = 0;
+    std::uint64_t sum = static_cast<std::uint64_t>(t[0]) +
+                        static_cast<std::uint64_t>(u) * m[0];
+    carry = sum >> 32;
+    for (std::size_t j = 1; j < n_; ++j) {
+      sum = static_cast<std::uint64_t>(t[j]) +
+            static_cast<std::uint64_t>(u) * m[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(sum);
+      carry = sum >> 32;
+    }
+    sum = static_cast<std::uint64_t>(t[n_]) + carry;
+    t[n_ - 1] = static_cast<std::uint32_t>(sum);
+    t[n_] = t[n_ + 1] + static_cast<std::uint32_t>(sum >> 32);
+    t[n_ + 1] = 0;
+  }
+
+  t.resize(n_ + 1);
+  // Conditional final subtraction.
+  bool ge = t[n_] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = n_; i-- > 0;) {
+      if (t[i] != m[i]) {
+        ge = t[i] > m[i];
+        break;
+      }
+    }
+  }
+  t.resize(n_);
+  if (ge) {
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const std::int64_t d = static_cast<std::int64_t>(t[i]) -
+                             static_cast<std::int64_t>(m[i]) - borrow;
+      t[i] = static_cast<std::uint32_t>(d);
+      borrow = d < 0 ? 1 : 0;
+    }
+  }
+  return t;
+}
+
+BigInt MontgomeryCtx::pow_small(const Limbs& base_mont,
+                                const BigInt& exp) const {
+  // Left-to-right square-and-multiply: for a k-bit exponent, k-1
+  // squarings plus one multiply per set bit, and no table precompute.
+  // At e = 65537 that is 17 muls vs the windowed path's ~40.
+  auto acc = base_mont;
+  for (std::size_t i = exp.bit_length() - 1; i-- > 0;) {
+    acc = mul(acc, acc);
+    if (exp.bit(i)) acc = mul(acc, base_mont);
+  }
+  acc = mul(acc, one_);  // out of Montgomery form
+  return BigInt::from_limbs(std::move(acc));
+}
+
+BigInt MontgomeryCtx::pow_windowed(const Limbs& base_mont,
+                                   const BigInt& exp) const {
+  // 4-bit fixed windows: b^0..b^15 precomputed in Montgomery form.
+  std::vector<Limbs> table(16);
+  table[0] = mul(one_, r2_);  // 1 in Montgomery form
+  table[1] = base_mont;
+  for (std::size_t i = 2; i < 16; ++i) {
+    table[i] = mul(table[i - 1], base_mont);
+  }
+
+  const std::size_t bits = exp.bit_length();
+  const std::size_t windows = (bits + 3) / 4;
+  auto acc = table[0];
+  for (std::size_t w = windows; w-- > 0;) {
+    for (int s = 0; s < 4; ++s) acc = mul(acc, acc);
+    std::size_t idx = 0;
+    for (int s = 3; s >= 0; --s) {
+      idx = (idx << 1) |
+            (exp.bit(w * 4 + static_cast<std::size_t>(s)) ? 1u : 0u);
+    }
+    if (idx != 0) acc = mul(acc, table[idx]);
+  }
+  acc = mul(acc, one_);  // out of Montgomery form
+  return BigInt::from_limbs(std::move(acc));
+}
+
+BigInt MontgomeryCtx::mod_exp(const BigInt& base, const BigInt& exp) const {
+  if (exp.is_zero()) return BigInt(1);
+  const Limbs base_mont = mul(to_vec(base % m_), r2_);
+  return exp.bit_length() <= kSmallExpBits ? pow_small(base_mont, exp)
+                                           : pow_windowed(base_mont, exp);
+}
+
+BigInt MontgomeryCtx::mod_exp_windowed(const BigInt& base,
+                                       const BigInt& exp) const {
+  if (exp.is_zero()) return BigInt(1);
+  return pow_windowed(mul(to_vec(base % m_), r2_), exp);
+}
 
 BigInt BigInt::mod_exp(const BigInt& base, const BigInt& exp,
                        const BigInt& m) {
@@ -404,33 +428,7 @@ BigInt BigInt::mod_exp(const BigInt& base, const BigInt& exp,
   const BigInt b = base % m;
 
   if (m.is_odd()) {
-    // Montgomery ladder with 4-bit fixed windows.
-    Montgomery mont(m);
-    const auto b_mont = mont.mul(mont.to_vec(b), mont.r2());
-
-    // Precompute b^0..b^15 in Montgomery form.
-    std::vector<std::vector<std::uint32_t>> table(16);
-    table[0] = mont.mul(mont.one(), mont.r2());  // 1 in Montgomery form
-    table[1] = b_mont;
-    for (std::size_t i = 2; i < 16; ++i) {
-      table[i] = mont.mul(table[i - 1], b_mont);
-    }
-
-    const std::size_t bits = exp.bit_length();
-    const std::size_t windows = (bits + 3) / 4;
-    auto acc = table[0];
-    for (std::size_t w = windows; w-- > 0;) {
-      for (int s = 0; s < 4; ++s) acc = mont.mul(acc, acc);
-      std::size_t idx = 0;
-      for (int s = 3; s >= 0; --s) {
-        idx = (idx << 1) |
-              (exp.bit(w * 4 + static_cast<std::size_t>(s)) ? 1u : 0u);
-      }
-      if (idx != 0) acc = mont.mul(acc, table[idx]);
-    }
-    // Convert out of Montgomery form.
-    acc = mont.mul(acc, mont.one());
-    return vec_to_bigint(std::move(acc));
+    return MontgomeryCtx(m).mod_exp(b, exp);
   }
 
   // Even modulus (rare; not an RSA case): plain square-and-multiply.

@@ -86,10 +86,58 @@ class BigInt {
   const std::vector<std::uint32_t>& limbs() const { return limbs_; }
 
  private:
+  friend class MontgomeryCtx;
+
   void normalize();
   static BigInt from_limbs(std::vector<std::uint32_t> limbs);
 
   std::vector<std::uint32_t> limbs_;  // little-endian, normalized
+};
+
+/// Reusable Montgomery context for a fixed odd modulus m >= 3 (CIOS
+/// multiplication). Construction precomputes n0inv = -m^{-1} mod 2^32 and
+/// R^2 mod m (one full-width division) — the expensive, per-modulus part
+/// of a modular exponentiation. Callers that exponentiate repeatedly
+/// against the same modulus (RSA verification at the SP) build one ctx
+/// per key and amortize that setup across every call.
+///
+/// Immutable after construction; safe to share across threads for
+/// concurrent mod_exp calls.
+class MontgomeryCtx {
+ public:
+  /// Exponents of at most this many bits take the plain left-to-right
+  /// square-and-multiply path, skipping the windowed path's 16-entry
+  /// table precompute (a win for every fixed RSA public exponent:
+  /// e = 3, 17, 65537 all land far below the bound).
+  static constexpr std::size_t kSmallExpBits = 24;
+
+  /// Throws std::domain_error unless m is odd and >= 3.
+  explicit MontgomeryCtx(const BigInt& m);
+
+  const BigInt& modulus() const { return m_; }
+
+  /// base^exp mod m. Auto-selects: plain square-and-multiply when
+  /// exp.bit_length() <= kSmallExpBits, 4-bit fixed windows otherwise.
+  BigInt mod_exp(const BigInt& base, const BigInt& exp) const;
+
+  /// The 4-bit windowed path unconditionally (exposed so tests and
+  /// benches can compare it against the small-exponent path).
+  BigInt mod_exp_windowed(const BigInt& base, const BigInt& exp) const;
+
+ private:
+  using Limbs = std::vector<std::uint32_t>;
+
+  Limbs to_vec(const BigInt& v) const;
+  /// Montgomery product: a * b * R^{-1} mod m (all vectors length n_).
+  Limbs mul(const Limbs& a, const Limbs& b) const;
+  BigInt pow_small(const Limbs& base_mont, const BigInt& exp) const;
+  BigInt pow_windowed(const Limbs& base_mont, const BigInt& exp) const;
+
+  BigInt m_;
+  std::size_t n_;        // limb count of m
+  std::uint32_t n0inv_;  // -m^{-1} mod 2^32
+  Limbs r2_;             // R^2 mod m, R = 2^(32 n_)
+  Limbs one_;            // 1, zero-padded to n_ limbs
 };
 
 }  // namespace tp::crypto

@@ -147,6 +147,23 @@ Bytes rsa_sign(const RsaPrivateKey& key, HashAlg alg, BytesView message) {
   return s.to_bytes_be(k);
 }
 
+namespace {
+
+// Shared tail of signature verification: compare the recovered message
+// representative against the expected EMSA-PKCS1-v1_5 encoding.
+Status check_recovered(const BigInt& m, HashAlg alg, BytesView message,
+                       std::size_t k) {
+  const Bytes em = m.to_bytes_be(k);
+  auto expected = emsa_encode(alg, message, k);
+  if (!expected.ok()) return expected.error();
+  if (!ct_equal(em, expected.value())) {
+    return Error{Err::kAuthFail, "rsa_verify: signature mismatch"};
+  }
+  return Status::ok_status();
+}
+
+}  // namespace
+
 Status rsa_verify(const RsaPublicKey& key, HashAlg alg, BytesView message,
                   BytesView signature) {
   const std::size_t k = key.modulus_bytes();
@@ -158,13 +175,30 @@ Status rsa_verify(const RsaPublicKey& key, HashAlg alg, BytesView message,
     return Error{Err::kAuthFail, "rsa_verify: representative out of range"};
   }
   const BigInt m = BigInt::mod_exp(s, key.e, key.n);
-  const Bytes em = m.to_bytes_be(k);
-  auto expected = emsa_encode(alg, message, k);
-  if (!expected.ok()) return expected.error();
-  if (!ct_equal(em, expected.value())) {
-    return Error{Err::kAuthFail, "rsa_verify: signature mismatch"};
+  return check_recovered(m, alg, message, k);
+}
+
+RsaVerifyContext::RsaVerifyContext(RsaPublicKey key)
+    : key_(std::move(key)), k_(key_.modulus_bytes()) {
+  if (key_.n.is_odd() && key_.n >= BigInt(3)) {
+    mont_.emplace(key_.n);
   }
-  return Status::ok_status();
+}
+
+Status RsaVerifyContext::verify(HashAlg alg, BytesView message,
+                                BytesView signature) const {
+  if (!mont_.has_value()) {
+    return rsa_verify(key_, alg, message, signature);
+  }
+  if (signature.size() != k_) {
+    return Error{Err::kAuthFail, "rsa_verify: bad signature length"};
+  }
+  const BigInt s = BigInt::from_bytes_be(signature);
+  if (s >= key_.n) {
+    return Error{Err::kAuthFail, "rsa_verify: representative out of range"};
+  }
+  const BigInt m = mont_->mod_exp(s, key_.e);
+  return check_recovered(m, alg, message, k_);
 }
 
 Result<Bytes> rsa_encrypt(

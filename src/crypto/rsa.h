@@ -59,6 +59,30 @@ Bytes rsa_sign(const RsaPrivateKey& key, HashAlg alg, BytesView message);
 Status rsa_verify(const RsaPublicKey& key, HashAlg alg, BytesView message,
                   BytesView signature);
 
+/// Per-key verification context: caches the Montgomery context for the
+/// key's modulus so repeated verifies against one public key (the SP's
+/// hot loop — one enrolled client confirming many transactions) skip the
+/// per-call R^2-mod-n setup. Verdicts are bit-identical to rsa_verify.
+///
+/// Immutable after construction; safe to share across threads.
+class RsaVerifyContext {
+ public:
+  /// Keys with a degenerate modulus (even or < 3 — never produced by
+  /// rsa_generate, but deserialization accepts them) fall back to the
+  /// uncached rsa_verify path instead of failing construction.
+  explicit RsaVerifyContext(RsaPublicKey key);
+
+  const RsaPublicKey& public_key() const { return key_; }
+
+  /// Same contract as rsa_verify(public_key(), ...).
+  Status verify(HashAlg alg, BytesView message, BytesView signature) const;
+
+ private:
+  RsaPublicKey key_;
+  std::size_t k_;  // modulus length in bytes
+  std::optional<MontgomeryCtx> mont_;
+};
+
 /// RSAES-PKCS1-v1_5 encryption; plaintext must be <= modulus_bytes - 11.
 Result<Bytes> rsa_encrypt(const RsaPublicKey& key, BytesView plaintext,
                           const std::function<Bytes(std::size_t)>& random_bytes);

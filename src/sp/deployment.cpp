@@ -25,6 +25,7 @@ Deployment::Deployment(DeploymentConfig config)
   sp_config.golden_pcr17 = core::golden_pcr17();
   sp_config.ca_public = ca_->public_key();
   sp_config.seed = concat(config_.seed, bytes_of(":sp"));
+  sp_config.replay_cache_capacity = config_.replay_cache_capacity;
   // The SP supports both platform flavours out of the box.
   sp_config.accepted_policies = {
       core::attestation_policy(drtm::DrtmTechnology::kAmdSkinit),

@@ -35,6 +35,10 @@ struct DeploymentConfig {
   /// (the deployment's TLS stand-in). Off by default: the trusted path's
   /// guarantees are end-to-end and most tests exercise them directly.
   bool secure_transport = false;
+
+  /// Forwarded to SpConfig::replay_cache_capacity (tests shrink it to
+  /// exercise eviction).
+  std::size_t replay_cache_capacity = 1 << 16;
 };
 
 class Deployment {

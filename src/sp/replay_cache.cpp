@@ -1,0 +1,94 @@
+#include "sp/replay_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace tp::sp {
+
+namespace {
+
+std::size_t table_size_for(std::size_t capacity) {
+  // Power of two >= 2x capacity keeps the load factor <= 1/2, which
+  // bounds linear-probe chains to a handful of slots.
+  std::size_t size = 8;
+  while (size < capacity * 2) size <<= 1;
+  return size;
+}
+
+}  // namespace
+
+ReplayCache::ReplayCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      mask_(table_size_for(capacity_) - 1),
+      ring_(capacity_),
+      slots_(mask_ + 1),
+      occupied_(mask_ + 1, 0) {}
+
+ReplayCache::Digest ReplayCache::digest_of(BytesView signature) {
+  const Bytes full = crypto::Sha256::hash(signature);
+  Digest d;
+  std::memcpy(d.data(), full.data(), kDigestLen);
+  return d;
+}
+
+std::size_t ReplayCache::ideal_slot(const Digest& d) const {
+  // The digest is already uniform; its leading 8 bytes are the hash.
+  std::uint64_t h = 0;
+  std::memcpy(&h, d.data(), sizeof(h));
+  return static_cast<std::size_t>(h) & mask_;
+}
+
+std::size_t ReplayCache::find_slot(const Digest& d) const {
+  std::size_t i = ideal_slot(d);
+  while (occupied_[i] && slots_[i] != d) i = (i + 1) & mask_;
+  return i;
+}
+
+bool ReplayCache::contains(BytesView signature) const {
+  return occupied_[find_slot(digest_of(signature))];
+}
+
+void ReplayCache::erase(const Digest& d) {
+  std::size_t i = find_slot(d);
+  if (!occupied_[i]) return;
+  occupied_[i] = 0;
+  // Backward-shift deletion (no tombstones): walk the probe chain after
+  // the hole and move back any entry whose home slot does not lie in the
+  // cyclic range (hole, entry].
+  std::size_t j = i;
+  for (;;) {
+    j = (j + 1) & mask_;
+    if (!occupied_[j]) return;
+    const std::size_t k = ideal_slot(slots_[j]);
+    const bool reachable = (i < j) ? (k > i && k <= j) : (k > i || k <= j);
+    if (!reachable) {
+      slots_[i] = slots_[j];
+      occupied_[i] = 1;
+      occupied_[j] = 0;
+      i = j;
+    }
+  }
+}
+
+bool ReplayCache::insert(BytesView signature) {
+  const Digest d = digest_of(signature);
+  std::size_t i = find_slot(d);
+  if (occupied_[i]) return false;  // already present
+  if (count_ == capacity_) {
+    // ring_[head_] is the oldest live entry; its eviction may backward-
+    // shift the table, so re-probe for the insertion slot.
+    erase(ring_[head_]);
+    --count_;
+    i = find_slot(d);
+  }
+  slots_[i] = d;
+  occupied_[i] = 1;
+  ring_[head_] = d;
+  head_ = (head_ + 1) % capacity_;
+  ++count_;
+  return true;
+}
+
+}  // namespace tp::sp

@@ -1,0 +1,75 @@
+// Bounded signature replay cache for the SP's defence-in-depth check.
+//
+// The seed kept every accepted confirmation signature in a std::set<Bytes>
+// forever: O(log n) lookups over full 128/256-byte signatures and
+// unbounded memory growth — a real leak on a server meant to run for
+// months. This replaces it with a fixed-capacity membership set keyed by
+// SHA-256 digests truncated to 16 bytes (collision probability ~2^-64 at
+// any plausible fleet size), stored in an open-addressing table with
+// linear probing and FIFO ring eviction. Lookups and inserts are O(1);
+// memory is capacity-proportional and allocated once up front.
+//
+// Soundness note: eviction cannot re-open a replay window. The primary
+// replay defence is the one-shot pending-transaction map (a settled tx_id
+// is gone, so its confirmation can never be presented again); this cache
+// only backstops hypothetical bypasses of that logic, and a capacity well
+// above the number of in-flight transactions keeps every signature that
+// could still be presented inside the cache.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace tp::sp {
+
+class ReplayCache {
+ public:
+  /// Digest width kept per entry (SHA-256 truncated).
+  static constexpr std::size_t kDigestLen = 16;
+
+  /// `capacity` is the maximum number of retained signatures; 0 is
+  /// clamped to 1. The probe table is sized to a power of two >= 2x
+  /// capacity, so the load factor never exceeds 1/2.
+  explicit ReplayCache(std::size_t capacity);
+
+  /// True if `signature` was inserted and not yet evicted.
+  bool contains(BytesView signature) const;
+
+  /// Records `signature`, evicting the oldest entry when full. Returns
+  /// false (and changes nothing) if it is already present.
+  bool insert(BytesView signature);
+
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Heap footprint of the cache's backing storage — constant for the
+  /// lifetime of the cache (the boundedness the tests assert).
+  std::size_t memory_bytes() const {
+    return ring_.capacity() * sizeof(Digest) +
+           slots_.capacity() * sizeof(Digest) + occupied_.capacity();
+  }
+
+ private:
+  using Digest = std::array<std::uint8_t, kDigestLen>;
+
+  static Digest digest_of(BytesView signature);
+  std::size_t ideal_slot(const Digest& d) const;
+  /// Index of d's slot, or the first empty slot of its probe chain.
+  std::size_t find_slot(const Digest& d) const;
+  void erase(const Digest& d);
+
+  std::size_t capacity_;
+  std::size_t mask_;  // table size - 1 (table size is a power of two)
+  std::size_t count_ = 0;
+  std::size_t head_ = 0;           // next ring position to write (oldest
+                                   // entry when the ring is full)
+  std::vector<Digest> ring_;       // FIFO of live digests, insertion order
+  std::vector<Digest> slots_;      // open-addressing table
+  std::vector<std::uint8_t> occupied_;
+};
+
+}  // namespace tp::sp

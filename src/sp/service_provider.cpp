@@ -9,7 +9,11 @@ using namespace core;  // message types
 
 ServiceProvider::ServiceProvider(SpConfig config)
     : config_(std::move(config)),
-      drbg_(concat(bytes_of("service-provider:"), config_.seed)) {
+      drbg_(concat(bytes_of("service-provider:"), config_.seed)),
+      seen_signatures_(config_.replay_cache_capacity) {
+  enrolled_.reserve(config_.expected_clients);
+  pending_enroll_.reserve(config_.expected_clients);
+  pending_tx_.reserve(config_.expected_inflight_tx);
   if (config_.metrics != nullptr) {
     registry_ = config_.metrics;
   } else {
@@ -135,7 +139,10 @@ EnrollResult ServiceProvider::complete_enrollment(const EnrollComplete& msg) {
   auto pk = crypto::RsaPublicKey::deserialize(msg.confirmation_pubkey);
   if (!pk.ok()) return reject_enrollment("malformed public key");
 
-  enrolled_[msg.client_id] = pk.take();
+  // Build the cached verify context now (R^2-mod-n precompute), once per
+  // enrollment, so every later confirmation verify skips it.
+  enrolled_.insert_or_assign(msg.client_id,
+                             crypto::RsaVerifyContext(pk.take()));
   c_enrolled_->inc();
   return EnrollResult{true, "enrolled"};
 }
@@ -179,14 +186,14 @@ TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
 
   // Defence in depth: a signature is never accepted twice even if the
   // one-shot challenge logic were bypassed.
-  if (seen_signatures_.count(msg.signature) != 0) {
+  if (seen_signatures_.contains(msg.signature)) {
     return reject_tx(msg.tx_id, "replayed confirmation signature");
   }
 
   const Bytes statement =
       confirmation_statement(tx.digest, tx.nonce, Verdict::kConfirmed);
-  if (!crypto::rsa_verify(enrolled->second, crypto::HashAlg::kSha256,
-                          statement, msg.signature)
+  if (!enrolled->second
+           .verify(crypto::HashAlg::kSha256, statement, msg.signature)
            .ok()) {
     return reject_tx(msg.tx_id, "confirmation signature invalid");
   }
@@ -206,7 +213,11 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
   switch (type) {
     case MsgType::kEnrollBegin: {
       auto msg = EnrollBegin::deserialize(payload);
-      if (!msg.ok()) break;
+      if (!msg.ok()) {
+        return envelope(
+            MsgType::kEnrollResult,
+            reject_enrollment("malformed EnrollBegin").serialize());
+      }
       return envelope(MsgType::kEnrollChallenge,
                       begin_enrollment(msg.value()).serialize());
     }
@@ -222,7 +233,10 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
     }
     case MsgType::kTxSubmit: {
       auto msg = TxSubmit::deserialize(payload);
-      if (!msg.ok()) break;
+      if (!msg.ok()) {
+        return envelope(MsgType::kTxResult,
+                        reject_tx(0, "malformed TxSubmit").serialize());
+      }
       return envelope(MsgType::kTxChallenge,
                       begin_transaction(msg.value()).serialize());
     }

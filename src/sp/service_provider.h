@@ -18,14 +18,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <unordered_map>
 
 #include "core/messages.h"
 #include "core/trusted_path_pal.h"
 #include "crypto/drbg.h"
 #include "crypto/rsa.h"
 #include "obs/metrics.h"
+#include "sp/replay_cache.h"
 #include "tpm/privacy_ca.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -47,6 +48,19 @@ struct SpConfig {
   /// like an unprotected 2011 web service -- any well-formed TxConfirm is
   /// executed without verification (the "no defence" row of F2).
   bool require_trusted_path = true;
+
+  /// Bound on the defence-in-depth signature replay cache, in entries
+  /// (~33 bytes each); the oldest entry is evicted FIFO once the cache is
+  /// full. Keep this well above the expected number of in-flight
+  /// transactions: the one-shot challenge map is the primary replay
+  /// defence, so eviction only narrows the backstop, but a capacity below
+  /// the in-flight window weakens defence in depth. 0 is clamped to 1.
+  std::size_t replay_cache_capacity = 1 << 16;
+
+  /// Capacity hints for the client/transaction hash maps (pre-reserved
+  /// so the steady-state hot path does not rehash).
+  std::size_t expected_clients = 1024;
+  std::size_t expected_inflight_tx = 4096;
 
   /// Metrics registry the SP's counters and latency histograms live in;
   /// nullptr -> the SP owns a private registry. A shared registry needs a
@@ -86,6 +100,15 @@ class ServiceProvider {
     return enrolled_.count(client_id) != 0;
   }
 
+  /// Live size of the bounded signature replay cache (for tests and
+  /// capacity monitoring).
+  std::size_t replay_cache_size() const { return seen_signatures_.size(); }
+  /// Heap bytes pinned by the replay cache — constant over the SP's
+  /// lifetime regardless of traffic.
+  std::size_t replay_cache_memory_bytes() const {
+    return seen_signatures_.memory_bytes();
+  }
+
   /// Counter snapshot, cached in this object. Call from one thread at a
   /// time (the usual single-threaded use); under the sharded service use
   /// stats_snapshot() or VerifierService::stats() instead.
@@ -115,10 +138,13 @@ class ServiceProvider {
 
   SpConfig config_;
   crypto::HmacDrbg drbg_;
-  std::map<std::string, Bytes> pending_enroll_;           // client -> nonce
-  std::map<std::string, crypto::RsaPublicKey> enrolled_;  // client -> pk
-  std::map<std::uint64_t, PendingTx> pending_tx_;
-  std::set<Bytes> seen_signatures_;  // defence-in-depth replay cache
+  std::unordered_map<std::string, Bytes> pending_enroll_;  // client -> nonce
+  /// client -> cached verify context (holds the enrolled public key plus
+  /// the precomputed Montgomery context for its modulus, built once at
+  /// enrollment so the per-transaction verify skips that setup).
+  std::unordered_map<std::string, crypto::RsaVerifyContext> enrolled_;
+  std::unordered_map<std::uint64_t, PendingTx> pending_tx_;
+  ReplayCache seen_signatures_;  // bounded defence-in-depth replay cache
   std::uint64_t next_tx_id_ = 1;
 
   std::unique_ptr<obs::Registry> owned_registry_;

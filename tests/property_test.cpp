@@ -9,6 +9,7 @@
 
 #include "core/trusted_path_pal.h"
 #include "crypto/bignum.h"
+#include "crypto/rsa.h"
 #include "crypto/sha1.h"
 #include "crypto/drbg.h"
 #include "pal/human_agent.h"
@@ -104,6 +105,82 @@ TEST_P(BigIntLaws, ByteRoundTripAnySize) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, BigIntLaws,
                          ::testing::Values(32, 64, 128, 256, 512, 1024));
+
+TEST_P(BigIntLaws, SmallExponentPathMatchesWindowed) {
+  // The small-exponent fast path and the 4-bit windowed path must agree
+  // for every exponent, in particular across the kSmallExpBits boundary
+  // where mod_exp switches between them.
+  auto e = entropy("smallexp" + std::to_string(GetParam()));
+  auto m = random_of_size(e);
+  if (m.is_even()) m = m + crypto::BigInt(1);
+  if (m < crypto::BigInt(3)) m = crypto::BigInt(0x10001);
+  const crypto::MontgomeryCtx ctx(m);
+
+  const std::uint64_t boundary = 1ull << crypto::MontgomeryCtx::kSmallExpBits;
+  std::vector<crypto::BigInt> exps = {
+      crypto::BigInt(1),        crypto::BigInt(2),
+      crypto::BigInt(3),        crypto::BigInt(65537),
+      crypto::BigInt(boundary - 1),  // widest exponent on the small path
+      crypto::BigInt(boundary),      // first exponent on the windowed path
+      crypto::BigInt(boundary + 1),
+  };
+  for (int i = 0; i < 6; ++i) {
+    exps.push_back(crypto::BigInt::from_bytes_be(e(3)));  // <= 24 bits
+    exps.push_back(crypto::BigInt::from_bytes_be(e(5)));  // > 24 bits
+  }
+  for (const auto& exp : exps) {
+    const auto base = random_of_size(e);
+    const auto via_ctx = ctx.mod_exp(base, exp);
+    const auto via_windowed = ctx.mod_exp_windowed(base, exp);
+    EXPECT_EQ(via_ctx, via_windowed)
+        << "exp bits=" << exp.bit_length();
+    EXPECT_EQ(via_ctx, crypto::BigInt::mod_exp(base, exp, m))
+        << "exp bits=" << exp.bit_length();
+  }
+}
+
+// ------------------------------------------ RSA verify-context parity
+
+class RsaVerifyCtxParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RsaVerifyCtxParity, CachedVerifyAgreesWithUncached) {
+  // The per-key cached context must return bit-identical verdicts to the
+  // free function: on genuine signatures, corrupted signatures, wrong
+  // messages, and wrong-length inputs.
+  auto e = entropy("vctx" + std::to_string(GetParam()));
+  const auto key = crypto::rsa_generate(GetParam(), e);
+  const crypto::RsaVerifyContext ctx(key.public_key());
+
+  for (int i = 0; i < 8; ++i) {
+    const Bytes msg = e(1 + (static_cast<std::size_t>(i) * 17) % 100);
+    Bytes sig = crypto::rsa_sign(key, crypto::HashAlg::kSha256, msg);
+
+    EXPECT_TRUE(ctx.verify(crypto::HashAlg::kSha256, msg, sig).ok());
+    EXPECT_TRUE(crypto::rsa_verify(key.public_key(), crypto::HashAlg::kSha256,
+                                   msg, sig)
+                    .ok());
+
+    // Single-bit corruption anywhere in the signature must fail both.
+    Bytes bad = sig;
+    bad[(static_cast<std::size_t>(i) * 31) % bad.size()] ^= 0x40;
+    EXPECT_EQ(ctx.verify(crypto::HashAlg::kSha256, msg, bad).ok(),
+              crypto::rsa_verify(key.public_key(), crypto::HashAlg::kSha256,
+                                 msg, bad)
+                  .ok());
+    EXPECT_FALSE(ctx.verify(crypto::HashAlg::kSha256, msg, bad).ok());
+
+    // Wrong message.
+    const Bytes other = concat(msg, bytes_of("x"));
+    EXPECT_FALSE(ctx.verify(crypto::HashAlg::kSha256, other, sig).ok());
+
+    // Truncated signature.
+    Bytes trunc(sig.begin(), sig.end() - 1);
+    EXPECT_FALSE(ctx.verify(crypto::HashAlg::kSha256, msg, trunc).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RsaVerifyCtxParity,
+                         ::testing::Values(512, 768, 1024));
 
 // ------------------------------------------- Seal/unseal policy matrix
 
