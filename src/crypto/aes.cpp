@@ -55,8 +55,53 @@ constexpr std::uint8_t kInvSbox[256] = {
     0x17, 0x2b, 0x04, 0x7e, 0xba, 0x77, 0xd6, 0x26, 0xe1, 0x69, 0x14, 0x63,
     0x55, 0x21, 0x0c, 0x7d};
 
-std::uint8_t xtime(std::uint8_t x) {
+constexpr std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+}
+
+// Encryption T-tables (Gladman/OpenSSL style): Te0[x] packs the
+// MixColumns products of S[x] into one word, Te1..Te3 are its byte
+// rotations, so a full round is 16 table lookups + 16 XORs on 32-bit
+// words instead of byte-wise SubBytes/ShiftRows/MixColumns. Generated at
+// compile time from the S-box. (Like the S-box itself, the lookups are
+// not cache-timing hardened -- acceptable for the emulator; a deployed
+// build would use AES-NI.)
+struct TeTables {
+  std::uint32_t t0[256], t1[256], t2[256], t3[256];
+};
+
+constexpr TeTables make_te_tables() {
+  TeTables te{};
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kSbox[i];
+    const std::uint8_t s2 = xtime(s);
+    const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+    const std::uint32_t w = (static_cast<std::uint32_t>(s2) << 24) |
+                            (static_cast<std::uint32_t>(s) << 16) |
+                            (static_cast<std::uint32_t>(s) << 8) |
+                            static_cast<std::uint32_t>(s3);
+    te.t0[i] = w;
+    te.t1[i] = (w >> 8) | (w << 24);
+    te.t2[i] = (w >> 16) | (w << 16);
+    te.t3[i] = (w >> 24) | (w << 8);
+  }
+  return te;
+}
+
+constexpr TeTables kTe = make_te_tables();
+
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+void store_be32(std::uint32_t v, std::uint8_t* p) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
 }
 
 // GF(2^8) multiplication.
@@ -111,46 +156,47 @@ Aes::Aes(BytesView key) {
 
 void Aes::encrypt_block(const std::uint8_t in[kAesBlockSize],
                         std::uint8_t out[kAesBlockSize]) const {
-  std::uint8_t s[16];
-  for (int i = 0; i < 16; ++i) s[i] = in[i];
+  const std::uint32_t* rk = round_keys_.data();
+  // State as four big-endian column words (row 0 in the MSB), matching
+  // the round-key word layout.
+  std::uint32_t s0 = load_be32(in) ^ rk[0];
+  std::uint32_t s1 = load_be32(in + 4) ^ rk[1];
+  std::uint32_t s2 = load_be32(in + 8) ^ rk[2];
+  std::uint32_t s3 = load_be32(in + 12) ^ rk[3];
 
-  auto add_round_key = [&](int round) {
-    for (int c = 0; c < 4; ++c) {
-      const std::uint32_t w =
-          round_keys_[static_cast<std::size_t>(4 * round + c)];
-      s[4 * c + 0] ^= static_cast<std::uint8_t>(w >> 24);
-      s[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
-      s[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
-      s[4 * c + 3] ^= static_cast<std::uint8_t>(w);
-    }
-  };
-
-  add_round_key(0);
-  for (int round = 1; round <= rounds_; ++round) {
-    // SubBytes
-    for (auto& b : s) b = kSbox[b];
-    // ShiftRows (state is column-major: s[4*col + row])
-    std::uint8_t t[16];
-    for (int c = 0; c < 4; ++c) {
-      for (int r = 0; r < 4; ++r) {
-        t[4 * c + r] = s[4 * ((c + r) % 4) + r];
-      }
-    }
-    for (int i = 0; i < 16; ++i) s[i] = t[i];
-    // MixColumns (skipped in the final round)
-    if (round < rounds_) {
-      for (int c = 0; c < 4; ++c) {
-        const std::uint8_t a0 = s[4 * c], a1 = s[4 * c + 1];
-        const std::uint8_t a2 = s[4 * c + 2], a3 = s[4 * c + 3];
-        s[4 * c + 0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
-        s[4 * c + 1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
-        s[4 * c + 2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
-        s[4 * c + 3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
-      }
-    }
-    add_round_key(round);
+  for (int round = 1; round < rounds_; ++round) {
+    rk += 4;
+    const std::uint32_t t0 = kTe.t0[s0 >> 24] ^ kTe.t1[(s1 >> 16) & 0xff] ^
+                             kTe.t2[(s2 >> 8) & 0xff] ^ kTe.t3[s3 & 0xff] ^
+                             rk[0];
+    const std::uint32_t t1 = kTe.t0[s1 >> 24] ^ kTe.t1[(s2 >> 16) & 0xff] ^
+                             kTe.t2[(s3 >> 8) & 0xff] ^ kTe.t3[s0 & 0xff] ^
+                             rk[1];
+    const std::uint32_t t2 = kTe.t0[s2 >> 24] ^ kTe.t1[(s3 >> 16) & 0xff] ^
+                             kTe.t2[(s0 >> 8) & 0xff] ^ kTe.t3[s1 & 0xff] ^
+                             rk[2];
+    const std::uint32_t t3 = kTe.t0[s3 >> 24] ^ kTe.t1[(s0 >> 16) & 0xff] ^
+                             kTe.t2[(s1 >> 8) & 0xff] ^ kTe.t3[s2 & 0xff] ^
+                             rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
   }
-  for (int i = 0; i < 16; ++i) out[i] = s[i];
+
+  // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+  rk += 4;
+  const auto sub = [](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                      std::uint32_t d) {
+    return (static_cast<std::uint32_t>(kSbox[(a >> 24) & 0xff]) << 24) |
+           (static_cast<std::uint32_t>(kSbox[(b >> 16) & 0xff]) << 16) |
+           (static_cast<std::uint32_t>(kSbox[(c >> 8) & 0xff]) << 8) |
+           static_cast<std::uint32_t>(kSbox[d & 0xff]);
+  };
+  store_be32(sub(s0, s1, s2, s3) ^ rk[0], out);
+  store_be32(sub(s1, s2, s3, s0) ^ rk[1], out + 4);
+  store_be32(sub(s2, s3, s0, s1) ^ rk[2], out + 8);
+  store_be32(sub(s3, s0, s1, s2) ^ rk[3], out + 12);
 }
 
 void Aes::decrypt_block(const std::uint8_t in[kAesBlockSize],

@@ -1,38 +1,48 @@
 #include "crypto/drbg.h"
 
-#include "crypto/hmac.h"
+#include <algorithm>
+#include <cstring>
 
 namespace tp::crypto {
 
 HmacDrbg::HmacDrbg(BytesView seed_material)
-    : key_(32, 0x00), v_(32, 0x01) {
+    // An empty key zero-pads to the same block as the initial K = 0^32.
+    : ctx_(BytesView{}) {
+  key_.fill(0x00);
+  v_.fill(0x01);
   update(seed_material);
 }
 
 void HmacDrbg::update(BytesView provided) {
   // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
-  Bytes msg(v_);
-  msg.push_back(0x00);
-  append(msg, provided);
-  key_ = hmac_sha256(key_, msg);
-  v_ = hmac_sha256(key_, v_);
+  const std::uint8_t zero = 0x00, one = 0x01;
+  ctx_.update(v_);
+  ctx_.update(BytesView(&zero, 1));
+  ctx_.update(provided);
+  ctx_.finalize_into(key_);
+  ctx_.rekey(key_);
+  ctx_.update(v_);
+  ctx_.finalize_into(v_);
   if (!provided.empty()) {
-    msg.assign(v_.begin(), v_.end());
-    msg.push_back(0x01);
-    append(msg, provided);
-    key_ = hmac_sha256(key_, msg);
-    v_ = hmac_sha256(key_, v_);
+    ctx_.update(v_);
+    ctx_.update(BytesView(&one, 1));
+    ctx_.update(provided);
+    ctx_.finalize_into(key_);
+    ctx_.rekey(key_);
+    ctx_.update(v_);
+    ctx_.finalize_into(v_);
   }
 }
 
 Bytes HmacDrbg::generate(std::size_t n) {
-  Bytes out;
-  out.reserve(n);
-  while (out.size() < n) {
-    v_ = hmac_sha256(key_, v_);
-    const std::size_t take = std::min(v_.size(), n - out.size());
-    out.insert(out.end(), v_.begin(),
-               v_.begin() + static_cast<std::ptrdiff_t>(take));
+  Bytes out(n);
+  std::size_t filled = 0;
+  while (filled < n) {
+    ctx_.update(v_);
+    ctx_.finalize_into(v_);
+    const std::size_t take = std::min(v_.size(), n - filled);
+    std::memcpy(out.data() + filled, v_.data(), take);
+    filled += take;
   }
   update({});
   return out;

@@ -4,8 +4,14 @@
 // simulation needs: the emulated TPM's RNG and every key generation is
 // reproducible from the experiment seed, while the construction itself is
 // the real cryptographic one.
+//
+// Holds one HmacSha256Ctx keyed with the current K: the generate loop
+// (V = HMAC(K, V) per 32 output bytes) reuses the precomputed key
+// midstates instead of re-deriving ipad/opad on every call, and the
+// context is re-keyed only when K itself changes (twice per update()).
 #pragma once
 
+#include "crypto/hmac.h"
 #include "util/bytes.h"
 
 namespace tp::crypto {
@@ -24,8 +30,9 @@ class HmacDrbg {
  private:
   void update(BytesView provided);
 
-  Bytes key_;  // K
-  Bytes v_;    // V
+  Sha256Digest key_;   // K
+  Sha256Digest v_;     // V
+  HmacSha256Ctx ctx_;  // keyed with the current K
 };
 
 }  // namespace tp::crypto

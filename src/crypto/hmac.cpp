@@ -1,44 +1,19 @@
 #include "crypto/hmac.h"
 
-#include "crypto/sha1.h"
-#include "crypto/sha256.h"
-
 namespace tp::crypto {
 
-namespace {
-// Generic HMAC over any of our hash contexts (block size 64 for both).
-template <typename Hash>
-Bytes hmac(BytesView key, BytesView message) {
-  constexpr std::size_t kBlockSize = 64;
-
-  Bytes k(key.begin(), key.end());
-  if (k.size() > kBlockSize) k = Hash::hash(k);
-  k.resize(kBlockSize, 0);
-
-  Bytes ipad(kBlockSize), opad(kBlockSize);
-  for (std::size_t i = 0; i < kBlockSize; ++i) {
-    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
-    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
-  }
-
-  Hash inner;
-  inner.update(ipad);
-  inner.update(message);
-  const Bytes inner_digest = inner.finalize();
-
-  Hash outer;
-  outer.update(opad);
-  outer.update(inner_digest);
-  return outer.finalize();
-}
-}  // namespace
-
+// The one-shot entry points route through the context so there is a
+// single HMAC implementation to audit.
 Bytes hmac_sha1(BytesView key, BytesView message) {
-  return hmac<Sha1>(key, message);
+  HmacSha1Ctx ctx(key);
+  ctx.update(message);
+  return ctx.finalize();
 }
 
 Bytes hmac_sha256(BytesView key, BytesView message) {
-  return hmac<Sha256>(key, message);
+  HmacSha256Ctx ctx(key);
+  ctx.update(message);
+  return ctx.finalize();
 }
 
 }  // namespace tp::crypto

@@ -1,12 +1,98 @@
 // HMAC (RFC 2104) over SHA-1 and SHA-256.
 //
 // Used for sealed-blob integrity inside the TPM emulator (SHA-1, matching
-// the TPM 1.2 HMAC authorization design) and by the HMAC-DRBG (SHA-256).
+// the TPM 1.2 HMAC authorization design), by the HMAC-DRBG (SHA-256), and
+// for secure-channel record authentication.
+//
+// Two APIs:
+//   - hmac_sha1 / hmac_sha256: one-shot, pays the full key schedule
+//     (ipad/opad derivation + two key-block compressions) per call;
+//   - HmacSha1Ctx / HmacSha256Ctx: precomputes the inner/outer hash
+//     midstates once per key, so each subsequent MAC costs exactly the
+//     message blocks plus one outer finalization. Keyed callers on a hot
+//     path (records, DRBG output, sealed blobs) hold one of these.
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
 #include "util/bytes.h"
 
 namespace tp::crypto {
+
+/// Reusable keyed-MAC context. After construction (or rekey()) the
+/// context sits at the keyed midstate; update()/finalize_into() produce
+/// one MAC, and finalization automatically re-arms the context for the
+/// next message by cloning the cached inner midstate (a fixed-size copy,
+/// no hashing).
+template <typename Hash, std::size_t DigestSize>
+class HmacCtx {
+ public:
+  static constexpr std::size_t kBlockSize = 64;
+  static constexpr std::size_t kDigestSize = DigestSize;
+
+  explicit HmacCtx(BytesView key) { rekey(key); }
+
+  /// Re-keys the context: derives ipad/opad and absorbs one key block
+  /// into each midstate. Discards any partial message.
+  void rekey(BytesView key) {
+    std::array<std::uint8_t, kBlockSize> k{};
+    if (key.size() > kBlockSize) {
+      Hash h;
+      h.update(key);
+      h.digest_into(k);  // first DigestSize bytes; rest stay zero
+    } else {
+      std::copy(key.begin(), key.end(), k.begin());
+    }
+    std::array<std::uint8_t, kBlockSize> pad;
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+      pad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    }
+    inner_midstate_.reset();
+    inner_midstate_.update(pad);
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+      pad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+    }
+    outer_midstate_.reset();
+    outer_midstate_.update(pad);
+    inner_ = inner_midstate_;
+  }
+
+  /// Absorbs message bytes.
+  void update(BytesView data) { inner_.update(data); }
+
+  /// Writes the MAC into `out` (>= kDigestSize bytes) and resets the
+  /// context to the keyed midstate, ready for the next message.
+  void finalize_into(std::span<std::uint8_t> out) {
+    std::array<std::uint8_t, kDigestSize> inner_digest;
+    inner_.digest_into(inner_digest);
+    Hash outer = outer_midstate_;
+    outer.update(inner_digest);
+    outer.digest_into(out);
+    inner_ = inner_midstate_;
+  }
+
+  /// Heap-allocating finalize (same reset-for-reuse semantics).
+  Bytes finalize() {
+    Bytes mac(kDigestSize);
+    finalize_into(mac);
+    return mac;
+  }
+
+  /// Discards any partial message; back to the keyed midstate.
+  void reset() { inner_ = inner_midstate_; }
+
+ private:
+  Hash inner_midstate_;  // state after the 0x36-padded key block
+  Hash outer_midstate_;  // state after the 0x5c-padded key block
+  Hash inner_;           // running copy for the current message
+};
+
+using HmacSha1Ctx = HmacCtx<Sha1, kSha1DigestSize>;
+using HmacSha256Ctx = HmacCtx<Sha256, kSha256DigestSize>;
 
 Bytes hmac_sha1(BytesView key, BytesView message);
 Bytes hmac_sha256(BytesView key, BytesView message);

@@ -10,20 +10,30 @@ Bytes cbc_encrypt(const Aes& cipher, BytesView iv, BytesView plaintext) {
   }
   const std::size_t pad =
       kAesBlockSize - (plaintext.size() % kAesBlockSize);
-  Bytes padded(plaintext.begin(), plaintext.end());
-  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+  const std::size_t full_blocks = plaintext.size() / kAesBlockSize;
 
-  Bytes out(padded.size());
+  // Encrypt straight from the input view; only the final (partial +
+  // PKCS#7 padding) block is materialized on the stack.
+  Bytes out(plaintext.size() + pad);
   std::uint8_t chain[kAesBlockSize];
   std::copy(iv.begin(), iv.end(), chain);
-  for (std::size_t off = 0; off < padded.size(); off += kAesBlockSize) {
+  for (std::size_t b = 0; b < full_blocks; ++b) {
+    const std::size_t off = b * kAesBlockSize;
     std::uint8_t block[kAesBlockSize];
     for (std::size_t i = 0; i < kAesBlockSize; ++i) {
-      block[i] = padded[off + i] ^ chain[i];
+      block[i] = plaintext[off + i] ^ chain[i];
     }
     cipher.encrypt_block(block, &out[off]);
     std::copy(&out[off], &out[off] + kAesBlockSize, chain);
   }
+  std::uint8_t last[kAesBlockSize];
+  const std::size_t tail = plaintext.size() - full_blocks * kAesBlockSize;
+  std::copy(plaintext.end() - static_cast<std::ptrdiff_t>(tail),
+            plaintext.end(), last);
+  std::fill(last + tail, last + kAesBlockSize,
+            static_cast<std::uint8_t>(pad));
+  for (std::size_t i = 0; i < kAesBlockSize; ++i) last[i] ^= chain[i];
+  cipher.encrypt_block(last, &out[full_blocks * kAesBlockSize]);
   return out;
 }
 
@@ -63,24 +73,29 @@ Result<Bytes> cbc_decrypt(const Aes& cipher, BytesView iv,
   return out;
 }
 
-Bytes ctr_crypt(const Aes& cipher, BytesView nonce, BytesView data) {
+void ctr_crypt_into(const Aes& cipher, BytesView nonce, BytesView data,
+                    std::uint8_t* out) {
   if (nonce.size() != kAesBlockSize) {
     throw std::invalid_argument("ctr_crypt: nonce must be 16 bytes");
   }
   std::uint8_t counter[kAesBlockSize];
   std::copy(nonce.begin(), nonce.end(), counter);
 
-  Bytes out(data.begin(), data.end());
   std::uint8_t keystream[kAesBlockSize];
-  for (std::size_t off = 0; off < out.size(); off += kAesBlockSize) {
+  for (std::size_t off = 0; off < data.size(); off += kAesBlockSize) {
     cipher.encrypt_block(counter, keystream);
-    const std::size_t n = std::min(kAesBlockSize, out.size() - off);
-    for (std::size_t i = 0; i < n; ++i) out[off + i] ^= keystream[i];
+    const std::size_t n = std::min(kAesBlockSize, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = data[off + i] ^ keystream[i];
     // Big-endian increment of the counter block.
     for (int i = kAesBlockSize - 1; i >= 0; --i) {
       if (++counter[i] != 0) break;
     }
   }
+}
+
+Bytes ctr_crypt(const Aes& cipher, BytesView nonce, BytesView data) {
+  Bytes out(data.size());
+  ctr_crypt_into(cipher, nonce, data, out.data());
   return out;
 }
 

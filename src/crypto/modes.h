@@ -19,4 +19,11 @@ Result<Bytes> cbc_decrypt(const Aes& cipher, BytesView iv,
 /// and is used as the initial counter block (big-endian increment).
 Bytes ctr_crypt(const Aes& cipher, BytesView nonce, BytesView data);
 
+/// Allocation-free CTR variant: XORs the keystream over `data` into
+/// `out`, which must hold data.size() bytes and may alias `data` exactly
+/// (in-place transform). The record path uses this to encrypt/decrypt
+/// directly inside the frame buffer.
+void ctr_crypt_into(const Aes& cipher, BytesView nonce, BytesView data,
+                    std::uint8_t* out);
+
 }  // namespace tp::crypto

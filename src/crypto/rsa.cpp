@@ -16,11 +16,13 @@ const Bytes kSha256Prefix =
     from_hex("3031300d060960864801650304020105000420");
 
 Bytes digest_info(HashAlg alg, BytesView message) {
+  // Stack-digest variants: every sign/verify hashes exactly once, so the
+  // digest never needs its own heap buffer.
   switch (alg) {
     case HashAlg::kSha1:
-      return concat(kSha1Prefix, Sha1::hash(message));
+      return concat(kSha1Prefix, Sha1::digest(message));
     case HashAlg::kSha256:
-      return concat(kSha256Prefix, Sha256::hash(message));
+      return concat(kSha256Prefix, Sha256::digest(message));
   }
   throw std::logic_error("digest_info: bad alg");
 }

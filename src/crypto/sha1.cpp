@@ -10,8 +10,14 @@ std::uint32_t rotl32(std::uint32_t x, int k) {
 }
 }  // namespace
 
-Sha1::Sha1()
-    : h_{0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u, 0xc3d2e1f0u} {}
+Sha1::Sha1() { reset(); }
+
+void Sha1::reset() {
+  h_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u, 0xc3d2e1f0u};
+  buffer_len_ = 0;
+  total_len_ = 0;
+  finalized_ = false;
+}
 
 void Sha1::update(BytesView data) {
   if (finalized_) throw std::logic_error("Sha1: update after finalize");
@@ -39,8 +45,11 @@ void Sha1::update(BytesView data) {
   }
 }
 
-Bytes Sha1::finalize() {
+void Sha1::digest_into(std::span<std::uint8_t> out) {
   if (finalized_) throw std::logic_error("Sha1: double finalize");
+  if (out.size() < kSha1DigestSize) {
+    throw std::invalid_argument("Sha1: output buffer too small");
+  }
   const std::uint64_t bit_len = total_len_ * 8;
   std::uint8_t pad[72] = {0x80};
   // Pad to 56 mod 64, then the 64-bit big-endian length.
@@ -54,14 +63,18 @@ Bytes Sha1::finalize() {
   update(BytesView(len_bytes, 8));
   finalized_ = true;
 
-  Bytes digest(kSha1DigestSize);
   for (int i = 0; i < 5; ++i) {
     for (int b = 0; b < 4; ++b) {
-      digest[static_cast<std::size_t>(4 * i + b)] =
+      out[static_cast<std::size_t>(4 * i + b)] =
           static_cast<std::uint8_t>(h_[static_cast<std::size_t>(i)] >>
                                     (24 - 8 * b));
     }
   }
+}
+
+Bytes Sha1::finalize() {
+  Bytes digest(kSha1DigestSize);
+  digest_into(digest);
   return digest;
 }
 
@@ -69,6 +82,14 @@ Bytes Sha1::hash(BytesView data) {
   Sha1 ctx;
   ctx.update(data);
   return ctx.finalize();
+}
+
+Sha1Digest Sha1::digest(BytesView data) {
+  Sha1 ctx;
+  ctx.update(data);
+  Sha1Digest d;
+  ctx.digest_into(d);
+  return d;
 }
 
 void Sha1::process_block(const std::uint8_t* block) {

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "util/bytes.h"
 
@@ -16,17 +17,30 @@ namespace tp::crypto {
 
 inline constexpr std::size_t kSha1DigestSize = 20;
 
-/// Incremental SHA-1.
+/// Fixed-size digest for allocation-free call sites.
+using Sha1Digest = std::array<std::uint8_t, kSha1DigestSize>;
+
+/// Incremental SHA-1. Cheap to copy; a partially-fed context is a
+/// reusable midstate (see the note on Sha256 in sha256.h).
 class Sha1 {
  public:
   Sha1();
 
   void update(BytesView data);
-  /// Finalizes and returns the digest; the object must not be reused after.
+  /// Finalizes and returns the digest; the object must not be reused
+  /// after (call reset() to start over).
   Bytes finalize();
+  /// Allocation-free finalize: writes the 20-byte digest into `out`
+  /// (which must hold at least kSha1DigestSize bytes).
+  void digest_into(std::span<std::uint8_t> out);
+
+  /// Rewinds to the freshly-constructed state; the object is reusable.
+  void reset();
 
   /// One-shot convenience.
   static Bytes hash(BytesView data);
+  /// One-shot without heap allocation.
+  static Sha1Digest digest(BytesView data);
 
  private:
   void process_block(const std::uint8_t* block);

@@ -23,9 +23,15 @@ std::uint32_t rotr32(std::uint32_t x, int k) {
 }
 }  // namespace
 
-Sha256::Sha256()
-    : h_{0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
-         0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u} {}
+Sha256::Sha256() { reset(); }
+
+void Sha256::reset() {
+  h_ = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+        0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+  buffer_len_ = 0;
+  total_len_ = 0;
+  finalized_ = false;
+}
 
 void Sha256::update(BytesView data) {
   if (finalized_) throw std::logic_error("Sha256: update after finalize");
@@ -53,8 +59,11 @@ void Sha256::update(BytesView data) {
   }
 }
 
-Bytes Sha256::finalize() {
+void Sha256::digest_into(std::span<std::uint8_t> out) {
   if (finalized_) throw std::logic_error("Sha256: double finalize");
+  if (out.size() < kSha256DigestSize) {
+    throw std::invalid_argument("Sha256: output buffer too small");
+  }
   const std::uint64_t bit_len = total_len_ * 8;
   std::uint8_t pad[72] = {0x80};
   const std::size_t pad_len =
@@ -67,14 +76,18 @@ Bytes Sha256::finalize() {
   update(BytesView(len_bytes, 8));
   finalized_ = true;
 
-  Bytes digest(kSha256DigestSize);
   for (int i = 0; i < 8; ++i) {
     for (int b = 0; b < 4; ++b) {
-      digest[static_cast<std::size_t>(4 * i + b)] =
+      out[static_cast<std::size_t>(4 * i + b)] =
           static_cast<std::uint8_t>(h_[static_cast<std::size_t>(i)] >>
                                     (24 - 8 * b));
     }
   }
+}
+
+Bytes Sha256::finalize() {
+  Bytes digest(kSha256DigestSize);
+  digest_into(digest);
   return digest;
 }
 
@@ -82,6 +95,14 @@ Bytes Sha256::hash(BytesView data) {
   Sha256 ctx;
   ctx.update(data);
   return ctx.finalize();
+}
+
+Sha256Digest Sha256::digest(BytesView data) {
+  Sha256 ctx;
+  ctx.update(data);
+  Sha256Digest d;
+  ctx.digest_into(d);
+  return d;
 }
 
 void Sha256::process_block(const std::uint8_t* block) {

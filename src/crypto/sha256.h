@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "util/bytes.h"
 
@@ -11,17 +12,34 @@ namespace tp::crypto {
 
 inline constexpr std::size_t kSha256DigestSize = 32;
 
+/// Fixed-size digest for allocation-free call sites.
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
 /// Incremental SHA-256.
+///
+/// The object is cheap to copy (a fixed ~112-byte state), which makes a
+/// partially-fed context a reusable *midstate*: hash a common prefix
+/// once, then copy the object per message. HMAC exploits this to pay for
+/// the key block exactly once per key (see crypto/hmac.h).
 class Sha256 {
  public:
   Sha256();
 
   void update(BytesView data);
-  /// Finalizes and returns the digest; the object must not be reused after.
+  /// Finalizes and returns the digest; the object must not be reused
+  /// after (call reset() to start over).
   Bytes finalize();
+  /// Allocation-free finalize: writes the 32-byte digest into `out`
+  /// (which must hold at least kSha256DigestSize bytes).
+  void digest_into(std::span<std::uint8_t> out);
+
+  /// Rewinds to the freshly-constructed state; the object is reusable.
+  void reset();
 
   /// One-shot convenience.
   static Bytes hash(BytesView data);
+  /// One-shot without heap allocation.
+  static Sha256Digest digest(BytesView data);
 
  private:
   void process_block(const std::uint8_t* block);

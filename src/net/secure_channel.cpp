@@ -1,5 +1,7 @@
 #include "net/secure_channel.h"
 
+#include <array>
+
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
 #include "crypto/modes.h"
@@ -14,52 +16,108 @@ enum class FrameType : std::uint8_t { kHandshake = 1, kRecord = 2 };
 // Direction labels mixed into key derivation and record MACs.
 constexpr char kClientToServer[] = "c2s";
 constexpr char kServerToClient[] = "s2c";
+constexpr std::size_t kLabelLen = 3;
+constexpr std::size_t kMacLen = crypto::kSha256DigestSize;
+// type byte + sequence + ciphertext length prefix.
+constexpr std::size_t kRecordHeaderLen = 1 + 8 + 4;
 
 struct DirectionKeys {
   Bytes enc;  // AES-256
   Bytes mac;  // HMAC-SHA256
 };
 
-DirectionKeys derive(BytesView master, const char* direction) {
+// Both directions' keys come from one PRF context keyed with the master
+// secret (four invocations over the cached key midstates).
+DirectionKeys derive(crypto::HmacSha256Ctx& prf, const char* direction) {
   DirectionKeys keys;
-  keys.enc = crypto::hmac_sha256(
-      master, concat(bytes_of("enc:"), bytes_of(direction)));
-  keys.mac = crypto::hmac_sha256(
-      master, concat(bytes_of("mac:"), bytes_of(direction)));
+  prf.update(bytes_of("enc:"));
+  prf.update(bytes_of(direction));
+  keys.enc = prf.finalize();
+  prf.update(bytes_of("mac:"));
+  prf.update(bytes_of(direction));
+  keys.mac = prf.finalize();
   return keys;
 }
 
-// One direction's record state.
+// One direction's record state. The AES key schedule and the HMAC key
+// midstates are computed once at session establishment; every record
+// reuses them.
 struct DirectionState {
-  DirectionKeys keys;
+  explicit DirectionState(const DirectionKeys& keys)
+      : aes(keys.enc), mac(keys.mac) {}
+
+  crypto::Aes aes;
+  crypto::HmacSha256Ctx mac;
   std::uint64_t next_seq = 0;
 };
 
-Bytes seal_record(DirectionState& dir, const char* label, BytesView payload) {
-  BinaryWriter w;
-  w.u8(static_cast<std::uint8_t>(FrameType::kRecord));
-  w.u64(dir.next_seq);
-
-  // Per-record CTR nonce derived from the sequence number.
-  Bytes nonce(crypto::kAesBlockSize, 0);
+void seq_nonce(std::uint64_t seq, std::uint8_t out[crypto::kAesBlockSize]) {
+  std::fill(out, out + crypto::kAesBlockSize, 0);
   for (int i = 0; i < 8; ++i) {
-    nonce[static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(dir.next_seq >> (56 - 8 * i));
+    out[i] = static_cast<std::uint8_t>(seq >> (56 - 8 * i));
   }
-  const crypto::Aes aes(dir.keys.enc);
-  const Bytes ciphertext = crypto::ctr_crypt(aes, nonce, payload);
-  w.var_bytes(ciphertext);
-
-  BinaryWriter mac_input;
-  mac_input.var_string(label);
-  mac_input.u64(dir.next_seq);
-  mac_input.var_bytes(ciphertext);
-  w.raw(crypto::hmac_sha256(dir.keys.mac, mac_input.data()));
-
-  ++dir.next_seq;
-  return w.take();
 }
 
+// Streams the MAC preimage header (var_string label || u64 seq ||
+// u32 ciphertext length) into the direction's HMAC context; the caller
+// follows with the ciphertext bytes. Same preimage layout as a
+// BinaryWriter would produce, without assembling the copy.
+void mac_feed_header(crypto::HmacSha256Ctx& mac, const char* label,
+                     std::uint64_t seq, std::uint32_t ct_len) {
+  std::array<std::uint8_t, 4 + kLabelLen + 8 + 4> hdr;
+  std::size_t i = 0;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    hdr[i++] = static_cast<std::uint8_t>(kLabelLen >> shift);
+  }
+  for (std::size_t c = 0; c < kLabelLen; ++c) {
+    hdr[i++] = static_cast<std::uint8_t>(label[c]);
+  }
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    hdr[i++] = static_cast<std::uint8_t>(seq >> shift);
+  }
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    hdr[i++] = static_cast<std::uint8_t>(ct_len >> shift);
+  }
+  mac.update(hdr);
+}
+
+Bytes seal_record(DirectionState& dir, const char* label, BytesView payload) {
+  const std::uint64_t seq = dir.next_seq;
+  const auto ct_len = static_cast<std::uint32_t>(payload.size());
+
+  // One allocation for the whole frame; the payload is encrypted in
+  // place inside it and the MAC appended at the end.
+  Bytes frame;
+  frame.reserve(kRecordHeaderLen + payload.size() + kMacLen);
+  frame.push_back(static_cast<std::uint8_t>(FrameType::kRecord));
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    frame.push_back(static_cast<std::uint8_t>(seq >> shift));
+  }
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    frame.push_back(static_cast<std::uint8_t>(ct_len >> shift));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  // Per-record CTR nonce derived from the sequence number.
+  std::uint8_t nonce[crypto::kAesBlockSize];
+  seq_nonce(seq, nonce);
+  std::uint8_t* ct = frame.data() + kRecordHeaderLen;
+  crypto::ctr_crypt_into(dir.aes, BytesView(nonce, crypto::kAesBlockSize),
+                         BytesView(ct, payload.size()), ct);
+
+  mac_feed_header(dir.mac, label, seq, ct_len);
+  dir.mac.update(BytesView(ct, payload.size()));
+  std::array<std::uint8_t, kMacLen> mac;
+  dir.mac.finalize_into(mac);
+  frame.insert(frame.end(), mac.begin(), mac.end());
+
+  ++dir.next_seq;
+  return frame;
+}
+
+// Rejecting frames never mutates `dir`: the sequence check precedes the
+// MAC updates, and finalize_into re-arms the context either way, so a
+// failed open leaves the direction exactly as it was.
 Result<Bytes> open_record(DirectionState& dir, const char* label,
                           BytesView frame) {
   BinaryReader r(frame);
@@ -70,9 +128,11 @@ Result<Bytes> open_record(DirectionState& dir, const char* label,
   }
   auto seq = r.u64();
   if (!seq.ok()) return seq.error();
-  auto ciphertext = r.var_bytes();
+  auto ct_len = r.u32();
+  if (!ct_len.ok()) return ct_len.error();
+  auto ciphertext = r.view(ct_len.value());
   if (!ciphertext.ok()) return ciphertext.error();
-  auto mac = r.raw(32);
+  auto mac = r.view(kMacLen);
   if (!mac.ok()) return mac.error();
   if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
 
@@ -80,23 +140,21 @@ Result<Bytes> open_record(DirectionState& dir, const char* label,
   if (seq.value() != dir.next_seq) {
     return Error{Err::kReplay, "record: sequence number mismatch"};
   }
-  BinaryWriter mac_input;
-  mac_input.var_string(label);
-  mac_input.u64(seq.value());
-  mac_input.var_bytes(ciphertext.value());
-  if (!ct_equal(crypto::hmac_sha256(dir.keys.mac, mac_input.data()),
-                mac.value())) {
+  mac_feed_header(dir.mac, label, seq.value(), ct_len.value());
+  dir.mac.update(ciphertext.value());
+  std::array<std::uint8_t, kMacLen> expected;
+  dir.mac.finalize_into(expected);
+  if (!ct_equal(expected, mac.value())) {
     return Error{Err::kAuthFail, "record: MAC mismatch"};
   }
   ++dir.next_seq;
 
-  Bytes nonce(crypto::kAesBlockSize, 0);
-  for (int i = 0; i < 8; ++i) {
-    nonce[static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(seq.value() >> (56 - 8 * i));
-  }
-  const crypto::Aes aes(dir.keys.enc);
-  return crypto::ctr_crypt(aes, nonce, ciphertext.value());
+  std::uint8_t nonce[crypto::kAesBlockSize];
+  seq_nonce(seq.value(), nonce);
+  Bytes plaintext(ciphertext.value().size());
+  crypto::ctr_crypt_into(dir.aes, BytesView(nonce, crypto::kAesBlockSize),
+                         ciphertext.value(), plaintext.data());
+  return plaintext;
 }
 
 }  // namespace
@@ -111,11 +169,15 @@ Result<Bytes> PlainRpc::exchange(BytesView request) {
 // ---- sessions ----------------------------------------------------------
 
 struct SecureClientTransport::Session {
+  Session(const DirectionKeys& c2s, const DirectionKeys& s2c)
+      : send(c2s), recv(s2c) {}
   DirectionState send;  // c2s
   DirectionState recv;  // s2c
 };
 
 struct SecureServerTransport::Session {
+  Session(const DirectionKeys& c2s, const DirectionKeys& s2c)
+      : recv(c2s), send(s2c) {}
   DirectionState recv;  // c2s
   DirectionState send;  // s2c
 };
@@ -144,9 +206,9 @@ Status SecureClientTransport::handshake() {
   if (!ack.ok()) return ack.error();
   // Ack is a record under the new keys; verify it below by installing
   // the session first.
-  session_ = std::make_unique<Session>();
-  session_->send.keys = derive(master, kClientToServer);
-  session_->recv.keys = derive(master, kServerToClient);
+  crypto::HmacSha256Ctx prf(master);
+  session_ = std::make_unique<Session>(derive(prf, kClientToServer),
+                                       derive(prf, kServerToClient));
   auto opened = open_record(session_->recv, kServerToClient, ack.value());
   if (!opened.ok()) {
     session_.reset();
@@ -192,19 +254,18 @@ Bytes SecureServerTransport::handle(BytesView frame) {
     if (!encrypted.ok()) return reject();
     auto master = crypto::rsa_decrypt(server_key_, encrypted.value());
     if (!master.ok()) return reject();
-    session_ = std::make_unique<Session>();
-    session_->recv.keys = derive(master.value(), kClientToServer);
-    session_->send.keys = derive(master.value(), kServerToClient);
+    crypto::HmacSha256Ctx prf(master.value());
+    session_ = std::make_unique<Session>(derive(prf, kClientToServer),
+                                         derive(prf, kServerToClient));
     return seal_record(session_->send, kServerToClient,
                        bytes_of("handshake-ok"));
   }
 
   if (!session_) return reject();
-  // Bad records must not advance the receive sequence; probe on a copy.
-  DirectionState probe = session_->recv;
-  auto request = open_record(probe, kClientToServer, frame);
+  // open_record only advances the receive direction after the MAC
+  // verifies, so a bad record cannot desynchronize the session.
+  auto request = open_record(session_->recv, kClientToServer, frame);
   if (!request.ok()) return reject();
-  session_->recv = probe;
 
   const Bytes response = inner_(request.value());
   return seal_record(session_->send, kServerToClient, response);

@@ -38,10 +38,12 @@ Deployment::Deployment(DeploymentConfig config)
       SimRng(0x6e6574 ^ static_cast<std::uint64_t>(config_.seed.size())));
   if (config_.secure_transport) {
     // TLS stand-in: the SP's long-term key plays the server certificate.
-    auto server_drbg = std::make_shared<crypto::HmacDrbg>(
+    // The generator is consumed synchronously, so one stack DRBG (whose
+    // HMAC context caches the key midstates across draws) suffices.
+    crypto::HmacDrbg server_drbg(
         concat(config_.seed, bytes_of(":tls-server")));
     const crypto::RsaPrivateKey server_key = crypto::rsa_generate(
-        1024, [&](std::size_t n) { return server_drbg->generate(n); });
+        1024, [&](std::size_t n) { return server_drbg.generate(n); });
     secure_server_ = std::make_unique<net::SecureServerTransport>(
         server_key,
         [this](BytesView frame) { return sp_->handle_frame(frame); });

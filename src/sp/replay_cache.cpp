@@ -27,7 +27,8 @@ ReplayCache::ReplayCache(std::size_t capacity)
       occupied_(mask_ + 1, 0) {}
 
 ReplayCache::Digest ReplayCache::digest_of(BytesView signature) {
-  const Bytes full = crypto::Sha256::hash(signature);
+  // Stack one-shot: the lookup path allocates nothing.
+  const crypto::Sha256Digest full = crypto::Sha256::digest(signature);
   Digest d;
   std::memcpy(d.data(), full.data(), kDigestLen);
   return d;

@@ -68,7 +68,12 @@ Result<Bytes> PcrBank::extend(std::uint32_t index, BytesView digest) {
   if (digest.size() != kPcrSize) {
     return Error{Err::kInvalidArgument, "PcrBank: digest must be 20 bytes"};
   }
-  pcrs_[index] = crypto::Sha1::hash(concat(pcrs_[index], digest));
+  // Streamed extend: old value || digest straight into the hash, result
+  // written back in place (no concat buffer, no digest allocation).
+  crypto::Sha1 h;
+  h.update(pcrs_[index]);
+  h.update(digest);
+  h.digest_into(pcrs_[index]);
   return pcrs_[index];
 }
 
@@ -123,15 +128,17 @@ Result<Bytes> PcrBank::composite_of(const PcrSelection& selection,
   if (selection.indices.size() != values.size()) {
     return Error{Err::kInvalidArgument, "composite: selection/value mismatch"};
   }
-  BinaryWriter w;
-  w.raw(selection.serialize());
+  crypto::Sha1 h;
+  h.update(selection.serialize());
   for (const Bytes& v : values) {
     if (v.size() != kPcrSize) {
       return Error{Err::kInvalidArgument, "composite: bad PCR value size"};
     }
-    w.raw(v);
+    h.update(v);
   }
-  return crypto::Sha1::hash(w.data());
+  Bytes digest(kPcrSize);
+  h.digest_into(digest);
+  return digest;
 }
 
 }  // namespace tp::tpm

@@ -45,6 +45,7 @@ Result<QuoteResult> QuoteResult::deserialize(BytesView data) {
 
 Bytes quote_info(BytesView composite, BytesView external_data) {
   BinaryWriter w;
+  w.reserve(4 + 2 + 8 + composite.size() + external_data.size());
   w.raw(bytes_of("QUOT"));
   w.u16(0x0101);  // structure version 1.1, as in TPM 1.2
   w.var_bytes(composite);

@@ -28,6 +28,7 @@ TpmDevice::TpmDevice(const ChipProfile& profile, BytesView seed,
   drbg_ = std::make_unique<crypto::HmacDrbg>(
       concat(bytes_of("tpm-device:"), seed));
   srk_seed_ = drbg_->generate(32);
+  refresh_storage_keys();
   aik_ = crypto::rsa_generate(
       options_.key_bits, [this](std::size_t n) { return drbg_->generate(n); });
   aik_public_ = aik_.public_key();
@@ -38,12 +39,14 @@ void TpmDevice::charge(const char* label, SimDuration d) {
   clock_->charge(std::string("tpm:") + label, d);
 }
 
-Bytes TpmDevice::seal_mac_key() const {
-  return crypto::hmac_sha256(srk_seed_, bytes_of("seal-mac"));
+void TpmDevice::refresh_storage_keys() {
+  seal_enc_.emplace(crypto::hmac_sha256(srk_seed_, bytes_of("seal-enc")));
+  seal_mac_.emplace(crypto::hmac_sha256(srk_seed_, bytes_of("seal-mac")));
 }
 
-Bytes TpmDevice::seal_enc_key() const {
-  return crypto::hmac_sha256(srk_seed_, bytes_of("seal-enc"));
+Bytes TpmDevice::storage_mac(BytesView body) {
+  seal_mac_->update(body);
+  return seal_mac_->finalize();
 }
 
 Result<Bytes> TpmDevice::pcr_extend(Locality locality, std::uint32_t index,
@@ -143,8 +146,7 @@ Result<Bytes> TpmDevice::seal_to(Locality locality,
   if (!release_composite.ok()) return release_composite.error();
 
   const Bytes iv = drbg_->generate(crypto::kAesBlockSize);
-  const crypto::Aes enc(seal_enc_key());
-  const Bytes ciphertext = crypto::cbc_encrypt(enc, iv, data);
+  const Bytes ciphertext = crypto::cbc_encrypt(*seal_enc_, iv, data);
 
   BinaryWriter w;
   w.raw(bytes_of(kSealMagic));
@@ -154,8 +156,7 @@ Result<Bytes> TpmDevice::seal_to(Locality locality,
   w.raw(iv);
   w.var_bytes(ciphertext);
   Bytes blob = w.take();
-  const Bytes mac = crypto::hmac_sha256(seal_mac_key(), blob);
-  append(blob, mac);
+  append(blob, storage_mac(blob));
   return blob;
 }
 
@@ -166,7 +167,7 @@ Result<Bytes> TpmDevice::unseal(Locality locality, BytesView blob) {
   }
   const BytesView body = blob.subspan(0, blob.size() - kMacLen);
   const BytesView mac = blob.subspan(blob.size() - kMacLen);
-  if (!ct_equal(crypto::hmac_sha256(seal_mac_key(), body), mac)) {
+  if (!ct_equal(storage_mac(body), mac)) {
     return Error{Err::kAuthFail, "unseal: MAC mismatch (tampered blob)"};
   }
 
@@ -196,8 +197,8 @@ Result<Bytes> TpmDevice::unseal(Locality locality, BytesView blob) {
     return s.error();
   }
 
-  const crypto::Aes enc(seal_enc_key());
-  auto plaintext = crypto::cbc_decrypt(enc, iv.value(), ciphertext.value());
+  auto plaintext =
+      crypto::cbc_decrypt(*seal_enc_, iv.value(), ciphertext.value());
   if (!plaintext.ok()) {
     return Error{Err::kAuthFail, "unseal: decryption failed"};
   }
@@ -213,8 +214,8 @@ Result<Bytes> TpmDevice::create_wrap_key(const PcrSelection& selection) {
       options_.key_bits, [this](std::size_t n) { return drbg_->generate(n); });
 
   const Bytes iv = drbg_->generate(crypto::kAesBlockSize);
-  const crypto::Aes enc(seal_enc_key());
-  const Bytes wrapped_priv = crypto::cbc_encrypt(enc, iv, key.serialize());
+  const Bytes wrapped_priv =
+      crypto::cbc_encrypt(*seal_enc_, iv, key.serialize());
 
   BinaryWriter w;
   w.raw(bytes_of(kWrapMagic));
@@ -224,8 +225,7 @@ Result<Bytes> TpmDevice::create_wrap_key(const PcrSelection& selection) {
   w.raw(iv);
   w.var_bytes(wrapped_priv);
   Bytes blob = w.take();
-  const Bytes mac = crypto::hmac_sha256(seal_mac_key(), blob);
-  append(blob, mac);
+  append(blob, storage_mac(blob));
   return blob;
 }
 
@@ -236,7 +236,7 @@ Result<std::uint32_t> TpmDevice::load_key2(BytesView wrapped) {
   }
   const BytesView body = wrapped.subspan(0, wrapped.size() - kMacLen);
   const BytesView mac = wrapped.subspan(wrapped.size() - kMacLen);
-  if (!ct_equal(crypto::hmac_sha256(seal_mac_key(), body), mac)) {
+  if (!ct_equal(storage_mac(body), mac)) {
     return Error{Err::kAuthFail, "load_key2: MAC mismatch"};
   }
 
@@ -259,8 +259,8 @@ Result<std::uint32_t> TpmDevice::load_key2(BytesView wrapped) {
   if (!wrapped_priv.ok()) return wrapped_priv.error();
   if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
 
-  const crypto::Aes enc(seal_enc_key());
-  auto priv_bytes = crypto::cbc_decrypt(enc, iv.value(), wrapped_priv.value());
+  auto priv_bytes =
+      crypto::cbc_decrypt(*seal_enc_, iv.value(), wrapped_priv.value());
   if (!priv_bytes.ok()) {
     return Error{Err::kAuthFail, "load_key2: unwrap failed"};
   }
@@ -407,6 +407,7 @@ Status TpmDevice::owner_clear(std::uint32_t session, BytesView nonce_odd,
   counters_.clear();
   nvram_.clear();
   srk_seed_ = drbg_->generate(32);
+  refresh_storage_keys();
   return Status::ok_status();
 }
 

@@ -21,7 +21,9 @@
 #include <memory>
 #include <optional>
 
+#include "crypto/aes.h"
 #include "crypto/drbg.h"
+#include "crypto/hmac.h"
 #include "crypto/rsa.h"
 #include "tpm/chip_profile.h"
 #include "tpm/pcr.h"
@@ -184,8 +186,11 @@ class TpmDevice {
   };
 
   void charge(const char* label, SimDuration d);
-  Bytes seal_mac_key() const;
-  Bytes seal_enc_key() const;
+  /// (Re)derives the sealed-storage protection contexts from the SRK
+  /// seed; called at construction and after TPM_OwnerClear.
+  void refresh_storage_keys();
+  /// Integrity MAC over a sealed/wrapped blob body (cached key context).
+  Bytes storage_mac(BytesView body);
   Status check_release_policy(Locality locality, std::uint8_t locality_mask,
                               const PcrSelection& selection,
                               BytesView composite) const;
@@ -200,6 +205,11 @@ class TpmDevice {
   PcrBank pcrs_;
   std::unique_ptr<crypto::HmacDrbg> drbg_;
   Bytes srk_seed_;
+  // Sealed-storage protection derived from the SRK seed: the AES key
+  // schedule and HMAC key midstates are computed once per seed instead
+  // of per command (optional only because they follow srk_seed_).
+  std::optional<crypto::Aes> seal_enc_;
+  std::optional<crypto::HmacSha256Ctx> seal_mac_;
   crypto::RsaPrivateKey aik_;
   crypto::RsaPublicKey aik_public_;
   std::map<std::uint32_t, LoadedKey> loaded_keys_;

@@ -70,6 +70,13 @@ Result<Bytes> BinaryReader::raw(std::size_t n) {
   return out;
 }
 
+Result<BytesView> BinaryReader::view(std::size_t n) {
+  if (!need(n)) return Error{Err::kInvalidArgument, "truncated raw bytes"};
+  BytesView v = data_.subspan(pos_, n);
+  pos_ += n;
+  return v;
+}
+
 Result<Bytes> BinaryReader::var_bytes(std::size_t max_len) {
   auto len = u32();
   if (!len.ok()) return len.error();

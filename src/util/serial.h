@@ -15,6 +15,8 @@ namespace tp {
 /// Appends fields to a growing byte buffer.
 class BinaryWriter {
  public:
+  /// Pre-sizes the buffer when the caller knows the message size.
+  void reserve(std::size_t n) { out_.reserve(n); }
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
@@ -45,6 +47,10 @@ class BinaryReader {
   Result<std::uint64_t> u64();
   /// Exactly n raw bytes.
   Result<Bytes> raw(std::size_t n);
+  /// Zero-copy variant: a view into the underlying buffer (valid only
+  /// while that buffer lives). Hot parsers use this to avoid copying
+  /// bulk fields they only hash or transform.
+  Result<BytesView> view(std::size_t n);
   /// u32 length prefix followed by that many bytes. `max_len` bounds the
   /// accepted length so corrupt input cannot trigger huge allocations.
   Result<Bytes> var_bytes(std::size_t max_len = kDefaultMaxLen);

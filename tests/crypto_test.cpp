@@ -137,6 +137,80 @@ TEST(Hmac, KeySensitivity) {
   EXPECT_NE(hmac_sha256(bytes_of("k1"), msg), hmac_sha256(bytes_of("k2"), msg));
 }
 
+TEST(Hmac, CtxMatchesOneShotAcrossKeyLengths) {
+  // Key lengths around the 64-byte block boundary exercise zero-padding
+  // (short keys) and the hash-the-key-first path (>64).
+  const Bytes msg = bytes_of("precomputed midstates must not change the MAC");
+  for (std::size_t key_len : {0u, 1u, 63u, 64u, 65u, 128u}) {
+    Bytes key(key_len);
+    for (std::size_t i = 0; i < key_len; ++i) {
+      key[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    }
+    HmacSha256Ctx ctx256(key);
+    ctx256.update(msg);
+    EXPECT_EQ(ctx256.finalize(), hmac_sha256(key, msg)) << "key_len=" << key_len;
+    HmacSha1Ctx ctx1(key);
+    ctx1.update(msg);
+    EXPECT_EQ(ctx1.finalize(), hmac_sha1(key, msg)) << "key_len=" << key_len;
+  }
+}
+
+TEST(Hmac, CtxMatchesOneShotAcrossMessageLengths) {
+  // Message sizes straddling the compression-block boundary, fed both in
+  // one update and byte-at-a-time.
+  const Bytes key = bytes_of("block-boundary key");
+  for (std::size_t len : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 127u, 128u, 1000u}) {
+    Bytes msg(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      msg[i] = static_cast<std::uint8_t>(i);
+    }
+    HmacSha256Ctx whole(key);
+    whole.update(msg);
+    HmacSha256Ctx chunked(key);
+    for (std::size_t i = 0; i < len; ++i) {
+      chunked.update(BytesView(&msg[i], 1));
+    }
+    const Bytes expected = hmac_sha256(key, msg);
+    EXPECT_EQ(whole.finalize(), expected) << "len=" << len;
+    EXPECT_EQ(chunked.finalize(), expected) << "len=" << len;
+  }
+}
+
+TEST(Hmac, CtxIsReusableAfterFinalize) {
+  const Bytes key = bytes_of("reuse key");
+  HmacSha256Ctx ctx(key);
+  for (int round = 0; round < 3; ++round) {
+    const Bytes msg = bytes_of("round " + std::to_string(round));
+    ctx.update(msg);
+    EXPECT_EQ(ctx.finalize(), hmac_sha256(key, msg)) << "round=" << round;
+  }
+}
+
+TEST(Hmac, CtxResetDiscardsBufferedInput) {
+  const Bytes key = bytes_of("reset key");
+  HmacSha256Ctx ctx(key);
+  ctx.update(bytes_of("garbage that reset must throw away"));
+  ctx.reset();
+  ctx.update(bytes_of("actual message"));
+  EXPECT_EQ(ctx.finalize(), hmac_sha256(key, bytes_of("actual message")));
+}
+
+TEST(Hmac, CtxRekeySwitchesKeys) {
+  HmacSha256Ctx ctx(bytes_of("first key"));
+  ctx.update(bytes_of("msg"));
+  EXPECT_EQ(ctx.finalize(), hmac_sha256(bytes_of("first key"), bytes_of("msg")));
+  ctx.rekey(bytes_of("second key"));
+  ctx.update(bytes_of("msg"));
+  EXPECT_EQ(ctx.finalize(),
+            hmac_sha256(bytes_of("second key"), bytes_of("msg")));
+}
+
+TEST(Hmac, FinalizeIntoRejectsShortOutput) {
+  HmacSha256Ctx ctx(bytes_of("k"));
+  std::array<std::uint8_t, kSha256DigestSize - 1> small;
+  EXPECT_THROW(ctx.finalize_into(small), std::invalid_argument);
+}
+
 // ------------------------------------------------------------------ AES
 
 TEST(Aes, Fips197Vectors) {

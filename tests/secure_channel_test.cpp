@@ -130,6 +130,90 @@ TEST(SecureChannel, ReplayedRecordRejected) {
   EXPECT_EQ(server.records_rejected(), rejected_before + 1);
 }
 
+TEST(SecureChannel, BitFlippedCiphertextRejected) {
+  SimClock clock;
+  Link link(NetParams{}, clock, SimRng(6));
+  SecureServerTransport server(server_key(),
+                               [](BytesView) { return bytes_of("ok"); });
+  bool tamper = false;
+  std::uint64_t rejections_seen = 0;
+  link.b().set_service([&](BytesView frame) {
+    if (tamper && !frame.empty()) {
+      // Flip one bit of the first ciphertext byte (record header is
+      // type:u8 | seq:u64 | ct_len:u32 = 13 bytes) and deliver the
+      // forgery first; the MAC must catch it without desynchronizing.
+      Bytes flipped(frame.begin(), frame.end());
+      flipped[13] ^= 0x01;
+      EXPECT_EQ(string_of(server.handle(flipped)), "!rejected");
+      rejections_seen = server.records_rejected();
+    }
+    return server.handle(frame);
+  });
+  SecureClientTransport client(link.a(), server_key().public_key(),
+                               bytes_of("seed6"));
+  ASSERT_TRUE(client.exchange(bytes_of("warmup")).ok());
+  tamper = true;
+  // The genuine record, carrying the same sequence number as the bounced
+  // forgery, still goes through: rejection left the receive state intact.
+  auto reply = client.exchange(bytes_of("after-forgery"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(string_of(reply.value()), "ok");
+  EXPECT_GE(rejections_seen, 1u);
+}
+
+TEST(SecureChannel, TruncatedRecordRejected) {
+  SimClock clock;
+  Link link(NetParams{}, clock, SimRng(7));
+  SecureServerTransport server(server_key(),
+                               [](BytesView) { return bytes_of("ok"); });
+  Bytes captured;
+  link.b().set_service([&](BytesView frame) {
+    captured.assign(frame.begin(), frame.end());
+    return server.handle(frame);
+  });
+  SecureClientTransport client(link.a(), server_key().public_key(),
+                               bytes_of("seed7"));
+  ASSERT_TRUE(client.exchange(bytes_of("original")).ok());
+  ASSERT_GT(captured.size(), 45u);  // header + ct + 32-byte MAC
+
+  // Cut the record at various points: inside the MAC, just after the
+  // header, mid-header, and down to a bare type byte.
+  for (std::size_t keep :
+       {captured.size() - 1, captured.size() - 33, std::size_t{13},
+        std::size_t{9}, std::size_t{1}}) {
+    const Bytes truncated(captured.begin(),
+                          captured.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_EQ(string_of(server.handle(truncated)), "!rejected")
+        << "keep=" << keep;
+  }
+  // Parse failures must not disturb the session either.
+  auto reply = client.exchange(bytes_of("after"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(string_of(reply.value()), "ok");
+}
+
+TEST(SecureChannel, SwappedDirectionRecordRejected) {
+  // A client record reflected straight back at the client carries the
+  // right sequence number but the wrong direction label and keys; the
+  // per-direction key separation must reject it.
+  SimClock clock;
+  Link link(NetParams{}, clock, SimRng(8));
+  SecureServerTransport server(server_key(),
+                               [](BytesView) { return bytes_of("ok"); });
+  bool echo = false;
+  link.b().set_service([&](BytesView frame) {
+    if (echo) return Bytes(frame.begin(), frame.end());
+    return server.handle(frame);
+  });
+  SecureClientTransport client(link.a(), server_key().public_key(),
+                               bytes_of("seed8"));
+  ASSERT_TRUE(client.exchange(bytes_of("warmup")).ok());
+  echo = true;
+  auto reply = client.exchange(bytes_of("boomerang"));
+  EXPECT_FALSE(reply.ok());
+  EXPECT_TRUE(client.handshaken());
+}
+
 TEST(SecureChannel, WrongServerKeyFailsHandshake) {
   SimClock clock;
   Link link(NetParams{}, clock, SimRng(4));
