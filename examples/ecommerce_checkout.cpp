@@ -73,13 +73,16 @@ int main() {
               attacked.value().reason.c_str());
 
   // --- The shop's view. ---------------------------------------------------
-  const auto& stats = shop.sp().stats();
+  const auto stats = shop.sp().stats();
   std::printf("\nshop audit log: %llu accepted, %llu rejected\n",
               static_cast<unsigned long long>(stats.tx_accepted),
               static_cast<unsigned long long>(stats.tx_rejected));
-  for (const auto& [reason, count] : stats.reject_reasons) {
-    std::printf("  reject reason: %-40s x%llu\n", reason.c_str(),
-                static_cast<unsigned long long>(count));
+  for (std::size_t i = 0; i < proto::kRejectCodeCount; ++i) {
+    if (stats.rejects_by_code[i] == 0) continue;
+    const auto code = static_cast<proto::RejectCode>(i);
+    std::printf("  reject %-24s %-40s x%llu\n", proto::reject_code_name(code),
+                proto::reject_code_message(code),
+                static_cast<unsigned long long>(stats.rejects_by_code[i]));
   }
 
   return stats.tx_accepted == 1 && stats.tx_rejected == 1 ? 0 : 1;

@@ -63,6 +63,26 @@ int main() {
               fleet.size());
   if (enrolled != fleet.size()) return 1;
 
+  // Periodic metrics dump: after every serving round, the daemon reports
+  // session-table pressure -- live half-open sessions per shard (gauges)
+  // and cumulative eviction/expiry counts -- the numbers an operator
+  // would watch to spot an EnrollBegin/TxSubmit flood.
+  const auto dump_session_metrics = [&service](std::size_t round) {
+    std::int64_t open_sessions = 0;
+    for (const auto& g : service.metrics().gauges()) {
+      if (g.name.find(".enroll_sessions") != std::string::npos ||
+          g.name.find(".tx_sessions") != std::string::npos) {
+        open_sessions += g.value;
+      }
+    }
+    const sp::SpStats snap = service.stats();
+    std::printf(
+        "  [round %zu] session tables: open=%lld evicted=%llu expired=%llu\n",
+        round, static_cast<long long>(open_sessions),
+        static_cast<unsigned long long>(snap.sessions_evicted),
+        static_cast<unsigned long long>(snap.sessions_expired));
+  };
+
   std::size_t confirmed = 0, submitted = 0;
   for (std::size_t round = 0; round < 3; ++round) {
     for (std::size_t i = 0; i < fleet.size(); ++i) {
@@ -72,6 +92,7 @@ int main() {
           bytes_of("order " + std::to_string(round * fleet.size() + i)));
       if (outcome.ok() && outcome.value().accepted) ++confirmed;
     }
+    dump_session_metrics(round);
   }
   std::printf("served: %zu/%zu transactions confirmed\n", confirmed,
               submitted);
@@ -89,6 +110,9 @@ int main() {
               static_cast<unsigned long long>(totals.enrolled),
               static_cast<unsigned long long>(totals.tx_accepted),
               static_cast<unsigned long long>(totals.tx_rejected));
+  std::printf("  sessions: evicted=%llu expired=%llu\n",
+              static_cast<unsigned long long>(totals.sessions_evicted),
+              static_cast<unsigned long long>(totals.sessions_expired));
   std::printf("\nmetrics registry:\n%s\n",
               service.metrics().to_json().c_str());
   return confirmed == submitted ? 0 : 1;

@@ -2,6 +2,25 @@
 
 namespace tp::core {
 
+namespace {
+
+// The client drives the SAME transition table the SP's session layer
+// runs (proto::step), one proto::Session handle per exchange: before
+// sending a message it applies the corresponding event and checks the
+// FSM demands exactly the action it is about to perform. A mismatch
+// means the orchestrator is about to emit a sequence the verifier would
+// refuse -- surfaced as kBadState instead of a wire round-trip.
+Status expect_action(const proto::Step& step, proto::SessionAction want,
+                     const char* where) {
+  if (step.action != want) {
+    return Error{Err::kBadState,
+                 std::string(where) + ": protocol session out of step"};
+  }
+  return Status::ok_status();
+}
+
+}  // namespace
+
 TrustedPathClient::TrustedPathClient(drtm::Platform& platform,
                                      net::Endpoint& sp_link,
                                      tpm::AikCertificate aik_certificate,
@@ -23,7 +42,14 @@ Result<Bytes> TrustedPathClient::exchange(MsgType type, BytesView payload) {
 }
 
 Status TrustedPathClient::enroll() {
+  proto::Session fsm(proto::SessionPhase::kEnroll);
+
   // 1. Request a challenge.
+  if (auto s = expect_action(fsm.apply(proto::SessionEvent::kBegin),
+                             proto::SessionAction::kSendChallenge, "enroll");
+      !s.ok()) {
+    return s;
+  }
   auto challenge_bytes =
       exchange(MsgType::kEnrollBegin,
                EnrollBegin{config_.client_id}.serialize());
@@ -47,11 +73,18 @@ Status TrustedPathClient::enroll() {
   complete.confirmation_pubkey = pal_out.value().pubkey;
   complete.quote = pal_out.value().quote;
   complete.aik_certificate = aik_certificate_.serialize();
+  if (auto s = expect_action(fsm.apply(proto::SessionEvent::kComplete),
+                             proto::SessionAction::kVerify, "enroll");
+      !s.ok()) {
+    return s;
+  }
   auto result_bytes =
       exchange(MsgType::kEnrollComplete, complete.serialize());
   if (!result_bytes.ok()) return result_bytes.error();
   auto result = EnrollResult::deserialize(result_bytes.value());
   if (!result.ok()) return result.error();
+  fsm.apply(result.value().accepted ? proto::SessionEvent::kVerifyOk
+                                    : proto::SessionEvent::kVerifyFail);
   if (!result.value().accepted) {
     return Error{Err::kAuthFail,
                  "enrollment rejected: " + result.value().reason};
@@ -68,8 +101,14 @@ TrustedPathClient::submit_transaction(const std::string& summary,
   if (!enrolled()) {
     return Error{Err::kBadState, "submit: client not enrolled"};
   }
+  proto::Session fsm(proto::SessionPhase::kConfirm);
 
   // 1. Submit the transaction; receive the challenge.
+  if (auto s = expect_action(fsm.apply(proto::SessionEvent::kBegin),
+                             proto::SessionAction::kSendChallenge, "submit");
+      !s.ok()) {
+    return s.error();
+  }
   TxSubmit submit{config_.client_id, summary,
                   Bytes(payload.begin(), payload.end())};
   auto challenge_bytes = exchange(MsgType::kTxSubmit, submit.serialize());
@@ -98,15 +137,23 @@ TrustedPathClient::submit_transaction(const std::string& summary,
   confirm.tx_id = challenge.value().tx_id;
   confirm.verdict = pal_out.value().verdict;
   confirm.signature = pal_out.value().signature;
+  if (auto s = expect_action(fsm.apply(proto::SessionEvent::kComplete),
+                             proto::SessionAction::kVerify, "submit");
+      !s.ok()) {
+    return s.error();
+  }
   auto result_bytes = exchange(MsgType::kTxConfirm, confirm.serialize());
   if (!result_bytes.ok()) return result_bytes.error();
   auto result = TxResult::deserialize(result_bytes.value());
   if (!result.ok()) return result.error();
+  fsm.apply(result.value().accepted ? proto::SessionEvent::kVerifyOk
+                                    : proto::SessionEvent::kVerifyFail);
 
   ConfirmOutcome outcome;
   outcome.accepted = result.value().accepted;
   outcome.verdict = pal_out.value().verdict;
   outcome.reason = result.value().reason;
+  outcome.code = result.value().code;
   outcome.timing = session.value().timing;
   return outcome;
 }
@@ -126,8 +173,19 @@ Result<TrustedPathClient::BatchOutcome> TrustedPathClient::submit_batch(
   pal_input.code_len = config_.code_len;
   pal_input.max_attempts = config_.max_attempts;
   pal_input.user_timeout_ns = config_.user_timeout.ns;
+  // One protocol session per transaction in the batch (the PAL session
+  // is shared; the wire sessions are not).
+  std::vector<proto::Session> fsms(txs.size(),
+                                   proto::Session(proto::SessionPhase::kConfirm));
   std::vector<std::uint64_t> tx_ids;
-  for (const auto& [summary, payload] : txs) {
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    const auto& [summary, payload] = txs[i];
+    if (auto s = expect_action(fsms[i].apply(proto::SessionEvent::kBegin),
+                               proto::SessionAction::kSendChallenge,
+                               "submit_batch");
+        !s.ok()) {
+      return s.error();
+    }
     TxSubmit submit{config_.client_id, summary, payload};
     auto challenge_bytes = exchange(MsgType::kTxSubmit, submit.serialize());
     if (!challenge_bytes.ok()) return challenge_bytes.error();
@@ -159,10 +217,17 @@ Result<TrustedPathClient::BatchOutcome> TrustedPathClient::submit_batch(
     confirm.tx_id = tx_ids[i];
     confirm.verdict = pal_out.value().verdict;
     if (confirmed) confirm.signature = pal_out.value().signatures[i];
+    if (auto s = expect_action(fsms[i].apply(proto::SessionEvent::kComplete),
+                               proto::SessionAction::kVerify, "submit_batch");
+        !s.ok()) {
+      return s.error();
+    }
     auto result_bytes = exchange(MsgType::kTxConfirm, confirm.serialize());
     if (!result_bytes.ok()) return result_bytes.error();
     auto result = TxResult::deserialize(result_bytes.value());
     if (!result.ok()) return result.error();
+    fsms[i].apply(result.value().accepted ? proto::SessionEvent::kVerifyOk
+                                          : proto::SessionEvent::kVerifyFail);
     outcome.results.push_back(result.take());
   }
   return outcome;
@@ -176,7 +241,14 @@ TrustedPathClient::submit_limited_transaction(const std::string& summary,
   if (!enrolled()) {
     return Error{Err::kBadState, "submit_limited: client not enrolled"};
   }
+  proto::Session fsm(proto::SessionPhase::kConfirm);
 
+  if (auto s = expect_action(fsm.apply(proto::SessionEvent::kBegin),
+                             proto::SessionAction::kSendChallenge,
+                             "submit_limited");
+      !s.ok()) {
+    return s.error();
+  }
   TxSubmit submit{config_.client_id, summary,
                   Bytes(payload.begin(), payload.end())};
   auto challenge_bytes = exchange(MsgType::kTxSubmit, submit.serialize());
@@ -210,10 +282,17 @@ TrustedPathClient::submit_limited_transaction(const std::string& summary,
   confirm.tx_id = challenge.value().tx_id;
   confirm.verdict = pal_out.value().verdict;
   confirm.signature = pal_out.value().signature;
+  if (auto s = expect_action(fsm.apply(proto::SessionEvent::kComplete),
+                             proto::SessionAction::kVerify, "submit_limited");
+      !s.ok()) {
+    return s.error();
+  }
   auto result_bytes = exchange(MsgType::kTxConfirm, confirm.serialize());
   if (!result_bytes.ok()) return result_bytes.error();
   auto result = TxResult::deserialize(result_bytes.value());
   if (!result.ok()) return result.error();
+  fsm.apply(result.value().accepted ? proto::SessionEvent::kVerifyOk
+                                    : proto::SessionEvent::kVerifyFail);
 
   LimitedOutcome outcome;
   outcome.accepted = result.value().accepted;
@@ -222,6 +301,7 @@ TrustedPathClient::submit_limited_transaction(const std::string& summary,
   outcome.spent_cents = pal_out.value().spent_cents;
   outcome.limit_cents = pal_out.value().limit_cents;
   outcome.reason = result.value().reason;
+  outcome.code = result.value().code;
   outcome.timing = session.value().timing;
   return outcome;
 }

@@ -15,6 +15,7 @@
 
 #include "core/messages.h"
 #include "core/trusted_path_pal.h"
+#include "proto/session_fsm.h"
 #include "drtm/platform.h"
 #include "net/channel.h"
 #include "net/secure_channel.h"
@@ -67,6 +68,8 @@ class TrustedPathClient {
     bool accepted = false;        // the SP's decision
     Verdict verdict = Verdict::kTimeout;  // the PAL's verdict
     std::string reason;
+    /// The SP's typed reject (kNone when accepted).
+    proto::RejectCode code = proto::RejectCode::kNone;
     pal::SessionTiming timing;    // the CONFIRM session's breakdown
   };
 
@@ -103,6 +106,8 @@ class TrustedPathClient {
     std::uint64_t spent_cents = 0;  // cumulative after this transaction
     std::uint64_t limit_cents = 0;  // the sealed (authoritative) limit
     std::string reason;
+    /// The SP's typed reject (kNone when accepted).
+    proto::RejectCode code = proto::RejectCode::kNone;
     pal::SessionTiming timing;
   };
 

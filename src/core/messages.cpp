@@ -74,6 +74,7 @@ Bytes EnrollResult::serialize() const {
   BinaryWriter w;
   w.u8(accepted ? 1 : 0);
   w.var_string(reason);
+  w.u8(static_cast<std::uint8_t>(code));
   return w.take();
 }
 
@@ -83,8 +84,14 @@ Result<EnrollResult> EnrollResult::deserialize(BytesView data) {
   if (!flag.ok()) return flag.error();
   auto reason = read_string(r);
   if (!reason.ok()) return reason.error();
+  auto code = r.u8();
+  if (!code.ok()) return code.error();
+  if (!proto::reject_code_valid(code.value())) {
+    return Error{Err::kInvalidArgument, "EnrollResult: bad reject code"};
+  }
   if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
-  return EnrollResult{flag.value() != 0, reason.take()};
+  return EnrollResult{flag.value() != 0, reason.take(),
+                      static_cast<proto::RejectCode>(code.value())};
 }
 
 // ---- TxSubmit ---------------------------------------------------------------
@@ -171,6 +178,7 @@ Bytes TxResult::serialize() const {
   w.u64(tx_id);
   w.u8(accepted ? 1 : 0);
   w.var_string(reason);
+  w.u8(static_cast<std::uint8_t>(code));
   return w.take();
 }
 
@@ -182,8 +190,14 @@ Result<TxResult> TxResult::deserialize(BytesView data) {
   if (!flag.ok()) return flag.error();
   auto reason = read_string(r);
   if (!reason.ok()) return reason.error();
+  auto code = r.u8();
+  if (!code.ok()) return code.error();
+  if (!proto::reject_code_valid(code.value())) {
+    return Error{Err::kInvalidArgument, "TxResult: bad reject code"};
+  }
   if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
-  return TxResult{id.value(), flag.value() != 0, reason.take()};
+  return TxResult{id.value(), flag.value() != 0, reason.take(),
+                  static_cast<proto::RejectCode>(code.value())};
 }
 
 // ---- statement & envelope -------------------------------------------------

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "proto/reject_code.h"
 #include "util/bytes.h"
 #include "util/result.h"
 
@@ -74,6 +75,9 @@ struct EnrollComplete {
 struct EnrollResult {
   bool accepted = false;
   std::string reason;
+  /// Typed counterpart of `reason` (kNone when accepted). On the wire as
+  /// one u8; the string stays alongside for log compatibility.
+  proto::RejectCode code = proto::RejectCode::kNone;
 
   Bytes serialize() const;
   static Result<EnrollResult> deserialize(BytesView data);
@@ -116,6 +120,9 @@ struct TxResult {
   std::uint64_t tx_id = 0;
   bool accepted = false;
   std::string reason;
+  /// Typed counterpart of `reason` (kNone when accepted). On the wire as
+  /// one u8; the string stays alongside for log compatibility.
+  proto::RejectCode code = proto::RejectCode::kNone;
 
   Bytes serialize() const;
   static Result<TxResult> deserialize(BytesView data);

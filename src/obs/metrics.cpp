@@ -14,6 +14,15 @@ Counter& Registry::counter(std::string_view name) {
   return *it->second;
 }
 
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
 Histogram& Registry::histogram(std::string_view name,
                                Histogram::Options options) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -32,6 +41,16 @@ std::vector<Registry::CounterSample> Registry::counters() const {
   out.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     out.push_back(CounterSample{name, counter->value()});
+  }
+  return out;
+}
+
+std::vector<Registry::GaugeSample> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GaugeSample> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back(GaugeSample{name, gauge->value()});
   }
   return out;
 }
@@ -65,6 +84,11 @@ void Registry::reset(std::string_view prefix) {
       counter->reset();
     }
   }
+  for (auto& [name, gauge] : gauges_) {
+    if (std::string_view(name).substr(0, prefix.size()) == prefix) {
+      gauge->reset();
+    }
+  }
   for (auto& [name, hist] : histograms_) {
     if (std::string_view(name).substr(0, prefix.size()) == prefix) {
       hist->reset();
@@ -94,11 +118,20 @@ void append_json_string(std::ostringstream& out, const std::string& s) {
 
 std::string Registry::to_json() const {
   const auto counter_samples = counters();
+  const auto gauge_samples = gauges();
   const auto histogram_samples = histograms();
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;
   for (const auto& sample : counter_samples) {
+    if (!first) out << ',';
+    first = false;
+    append_json_string(out, sample.name);
+    out << ':' << sample.value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& sample : gauge_samples) {
     if (!first) out << ',';
     first = false;
     append_json_string(out, sample.name);

@@ -48,17 +48,40 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Point-in-time level (queue depth, session-table occupancy): unlike a
+/// Counter it moves both ways, so readers see the current value, not a
+/// total. Lock-free set/read; last writer wins.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { set(0); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
 class Registry {
  public:
-  /// Returns the counter/histogram named `name`, creating it on first use.
-  /// References stay valid for the registry's lifetime.
+  /// Returns the counter/gauge/histogram named `name`, creating it on
+  /// first use. References stay valid for the registry's lifetime.
   Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name,
                        Histogram::Options options = Histogram::Options{});
 
   struct CounterSample {
     std::string name;
     std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    std::int64_t value = 0;
   };
   struct HistogramSample {
     std::string name;
@@ -67,6 +90,7 @@ class Registry {
 
   /// Weakly-consistent point-in-time views (writers are not paused).
   std::vector<CounterSample> counters() const;
+  std::vector<GaugeSample> gauges() const;
   std::vector<HistogramSample> histograms() const;
 
   /// Sum of all counters whose name starts with `prefix`.
@@ -75,13 +99,15 @@ class Registry {
   /// Zeroes instruments whose name starts with `prefix` ("" = all).
   void reset(std::string_view prefix = "");
 
-  /// {"counters":{...},"histograms":{name:{count,mean,p50,p95,p99,...}}}
+  /// {"counters":{...},"gauges":{...},
+  ///  "histograms":{name:{count,mean,p50,p95,p99,...}}}
   /// Histogram values are reported in microseconds (they record ns).
   std::string to_json() const;
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 

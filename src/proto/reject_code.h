@@ -1,0 +1,129 @@
+// Typed reject codes for the trusted-path protocol.
+//
+// Every way the verifying side can turn a message away is enumerated
+// here, replacing the ad-hoc reason strings the seed grew organically.
+// The code travels on the wire (one u8 in EnrollResult/TxResult, next to
+// the human-readable reason kept for log compatibility), indexes the
+// SP's fixed per-reject counter array (no per-reject heap allocation on
+// the hot path), and gives tests something stable to assert against:
+// string messages may be reworded, codes may only be appended.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tp::proto {
+
+enum class RejectCode : std::uint8_t {
+  kNone = 0,  // not rejected (accepted results carry kNone)
+
+  // Transport / framing.
+  kMalformedFrame = 1,
+  kUnexpectedMessage = 2,
+  kMalformedEnrollBegin = 3,
+  kMalformedEnrollComplete = 4,
+  kMalformedTxSubmit = 5,
+  kMalformedTxConfirm = 6,
+
+  // Session lifecycle (produced by the SessionFsm / SessionTable).
+  kNoPendingEnrollment = 7,  // EnrollComplete without a live session
+  kUnknownTx = 8,            // TxConfirm for an unknown/settled tx_id
+  kSessionExpired = 9,       // the session's deadline passed first
+
+  // Enrollment evidence.
+  kMalformedAikCertificate = 10,
+  kUntrustedAikCertificate = 11,
+  kMalformedQuote = 12,
+  kQuoteVerifyFailed = 13,
+  kAttestationPolicyMismatch = 14,
+  kMalformedPublicKey = 15,
+
+  // Confirmation evidence.
+  kClientMismatch = 16,
+  kClientNotEnrolled = 17,
+  kUserRejected = 18,  // PAL verdict: human typed the reject line
+  kUserTimeout = 19,   // PAL verdict: nobody answered
+  kReplayedSignature = 20,
+  kBadSignature = 21,
+};
+
+inline constexpr std::size_t kRejectCodeCount = 22;
+
+/// True iff `v` is a defined RejectCode value (wire validation).
+constexpr bool reject_code_valid(std::uint8_t v) {
+  return v < kRejectCodeCount;
+}
+
+/// Stable snake_case token, used as the metrics-counter suffix
+/// ("sp.reject.<token>"). Never renamed, only appended.
+constexpr const char* reject_code_name(RejectCode c) {
+  switch (c) {
+    case RejectCode::kNone: return "none";
+    case RejectCode::kMalformedFrame: return "malformed_frame";
+    case RejectCode::kUnexpectedMessage: return "unexpected_message";
+    case RejectCode::kMalformedEnrollBegin: return "malformed_enroll_begin";
+    case RejectCode::kMalformedEnrollComplete:
+      return "malformed_enroll_complete";
+    case RejectCode::kMalformedTxSubmit: return "malformed_tx_submit";
+    case RejectCode::kMalformedTxConfirm: return "malformed_tx_confirm";
+    case RejectCode::kNoPendingEnrollment: return "no_pending_enrollment";
+    case RejectCode::kUnknownTx: return "unknown_tx";
+    case RejectCode::kSessionExpired: return "session_expired";
+    case RejectCode::kMalformedAikCertificate:
+      return "malformed_aik_certificate";
+    case RejectCode::kUntrustedAikCertificate:
+      return "untrusted_aik_certificate";
+    case RejectCode::kMalformedQuote: return "malformed_quote";
+    case RejectCode::kQuoteVerifyFailed: return "quote_verify_failed";
+    case RejectCode::kAttestationPolicyMismatch:
+      return "attestation_policy_mismatch";
+    case RejectCode::kMalformedPublicKey: return "malformed_public_key";
+    case RejectCode::kClientMismatch: return "client_mismatch";
+    case RejectCode::kClientNotEnrolled: return "client_not_enrolled";
+    case RejectCode::kUserRejected: return "user_rejected";
+    case RejectCode::kUserTimeout: return "user_timeout";
+    case RejectCode::kReplayedSignature: return "replayed_signature";
+    case RejectCode::kBadSignature: return "bad_signature";
+  }
+  return "unknown";
+}
+
+/// Human-readable message (kept byte-identical to the seed's reason
+/// strings where a counterpart existed, so logs and transcripts stay
+/// comparable across versions).
+constexpr const char* reject_code_message(RejectCode c) {
+  switch (c) {
+    case RejectCode::kNone: return "";
+    case RejectCode::kMalformedFrame: return "malformed frame";
+    case RejectCode::kUnexpectedMessage: return "unexpected message";
+    case RejectCode::kMalformedEnrollBegin: return "malformed EnrollBegin";
+    case RejectCode::kMalformedEnrollComplete:
+      return "malformed EnrollComplete";
+    case RejectCode::kMalformedTxSubmit: return "malformed TxSubmit";
+    case RejectCode::kMalformedTxConfirm: return "malformed TxConfirm";
+    case RejectCode::kNoPendingEnrollment:
+      return "no pending enrollment challenge";
+    case RejectCode::kUnknownTx:
+      return "unknown or already-settled transaction";
+    case RejectCode::kSessionExpired: return "session expired";
+    case RejectCode::kMalformedAikCertificate:
+      return "malformed AIK certificate";
+    case RejectCode::kUntrustedAikCertificate:
+      return "AIK certificate not signed by trusted CA";
+    case RejectCode::kMalformedQuote: return "malformed quote";
+    case RejectCode::kQuoteVerifyFailed: return "quote verification failed";
+    case RejectCode::kAttestationPolicyMismatch:
+      return "PCR17 does not match golden PAL measurement";
+    case RejectCode::kMalformedPublicKey: return "malformed public key";
+    case RejectCode::kClientMismatch: return "client mismatch";
+    case RejectCode::kClientNotEnrolled: return "client not enrolled";
+    case RejectCode::kUserRejected: return "not confirmed by user: rejected";
+    case RejectCode::kUserTimeout: return "not confirmed by user: timeout";
+    case RejectCode::kReplayedSignature:
+      return "replayed confirmation signature";
+    case RejectCode::kBadSignature: return "confirmation signature invalid";
+  }
+  return "unknown reject code";
+}
+
+}  // namespace tp::proto

@@ -1,0 +1,194 @@
+// The protocol session state machine, shared by client and SP.
+//
+// The paper's protocol is a strict two-phase, four-message exchange:
+//
+//   enrollment:    EnrollBegin -> EnrollChallenge -> EnrollComplete ->
+//                  EnrollResult
+//   confirmation:  TxSubmit    -> TxChallenge     -> TxConfirm      ->
+//                  TxResult
+//
+// Both phases have the same session shape -- a challenge is issued, then
+// exactly one completion attempt settles it -- so one transition system
+// covers both, parameterized by phase only where the reject code for "no
+// such session" differs. `step` is a pure function (no I/O, no clock, no
+// allocation): the verifier feeds it events derived from messages and
+// deadlines, the client feeds it the same events from its own side of
+// the wire, and because both run the identical table they can never
+// disagree about which transitions are legal. Bursuc et al.'s automated
+// verification of DRTM protocols works from exactly this kind of
+// explicit transition system; keeping ours pure keeps it exhaustively
+// step-testable (see tests/proto_fsm_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "proto/reject_code.h"
+
+namespace tp::proto {
+
+enum class SessionPhase : std::uint8_t {
+  kEnroll = 0,   // EnrollBegin/EnrollComplete
+  kConfirm = 1,  // TxSubmit/TxConfirm
+};
+inline constexpr std::size_t kSessionPhaseCount = 2;
+
+/// Lifecycle of one protocol session, on either side of the wire.
+enum class SessionState : std::uint8_t {
+  kIdle = 0,        // no session material exists for this key
+  kChallengeSent,   // challenge issued, completion pending (half-open)
+  kDone,            // completed and accepted (terminal)
+  kFailed,          // completed and rejected (terminal)
+  kExpired,         // deadline passed before completion (terminal)
+};
+inline constexpr std::size_t kSessionStateCount = 5;
+
+enum class SessionEvent : std::uint8_t {
+  kBegin = 0,    // phase-1 message (EnrollBegin / TxSubmit)
+  kComplete,     // phase-2 message (EnrollComplete / TxConfirm)
+  kVerifyOk,     // the completion's evidence checked out
+  kVerifyFail,   // the completion's evidence was refused
+  kDeadline,     // the session deadline passed
+};
+inline constexpr std::size_t kSessionEventCount = 5;
+
+/// What the caller must do after a transition. The FSM never performs
+/// the action itself -- it has no I/O.
+enum class SessionAction : std::uint8_t {
+  kNone = 0,        // nothing to do (no-op transition)
+  kSendChallenge,   // mint a fresh nonce, arm the deadline, answer
+  kVerify,          // run the phase's checks, then feed kVerifyOk/Fail
+  kAccept,          // settle the session as accepted, release its slot
+  kReject,          // answer with a typed reject, release the slot if
+                    // the new state is terminal
+};
+
+struct Step {
+  SessionState next = SessionState::kIdle;
+  SessionAction action = SessionAction::kNone;
+  /// Typed reject for action == kReject. kNone there means "the caller
+  /// supplies the specific code" -- only the ChallengeSent+kVerifyFail
+  /// edge, where the verifier knows *why* the evidence failed.
+  RejectCode reject = RejectCode::kNone;
+};
+
+constexpr bool session_state_terminal(SessionState s) {
+  return s == SessionState::kDone || s == SessionState::kFailed ||
+         s == SessionState::kExpired;
+}
+
+/// The transition function. Total: every (phase, state, event) triple
+/// yields a well-defined Step that either advances the session or
+/// carries a typed reject -- no aborts, no silent drops.
+constexpr Step step(SessionPhase phase, SessionState state,
+                    SessionEvent event) {
+  // The one phase-dependent output: what "you have no session" means.
+  const RejectCode no_session = phase == SessionPhase::kEnroll
+                                    ? RejectCode::kNoPendingEnrollment
+                                    : RejectCode::kUnknownTx;
+  switch (event) {
+    case SessionEvent::kBegin:
+      // A begin always (re)opens the session: from kIdle it claims a
+      // slot, from kChallengeSent it recycles the same slot with a fresh
+      // nonce and deadline (a client hammering begins cannot allocate
+      // more than one), from a terminal state it starts the next
+      // session for that key.
+      return {SessionState::kChallengeSent, SessionAction::kSendChallenge,
+              RejectCode::kNone};
+
+    case SessionEvent::kComplete:
+      switch (state) {
+        case SessionState::kChallengeSent:
+          return {SessionState::kChallengeSent, SessionAction::kVerify,
+                  RejectCode::kNone};
+        case SessionState::kExpired:
+          return {SessionState::kExpired, SessionAction::kReject,
+                  RejectCode::kSessionExpired};
+        case SessionState::kIdle:
+        case SessionState::kDone:    // challenge already consumed
+        case SessionState::kFailed:
+          return {state, SessionAction::kReject, no_session};
+      }
+      break;
+
+    case SessionEvent::kVerifyOk:
+      if (state == SessionState::kChallengeSent) {
+        return {SessionState::kDone, SessionAction::kAccept,
+                RejectCode::kNone};
+      }
+      // A verification verdict without a live challenge is a protocol
+      // violation by the caller; refuse it the same way a stray
+      // completion is refused.
+      return {state, SessionAction::kReject,
+              state == SessionState::kExpired ? RejectCode::kSessionExpired
+                                              : no_session};
+
+    case SessionEvent::kVerifyFail:
+      if (state == SessionState::kChallengeSent) {
+        // reject == kNone: the verifier supplies the specific code.
+        return {SessionState::kFailed, SessionAction::kReject,
+                RejectCode::kNone};
+      }
+      return {state, SessionAction::kReject,
+              state == SessionState::kExpired ? RejectCode::kSessionExpired
+                                              : no_session};
+
+    case SessionEvent::kDeadline:
+      if (state == SessionState::kChallengeSent) {
+        return {SessionState::kExpired, SessionAction::kReject,
+                RejectCode::kSessionExpired};
+      }
+      return {state, SessionAction::kNone, RejectCode::kNone};
+  }
+  // Unreachable for in-range enums; keeps -Wreturn-type quiet for
+  // adversarial (out-of-range) inputs in fuzzing.
+  return {state, SessionAction::kNone, RejectCode::kNone};
+}
+
+constexpr const char* session_state_name(SessionState s) {
+  switch (s) {
+    case SessionState::kIdle: return "idle";
+    case SessionState::kChallengeSent: return "challenge_sent";
+    case SessionState::kDone: return "done";
+    case SessionState::kFailed: return "failed";
+    case SessionState::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+constexpr const char* session_event_name(SessionEvent e) {
+  switch (e) {
+    case SessionEvent::kBegin: return "begin";
+    case SessionEvent::kComplete: return "complete";
+    case SessionEvent::kVerifyOk: return "verify_ok";
+    case SessionEvent::kVerifyFail: return "verify_fail";
+    case SessionEvent::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
+/// One side's handle on a session: current state plus the shared
+/// transition function. The client drives one of these per exchange so
+/// it physically cannot emit a message sequence the SP's instance of
+/// the same table would refuse.
+class Session {
+ public:
+  explicit Session(SessionPhase phase) : phase_(phase) {}
+
+  SessionPhase phase() const { return phase_; }
+  SessionState state() const { return state_; }
+
+  /// Applies `event` and returns the resulting step (state is updated
+  /// to step.next).
+  Step apply(SessionEvent event) {
+    const Step s = step(phase_, state_, event);
+    state_ = s.next;
+    return s;
+  }
+
+ private:
+  SessionPhase phase_;
+  SessionState state_ = SessionState::kIdle;
+};
+
+}  // namespace tp::proto

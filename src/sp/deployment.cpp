@@ -26,6 +26,12 @@ Deployment::Deployment(DeploymentConfig config)
   sp_config.ca_public = ca_->public_key();
   sp_config.seed = concat(config_.seed, bytes_of(":sp"));
   sp_config.replay_cache_capacity = config_.replay_cache_capacity;
+  sp_config.enroll_session_capacity = config_.enroll_session_capacity;
+  sp_config.tx_session_capacity = config_.tx_session_capacity;
+  sp_config.session_ttl = config_.session_ttl;
+  // Session deadlines live on the same virtual clock the platform and
+  // link charge their costs to.
+  sp_config.clock = &platform_->clock();
   // The SP supports both platform flavours out of the box.
   sp_config.accepted_policies = {
       core::attestation_policy(drtm::DrtmTechnology::kAmdSkinit),

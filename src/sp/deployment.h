@@ -39,6 +39,14 @@ struct DeploymentConfig {
   /// Forwarded to SpConfig::replay_cache_capacity (tests shrink it to
   /// exercise eviction).
   std::size_t replay_cache_capacity = 1 << 16;
+
+  /// Forwarded to the SP's bounded session tables (tests shrink them to
+  /// exercise eviction; see SpConfig for semantics). The deployment also
+  /// points the SP's session clock at the platform's SimClock, so
+  /// protocol deadlines move with simulated time.
+  std::size_t enroll_session_capacity = 1024;
+  std::size_t tx_session_capacity = 4096;
+  SimDuration session_ttl = SimDuration::seconds(120);
 };
 
 class Deployment {

@@ -1,5 +1,7 @@
 #include "sp/service_provider.h"
 
+#include <algorithm>
+
 #include "core/trusted_path_pal.h"
 #include "tpm/quote.h"
 
@@ -7,13 +9,23 @@ namespace tp::sp {
 
 using namespace core;  // message types
 
+namespace {
+constexpr proto::SessionPhase kEnrollPhase = proto::SessionPhase::kEnroll;
+constexpr proto::SessionPhase kConfirmPhase = proto::SessionPhase::kConfirm;
+}  // namespace
+
 ServiceProvider::ServiceProvider(SpConfig config)
     : config_(std::move(config)),
       drbg_(concat(bytes_of("service-provider:"), config_.seed)),
+      enroll_sessions_(proto::SessionTableConfig{
+          config_.enroll_session_capacity, config_.session_ttl}),
+      tx_sessions_(proto::SessionTableConfig{config_.tx_session_capacity,
+                                             config_.session_ttl}),
       seen_signatures_(config_.replay_cache_capacity) {
+  // Nonces live inline in the fixed-size session slots.
+  config_.nonce_len =
+      std::min(config_.nonce_len, proto::SessionTable::kMaxNonceLen);
   enrolled_.reserve(config_.expected_clients);
-  pending_enroll_.reserve(config_.expected_clients);
-  pending_tx_.reserve(config_.expected_inflight_tx);
   if (config_.metrics != nullptr) {
     registry_ = config_.metrics;
   } else {
@@ -25,6 +37,15 @@ ServiceProvider::ServiceProvider(SpConfig config)
   c_enroll_rejected_ = &registry_->counter(p + ".enroll_rejected");
   c_tx_accepted_ = &registry_->counter(p + ".tx_accepted");
   c_tx_rejected_ = &registry_->counter(p + ".tx_rejected");
+  for (std::size_t i = 0; i < proto::kRejectCodeCount; ++i) {
+    c_reject_[i] = &registry_->counter(
+        p + ".reject." +
+        proto::reject_code_name(static_cast<proto::RejectCode>(i)));
+  }
+  c_sessions_evicted_ = &registry_->counter(p + ".sessions_evicted");
+  c_sessions_expired_ = &registry_->counter(p + ".sessions_expired");
+  g_enroll_sessions_ = &registry_->gauge(p + ".enroll_sessions");
+  g_tx_sessions_ = &registry_->gauge(p + ".tx_sessions");
   h_enroll_ = &registry_->histogram(p + ".enroll_ns");
   h_tx_ = &registry_->histogram(p + ".tx_ns");
 }
@@ -39,175 +60,287 @@ SpStats ServiceProvider::stats_snapshot() const {
   snap.enroll_rejected = c_enroll_rejected_->value();
   snap.tx_accepted = c_tx_accepted_->value();
   snap.tx_rejected = c_tx_rejected_->value();
-  const std::string reject_prefix = config_.metrics_prefix + ".reject.";
-  for (const auto& [name, value] : registry_->counters()) {
-    // Zero-valued entries (possible after reset_stats) are skipped so the
-    // map keeps its historical "reasons that actually occurred" meaning.
-    if (value > 0 && name.size() > reject_prefix.size() &&
-        name.compare(0, reject_prefix.size(), reject_prefix) == 0) {
-      snap.reject_reasons[name.substr(reject_prefix.size())] = value;
-    }
+  for (std::size_t i = 0; i < proto::kRejectCodeCount; ++i) {
+    snap.rejects_by_code[i] = c_reject_[i]->value();
   }
+  snap.sessions_evicted = c_sessions_evicted_->value();
+  snap.sessions_expired = c_sessions_expired_->value();
   return snap;
-}
-
-const SpStats& ServiceProvider::stats() const {
-  stats_ = stats_snapshot();
-  return stats_;
 }
 
 void ServiceProvider::reset_stats() {
   registry_->reset(config_.metrics_prefix + ".");
+  // The tables' own totals keep running; future publishes must add only
+  // what happens after this reset.
+  published_evictions_ = session_evictions();
+  published_expirations_ = session_expirations();
+  publish_session_metrics();
 }
 
-EnrollResult ServiceProvider::reject_enrollment(const std::string& reason) {
+void ServiceProvider::publish_session_metrics() {
+  g_enroll_sessions_->set(
+      static_cast<std::int64_t>(enroll_sessions_.size()));
+  g_tx_sessions_->set(static_cast<std::int64_t>(tx_sessions_.size()));
+  const std::uint64_t evicted = session_evictions();
+  if (evicted > published_evictions_) {
+    c_sessions_evicted_->inc(evicted - published_evictions_);
+    published_evictions_ = evicted;
+  }
+  const std::uint64_t expired = session_expirations();
+  if (expired > published_expirations_) {
+    c_sessions_expired_->inc(expired - published_expirations_);
+    published_expirations_ = expired;
+  }
+}
+
+EnrollResult ServiceProvider::reject_enrollment(proto::RejectCode code) {
   c_enroll_rejected_->inc();
-  registry_->counter(config_.metrics_prefix + ".reject." + reason).inc();
-  return EnrollResult{false, reason};
+  reject_counter(code).inc();
+  return EnrollResult{false, proto::reject_code_message(code), code};
 }
 
 TxResult ServiceProvider::reject_tx(std::uint64_t tx_id,
-                                    const std::string& reason) {
+                                    proto::RejectCode code) {
   c_tx_rejected_->inc();
-  registry_->counter(config_.metrics_prefix + ".reject." + reason).inc();
-  return TxResult{tx_id, false, reason};
+  reject_counter(code).inc();
+  return TxResult{tx_id, false, proto::reject_code_message(code), code};
 }
 
 EnrollChallenge ServiceProvider::begin_enrollment(const EnrollBegin& msg) {
+  // kBegin is legal from every state (the FSM recycles terminal and
+  // half-open sessions alike); begin() is the kSendChallenge action's
+  // bookkeeping: collect expired, evict under pressure, arm the deadline.
+  const SimTime now = session_now();
   EnrollChallenge challenge{fresh_nonce()};
-  pending_enroll_[msg.client_id] = challenge.nonce;
+  proto::SessionTable::Session& session =
+      enroll_sessions_.begin(proto::SessionTable::client_key(msg.client_id),
+                             now);
+  session.set_nonce(challenge.nonce);
+  publish_session_metrics();
   return challenge;
 }
 
 EnrollResult ServiceProvider::complete_enrollment(const EnrollComplete& msg) {
   obs::ScopedTimer timer(*h_enroll_);
-  const auto pending = pending_enroll_.find(msg.client_id);
-  if (pending == pending_enroll_.end()) {
-    return reject_enrollment("no pending enrollment challenge");
+  const SimTime now = session_now();
+  const proto::SessionTable::Key key =
+      proto::SessionTable::client_key(msg.client_id);
+  bool deadline_passed = false;
+  proto::SessionTable::Session* session =
+      enroll_sessions_.find(key, now, &deadline_passed);
+  if (session == nullptr) {
+    // No live session: feed kComplete to the state the table reports
+    // (kExpired when the deadline collected the slot just now, kIdle
+    // otherwise) and let the FSM pick the reject code.
+    const proto::Step miss = proto::step(
+        kEnrollPhase,
+        deadline_passed ? proto::SessionState::kExpired
+                        : proto::SessionState::kIdle,
+        proto::SessionEvent::kComplete);
+    publish_session_metrics();
+    return reject_enrollment(miss.reject);
   }
-  const Bytes nonce = pending->second;
-  pending_enroll_.erase(pending);  // challenges are one-shot
+  // Live session: kComplete from kChallengeSent demands kVerify.
+  const proto::Step on_complete = proto::step(kEnrollPhase, session->state,
+                                              proto::SessionEvent::kComplete);
+  session->state = on_complete.next;
 
-  // 1. AIK certificate chains to the Privacy CA.
-  auto cert = tpm::AikCertificate::deserialize(msg.aik_certificate);
-  if (!cert.ok()) return reject_enrollment("malformed AIK certificate");
-  if (!tpm::PrivacyCa::verify(config_.ca_public, cert.value()).ok()) {
-    return reject_enrollment("AIK certificate not signed by trusted CA");
-  }
-
-  // 2. Quote: valid AIK signature over PCR 17 and OUR nonce binding.
-  auto quote = tpm::QuoteResult::deserialize(msg.quote);
-  if (!quote.ok()) return reject_enrollment("malformed quote");
-  const Bytes binding =
-      enrollment_quote_binding(msg.confirmation_pubkey, nonce);
-  if (!tpm::verify_quote(cert.value().aik_public, quote.value(), binding)
-           .ok()) {
-    return reject_enrollment("quote verification failed");
-  }
-
-  // 3. The quoted PCRs must match one accepted attestation policy: the
-  // key was generated inside the GENUINE trusted-path PAL on a supported
-  // platform flavour.
-  std::vector<core::AttestationPolicy> policies = config_.accepted_policies;
-  if (policies.empty()) {
-    policies.push_back(core::AttestationPolicy{
-        tpm::PcrSelection::of({17}), {config_.golden_pcr17}, "default"});
-  }
-  bool policy_match = false;
-  for (const auto& policy : policies) {
-    if (quote.value().selection != policy.selection ||
-        quote.value().pcr_values.size() != policy.values.size()) {
-      continue;
+  // The kVerify action: check the enrollment evidence, producing kNone
+  // (sound) or the specific RejectCode for the first check that failed.
+  const auto verify = [&]() -> proto::RejectCode {
+    // 1. AIK certificate chains to the Privacy CA.
+    auto cert = tpm::AikCertificate::deserialize(msg.aik_certificate);
+    if (!cert.ok()) return proto::RejectCode::kMalformedAikCertificate;
+    if (!tpm::PrivacyCa::verify(config_.ca_public, cert.value()).ok()) {
+      return proto::RejectCode::kUntrustedAikCertificate;
     }
-    bool all_equal = true;
-    for (std::size_t i = 0; i < policy.values.size(); ++i) {
-      if (!ct_equal(quote.value().pcr_values[i], policy.values[i])) {
-        all_equal = false;
+
+    // 2. Quote: valid AIK signature over PCR 17 and OUR nonce binding.
+    auto quote = tpm::QuoteResult::deserialize(msg.quote);
+    if (!quote.ok()) return proto::RejectCode::kMalformedQuote;
+    const Bytes binding = enrollment_quote_binding(msg.confirmation_pubkey,
+                                                   session->nonce_view());
+    if (!tpm::verify_quote(cert.value().aik_public, quote.value(), binding)
+             .ok()) {
+      return proto::RejectCode::kQuoteVerifyFailed;
+    }
+
+    // 3. The quoted PCRs must match one accepted attestation policy: the
+    // key was generated inside the GENUINE trusted-path PAL on a
+    // supported platform flavour.
+    std::vector<core::AttestationPolicy> policies =
+        config_.accepted_policies;
+    if (policies.empty()) {
+      policies.push_back(core::AttestationPolicy{
+          tpm::PcrSelection::of({17}), {config_.golden_pcr17}, "default"});
+    }
+    bool policy_match = false;
+    for (const auto& policy : policies) {
+      if (quote.value().selection != policy.selection ||
+          quote.value().pcr_values.size() != policy.values.size()) {
+        continue;
+      }
+      bool all_equal = true;
+      for (std::size_t i = 0; i < policy.values.size(); ++i) {
+        if (!ct_equal(quote.value().pcr_values[i], policy.values[i])) {
+          all_equal = false;
+          break;
+        }
+      }
+      if (all_equal) {
+        policy_match = true;
         break;
       }
     }
-    if (all_equal) {
-      policy_match = true;
-      break;
-    }
-  }
-  if (!policy_match) {
-    return reject_enrollment("PCR17 does not match golden PAL measurement");
-  }
+    if (!policy_match) return proto::RejectCode::kAttestationPolicyMismatch;
 
-  // 4. The key itself must parse.
-  auto pk = crypto::RsaPublicKey::deserialize(msg.confirmation_pubkey);
-  if (!pk.ok()) return reject_enrollment("malformed public key");
+    // 4. The key itself must parse.
+    auto pk = crypto::RsaPublicKey::deserialize(msg.confirmation_pubkey);
+    if (!pk.ok()) return proto::RejectCode::kMalformedPublicKey;
 
-  // Build the cached verify context now (R^2-mod-n precompute), once per
-  // enrollment, so every later confirmation verify skips it.
-  enrolled_.insert_or_assign(msg.client_id,
-                             crypto::RsaVerifyContext(pk.take()));
-  c_enrolled_->inc();
-  return EnrollResult{true, "enrolled"};
+    // Build the cached verify context now (R^2-mod-n precompute), once
+    // per enrollment, so every later confirmation verify skips it.
+    enrolled_.insert_or_assign(msg.client_id,
+                               crypto::RsaVerifyContext(pk.take()));
+    return proto::RejectCode::kNone;
+  };
+
+  const proto::RejectCode verdict = verify();
+  const proto::Step settle =
+      proto::step(kEnrollPhase, session->state,
+                  verdict == proto::RejectCode::kNone
+                      ? proto::SessionEvent::kVerifyOk
+                      : proto::SessionEvent::kVerifyFail);
+  session->state = settle.next;
+  enroll_sessions_.erase(key);  // terminal either way: challenges are
+                                // one-shot, the slot is released
+  publish_session_metrics();
+  if (settle.action == proto::SessionAction::kAccept) {
+    c_enrolled_->inc();
+    return EnrollResult{true, "enrolled"};
+  }
+  return reject_enrollment(verdict);
 }
 
 TxChallenge ServiceProvider::begin_transaction(const TxSubmit& msg) {
+  const SimTime now = session_now();
   TxChallenge challenge;
   challenge.tx_id = next_tx_id_++;
   challenge.nonce = fresh_nonce();
-  pending_tx_[challenge.tx_id] =
-      PendingTx{msg.client_id, msg.digest(), challenge.nonce};
+  proto::SessionTable::Session& session = tx_sessions_.begin(
+      proto::SessionTable::tx_key(challenge.tx_id), now);
+  session.client = proto::SessionTable::client_key(msg.client_id);
+  session.set_nonce(challenge.nonce);
+  const Bytes digest = msg.digest();
+  std::copy_n(digest.begin(),
+              std::min(digest.size(), session.tx_digest.size()),
+              session.tx_digest.begin());
+  publish_session_metrics();
   return challenge;
 }
 
 TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
   obs::ScopedTimer timer(*h_tx_);
-  const auto pending = pending_tx_.find(msg.tx_id);
-  if (pending == pending_tx_.end()) {
-    return reject_tx(msg.tx_id, "unknown or already-settled transaction");
+  const SimTime now = session_now();
+  const proto::SessionTable::Key key =
+      proto::SessionTable::tx_key(msg.tx_id);
+  bool deadline_passed = false;
+  proto::SessionTable::Session* session =
+      tx_sessions_.find(key, now, &deadline_passed);
+  if (session == nullptr) {
+    const proto::Step miss = proto::step(
+        kConfirmPhase,
+        deadline_passed ? proto::SessionState::kExpired
+                        : proto::SessionState::kIdle,
+        proto::SessionEvent::kComplete);
+    publish_session_metrics();
+    return reject_tx(msg.tx_id, miss.reject);
   }
-  const PendingTx tx = pending->second;
-  pending_tx_.erase(pending);  // challenges are one-shot: replay dies here
+  const proto::Step on_complete = proto::step(
+      kConfirmPhase, session->state, proto::SessionEvent::kComplete);
+  session->state = on_complete.next;
 
-  if (tx.client_id != msg.client_id) {
-    return reject_tx(msg.tx_id, "client mismatch");
-  }
-  if (!config_.require_trusted_path) {
-    // Baseline mode: execute whatever the (possibly compromised) client
-    // software asked for. This is the world before the trusted path.
+  // The kVerify action for the confirmation phase. Check order is the
+  // seed's: binding (client identity), policy knob, enrollment, human
+  // verdict, replay backstop, signature.
+  bool verified_by_trusted_path = false;
+  const auto verify = [&]() -> proto::RejectCode {
+    if (session->client !=
+        proto::SessionTable::client_key(msg.client_id)) {
+      return proto::RejectCode::kClientMismatch;
+    }
+    if (!config_.require_trusted_path) {
+      // Baseline mode: execute whatever the (possibly compromised)
+      // client software asked for. This is the world before the trusted
+      // path.
+      return proto::RejectCode::kNone;
+    }
+    verified_by_trusted_path = true;
+    const auto enrolled = enrolled_.find(msg.client_id);
+    if (enrolled == enrolled_.end()) {
+      return proto::RejectCode::kClientNotEnrolled;
+    }
+    if (msg.verdict != Verdict::kConfirmed) {
+      return msg.verdict == Verdict::kRejected
+                 ? proto::RejectCode::kUserRejected
+                 : proto::RejectCode::kUserTimeout;
+    }
+
+    // Defence in depth: a signature is never accepted twice even if the
+    // one-shot challenge logic were bypassed.
+    if (seen_signatures_.contains(msg.signature)) {
+      return proto::RejectCode::kReplayedSignature;
+    }
+
+    const Bytes statement = confirmation_statement(
+        BytesView(session->tx_digest.data(), session->tx_digest.size()),
+        session->nonce_view(), Verdict::kConfirmed);
+    if (!enrolled->second
+             .verify(crypto::HashAlg::kSha256, statement, msg.signature)
+             .ok()) {
+      return proto::RejectCode::kBadSignature;
+    }
+    seen_signatures_.insert(msg.signature);
+    return proto::RejectCode::kNone;
+  };
+
+  const proto::RejectCode verdict = verify();
+  const proto::Step settle =
+      proto::step(kConfirmPhase, session->state,
+                  verdict == proto::RejectCode::kNone
+                      ? proto::SessionEvent::kVerifyOk
+                      : proto::SessionEvent::kVerifyFail);
+  session->state = settle.next;
+  tx_sessions_.erase(key);  // one-shot: replay of this challenge dies here
+  publish_session_metrics();
+  if (settle.action == proto::SessionAction::kAccept) {
     c_tx_accepted_->inc();
-    return TxResult{msg.tx_id, true, "accepted without verification"};
+    return TxResult{msg.tx_id, true,
+                    verified_by_trusted_path
+                        ? "confirmed by human via trusted path"
+                        : "accepted without verification"};
   }
+  return reject_tx(msg.tx_id, verdict);
+}
 
-  const auto enrolled = enrolled_.find(msg.client_id);
-  if (enrolled == enrolled_.end()) {
-    return reject_tx(msg.tx_id, "client not enrolled");
-  }
-  if (msg.verdict != Verdict::kConfirmed) {
-    return reject_tx(msg.tx_id, std::string("not confirmed by user: ") +
-                                    verdict_name(msg.verdict));
-  }
-
-  // Defence in depth: a signature is never accepted twice even if the
-  // one-shot challenge logic were bypassed.
-  if (seen_signatures_.contains(msg.signature)) {
-    return reject_tx(msg.tx_id, "replayed confirmation signature");
-  }
-
-  const Bytes statement =
-      confirmation_statement(tx.digest, tx.nonce, Verdict::kConfirmed);
-  if (!enrolled->second
-           .verify(crypto::HashAlg::kSha256, statement, msg.signature)
-           .ok()) {
-    return reject_tx(msg.tx_id, "confirmation signature invalid");
-  }
-
-  seen_signatures_.insert(msg.signature);
-  c_tx_accepted_->inc();
-  return TxResult{msg.tx_id, true, "confirmed by human via trusted path"};
+Bytes ServiceProvider::handle_frame(BytesView frame, SimTime now) {
+  advance_time_to(now);
+  return handle_frame(frame);
 }
 
 Bytes ServiceProvider::handle_frame(BytesView frame) {
   auto opened = open_envelope(frame);
   if (!opened.ok()) {
-    return envelope(MsgType::kTxResult,
-                    TxResult{0, false, "malformed frame"}.serialize());
+    // Frame-level garbage is counted per code but not as a protocol
+    // reject (there is no session to reject).
+    reject_counter(proto::RejectCode::kMalformedFrame).inc();
+    return envelope(
+        MsgType::kTxResult,
+        TxResult{0, false,
+                 proto::reject_code_message(
+                     proto::RejectCode::kMalformedFrame),
+                 proto::RejectCode::kMalformedFrame}
+            .serialize());
   }
   const auto& [type, payload] = opened.value();
   switch (type) {
@@ -216,7 +349,8 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
       if (!msg.ok()) {
         return envelope(
             MsgType::kEnrollResult,
-            reject_enrollment("malformed EnrollBegin").serialize());
+            reject_enrollment(proto::RejectCode::kMalformedEnrollBegin)
+                .serialize());
       }
       return envelope(MsgType::kEnrollChallenge,
                       begin_enrollment(msg.value()).serialize());
@@ -224,9 +358,10 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
     case MsgType::kEnrollComplete: {
       auto msg = EnrollComplete::deserialize(payload);
       if (!msg.ok()) {
-        return envelope(MsgType::kEnrollResult,
-                        reject_enrollment("malformed EnrollComplete")
-                            .serialize());
+        return envelope(
+            MsgType::kEnrollResult,
+            reject_enrollment(proto::RejectCode::kMalformedEnrollComplete)
+                .serialize());
       }
       return envelope(MsgType::kEnrollResult,
                       complete_enrollment(msg.value()).serialize());
@@ -234,8 +369,10 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
     case MsgType::kTxSubmit: {
       auto msg = TxSubmit::deserialize(payload);
       if (!msg.ok()) {
-        return envelope(MsgType::kTxResult,
-                        reject_tx(0, "malformed TxSubmit").serialize());
+        return envelope(
+            MsgType::kTxResult,
+            reject_tx(0, proto::RejectCode::kMalformedTxSubmit)
+                .serialize());
       }
       return envelope(MsgType::kTxChallenge,
                       begin_transaction(msg.value()).serialize());
@@ -243,8 +380,10 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
     case MsgType::kTxConfirm: {
       auto msg = TxConfirm::deserialize(payload);
       if (!msg.ok()) {
-        return envelope(MsgType::kTxResult,
-                        reject_tx(0, "malformed TxConfirm").serialize());
+        return envelope(
+            MsgType::kTxResult,
+            reject_tx(0, proto::RejectCode::kMalformedTxConfirm)
+                .serialize());
       }
       return envelope(MsgType::kTxResult,
                       complete_transaction(msg.value()).serialize());
@@ -252,8 +391,14 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
     default:
       break;
   }
-  return envelope(MsgType::kTxResult,
-                  TxResult{0, false, "unexpected message"}.serialize());
+  reject_counter(proto::RejectCode::kUnexpectedMessage).inc();
+  return envelope(
+      MsgType::kTxResult,
+      TxResult{0, false,
+               proto::reject_code_message(
+                   proto::RejectCode::kUnexpectedMessage),
+               proto::RejectCode::kUnexpectedMessage}
+          .serialize());
 }
 
 }  // namespace tp::sp

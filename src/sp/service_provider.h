@@ -8,15 +8,24 @@
 // one-time challenge). Everything between -- the OS, the browser, the
 // network -- is assumed hostile.
 //
+// Session lifecycle: the SP is a thin adapter over the protocol-session
+// layer (src/proto). Every half-open exchange lives in a bounded,
+// deadline-aware proto::SessionTable (one for enrollment keyed by client
+// id, one for confirmation keyed by tx id); legal transitions come from
+// proto::step, the same pure transition function the client drives, so
+// the two sides cannot disagree about the lifecycle. Rejects are typed
+// (proto::RejectCode), counted in a fixed per-code counter array -- no
+// per-reject heap allocation on the hot path -- and echoed on the wire.
+//
 // Concurrency: one ServiceProvider is single-threaded by design (the
-// one-shot challenge maps and replay cache have no interleavings to
-// reason about). svc::VerifierService scales it by running one instance
-// per client shard; only the metrics counters underneath stats() are
+// session tables and replay cache have no interleavings to reason
+// about). svc::VerifierService scales it by running one instance per
+// client shard; only the metrics instruments underneath stats() are
 // cross-thread safe.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -26,10 +35,13 @@
 #include "crypto/drbg.h"
 #include "crypto/rsa.h"
 #include "obs/metrics.h"
+#include "proto/session_fsm.h"
+#include "proto/session_table.h"
 #include "sp/replay_cache.h"
 #include "tpm/privacy_ca.h"
 #include "util/bytes.h"
 #include "util/result.h"
+#include "util/sim_clock.h"
 
 namespace tp::sp {
 
@@ -37,6 +49,8 @@ struct SpConfig {
   Bytes golden_pcr17;               // published PAL measurement
   crypto::RsaPublicKey ca_public;   // Privacy CA root
   Bytes seed = bytes_of("sp-seed"); // nonce generator seed
+  /// Challenge nonce length; clamped to SessionTable::kMaxNonceLen (32)
+  /// so nonces stay inline in the fixed-size session slots.
   std::size_t nonce_len = 20;
 
   /// Attestation policies this SP accepts, one per supported platform
@@ -52,15 +66,29 @@ struct SpConfig {
   /// Bound on the defence-in-depth signature replay cache, in entries
   /// (~33 bytes each); the oldest entry is evicted FIFO once the cache is
   /// full. Keep this well above the expected number of in-flight
-  /// transactions: the one-shot challenge map is the primary replay
+  /// transactions: the one-shot session table is the primary replay
   /// defence, so eviction only narrows the backstop, but a capacity below
   /// the in-flight window weakens defence in depth. 0 is clamped to 1.
   std::size_t replay_cache_capacity = 1 << 16;
 
-  /// Capacity hints for the client/transaction hash maps (pre-reserved
-  /// so the steady-state hot path does not rehash).
+  /// Bounds on the half-open session tables (memory is constant and
+  /// capacity-proportional; the least-recently-begun session is evicted
+  /// under pressure). Enrollment sessions are keyed by client id -- a
+  /// client re-sending EnrollBegin recycles its one slot.
+  std::size_t enroll_session_capacity = 1024;
+  std::size_t tx_session_capacity = 4096;
+  /// Deadline for a half-open session, measured on `clock` (or the
+  /// manually-advanced timeline when clock == nullptr). <= 0 disables
+  /// protocol-level expiry.
+  SimDuration session_ttl = SimDuration::seconds(120);
+  /// Timeline the session deadlines live on. nullptr -> the SP starts at
+  /// t=0 and only moves via advance_time_to() (svc::VerifierService
+  /// drives it from the same steady clock its queue deadlines use).
+  const SimClock* clock = nullptr;
+
+  /// Capacity hint for the enrolled-client map (pre-reserved so the
+  /// steady-state hot path does not rehash).
   std::size_t expected_clients = 1024;
-  std::size_t expected_inflight_tx = 4096;
 
   /// Metrics registry the SP's counters and latency histograms live in;
   /// nullptr -> the SP owns a private registry. A shared registry needs a
@@ -69,15 +97,28 @@ struct SpConfig {
   std::string metrics_prefix = "sp";
 };
 
-/// Why a message was rejected (aggregated for the security experiments).
-/// Snapshot of the registry-backed counters; the counters themselves are
-/// overflow-safe (they saturate instead of wrapping).
+/// Aggregated protocol outcomes (for the security experiments and the
+/// serving runtime). Built purely from the registry's atomic counters --
+/// no strings, no maps, no mutable caches.
 struct SpStats {
   std::uint64_t enrolled = 0;
   std::uint64_t enroll_rejected = 0;
   std::uint64_t tx_accepted = 0;
   std::uint64_t tx_rejected = 0;
-  std::map<std::string, std::uint64_t> reject_reasons;
+  /// Rejects by typed code, indexed by proto::RejectCode.
+  std::array<std::uint64_t, proto::kRejectCodeCount> rejects_by_code{};
+  /// Session-table pressure events.
+  std::uint64_t sessions_evicted = 0;
+  std::uint64_t sessions_expired = 0;
+
+  std::uint64_t rejects(proto::RejectCode code) const {
+    return rejects_by_code[static_cast<std::size_t>(code)];
+  }
+  std::uint64_t total_rejects() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t v : rejects_by_code) n += v;
+    return n;
+  }
 
   void reset() { *this = SpStats{}; }
 };
@@ -89,6 +130,10 @@ class ServiceProvider {
   /// Server loop entry: one request frame in, one response frame out.
   /// Malformed input yields a rejecting response, never a crash.
   Bytes handle_frame(BytesView frame);
+  /// Same, but first advances the SP's session timeline to `now` --
+  /// the serving runtime passes its request clock down so in-queue
+  /// expiry and protocol-level session expiry share one timeline.
+  Bytes handle_frame(BytesView frame, SimTime now);
 
   // Direct-call API (same logic; used by unit tests and benches).
   core::EnrollChallenge begin_enrollment(const core::EnrollBegin& msg);
@@ -109,12 +154,35 @@ class ServiceProvider {
     return seen_signatures_.memory_bytes();
   }
 
-  /// Counter snapshot, cached in this object. Call from one thread at a
-  /// time (the usual single-threaded use); under the sharded service use
-  /// stats_snapshot() or VerifierService::stats() instead.
-  const SpStats& stats() const;
+  /// Live half-open sessions (enrollment + confirmation).
+  std::size_t session_table_occupancy() const {
+    return enroll_sessions_.size() + tx_sessions_.size();
+  }
+  /// Heap bytes pinned by both session tables — constant over the SP's
+  /// lifetime regardless of traffic (the F7 boundedness assertion).
+  std::size_t session_table_memory_bytes() const {
+    return enroll_sessions_.memory_bytes() + tx_sessions_.memory_bytes();
+  }
+  std::uint64_t session_evictions() const {
+    return enroll_sessions_.evictions() + tx_sessions_.evictions();
+  }
+  std::uint64_t session_expirations() const {
+    return enroll_sessions_.expirations() + tx_sessions_.expirations();
+  }
 
-  /// By-value snapshot, safe while a worker thread drives this SP.
+  /// The SP's position on the session timeline.
+  SimTime session_now() const {
+    return config_.clock != nullptr ? config_.clock->now() : manual_now_;
+  }
+  /// Moves the manual session timeline forward (monotonic; ignored when
+  /// the SP was configured with an external SimClock).
+  void advance_time_to(SimTime now) {
+    if (config_.clock == nullptr && now > manual_now_) manual_now_ = now;
+  }
+
+  /// Counter snapshot, by value, built from atomic counters only — safe
+  /// while a worker thread drives this SP.
+  SpStats stats() const { return stats_snapshot(); }
   SpStats stats_snapshot() const;
 
   /// Zeroes this SP's counters/histograms so benches can take clean
@@ -122,30 +190,35 @@ class ServiceProvider {
   void reset_stats();
 
   /// The registry backing stats(); also carries the enroll/tx latency
-  /// histograms ("<prefix>.enroll_ns", "<prefix>.tx_ns").
+  /// histograms ("<prefix>.enroll_ns", "<prefix>.tx_ns") and the
+  /// session-table gauges ("<prefix>.enroll_sessions", "<prefix>.
+  /// tx_sessions") plus eviction/expiry counters.
   obs::Registry& metrics() { return *registry_; }
 
  private:
-  struct PendingTx {
-    std::string client_id;
-    Bytes digest;
-    Bytes nonce;
-  };
-
   Bytes fresh_nonce();
-  core::EnrollResult reject_enrollment(const std::string& reason);
-  core::TxResult reject_tx(std::uint64_t tx_id, const std::string& reason);
+  obs::Counter& reject_counter(proto::RejectCode code) {
+    return *c_reject_[static_cast<std::size_t>(code)];
+  }
+  core::EnrollResult reject_enrollment(proto::RejectCode code);
+  core::TxResult reject_tx(std::uint64_t tx_id, proto::RejectCode code);
+  /// Mirrors session-table occupancy and pressure counters into the
+  /// registry (gauges + monotonic counters).
+  void publish_session_metrics();
 
   SpConfig config_;
   crypto::HmacDrbg drbg_;
-  std::unordered_map<std::string, Bytes> pending_enroll_;  // client -> nonce
+  /// Half-open protocol sessions, bounded and deadline-aware; the
+  /// adapters below drive them through proto::step.
+  proto::SessionTable enroll_sessions_;  // keyed by client id
+  proto::SessionTable tx_sessions_;      // keyed by tx id
   /// client -> cached verify context (holds the enrolled public key plus
   /// the precomputed Montgomery context for its modulus, built once at
   /// enrollment so the per-transaction verify skips that setup).
   std::unordered_map<std::string, crypto::RsaVerifyContext> enrolled_;
-  std::unordered_map<std::uint64_t, PendingTx> pending_tx_;
   ReplayCache seen_signatures_;  // bounded defence-in-depth replay cache
   std::uint64_t next_tx_id_ = 1;
+  SimTime manual_now_{0};  // session timeline when config_.clock == nullptr
 
   std::unique_ptr<obs::Registry> owned_registry_;
   obs::Registry* registry_;
@@ -153,9 +226,19 @@ class ServiceProvider {
   obs::Counter* c_enroll_rejected_;
   obs::Counter* c_tx_accepted_;
   obs::Counter* c_tx_rejected_;
+  /// Fixed per-RejectCode counters, resolved once at construction: the
+  /// reject hot path is two relaxed atomic increments, no allocation.
+  std::array<obs::Counter*, proto::kRejectCodeCount> c_reject_{};
+  obs::Counter* c_sessions_evicted_;
+  obs::Counter* c_sessions_expired_;
+  obs::Gauge* g_enroll_sessions_;
+  obs::Gauge* g_tx_sessions_;
+  /// Table counts already published to the registry counters (lets
+  /// reset_stats() zero the registry without double-counting later).
+  std::uint64_t published_evictions_ = 0;
+  std::uint64_t published_expirations_ = 0;
   obs::Histogram* h_enroll_;
   obs::Histogram* h_tx_;
-  mutable SpStats stats_;  // refreshed by stats()
 };
 
 }  // namespace tp::sp

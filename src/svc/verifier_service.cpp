@@ -27,7 +27,8 @@ std::future<SvcResponse> immediate(SvcStatus status) {
 
 VerifierService::VerifierService(SvcConfig config)
     : config_(std::move(config)),
-      router_(config_.num_workers == 0 ? 1 : config_.num_workers) {
+      router_(config_.num_workers == 0 ? 1 : config_.num_workers),
+      epoch_(Clock::now()) {
   if (config_.metrics != nullptr) {
     registry_ = config_.metrics;
   } else {
@@ -54,6 +55,9 @@ VerifierService::VerifierService(SvcConfig config)
         concat(sp_config.seed, bytes_of(":shard" + std::to_string(i)));
     sp_config.metrics = registry_;
     sp_config.metrics_prefix = "sp.shard" + std::to_string(i);
+    // Each shard's session timeline is driven by this worker from the
+    // service's steady clock (see worker_loop), not a simulation clock.
+    sp_config.clock = nullptr;
     shard->sp = std::make_unique<sp::ServiceProvider>(std::move(sp_config));
     shard->queue =
         std::make_unique<BoundedQueue<Request>>(config_.queue_depth);
@@ -162,8 +166,13 @@ void VerifierService::worker_loop(std::size_t shard_index) {
 
     Bytes response;
     {
+      // Protocol-session deadlines run on the same steady clock the
+      // queue deadline check above just used, as ns since the service's
+      // epoch -- one timeline for both expiry mechanisms.
       obs::ScopedTimer timer(*h_handle_);
-      response = shard.sp->handle_frame(request.frame);
+      response = shard.sp->handle_frame(
+          request.frame,
+          SimTime{static_cast<std::int64_t>(ns_between(epoch_, start))});
     }
     if (config_.simulated_backend_latency.count() > 0) {
       std::this_thread::sleep_for(config_.simulated_backend_latency);
@@ -201,9 +210,11 @@ sp::SpStats VerifierService::stats() const {
     total.enroll_rejected += s.enroll_rejected;
     total.tx_accepted += s.tx_accepted;
     total.tx_rejected += s.tx_rejected;
-    for (const auto& [reason, count] : s.reject_reasons) {
-      total.reject_reasons[reason] += count;
+    for (std::size_t i = 0; i < proto::kRejectCodeCount; ++i) {
+      total.rejects_by_code[i] += s.rejects_by_code[i];
     }
+    total.sessions_evicted += s.sessions_evicted;
+    total.sessions_expired += s.sessions_expired;
   }
   return total;
 }

@@ -72,7 +72,10 @@ struct SvcConfig {
   /// CPU-bound work cannot speed up.
   std::chrono::microseconds simulated_backend_latency{0};
   /// Template for every shard's ServiceProvider (the shard index is mixed
-  /// into the nonce seed and the metrics prefix).
+  /// into the nonce seed and the metrics prefix). Any SimClock set on
+  /// `sp.clock` is ignored: the service drives each shard's session
+  /// timeline from the same steady clock its queue deadlines use, so
+  /// in-queue expiry and protocol session expiry share one timeline.
   sp::SpConfig sp;
   /// External registry; nullptr -> the service owns a private one.
   obs::Registry* metrics = nullptr;
@@ -149,6 +152,9 @@ class VerifierService {
 
   SvcConfig config_;
   ShardRouter router_;
+  /// t=0 of every shard's protocol-session timeline; workers convert
+  /// steady_clock instants to SimTime offsets from here.
+  std::chrono::steady_clock::time_point epoch_;
   std::unique_ptr<obs::Registry> owned_registry_;
   obs::Registry* registry_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -7,8 +7,13 @@
 // random bytes/truncate/extend, and assert the invariant.
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <list>
+#include <unordered_map>
+
 #include "core/trusted_path_pal.h"
 #include "pal/human_agent.h"
+#include "proto/session_table.h"
 #include "sp/deployment.h"
 #include "tpm/quote.h"
 #include "util/rng.h"
@@ -208,6 +213,148 @@ TEST(Fuzz, MutatedConfirmationsNeverAccepted) {
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result.value().accepted);
   EXPECT_EQ(world.sp().stats().tx_accepted, 1u);
+}
+
+TEST(Fuzz, RandomEventSequencesKeepTheSessionFsmConsistent) {
+  // Random walk over the protocol state machine: whatever order events
+  // arrive in, every step must stay inside the declared domain and obey
+  // the structural invariants (kVerify only from a live challenge,
+  // settling events always land in a terminal state, terminal states are
+  // only left through kBegin).
+  SimRng rng(707);
+  for (const auto phase :
+       {proto::SessionPhase::kEnroll, proto::SessionPhase::kConfirm}) {
+    proto::Session session(phase);
+    for (int i = 0; i < 20000; ++i) {
+      const auto before = session.state();
+      const auto event = static_cast<proto::SessionEvent>(
+          rng.next_below(proto::kSessionEventCount));
+      const proto::Step step = session.apply(event);
+
+      ASSERT_LT(static_cast<std::size_t>(session.state()),
+                proto::kSessionStateCount);
+      ASSERT_TRUE(proto::reject_code_valid(
+          static_cast<std::uint8_t>(step.reject)));
+      if (step.action == proto::SessionAction::kVerify) {
+        ASSERT_EQ(before, proto::SessionState::kChallengeSent);
+        ASSERT_EQ(session.state(), proto::SessionState::kChallengeSent);
+      }
+      if (event == proto::SessionEvent::kBegin) {
+        ASSERT_EQ(session.state(), proto::SessionState::kChallengeSent);
+      } else if (proto::session_state_terminal(before)) {
+        ASSERT_EQ(session.state(), before);  // settled stays settled
+      }
+      if (event == proto::SessionEvent::kVerifyOk &&
+          before == proto::SessionState::kChallengeSent) {
+        ASSERT_EQ(session.state(), proto::SessionState::kDone);
+      }
+      if (event == proto::SessionEvent::kVerifyFail &&
+          before == proto::SessionState::kChallengeSent) {
+        ASSERT_EQ(session.state(), proto::SessionState::kFailed);
+      }
+    }
+  }
+}
+
+TEST(Fuzz, SessionTableMatchesReferenceModelUnderRandomOps) {
+  // Differential fuzz: drive the open-addressing session table and a
+  // dead-simple reference model (list for LRU order + map for lookup)
+  // with the same random begin/find/erase/clock-advance sequence; any
+  // slot leak, phantom session, or order bug shows up as divergence.
+  constexpr std::size_t kCapacity = 16;
+  constexpr std::int64_t kTtlNs = 1000;
+  proto::SessionTable table(
+      {.capacity = kCapacity, .ttl = SimDuration{kTtlNs}});
+  const std::size_t memory = table.memory_bytes();
+
+  std::list<std::uint64_t> order;  // front = least recently begun
+  std::unordered_map<std::uint64_t,
+                     std::pair<std::int64_t, std::list<std::uint64_t>::iterator>>
+      model;  // id -> (deadline, position in `order`)
+  std::uint64_t model_evictions = 0;
+  std::uint64_t model_expirations = 0;
+  const auto model_drop = [&](std::uint64_t id) {
+    auto it = model.find(id);
+    order.erase(it->second.second);
+    model.erase(it);
+  };
+  const auto model_collect = [&](std::int64_t now) {
+    while (!order.empty() && model.at(order.front()).first < now) {
+      model.erase(order.front());
+      order.pop_front();
+      ++model_expirations;
+    }
+  };
+
+  SimRng rng(808);
+  std::int64_t now = 0;
+  for (int op = 0; op < 50000; ++op) {
+    const std::uint64_t id = rng.next_below(64);  // 4x capacity: pressure
+    const auto key = proto::SessionTable::tx_key(id);
+    switch (rng.next_below(8)) {
+      case 0:  // advance the clock (sometimes past whole TTL windows)
+        now += static_cast<std::int64_t>(rng.next_below(
+            static_cast<std::size_t>(kTtlNs / 2)));
+        break;
+      case 1: case 2: {  // erase
+        table.erase(key);
+        if (model.count(id)) model_drop(id);
+        break;
+      }
+      case 3: case 4: case 5: {  // find
+        bool expired = false;
+        proto::SessionTable::Session* got =
+            table.find(key, SimTime{now}, &expired);
+        const auto it = model.find(id);
+        if (it == model.end()) {
+          ASSERT_EQ(got, nullptr) << "op " << op;
+          ASSERT_FALSE(expired);
+        } else if (it->second.first < now) {
+          ASSERT_EQ(got, nullptr) << "op " << op;
+          ASSERT_TRUE(expired);
+          model_drop(id);
+          ++model_expirations;
+        } else {
+          ASSERT_NE(got, nullptr) << "op " << op;
+          ASSERT_FALSE(expired);
+        }
+        break;
+      }
+      default: {  // begin
+        table.begin(key, SimTime{now});
+        model_collect(now);
+        if (auto it = model.find(id); it != model.end()) {
+          order.erase(it->second.second);  // recycle: refresh order
+          model.erase(it);
+        } else if (model.size() == kCapacity) {
+          model.erase(order.front());
+          order.pop_front();
+          ++model_evictions;
+        }
+        order.push_back(id);
+        model.emplace(id,
+                      std::make_pair(now + kTtlNs, std::prev(order.end())));
+        break;
+      }
+    }
+    ASSERT_EQ(table.size(), model.size()) << "op " << op;
+    ASSERT_EQ(table.evictions(), model_evictions) << "op " << op;
+    ASSERT_EQ(table.expirations(), model_expirations) << "op " << op;
+    ASSERT_EQ(table.memory_bytes(), memory) << "op " << op;
+  }
+
+  // Full membership audit + drain: every modelled session is findable,
+  // nothing else is, and erasing them all leaves zero slots -- no leaks.
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    proto::SessionTable::Session* got =
+        table.find(proto::SessionTable::tx_key(id), SimTime{now});
+    ASSERT_EQ(got != nullptr, model.count(id) == 1) << "id " << id;
+  }
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    table.erase(proto::SessionTable::tx_key(id));
+  }
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.memory_bytes(), memory);
 }
 
 TEST(Fuzz, MutatedAikCertificatesNeverVerify) {

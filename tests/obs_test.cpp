@@ -44,6 +44,32 @@ TEST(Counter, ConcurrentIncrementsAllLand) {
   EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
+TEST(Gauge, SetAddAndReset) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.add(-50);  // gauges move both ways
+  EXPECT_EQ(g.value(), -8);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Gauge, ConcurrentAddsAllLand) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, t] {
+      // Half the threads add, half subtract: the race-free net is known.
+      for (int i = 0; i < kPerThread; ++i) g.add(t % 2 == 0 ? 2 : -1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.value(), kThreads / 2 * kPerThread * (2 - 1));
+}
+
 TEST(Histogram, AggregatesAndPercentiles) {
   Histogram h;
   // 1..100 us in nanoseconds: p50 ~ 50us, p99 ~ 99us.
@@ -104,14 +130,35 @@ TEST(Registry, PrefixTotalsAndReset) {
   EXPECT_EQ(reg.counter("svc.completed").value(), 7u);
 }
 
+TEST(Registry, GaugesAreNamedSharedAndPrefixReset) {
+  Registry reg;
+  Gauge& g = reg.gauge("sp.enroll_sessions");
+  g.set(17);
+  EXPECT_EQ(reg.gauge("sp.enroll_sessions").value(), 17);  // same instrument
+  EXPECT_NE(&reg.gauge("sp.enroll_sessions"), &reg.gauge("sp.tx_sessions"));
+  reg.gauge("svc.queue_depth").set(9);
+
+  const auto samples = reg.gauges();
+  ASSERT_EQ(samples.size(), 3u);  // map order: name-sorted
+  EXPECT_EQ(samples[0].name, "sp.enroll_sessions");
+  EXPECT_EQ(samples[0].value, 17);
+
+  reg.reset("sp.");
+  EXPECT_EQ(reg.gauge("sp.enroll_sessions").value(), 0);
+  EXPECT_EQ(reg.gauge("svc.queue_depth").value(), 9);  // other prefix kept
+}
+
 TEST(Registry, JsonDumpContainsInstruments) {
   Registry reg;
   reg.counter("svc.requests").inc(3);
   reg.histogram("svc.request_ns").record(42'000);
+  reg.gauge("svc.queue_depth").set(-2);
   const std::string json = reg.to_json();
   EXPECT_NE(json.find("\"svc.requests\":3"), std::string::npos);
   EXPECT_NE(json.find("\"svc.request_ns\""), std::string::npos);
   EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"svc.queue_depth\":-2}"),
+            std::string::npos);
 }
 
 TEST(ScopedTimer, RecordsElapsed) {

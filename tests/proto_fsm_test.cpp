@@ -1,0 +1,228 @@
+// Exhaustive tests of the protocol-session state machine.
+//
+// proto::step is a pure function over a finite domain (2 phases x 5
+// states x 5 events = 50 triples), so the whole transition matrix is
+// checked against an independently written literal table -- a
+// double-entry bookkeeping of the protocol's lifecycle. If a future
+// change disturbs any edge, the exact (phase, state, event) triple is
+// named in the failure.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "proto/session_fsm.h"
+
+namespace tp::proto {
+namespace {
+
+using S = SessionState;
+using E = SessionEvent;
+using A = SessionAction;
+using R = RejectCode;
+
+struct Row {
+  SessionPhase phase;
+  S state;
+  E event;
+  S next;
+  A action;
+  R reject;
+};
+
+// The expected matrix, written out literally (NOT derived from step()).
+// no-session rejects differ by phase: kNoPendingEnrollment for enroll,
+// kUnknownTx for confirm; everything else is phase-independent.
+constexpr SessionPhase EN = SessionPhase::kEnroll;
+constexpr SessionPhase CO = SessionPhase::kConfirm;
+
+const Row kExpected[] = {
+    // --- kBegin: always (re)opens the session ---------------------------
+    {EN, S::kIdle, E::kBegin, S::kChallengeSent, A::kSendChallenge, R::kNone},
+    {EN, S::kChallengeSent, E::kBegin, S::kChallengeSent, A::kSendChallenge,
+     R::kNone},
+    {EN, S::kDone, E::kBegin, S::kChallengeSent, A::kSendChallenge, R::kNone},
+    {EN, S::kFailed, E::kBegin, S::kChallengeSent, A::kSendChallenge,
+     R::kNone},
+    {EN, S::kExpired, E::kBegin, S::kChallengeSent, A::kSendChallenge,
+     R::kNone},
+    {CO, S::kIdle, E::kBegin, S::kChallengeSent, A::kSendChallenge, R::kNone},
+    {CO, S::kChallengeSent, E::kBegin, S::kChallengeSent, A::kSendChallenge,
+     R::kNone},
+    {CO, S::kDone, E::kBegin, S::kChallengeSent, A::kSendChallenge, R::kNone},
+    {CO, S::kFailed, E::kBegin, S::kChallengeSent, A::kSendChallenge,
+     R::kNone},
+    {CO, S::kExpired, E::kBegin, S::kChallengeSent, A::kSendChallenge,
+     R::kNone},
+
+    // --- kComplete: only a live challenge may be completed --------------
+    {EN, S::kIdle, E::kComplete, S::kIdle, A::kReject,
+     R::kNoPendingEnrollment},
+    {EN, S::kChallengeSent, E::kComplete, S::kChallengeSent, A::kVerify,
+     R::kNone},
+    {EN, S::kDone, E::kComplete, S::kDone, A::kReject,
+     R::kNoPendingEnrollment},
+    {EN, S::kFailed, E::kComplete, S::kFailed, A::kReject,
+     R::kNoPendingEnrollment},
+    {EN, S::kExpired, E::kComplete, S::kExpired, A::kReject,
+     R::kSessionExpired},
+    {CO, S::kIdle, E::kComplete, S::kIdle, A::kReject, R::kUnknownTx},
+    {CO, S::kChallengeSent, E::kComplete, S::kChallengeSent, A::kVerify,
+     R::kNone},
+    {CO, S::kDone, E::kComplete, S::kDone, A::kReject, R::kUnknownTx},
+    {CO, S::kFailed, E::kComplete, S::kFailed, A::kReject, R::kUnknownTx},
+    {CO, S::kExpired, E::kComplete, S::kExpired, A::kReject,
+     R::kSessionExpired},
+
+    // --- kVerifyOk: settles a live challenge as accepted -----------------
+    {EN, S::kIdle, E::kVerifyOk, S::kIdle, A::kReject,
+     R::kNoPendingEnrollment},
+    {EN, S::kChallengeSent, E::kVerifyOk, S::kDone, A::kAccept, R::kNone},
+    {EN, S::kDone, E::kVerifyOk, S::kDone, A::kReject,
+     R::kNoPendingEnrollment},
+    {EN, S::kFailed, E::kVerifyOk, S::kFailed, A::kReject,
+     R::kNoPendingEnrollment},
+    {EN, S::kExpired, E::kVerifyOk, S::kExpired, A::kReject,
+     R::kSessionExpired},
+    {CO, S::kIdle, E::kVerifyOk, S::kIdle, A::kReject, R::kUnknownTx},
+    {CO, S::kChallengeSent, E::kVerifyOk, S::kDone, A::kAccept, R::kNone},
+    {CO, S::kDone, E::kVerifyOk, S::kDone, A::kReject, R::kUnknownTx},
+    {CO, S::kFailed, E::kVerifyOk, S::kFailed, A::kReject, R::kUnknownTx},
+    {CO, S::kExpired, E::kVerifyOk, S::kExpired, A::kReject,
+     R::kSessionExpired},
+
+    // --- kVerifyFail: settles a live challenge as rejected; the reject
+    // code is kNone on the live edge (the verifier supplies it) ----------
+    {EN, S::kIdle, E::kVerifyFail, S::kIdle, A::kReject,
+     R::kNoPendingEnrollment},
+    {EN, S::kChallengeSent, E::kVerifyFail, S::kFailed, A::kReject,
+     R::kNone},
+    {EN, S::kDone, E::kVerifyFail, S::kDone, A::kReject,
+     R::kNoPendingEnrollment},
+    {EN, S::kFailed, E::kVerifyFail, S::kFailed, A::kReject,
+     R::kNoPendingEnrollment},
+    {EN, S::kExpired, E::kVerifyFail, S::kExpired, A::kReject,
+     R::kSessionExpired},
+    {CO, S::kIdle, E::kVerifyFail, S::kIdle, A::kReject, R::kUnknownTx},
+    {CO, S::kChallengeSent, E::kVerifyFail, S::kFailed, A::kReject,
+     R::kNone},
+    {CO, S::kDone, E::kVerifyFail, S::kDone, A::kReject, R::kUnknownTx},
+    {CO, S::kFailed, E::kVerifyFail, S::kFailed, A::kReject, R::kUnknownTx},
+    {CO, S::kExpired, E::kVerifyFail, S::kExpired, A::kReject,
+     R::kSessionExpired},
+
+    // --- kDeadline: expires a live challenge, no-op elsewhere ------------
+    {EN, S::kIdle, E::kDeadline, S::kIdle, A::kNone, R::kNone},
+    {EN, S::kChallengeSent, E::kDeadline, S::kExpired, A::kReject,
+     R::kSessionExpired},
+    {EN, S::kDone, E::kDeadline, S::kDone, A::kNone, R::kNone},
+    {EN, S::kFailed, E::kDeadline, S::kFailed, A::kNone, R::kNone},
+    {EN, S::kExpired, E::kDeadline, S::kExpired, A::kNone, R::kNone},
+    {CO, S::kIdle, E::kDeadline, S::kIdle, A::kNone, R::kNone},
+    {CO, S::kChallengeSent, E::kDeadline, S::kExpired, A::kReject,
+     R::kSessionExpired},
+    {CO, S::kDone, E::kDeadline, S::kDone, A::kNone, R::kNone},
+    {CO, S::kFailed, E::kDeadline, S::kFailed, A::kNone, R::kNone},
+    {CO, S::kExpired, E::kDeadline, S::kExpired, A::kNone, R::kNone},
+};
+
+TEST(SessionFsm, MatrixIsExhaustive) {
+  // Every (phase, state, event) triple appears exactly once in the
+  // expected table -- the table covers the whole domain.
+  std::set<std::tuple<int, int, int>> seen;
+  for (const Row& row : kExpected) {
+    seen.insert({static_cast<int>(row.phase), static_cast<int>(row.state),
+                 static_cast<int>(row.event)});
+  }
+  EXPECT_EQ(seen.size(),
+            kSessionPhaseCount * kSessionStateCount * kSessionEventCount);
+  EXPECT_EQ(std::size(kExpected),
+            kSessionPhaseCount * kSessionStateCount * kSessionEventCount);
+}
+
+TEST(SessionFsm, EveryTransitionMatchesTheLiteralTable) {
+  for (const Row& row : kExpected) {
+    const Step got = step(row.phase, row.state, row.event);
+    const std::string where =
+        std::string(row.phase == EN ? "enroll" : "confirm") + "/" +
+        session_state_name(row.state) + "+" + session_event_name(row.event);
+    EXPECT_EQ(got.next, row.next) << where;
+    EXPECT_EQ(got.action, row.action) << where;
+    EXPECT_EQ(got.reject, row.reject) << where;
+  }
+}
+
+TEST(SessionFsm, TerminalStatesAreExactlyDoneFailedExpired) {
+  EXPECT_FALSE(session_state_terminal(S::kIdle));
+  EXPECT_FALSE(session_state_terminal(S::kChallengeSent));
+  EXPECT_TRUE(session_state_terminal(S::kDone));
+  EXPECT_TRUE(session_state_terminal(S::kFailed));
+  EXPECT_TRUE(session_state_terminal(S::kExpired));
+}
+
+TEST(SessionFsm, RejectEdgesFromTerminalStatesStayPut) {
+  // A terminal state never transitions except through kBegin: the FSM
+  // cannot resurrect a settled session by accident.
+  for (const SessionPhase phase : {EN, CO}) {
+    for (const S state : {S::kDone, S::kFailed, S::kExpired}) {
+      for (const E event :
+           {E::kComplete, E::kVerifyOk, E::kVerifyFail, E::kDeadline}) {
+        EXPECT_EQ(step(phase, state, event).next, state)
+            << session_state_name(state) << "+" << session_event_name(event);
+      }
+    }
+  }
+}
+
+TEST(SessionFsm, SessionHandleDrivesTheHappyPath) {
+  Session session(SessionPhase::kConfirm);
+  EXPECT_EQ(session.state(), S::kIdle);
+
+  Step s = session.apply(E::kBegin);
+  EXPECT_EQ(s.action, A::kSendChallenge);
+  EXPECT_EQ(session.state(), S::kChallengeSent);
+
+  s = session.apply(E::kComplete);
+  EXPECT_EQ(s.action, A::kVerify);
+  EXPECT_EQ(session.state(), S::kChallengeSent);
+
+  s = session.apply(E::kVerifyOk);
+  EXPECT_EQ(s.action, A::kAccept);
+  EXPECT_EQ(session.state(), S::kDone);
+  EXPECT_TRUE(session_state_terminal(session.state()));
+
+  // And kBegin recycles the handle for the next exchange.
+  s = session.apply(E::kBegin);
+  EXPECT_EQ(s.action, A::kSendChallenge);
+  EXPECT_EQ(session.state(), S::kChallengeSent);
+}
+
+TEST(SessionFsm, StepIsConstexpr) {
+  static_assert(step(EN, S::kIdle, E::kBegin).action == A::kSendChallenge);
+  static_assert(step(CO, S::kIdle, E::kComplete).reject == R::kUnknownTx);
+  static_assert(step(EN, S::kIdle, E::kComplete).reject ==
+                R::kNoPendingEnrollment);
+  static_assert(step(CO, S::kChallengeSent, E::kDeadline).next ==
+                S::kExpired);
+  SUCCEED();
+}
+
+TEST(RejectCodes, NamesAndMessagesAreUniqueAndDefined) {
+  std::set<std::string> names;
+  std::set<std::string> messages;
+  for (std::size_t i = 0; i < kRejectCodeCount; ++i) {
+    const auto code = static_cast<RejectCode>(i);
+    EXPECT_TRUE(reject_code_valid(static_cast<std::uint8_t>(i)));
+    const std::string name = reject_code_name(code);
+    EXPECT_NE(name, "unknown") << i;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+    // Messages are unique too (kNone's empty string included once).
+    EXPECT_TRUE(messages.insert(reject_code_message(code)).second)
+        << "duplicate message for " << name;
+  }
+  EXPECT_FALSE(reject_code_valid(static_cast<std::uint8_t>(kRejectCodeCount)));
+  EXPECT_FALSE(reject_code_valid(0xff));
+}
+
+}  // namespace
+}  // namespace tp::proto

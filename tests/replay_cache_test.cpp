@@ -147,8 +147,7 @@ TEST(SpReplayBound, MemoryBoundedAndWindowedReplayStillRejected) {
                            accepted[i].signature};
     EXPECT_FALSE(world.sp().complete_transaction(replay).accepted);
   }
-  EXPECT_GE(world.sp().stats().reject_reasons.at(
-                "replayed confirmation signature"),
+  EXPECT_GE(world.sp().stats().rejects(proto::RejectCode::kReplayedSignature),
             8u);
 }
 

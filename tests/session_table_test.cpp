@@ -1,0 +1,206 @@
+// Unit tests for the bounded, deadline-aware session table.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "proto/session_table.h"
+
+namespace tp::proto {
+namespace {
+
+SimTime at(std::int64_t seconds) {
+  return SimTime{seconds * 1'000'000'000};
+}
+
+SessionTableConfig small(std::size_t capacity,
+                         SimDuration ttl = SimDuration::seconds(60)) {
+  SessionTableConfig cfg;
+  cfg.capacity = capacity;
+  cfg.ttl = ttl;
+  return cfg;
+}
+
+TEST(SessionTable, BeginFindEraseRoundTrip) {
+  SessionTable table(small(8));
+  const auto key = SessionTable::client_key("alice");
+  EXPECT_EQ(table.find(key, at(0)), nullptr);
+
+  SessionTable::Session& session = table.begin(key, at(0));
+  EXPECT_EQ(session.state, SessionState::kChallengeSent);
+  session.set_nonce(bytes_of("nonce-1"));
+
+  SessionTable::Session* found = table.find(key, at(1));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->state, SessionState::kChallengeSent);
+  EXPECT_EQ(Bytes(found->nonce_view().begin(), found->nonce_view().end()),
+            bytes_of("nonce-1"));
+  EXPECT_EQ(table.size(), 1u);
+
+  table.erase(key);
+  EXPECT_EQ(table.find(key, at(1)), nullptr);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(SessionTable, ReBeginRecyclesTheSlot) {
+  SessionTable table(small(4));
+  const auto key = SessionTable::client_key("alice");
+  for (int i = 0; i < 100; ++i) {
+    SessionTable::Session& s = table.begin(key, at(i));
+    s.set_nonce(bytes_of("nonce-" + std::to_string(i)));
+  }
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.evictions(), 0u);
+  // The session carries the LATEST begin's payload and deadline.
+  SessionTable::Session* s = table.find(key, at(100));
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(Bytes(s->nonce_view().begin(), s->nonce_view().end()),
+            bytes_of("nonce-99"));
+}
+
+TEST(SessionTable, ExpiryIsReportedDistinctly) {
+  SessionTable table(small(4, SimDuration::seconds(30)));
+  const auto key = SessionTable::tx_key(7);
+  table.begin(key, at(0));
+
+  // Before the deadline: live.
+  bool expired = true;
+  EXPECT_NE(table.find(key, at(29), &expired), nullptr);
+  EXPECT_FALSE(expired);
+
+  // After the deadline: collected, reported as expired.
+  EXPECT_EQ(table.find(key, at(31), &expired), nullptr);
+  EXPECT_TRUE(expired);
+  EXPECT_EQ(table.expirations(), 1u);
+  EXPECT_EQ(table.size(), 0u);
+
+  // Gone now: a later find is a plain miss, not an expiry.
+  EXPECT_EQ(table.find(key, at(32), &expired), nullptr);
+  EXPECT_FALSE(expired);
+}
+
+TEST(SessionTable, BeginCollectsAllExpiredSessions) {
+  SessionTable table(small(8, SimDuration::seconds(10)));
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    table.begin(SessionTable::tx_key(i), at(static_cast<std::int64_t>(i)));
+  }
+  EXPECT_EQ(table.size(), 5u);
+  // t=20: sessions begun at t=0..4 (deadlines 10..14) are all dead.
+  table.begin(SessionTable::tx_key(100), at(20));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.expirations(), 5u);
+}
+
+TEST(SessionTable, EvictsLeastRecentlyBegunWhenFull) {
+  SessionTable table(small(4, SimDuration{0}));  // no TTL: pure pressure
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    table.begin(SessionTable::tx_key(i), at(0));
+  }
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_EQ(table.evictions(), 6u);
+  // Survivors are the four most recently begun.
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(table.find(SessionTable::tx_key(i), at(0)), nullptr) << i;
+  }
+  for (std::uint64_t i = 6; i < 10; ++i) {
+    EXPECT_NE(table.find(SessionTable::tx_key(i), at(0)), nullptr) << i;
+  }
+}
+
+TEST(SessionTable, RecyclingRefreshesEvictionOrder) {
+  SessionTable table(small(2, SimDuration{0}));
+  const auto a = SessionTable::client_key("a");
+  const auto b = SessionTable::client_key("b");
+  const auto c = SessionTable::client_key("c");
+  table.begin(a, at(0));
+  table.begin(b, at(1));
+  table.begin(a, at(2));  // refresh a: b is now the oldest
+  table.begin(c, at(3));  // capacity 2 -> evicts b
+  EXPECT_NE(table.find(a, at(3)), nullptr);
+  EXPECT_EQ(table.find(b, at(3)), nullptr);
+  EXPECT_NE(table.find(c, at(3)), nullptr);
+}
+
+TEST(SessionTable, ZeroTtlDisablesExpiry) {
+  SessionTable table(small(4, SimDuration{0}));
+  const auto key = SessionTable::client_key("alice");
+  table.begin(key, at(0));
+  bool expired = true;
+  EXPECT_NE(table.find(key, at(1'000'000), &expired), nullptr);
+  EXPECT_FALSE(expired);
+  EXPECT_EQ(table.expirations(), 0u);
+}
+
+TEST(SessionTable, MemoryIsConstantUnderChurn) {
+  SessionTable table(small(64, SimDuration::seconds(5)));
+  const std::size_t flat = table.memory_bytes();
+  EXPECT_GT(flat, 0u);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    table.begin(SessionTable::tx_key(i),
+                at(static_cast<std::int64_t>(i / 100)));
+    if (i % 3 == 0) table.erase(SessionTable::tx_key(i));
+    ASSERT_LE(table.size(), 64u);
+  }
+  EXPECT_EQ(table.memory_bytes(), flat);
+}
+
+TEST(SessionTable, KeysAreDeterministicAndDistinct) {
+  EXPECT_EQ(SessionTable::client_key("alice"),
+            SessionTable::client_key("alice"));
+  EXPECT_NE(SessionTable::client_key("alice"),
+            SessionTable::client_key("bob"));
+  EXPECT_EQ(SessionTable::tx_key(1), SessionTable::tx_key(1));
+  EXPECT_NE(SessionTable::tx_key(1), SessionTable::tx_key(2));
+  // Client and tx key spaces do not trivially collide.
+  EXPECT_NE(SessionTable::client_key("1"), SessionTable::tx_key(1));
+}
+
+TEST(SessionTable, CapacityZeroClampsToOne) {
+  SessionTable table(small(0, SimDuration{0}));
+  EXPECT_EQ(table.capacity(), 1u);
+  table.begin(SessionTable::tx_key(1), at(0));
+  table.begin(SessionTable::tx_key(2), at(0));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.evictions(), 1u);
+}
+
+TEST(SessionTable, EraseKeepsProbeChainsIntact) {
+  // Fill a small table (forcing clustered probe chains), erase every
+  // other key, and verify the survivors are all still findable -- the
+  // backward-shift deletion must not orphan displaced entries.
+  SessionTable table(small(32, SimDuration{0}));
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    table.begin(SessionTable::tx_key(i), at(0));
+  }
+  for (std::uint64_t i = 0; i < 32; i += 2) {
+    table.erase(SessionTable::tx_key(i));
+  }
+  EXPECT_EQ(table.size(), 16u);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(table.find(SessionTable::tx_key(i), at(0)), nullptr) << i;
+    } else {
+      EXPECT_NE(table.find(SessionTable::tx_key(i), at(0)), nullptr) << i;
+    }
+  }
+  // And eviction order survived the shifts: refill to capacity, then
+  // overflow by four -- the four evicted must be the OLDEST survivors
+  // (keys 1, 3, 5, 7), not anything the shifts touched later.
+  for (std::uint64_t i = 100; i < 120; ++i) {
+    table.begin(SessionTable::tx_key(i), at(0));
+  }
+  EXPECT_EQ(table.size(), 32u);
+  EXPECT_EQ(table.evictions(), 4u);
+  for (std::uint64_t i : {1u, 3u, 5u, 7u}) {
+    EXPECT_EQ(table.find(SessionTable::tx_key(i), at(0)), nullptr) << i;
+  }
+  for (std::uint64_t i : {9u, 11u, 13u, 15u}) {
+    EXPECT_NE(table.find(SessionTable::tx_key(i), at(0)), nullptr) << i;
+  }
+  for (std::uint64_t i = 100; i < 120; ++i) {
+    EXPECT_NE(table.find(SessionTable::tx_key(i), at(0)), nullptr) << i;
+  }
+}
+
+}  // namespace
+}  // namespace tp::proto

@@ -116,6 +116,7 @@ TEST(ServiceProviderTest, RejectsEnrollmentWithoutChallenge) {
   const auto result = world.sp().complete_enrollment(msg);
   EXPECT_FALSE(result.accepted);
   EXPECT_EQ(result.reason, "no pending enrollment challenge");
+  EXPECT_EQ(result.code, proto::RejectCode::kNoPendingEnrollment);
 }
 
 TEST(ServiceProviderTest, RejectsForgedCaCertificate) {
@@ -220,6 +221,7 @@ TEST(ServiceProviderTest, TxChallengesAreOneShot) {
   const auto result = world.sp().complete_transaction(stale);
   EXPECT_FALSE(result.accepted);
   EXPECT_EQ(result.reason, "unknown or already-settled transaction");
+  EXPECT_EQ(result.code, proto::RejectCode::kUnknownTx);
 }
 
 TEST(ServiceProviderTest, RejectsClientMismatch) {
@@ -234,6 +236,7 @@ TEST(ServiceProviderTest, RejectsClientMismatch) {
   const auto result = world.sp().complete_transaction(msg);
   EXPECT_FALSE(result.accepted);
   EXPECT_EQ(result.reason, "client mismatch");
+  EXPECT_EQ(result.code, proto::RejectCode::kClientMismatch);
 }
 
 TEST(ServiceProviderTest, RejectsUnenrolledClient) {
@@ -275,20 +278,20 @@ TEST(ServiceProviderTest, MalformedFramesAnsweredNotCrashed) {
   (void)world.sp().handle_frame(Bytes{0x05});  // TxSubmit with no body
   (void)world.sp().handle_frame(Bytes{0x07, 0x01, 0x02});  // bad TxConfirm
   // Stats recorded a rejection for the malformed TxConfirm.
-  EXPECT_GE(world.sp().stats().reject_reasons.count("malformed TxConfirm"),
+  EXPECT_GE(world.sp().stats().rejects(proto::RejectCode::kMalformedTxConfirm),
             1u);
 }
 
-TEST(ServiceProviderTest, StatsTrackRejectReasons) {
+TEST(ServiceProviderTest, StatsTrackRejectCodes) {
   Deployment world(fast_config());
   core::EnrollComplete msg;
   msg.client_id = "ghost";
   (void)world.sp().complete_enrollment(msg);
-  EXPECT_EQ(world.sp()
-                .stats()
-                .reject_reasons.at("no pending enrollment challenge"),
-            1u);
+  EXPECT_EQ(
+      world.sp().stats().rejects(proto::RejectCode::kNoPendingEnrollment),
+      1u);
   EXPECT_EQ(world.sp().stats().enroll_rejected, 1u);
+  EXPECT_EQ(world.sp().stats().total_rejects(), 1u);
 }
 
 TEST(ServiceProviderTest, StatsResetGivesCleanPhaseMeasurements) {
@@ -304,21 +307,101 @@ TEST(ServiceProviderTest, StatsResetGivesCleanPhaseMeasurements) {
   ASSERT_EQ(world.sp().stats().tx_rejected, 1u);
 
   world.sp().reset_stats();
-  const SpStats& stats = world.sp().stats();
+  const SpStats stats = world.sp().stats();
   EXPECT_EQ(stats.enroll_rejected, 0u);
   EXPECT_EQ(stats.tx_rejected, 0u);
-  EXPECT_TRUE(stats.reject_reasons.empty());
+  EXPECT_EQ(stats.total_rejects(), 0u);
 
   // The struct itself resets too (for snapshot copies held by benches).
   SpStats copy = world.sp().stats_snapshot();
   copy.tx_accepted = 7;
   copy.reset();
   EXPECT_EQ(copy.tx_accepted, 0u);
-  EXPECT_TRUE(copy.reject_reasons.empty());
+  EXPECT_EQ(copy.total_rejects(), 0u);
 
   // And the latency histograms are registry-backed alongside.
   (void)world.sp().complete_transaction(confirm);
   EXPECT_EQ(world.sp().stats().tx_rejected, 1u);
+}
+
+// ------------------------------------------------------ Session lifecycle
+
+TEST(ServiceProviderTest, SessionExpiresOnDeploymentClock) {
+  // The deployment wires the SP's session deadlines to the platform's
+  // SimClock: advancing simulated time past the TTL expires the
+  // half-open session, and the completion gets the typed expiry reject.
+  DeploymentConfig cfg = fast_config();
+  cfg.session_ttl = SimDuration::seconds(30);
+  Deployment world(cfg);
+
+  const auto challenge = world.sp().begin_transaction(
+      core::TxSubmit{"alice", "pay 5", bytes_of("p")});
+  EXPECT_EQ(world.sp().session_table_occupancy(), 1u);
+
+  world.clock().advance(SimDuration::seconds(31));
+  core::TxConfirm msg;
+  msg.client_id = "alice";
+  msg.tx_id = challenge.tx_id;
+  msg.verdict = Verdict::kConfirmed;
+  msg.signature = Bytes(96, 1);
+  const auto result = world.sp().complete_transaction(msg);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.reason, "session expired");
+  EXPECT_EQ(result.code, proto::RejectCode::kSessionExpired);
+  EXPECT_EQ(world.sp().session_table_occupancy(), 0u);
+  EXPECT_EQ(world.sp().stats().sessions_expired, 1u);
+}
+
+TEST(ServiceProviderTest, EnrollSessionsBoundedPerClient) {
+  // One client re-sending EnrollBegin occupies exactly one slot, however
+  // often it begins.
+  Deployment world(fast_config());
+  for (int i = 0; i < 100; ++i) {
+    (void)world.sp().begin_enrollment(core::EnrollBegin{"alice"});
+  }
+  EXPECT_EQ(world.sp().session_table_occupancy(), 1u);
+  EXPECT_EQ(world.sp().stats().sessions_evicted, 0u);
+}
+
+TEST(ServiceProviderTest, TxSessionsEvictOldestUnderPressure) {
+  DeploymentConfig cfg = fast_config();
+  cfg.tx_session_capacity = 8;
+  Deployment world(cfg);
+  const std::size_t flat = world.sp().session_table_memory_bytes();
+  core::TxChallenge first;
+  for (int i = 0; i < 100; ++i) {
+    const auto ch = world.sp().begin_transaction(
+        core::TxSubmit{"alice", "pay " + std::to_string(i), bytes_of("p")});
+    if (i == 0) first = ch;
+  }
+  EXPECT_EQ(world.sp().session_table_occupancy(), 8u);
+  EXPECT_EQ(world.sp().stats().sessions_evicted, 92u);
+  EXPECT_EQ(world.sp().session_table_memory_bytes(), flat);
+
+  // The evicted (oldest) challenge is gone; completing it gets the
+  // generic no-session reject, not a stale acceptance.
+  core::TxConfirm msg;
+  msg.client_id = "alice";
+  msg.tx_id = first.tx_id;
+  msg.verdict = Verdict::kConfirmed;
+  msg.signature = Bytes(96, 1);
+  const auto result = world.sp().complete_transaction(msg);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_EQ(result.code, proto::RejectCode::kUnknownTx);
+}
+
+TEST(ServiceProviderTest, ResultsCarryTypedCodeOnTheWire) {
+  // The u8 code survives serialize/deserialize next to the legacy reason.
+  Deployment world(fast_config());
+  core::TxConfirm confirm;
+  confirm.client_id = "ghost";
+  confirm.tx_id = 99;
+  const auto result = world.sp().complete_transaction(confirm);
+  const auto reparsed =
+      core::TxResult::deserialize(result.serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().code, proto::RejectCode::kUnknownTx);
+  EXPECT_EQ(reparsed.value().reason, result.reason);
 }
 
 }  // namespace

@@ -391,8 +391,7 @@ TEST(VerifierService, AggregatesProtocolStatsAcrossShards) {
   const sp::SpStats stats = service.stats();
   EXPECT_EQ(stats.tx_rejected, 20u);
   EXPECT_EQ(stats.tx_accepted, 0u);
-  EXPECT_EQ(stats.reject_reasons.at("unknown or already-settled transaction"),
-            20u);
+  EXPECT_EQ(stats.rejects(proto::RejectCode::kUnknownTx), 20u);
   // More than one shard actually saw traffic.
   std::size_t shards_with_traffic = 0;
   for (std::size_t i = 0; i < service.num_shards(); ++i) {
