@@ -8,8 +8,18 @@
 //   dump   -> print the metrics registry the service accumulated
 //
 // Build & run:  ./build/examples/verifier_daemon
+//
+// Chaos knobs (deterministic fault injection on every member's link):
+//   --drop-pct=P    drop P% of messages in each direction (0..100)
+//   --fault-seed=N  seed of the replayable fault stream (same N -> same
+//                   drops; the daemon prints the seed so a run can be
+//                   reproduced exactly)
+// With faults on, clients retransmit with backoff and the SP's
+// idempotent replay layer absorbs the duplicates -- the run should still
+// end with every transaction confirmed.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,12 +30,43 @@
 
 using namespace tp;
 
-int main() {
+int main(int argc, char** argv) {
+  double drop_pct = 0.0;
+  std::uint64_t fault_seed = 0x6461656d6f6eull;  // "daemon"
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--drop-pct=", 0) == 0) {
+      drop_pct = std::strtod(arg.c_str() + 11, nullptr);
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      fault_seed = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--drop-pct=P] [--fault-seed=N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (drop_pct < 0.0 || drop_pct > 100.0) {
+    std::fprintf(stderr, "--drop-pct must be in [0, 100]\n");
+    return 2;
+  }
+
   // 1. A small fleet of client machines, each with its own TPM + DRTM
   //    platform, all certified by one Privacy CA.
   sp::FleetConfig fleet_config;
   fleet_config.num_clients = 4;
   fleet_config.seed = bytes_of("daemon");
+  if (drop_pct > 0.0) {
+    net::FaultProfile profile;
+    profile.drop_prob = drop_pct / 100.0;
+    fleet_config.net.fault =
+        net::FaultPlan::symmetric(profile, fault_seed);
+    // Faulty link -> retrying clients (a retry replays the SP's cached
+    // response, so re-delivery can never double-confirm).
+    fleet_config.client_retry.max_attempts = 16;
+    fleet_config.client_retry.backoff_base = SimDuration::millis(50);
+    std::printf("fault injection: drop %.1f%% each way, seed %llu\n",
+                drop_pct, static_cast<unsigned long long>(fault_seed));
+  }
   sp::Fleet fleet(fleet_config);
 
   // 2. Start the daemon: two shards, bounded queues, a per-request
@@ -113,6 +154,27 @@ int main() {
   std::printf("  sessions: evicted=%llu expired=%llu\n",
               static_cast<unsigned long long>(totals.sessions_evicted),
               static_cast<unsigned long long>(totals.sessions_expired));
+  if (drop_pct > 0.0) {
+    std::uint64_t injected = 0, retries = 0, replayed = 0;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      if (fleet.link(i).faults() != nullptr) {
+        injected += fleet.link(i).faults()->injected_total();
+      }
+      retries += fleet.client(i).retries();
+    }
+    // Replays happen inside the service's shard SPs; sum their counters.
+    for (const auto& c : service.metrics().counters()) {
+      if (c.name.find(".retry.replayed_") != std::string::npos) {
+        replayed += c.value;
+      }
+    }
+    std::printf("  chaos: faults_injected=%llu client_retries=%llu "
+                "sp_replays=%llu (seed %llu)\n",
+                static_cast<unsigned long long>(injected),
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(replayed),
+                static_cast<unsigned long long>(fault_seed));
+  }
   std::printf("\nmetrics registry:\n%s\n",
               service.metrics().to_json().c_str());
   return confirmed == submitted ? 0 : 1;

@@ -1,8 +1,21 @@
 #include "core/client.h"
 
+#include <algorithm>
+
 namespace tp::core {
 
 namespace {
+
+// Deterministic per-client jitter stream: same policy seed, different
+// client ids -> decorrelated backoff (avoids retry synchronization
+// across a fleet sharing one config).
+std::uint64_t jitter_seed_for(const ClientConfig& config) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : config.client_id) {
+    h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ull;
+  }
+  return h ^ config.retry.jitter_seed;
+}
 
 // The client drives the SAME transition table the SP's session layer
 // runs (proto::step), one proto::Session handle per exchange: before
@@ -31,30 +44,98 @@ TrustedPathClient::TrustedPathClient(drtm::Platform& platform,
       aik_certificate_(std::move(aik_certificate)),
       config_(std::move(config)),
       driver_(platform),
-      pal_(make_trusted_path_pal()) {}
+      pal_(make_trusted_path_pal()),
+      retry_rng_(jitter_seed_for(config_)) {
+  if (config_.metrics != nullptr) {
+    c_retries_ = &config_.metrics->counter("client.retries");
+    c_give_ups_ = &config_.metrics->counter("client.exchange_give_ups");
+    c_stale_ = &config_.metrics->counter("client.stale_frames_discarded");
+  }
+}
 
-Result<Bytes> TrustedPathClient::exchange(MsgType type, BytesView payload) {
-  auto frame = transport_->exchange(envelope(type, payload));
-  if (!frame.ok()) return frame.error();
-  auto opened = open_envelope(frame.value());
-  if (!opened.ok()) return opened.error();
-  return opened.value().second;
+template <typename Msg>
+Result<Msg> TrustedPathClient::exchange_msg(
+    proto::Session& fsm, proto::SessionEvent event,
+    proto::SessionAction want_action, const char* where, MsgType type,
+    BytesView payload, MsgType want_type) {
+  const Bytes frame = envelope(type, payload);
+  SimClock& clock = platform_->clock();
+  const RetryPolicy& policy = config_.retry;
+  const std::uint32_t attempts =
+      std::max<std::uint32_t>(policy.max_attempts, 1);
+  const bool deadline_bounded = policy.deadline.ns > 0;
+  const SimTime deadline = clock.now() + policy.deadline;
+  SimDuration backoff = policy.backoff_base;
+  Error last{Err::kTimeout, std::string(where) + ": no usable response"};
+
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Decorrelated jitter: sleep = min(cap, uniform(base, 3 * prev)),
+      // charged to the virtual clock (nothing real sleeps).
+      const std::int64_t lo = std::max<std::int64_t>(policy.backoff_base.ns, 0);
+      const std::int64_t hi = std::max<std::int64_t>(3 * backoff.ns, lo + 1);
+      backoff = SimDuration::nanos(std::min<std::int64_t>(
+          policy.backoff_cap.ns,
+          lo + static_cast<std::int64_t>(retry_rng_.next_below(
+                   static_cast<std::uint64_t>(hi - lo)))));
+      clock.charge("net:retry-backoff", backoff);
+      if (deadline_bounded && clock.now() >= deadline) break;
+      ++retries_;
+      if (c_retries_ != nullptr) c_retries_->inc();
+    }
+    // A retransmission replays the SAME event through the shared FSM --
+    // a begin re-opens the session, a completion retries the settle --
+    // and the transition table must still demand the action we are about
+    // to repeat. A mismatch means this retry would be an illegal message,
+    // not a recovery.
+    if (auto s = expect_action(fsm.apply(event), want_action, where);
+        !s.ok()) {
+      return s.error();
+    }
+    auto response = transport_->exchange(frame);
+    // Drain delivered frames until one is the well-formed response we
+    // want. Corrupt, stale or duplicated frames are noise queued ahead
+    // of the answer, not the answer.
+    while (true) {
+      if (!response.ok()) {
+        const Err code = response.error().code;
+        last = response.error();
+        // kTimeout: nothing more is pending -> next attempt. Any other
+        // code means a frame WAS delivered but was unusable; there may
+        // be another behind it.
+        if (code == Err::kTimeout || code == Err::kUnsupported) break;
+        if (c_stale_ != nullptr) c_stale_->inc();
+      } else {
+        auto opened = open_envelope(response.value());
+        if (opened.ok() && opened.value().first == want_type) {
+          auto msg = Msg::deserialize(opened.value().second);
+          if (msg.ok()) return msg;
+          last = msg.error();
+        } else if (opened.ok()) {
+          last = Error{Err::kBadState,
+                       std::string(where) + ": unexpected response type"};
+        } else {
+          last = opened.error();
+        }
+        if (c_stale_ != nullptr) c_stale_->inc();
+      }
+      response = transport_->receive_pending();
+    }
+    if (deadline_bounded && clock.now() >= deadline) break;
+  }
+  ++give_ups_;
+  if (c_give_ups_ != nullptr) c_give_ups_->inc();
+  return last;
 }
 
 Status TrustedPathClient::enroll() {
   proto::Session fsm(proto::SessionPhase::kEnroll);
 
   // 1. Request a challenge.
-  if (auto s = expect_action(fsm.apply(proto::SessionEvent::kBegin),
-                             proto::SessionAction::kSendChallenge, "enroll");
-      !s.ok()) {
-    return s;
-  }
-  auto challenge_bytes =
-      exchange(MsgType::kEnrollBegin,
-               EnrollBegin{config_.client_id}.serialize());
-  if (!challenge_bytes.ok()) return challenge_bytes.error();
-  auto challenge = EnrollChallenge::deserialize(challenge_bytes.value());
+  auto challenge = exchange_msg<EnrollChallenge>(
+      fsm, proto::SessionEvent::kBegin, proto::SessionAction::kSendChallenge,
+      "enroll", MsgType::kEnrollBegin,
+      EnrollBegin{config_.client_id}.serialize(), MsgType::kEnrollChallenge);
   if (!challenge.ok()) return challenge.error();
 
   // 2. Run the ENROLL PAL session.
@@ -73,15 +154,10 @@ Status TrustedPathClient::enroll() {
   complete.confirmation_pubkey = pal_out.value().pubkey;
   complete.quote = pal_out.value().quote;
   complete.aik_certificate = aik_certificate_.serialize();
-  if (auto s = expect_action(fsm.apply(proto::SessionEvent::kComplete),
-                             proto::SessionAction::kVerify, "enroll");
-      !s.ok()) {
-    return s;
-  }
-  auto result_bytes =
-      exchange(MsgType::kEnrollComplete, complete.serialize());
-  if (!result_bytes.ok()) return result_bytes.error();
-  auto result = EnrollResult::deserialize(result_bytes.value());
+  auto result = exchange_msg<EnrollResult>(
+      fsm, proto::SessionEvent::kComplete, proto::SessionAction::kVerify,
+      "enroll", MsgType::kEnrollComplete, complete.serialize(),
+      MsgType::kEnrollResult);
   if (!result.ok()) return result.error();
   fsm.apply(result.value().accepted ? proto::SessionEvent::kVerifyOk
                                     : proto::SessionEvent::kVerifyFail);
@@ -104,16 +180,12 @@ TrustedPathClient::submit_transaction(const std::string& summary,
   proto::Session fsm(proto::SessionPhase::kConfirm);
 
   // 1. Submit the transaction; receive the challenge.
-  if (auto s = expect_action(fsm.apply(proto::SessionEvent::kBegin),
-                             proto::SessionAction::kSendChallenge, "submit");
-      !s.ok()) {
-    return s.error();
-  }
   TxSubmit submit{config_.client_id, summary,
                   Bytes(payload.begin(), payload.end())};
-  auto challenge_bytes = exchange(MsgType::kTxSubmit, submit.serialize());
-  if (!challenge_bytes.ok()) return challenge_bytes.error();
-  auto challenge = TxChallenge::deserialize(challenge_bytes.value());
+  auto challenge = exchange_msg<TxChallenge>(
+      fsm, proto::SessionEvent::kBegin, proto::SessionAction::kSendChallenge,
+      "submit", MsgType::kTxSubmit, submit.serialize(),
+      MsgType::kTxChallenge);
   if (!challenge.ok()) return challenge.error();
 
   // 2. Run the CONFIRM PAL session.
@@ -137,14 +209,9 @@ TrustedPathClient::submit_transaction(const std::string& summary,
   confirm.tx_id = challenge.value().tx_id;
   confirm.verdict = pal_out.value().verdict;
   confirm.signature = pal_out.value().signature;
-  if (auto s = expect_action(fsm.apply(proto::SessionEvent::kComplete),
-                             proto::SessionAction::kVerify, "submit");
-      !s.ok()) {
-    return s.error();
-  }
-  auto result_bytes = exchange(MsgType::kTxConfirm, confirm.serialize());
-  if (!result_bytes.ok()) return result_bytes.error();
-  auto result = TxResult::deserialize(result_bytes.value());
+  auto result = exchange_msg<TxResult>(
+      fsm, proto::SessionEvent::kComplete, proto::SessionAction::kVerify,
+      "submit", MsgType::kTxConfirm, confirm.serialize(), MsgType::kTxResult);
   if (!result.ok()) return result.error();
   fsm.apply(result.value().accepted ? proto::SessionEvent::kVerifyOk
                                     : proto::SessionEvent::kVerifyFail);
@@ -180,16 +247,11 @@ Result<TrustedPathClient::BatchOutcome> TrustedPathClient::submit_batch(
   std::vector<std::uint64_t> tx_ids;
   for (std::size_t i = 0; i < txs.size(); ++i) {
     const auto& [summary, payload] = txs[i];
-    if (auto s = expect_action(fsms[i].apply(proto::SessionEvent::kBegin),
-                               proto::SessionAction::kSendChallenge,
-                               "submit_batch");
-        !s.ok()) {
-      return s.error();
-    }
     TxSubmit submit{config_.client_id, summary, payload};
-    auto challenge_bytes = exchange(MsgType::kTxSubmit, submit.serialize());
-    if (!challenge_bytes.ok()) return challenge_bytes.error();
-    auto challenge = TxChallenge::deserialize(challenge_bytes.value());
+    auto challenge = exchange_msg<TxChallenge>(
+        fsms[i], proto::SessionEvent::kBegin,
+        proto::SessionAction::kSendChallenge, "submit_batch",
+        MsgType::kTxSubmit, submit.serialize(), MsgType::kTxChallenge);
     if (!challenge.ok()) return challenge.error();
     pal_input.items.push_back(
         BatchItem{summary, submit.digest(), challenge.value().nonce});
@@ -217,14 +279,10 @@ Result<TrustedPathClient::BatchOutcome> TrustedPathClient::submit_batch(
     confirm.tx_id = tx_ids[i];
     confirm.verdict = pal_out.value().verdict;
     if (confirmed) confirm.signature = pal_out.value().signatures[i];
-    if (auto s = expect_action(fsms[i].apply(proto::SessionEvent::kComplete),
-                               proto::SessionAction::kVerify, "submit_batch");
-        !s.ok()) {
-      return s.error();
-    }
-    auto result_bytes = exchange(MsgType::kTxConfirm, confirm.serialize());
-    if (!result_bytes.ok()) return result_bytes.error();
-    auto result = TxResult::deserialize(result_bytes.value());
+    auto result = exchange_msg<TxResult>(
+        fsms[i], proto::SessionEvent::kComplete, proto::SessionAction::kVerify,
+        "submit_batch", MsgType::kTxConfirm, confirm.serialize(),
+        MsgType::kTxResult);
     if (!result.ok()) return result.error();
     fsms[i].apply(result.value().accepted ? proto::SessionEvent::kVerifyOk
                                           : proto::SessionEvent::kVerifyFail);
@@ -243,17 +301,12 @@ TrustedPathClient::submit_limited_transaction(const std::string& summary,
   }
   proto::Session fsm(proto::SessionPhase::kConfirm);
 
-  if (auto s = expect_action(fsm.apply(proto::SessionEvent::kBegin),
-                             proto::SessionAction::kSendChallenge,
-                             "submit_limited");
-      !s.ok()) {
-    return s.error();
-  }
   TxSubmit submit{config_.client_id, summary,
                   Bytes(payload.begin(), payload.end())};
-  auto challenge_bytes = exchange(MsgType::kTxSubmit, submit.serialize());
-  if (!challenge_bytes.ok()) return challenge_bytes.error();
-  auto challenge = TxChallenge::deserialize(challenge_bytes.value());
+  auto challenge = exchange_msg<TxChallenge>(
+      fsm, proto::SessionEvent::kBegin, proto::SessionAction::kSendChallenge,
+      "submit_limited", MsgType::kTxSubmit, submit.serialize(),
+      MsgType::kTxChallenge);
   if (!challenge.ok()) return challenge.error();
 
   PalLimitedConfirmInput pal_input;
@@ -282,14 +335,10 @@ TrustedPathClient::submit_limited_transaction(const std::string& summary,
   confirm.tx_id = challenge.value().tx_id;
   confirm.verdict = pal_out.value().verdict;
   confirm.signature = pal_out.value().signature;
-  if (auto s = expect_action(fsm.apply(proto::SessionEvent::kComplete),
-                             proto::SessionAction::kVerify, "submit_limited");
-      !s.ok()) {
-    return s.error();
-  }
-  auto result_bytes = exchange(MsgType::kTxConfirm, confirm.serialize());
-  if (!result_bytes.ok()) return result_bytes.error();
-  auto result = TxResult::deserialize(result_bytes.value());
+  auto result = exchange_msg<TxResult>(
+      fsm, proto::SessionEvent::kComplete, proto::SessionAction::kVerify,
+      "submit_limited", MsgType::kTxConfirm, confirm.serialize(),
+      MsgType::kTxResult);
   if (!result.ok()) return result.error();
   fsm.apply(result.value().accepted ? proto::SessionEvent::kVerifyOk
                                     : proto::SessionEvent::kVerifyFail);

@@ -19,12 +19,33 @@
 #include "drtm/platform.h"
 #include "net/channel.h"
 #include "net/secure_channel.h"
+#include "obs/metrics.h"
 #include "pal/session.h"
 #include "tpm/privacy_ca.h"
 #include "util/bytes.h"
 #include "util/result.h"
+#include "util/rng.h"
 
 namespace tp::core {
+
+/// Retransmission policy for one client<->SP exchange. An exchange that
+/// gets no (usable) response backs off on the virtual clock --
+/// exponential with decorrelated jitter (sleep = min(cap, uniform(base,
+/// 3 * previous))) -- and retransmits the same frame through the same
+/// proto::Session, so a retry is a legal FSM transition, never a new
+/// session. The default (one attempt) preserves fail-fast semantics on
+/// clean links.
+struct RetryPolicy {
+  /// Total send attempts per exchange (1 = no retry).
+  std::uint32_t max_attempts = 1;
+  SimDuration backoff_base = SimDuration::millis(100);
+  SimDuration backoff_cap = SimDuration::seconds(5);
+  /// Overall virtual-time budget for one exchange, backoff included;
+  /// <= 0 bounds by attempts only.
+  SimDuration deadline = SimDuration{0};
+  /// Seed of the jitter stream (decorrelated from the network's RNG).
+  std::uint64_t jitter_seed = 0x726574727969ull;
+};
 
 struct ClientConfig {
   std::string client_id = "client-0";
@@ -32,6 +53,12 @@ struct ClientConfig {
   std::uint32_t code_len = 6;
   std::uint32_t max_attempts = 3;
   SimDuration user_timeout = SimDuration::seconds(60);
+
+  RetryPolicy retry;
+  /// Optional registry for the client's retry counters
+  /// ("client.retries", "client.exchange_give_ups",
+  /// "client.stale_frames_discarded"); nullptr -> not counted.
+  obs::Registry* metrics = nullptr;
 };
 
 class TrustedPathClient {
@@ -128,8 +155,23 @@ class TrustedPathClient {
     spending_state_ = std::move(blob);
   }
 
+  /// Retransmissions performed so far (0 with the default policy).
+  std::uint64_t retries() const { return retries_; }
+  /// Exchanges that exhausted every attempt without a usable response.
+  std::uint64_t exchange_give_ups() const { return give_ups_; }
+
  private:
-  Result<Bytes> exchange(MsgType type, BytesView payload);
+  /// One deadline-bounded, retrying request/response exchange: applies
+  /// `event` to `fsm` (checking the FSM demands `want_action`) before
+  /// every attempt, filters responses down to `want_type`, and
+  /// deserializes to Msg -- anything else (corrupt, stale, duplicated
+  /// frames) is discarded and, when attempts remain, retried after a
+  /// jittered backoff charged to the platform clock.
+  template <typename Msg>
+  Result<Msg> exchange_msg(proto::Session& fsm, proto::SessionEvent event,
+                           proto::SessionAction want_action,
+                           const char* where, MsgType type, BytesView payload,
+                           MsgType want_type);
 
   drtm::Platform* platform_;
   net::PlainRpc plain_transport_;
@@ -141,6 +183,12 @@ class TrustedPathClient {
   Bytes pubkey_;
   std::optional<Bytes> sealed_key_;
   Bytes spending_state_;
+  SimRng retry_rng_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t give_ups_ = 0;
+  obs::Counter* c_retries_ = nullptr;
+  obs::Counter* c_give_ups_ = nullptr;
+  obs::Counter* c_stale_ = nullptr;
 };
 
 }  // namespace tp::core

@@ -8,7 +8,8 @@ Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
                                      : tpm::chip_by_name(config_.chip_name);
   tpm_ = std::make_unique<tpm::TpmDevice>(
       chip, config_.seed, clock_,
-      tpm::TpmDevice::Options{.key_bits = config_.tpm_key_bits});
+      tpm::TpmDevice::Options{.key_bits = config_.tpm_key_bits,
+                              .faults = config_.tpm_faults});
 }
 
 Status Platform::attempt_dma_write(BytesView payload) {

@@ -57,6 +57,9 @@ struct PlatformConfig {
   std::string chip_name;        // empty -> default chip
   Bytes seed = bytes_of("platform-seed");
   std::size_t tpm_key_bits = 1024;
+  /// Transient-fault model for this machine's TPM (disabled by default);
+  /// see tpm::TpmFaultProfile.
+  tpm::TpmFaultProfile tpm_faults;
   DrtmCosts drtm_costs;
   DrtmTechnology technology = DrtmTechnology::kAmdSkinit;
   TxtArtifacts txt;             // used only for kIntelTxt

@@ -1,31 +1,67 @@
 #include "net/channel.h"
 
+#include <utility>
+
 namespace tp::net {
 
 Link::Link(NetParams params, SimClock& clock, SimRng rng)
-    : params_(params), clock_(&clock), rng_(std::move(rng)) {
+    : params_(std::move(params)), clock_(&clock), rng_(std::move(rng)) {
   a_ = std::unique_ptr<Endpoint>(new Endpoint(this, true));
   b_ = std::unique_ptr<Endpoint>(new Endpoint(this, false));
+  if (params_.fault.enabled()) {
+    fault_ = std::make_unique<FaultInjector>(params_.fault, params_.metrics);
+  }
   if (params_.metrics != nullptr) {
     c_sent_ = &params_.metrics->counter("net.messages_sent");
     c_lost_ = &params_.metrics->counter("net.messages_lost");
   }
 }
 
+void Link::drop_toward(bool to_b) {
+  ++lost_;
+  ++(to_b ? lost_to_b_ : lost_to_a_);
+  if (c_lost_ != nullptr) c_lost_->inc();
+}
+
 void Link::send_from(bool from_a, BytesView payload) {
   ++sent_;
   if (c_sent_ != nullptr) c_sent_->inc();
   if (rng_.chance(params_.loss_prob)) {
-    ++lost_;
-    if (c_lost_ != nullptr) c_lost_->inc();
+    drop_toward(from_a);
     return;
   }
+  Bytes copy(payload.begin(), payload.end());
+  FaultInjector::Decision fault{};
+  if (fault_ != nullptr) {
+    fault = fault_->decide(from_a, clock_->now(), copy);
+    if (fault.drop) {
+      drop_toward(from_a);
+      return;
+    }
+  }
+  // Normal jitter clamped at zero: delivery can be instantaneous under
+  // extreme jitter but never precede the send.
   const double latency_ms = rng_.next_normal(
-      params_.latency_mean_ms, params_.latency_jitter_ms, 0.1);
-  const SimTime deliver_at =
-      clock_->now() + SimDuration::seconds(latency_ms / 1000.0);
+      params_.latency_mean_ms, params_.latency_jitter_ms, 0.0);
+  const SimTime deliver_at = clock_->now() +
+                             SimDuration::seconds(latency_ms / 1000.0) +
+                             fault.extra_delay;
   auto& queue = from_a ? to_b_ : to_a_;
-  queue.push_back(InFlight{Bytes(payload.begin(), payload.end()), deliver_at});
+  queue.push_back(InFlight{std::move(copy), deliver_at});
+  if (fault.duplicate) {
+    // The duplicate is an independent copy of the (possibly corrupted)
+    // in-transit bytes, trailing the original.
+    Bytes dup(queue.back().payload);
+    const double dup_ms = rng_.next_normal(
+        params_.latency_mean_ms, params_.latency_jitter_ms, 0.0);
+    queue.push_back(InFlight{std::move(dup),
+                             clock_->now() +
+                                 SimDuration::seconds(dup_ms / 1000.0) +
+                                 fault.dup_extra_delay});
+  }
+  if (fault.reorder && queue.size() >= 2) {
+    std::swap(queue[queue.size() - 1], queue[queue.size() - 2]);
+  }
 }
 
 Result<Bytes> Link::receive_for(bool for_a) {
@@ -40,7 +76,14 @@ Result<Bytes> Link::receive_for(bool for_a) {
       peer.send(peer.service_(request.value()));
     }
   }
+  const std::uint64_t lost_cum = for_a ? lost_to_a_ : lost_to_b_;
+  auto& lost_seen = for_a ? lost_seen_by_a_ : lost_seen_by_b_;
+  const bool lost_since_last = lost_cum > lost_seen;
+  lost_seen = lost_cum;
   if (queue.empty()) {
+    if (lost_since_last) {
+      return Error{Err::kTimeout, "receive: message lost in transit"};
+    }
     return Error{Err::kTimeout, "receive: no message pending"};
   }
   InFlight msg = std::move(queue.front());
@@ -54,6 +97,17 @@ Result<Bytes> Link::receive_for(bool for_a) {
 void Endpoint::send(BytesView payload) { link_->send_from(is_a_, payload); }
 
 Result<Bytes> Endpoint::receive() { return link_->receive_for(is_a_); }
+
+std::uint64_t Endpoint::lost_since_last_receive() const {
+  const std::uint64_t cum = is_a_ ? link_->lost_to_a_ : link_->lost_to_b_;
+  const std::uint64_t seen =
+      is_a_ ? link_->lost_seen_by_a_ : link_->lost_seen_by_b_;
+  return cum - seen;
+}
+
+std::uint64_t Endpoint::lost_in_transit() const {
+  return is_a_ ? link_->lost_to_a_ : link_->lost_to_b_;
+}
 
 void Endpoint::set_service(std::function<Bytes(BytesView)> handler) {
   service_ = std::move(handler);

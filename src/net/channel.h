@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 
+#include "net/fault.h"
 #include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -25,9 +26,14 @@ struct NetParams {
   double latency_jitter_ms = 8.0; // stddev of the normal jitter
   double loss_prob = 0.0;         // per message
 
+  /// Scripted fault injection on top of the baseline loss/latency model;
+  /// inert unless some probability or partition window is set.
+  FaultPlan fault;
+
   /// Optional metrics registry; when set, every link built with these
   /// params also counts "net.messages_sent"/"net.messages_lost" there
-  /// (shared across links, unlike the per-link accessors below).
+  /// (shared across links, unlike the per-link accessors below), and the
+  /// fault injector counts "faults.injected.*".
   obs::Registry* metrics = nullptr;
 };
 
@@ -46,6 +52,10 @@ class Link {
   std::uint64_t messages_sent() const { return sent_; }
   std::uint64_t messages_lost() const { return lost_; }
 
+  /// The scripted-fault engine, or nullptr when the plan is inert.
+  /// Exposes per-kind injection counts and the trace fingerprint.
+  const FaultInjector* faults() const { return fault_.get(); }
+
  private:
   friend class Endpoint;
 
@@ -56,16 +66,22 @@ class Link {
 
   void send_from(bool from_a, BytesView payload);
   Result<Bytes> receive_for(bool for_a);
+  void drop_toward(bool to_b);
 
   NetParams params_;
   SimClock* clock_;
   SimRng rng_;
+  std::unique_ptr<FaultInjector> fault_;  // null when plan is inert
   std::deque<InFlight> to_a_;
   std::deque<InFlight> to_b_;
   std::unique_ptr<Endpoint> a_;
   std::unique_ptr<Endpoint> b_;
   std::uint64_t sent_ = 0;
   std::uint64_t lost_ = 0;
+  std::uint64_t lost_to_a_ = 0;  // per-direction, all causes
+  std::uint64_t lost_to_b_ = 0;
+  std::uint64_t lost_seen_by_a_ = 0;  // snapshot at last a-side receive()
+  std::uint64_t lost_seen_by_b_ = 0;
   obs::Counter* c_sent_ = nullptr;  // registry-backed (may stay null)
   obs::Counter* c_lost_ = nullptr;
 };
@@ -78,13 +94,24 @@ class Endpoint {
 
   /// Pops the next message for this side. If it is still "in flight" the
   /// virtual clock advances to its delivery time (the caller waited).
-  /// kTimeout when nothing is pending (e.g., the message was lost).
+  /// kTimeout when nothing is pending; the error message distinguishes
+  /// "message lost in transit" (something addressed to this side was
+  /// dropped since the last receive) from "no message pending" (nothing
+  /// was ever sent), so retry logic doesn't conflate the two.
   ///
   /// Synchronous-RPC convenience: if this side's queue is empty but the
   /// PEER has a registered service handler and pending messages, those are
   /// pumped through the handler first (request -> response), exactly like
   /// waiting on a reply from a remote server.
   Result<Bytes> receive();
+
+  /// Messages addressed to this side that the link silently dropped
+  /// (random loss, injected drop, partition) since the previous receive()
+  /// call. Reset to 0 by every receive(), success or timeout.
+  std::uint64_t lost_since_last_receive() const;
+
+  /// Cumulative drops toward this side over the link's lifetime.
+  std::uint64_t lost_in_transit() const;
 
   /// Registers this side as a server: each incoming request is mapped to
   /// one response frame.

@@ -1,0 +1,92 @@
+#include "net/fault.h"
+
+namespace tp::net {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDelaySpike: return "delay_spike";
+    case FaultKind::kPartitionDrop: return "partition_drop";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, obs::Registry* metrics)
+    : plan_(std::move(plan)), rng_(plan_.seed) {
+  if (metrics != nullptr) {
+    for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+      counters_[i] = &metrics->counter(
+          std::string("faults.injected.") +
+          fault_kind_name(static_cast<FaultKind>(i)));
+    }
+  }
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts_) total += c;
+  return total;
+}
+
+bool FaultInjector::partitioned(SimTime now) const {
+  for (const PartitionWindow& w : plan_.partitions) {
+    if (now >= w.start && now < w.end) return true;
+  }
+  return false;
+}
+
+void FaultInjector::record(FaultKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  ++counts_[i];
+  if (counters_[i] != nullptr) counters_[i]->inc();
+  // FNV-1a over the (send index, kind) pair: order-sensitive, so a
+  // reordered fault sequence cannot collide with the original.
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  fingerprint_ = (fingerprint_ ^ sends_) * kPrime;
+  fingerprint_ = (fingerprint_ ^ static_cast<std::uint64_t>(i)) * kPrime;
+}
+
+FaultInjector::Decision FaultInjector::decide(bool to_sp, SimTime now,
+                                              Bytes& payload) {
+  ++sends_;
+  Decision d;
+  if (partitioned(now)) {
+    record(FaultKind::kPartitionDrop);
+    d.drop = true;
+    return d;
+  }
+  const FaultProfile& p = to_sp ? plan_.to_sp : plan_.to_client;
+  if (!p.enabled()) return d;
+  if (rng_.chance(p.drop_prob)) {
+    record(FaultKind::kDrop);
+    d.drop = true;
+    return d;  // nothing else can happen to a vanished message
+  }
+  if (!payload.empty() && rng_.chance(p.corrupt_prob)) {
+    record(FaultKind::kCorrupt);
+    const std::size_t index = rng_.next_below(payload.size());
+    const auto flip = static_cast<std::uint8_t>(1 + rng_.next_below(255));
+    payload[index] = static_cast<std::uint8_t>(payload[index] ^ flip);
+  }
+  if (rng_.chance(p.dup_prob)) {
+    record(FaultKind::kDuplicate);
+    d.duplicate = true;
+    // The copy trails the original by an extra latency-scale delay.
+    d.dup_extra_delay = SimDuration::seconds(
+        rng_.next_exponential(p.delay_spike_ms / 4.0 + 1.0) / 1000.0);
+  }
+  if (rng_.chance(p.reorder_prob)) {
+    record(FaultKind::kReorder);
+    d.reorder = true;
+  }
+  if (rng_.chance(p.delay_spike_prob)) {
+    record(FaultKind::kDelaySpike);
+    d.extra_delay = SimDuration::seconds(p.delay_spike_ms / 1000.0);
+  }
+  return d;
+}
+
+}  // namespace tp::net

@@ -1,0 +1,120 @@
+// Deterministic fault injection for the simulated network.
+//
+// A FaultPlan scripts the misbehaviour of a Link: per-direction drop,
+// duplicate, reorder, byte-corrupt and delay-spike probabilities, plus
+// timed partition windows that black-hole both directions. Every decision
+// draws from one SimRng seeded by the plan's u64 seed, so a run is exactly
+// replayable: same seed + same send sequence -> same faults, byte for
+// byte. The injector counts each fault kind (mirrored into an obs
+// registry when one is supplied) and folds (send index, kind) pairs into
+// an order-sensitive trace fingerprint that chaos tests compare across
+// reruns to prove determinism.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace tp::net {
+
+/// Fault probabilities for one direction of a link.
+struct FaultProfile {
+  double drop_prob = 0.0;         // message silently vanishes
+  double dup_prob = 0.0;          // a second copy is queued
+  double reorder_prob = 0.0;      // swapped with the previously queued msg
+  double corrupt_prob = 0.0;      // one random byte flipped in transit
+  double delay_spike_prob = 0.0;  // delivery delayed by delay_spike_ms
+  double delay_spike_ms = 400.0;
+
+  bool enabled() const {
+    return drop_prob > 0 || dup_prob > 0 || reorder_prob > 0 ||
+           corrupt_prob > 0 || delay_spike_prob > 0;
+  }
+};
+
+/// Half-open virtual-time window [start, end) during which every message
+/// in either direction is dropped (a full partition).
+struct PartitionWindow {
+  SimTime start;
+  SimTime end;
+};
+
+/// A complete, replayable fault script for one link.
+struct FaultPlan {
+  FaultProfile to_sp;      // faults on a -> b (client -> SP) messages
+  FaultProfile to_client;  // faults on b -> a (SP -> client) messages
+  std::vector<PartitionWindow> partitions;
+  std::uint64_t seed = 0;
+
+  bool enabled() const {
+    return to_sp.enabled() || to_client.enabled() || !partitions.empty();
+  }
+
+  /// Same profile in both directions; the usual chaos-sweep shape.
+  static FaultPlan symmetric(FaultProfile profile, std::uint64_t seed) {
+    FaultPlan plan;
+    plan.to_sp = profile;
+    plan.to_client = profile;
+    plan.seed = seed;
+    return plan;
+  }
+};
+
+enum class FaultKind : std::uint8_t {
+  kDrop = 0,
+  kDuplicate = 1,
+  kReorder = 2,
+  kCorrupt = 3,
+  kDelaySpike = 4,
+  kPartitionDrop = 5,
+};
+inline constexpr std::size_t kFaultKindCount = 6;
+
+const char* fault_kind_name(FaultKind kind);
+
+/// Applies a FaultPlan to a stream of sends. Owned by the Link; one
+/// verdict per message, in send order, so the fault sequence is a pure
+/// function of (plan seed, workload).
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, obs::Registry* metrics);
+
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    bool reorder = false;           // swap with the message queued before it
+    SimDuration extra_delay{};      // added to the primary copy
+    SimDuration dup_extra_delay{};  // added to the duplicate copy
+  };
+
+  /// One verdict for a message sent at `now`. `payload` is the in-transit
+  /// copy and is corrupted in place when the corrupt fault fires.
+  Decision decide(bool to_sp, SimTime now, Bytes& payload);
+
+  std::uint64_t injected(FaultKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t injected_total() const;
+
+  /// Order-sensitive FNV-1a digest over (send index, fault kind) of every
+  /// injected fault. Two runs with the same seed and workload must agree.
+  std::uint64_t trace_fingerprint() const { return fingerprint_; }
+
+ private:
+  void record(FaultKind kind);
+  bool partitioned(SimTime now) const;
+
+  FaultPlan plan_;
+  SimRng rng_;
+  std::uint64_t sends_ = 0;
+  std::array<std::uint64_t, kFaultKindCount> counts_{};
+  std::uint64_t fingerprint_ = 0xcbf29ce484222325ull;  // FNV offset basis
+  std::array<obs::Counter*, kFaultKindCount> counters_{};  // may stay null
+};
+
+}  // namespace tp::net

@@ -136,8 +136,11 @@ Result<Bytes> open_record(DirectionState& dir, const char* label,
   if (!mac.ok()) return mac.error();
   if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
 
-  // Strictly monotonic sequence: anything replayed or reordered dies.
-  if (seq.value() != dir.next_seq) {
+  // Monotonic sequence, forward-jump tolerant (DTLS-style): a replayed
+  // or reordered-behind record dies here, but a gap left by a lost
+  // record does not wedge the direction -- the next genuine record
+  // (authenticated below over its own sequence number) re-synchronizes.
+  if (seq.value() < dir.next_seq) {
     return Error{Err::kReplay, "record: sequence number mismatch"};
   }
   mac_feed_header(dir.mac, label, seq.value(), ct_len.value());
@@ -147,7 +150,7 @@ Result<Bytes> open_record(DirectionState& dir, const char* label,
   if (!ct_equal(expected, mac.value())) {
     return Error{Err::kAuthFail, "record: MAC mismatch"};
   }
-  ++dir.next_seq;
+  dir.next_seq = seq.value() + 1;
 
   std::uint8_t nonce[crypto::kAesBlockSize];
   seq_nonce(seq.value(), nonce);
@@ -165,6 +168,8 @@ Result<Bytes> PlainRpc::exchange(BytesView request) {
   endpoint_->send(request);
   return endpoint_->receive();
 }
+
+Result<Bytes> PlainRpc::receive_pending() { return endpoint_->receive(); }
 
 // ---- sessions ----------------------------------------------------------
 
@@ -202,23 +207,24 @@ Status SecureClientTransport::handshake() {
   w.u8(static_cast<std::uint8_t>(FrameType::kHandshake));
   w.var_bytes(encrypted.value());
   endpoint_->send(w.data());
-  auto ack = endpoint_->receive();
-  if (!ack.ok()) return ack.error();
-  // Ack is a record under the new keys; verify it below by installing
-  // the session first.
+  // Ack is a record under the new keys; verify by installing the session
+  // first. On a faulty link, frames from an abandoned earlier handshake
+  // (or duplicated noise) can sit ahead of our ack -- drain until the
+  // genuine ack appears or nothing more is pending.
   crypto::HmacSha256Ctx prf(master);
   session_ = std::make_unique<Session>(derive(prf, kClientToServer),
                                        derive(prf, kServerToClient));
-  auto opened = open_record(session_->recv, kServerToClient, ack.value());
-  if (!opened.ok()) {
-    session_.reset();
-    return Error{Err::kAuthFail, "handshake: server ack invalid"};
+  for (;;) {
+    auto ack = endpoint_->receive();
+    if (!ack.ok()) {
+      session_.reset();
+      return ack.error();
+    }
+    auto opened = open_record(session_->recv, kServerToClient, ack.value());
+    if (opened.ok() && ct_equal(opened.value(), bytes_of("handshake-ok"))) {
+      return Status::ok_status();
+    }
   }
-  if (!ct_equal(opened.value(), bytes_of("handshake-ok"))) {
-    session_.reset();
-    return Error{Err::kAuthFail, "handshake: unexpected server ack"};
-  }
-  return Status::ok_status();
 }
 
 Result<Bytes> SecureClientTransport::exchange(BytesView request) {
@@ -228,6 +234,18 @@ Result<Bytes> SecureClientTransport::exchange(BytesView request) {
   endpoint_->send(seal_record(session_->send, kClientToServer, request));
   auto frame = endpoint_->receive();
   if (!frame.ok()) return frame.error();
+  return open_record(session_->recv, kServerToClient, frame.value());
+}
+
+Result<Bytes> SecureClientTransport::receive_pending() {
+  if (!session_) {
+    return Error{Err::kTimeout, "receive: no session established"};
+  }
+  auto frame = endpoint_->receive();
+  if (!frame.ok()) return frame.error();
+  // A non-timeout failure here means a frame WAS delivered but did not
+  // open (corrupt, replayed, or the server's unauthenticated "!rejected"
+  // notice) -- the caller can pull again.
   return open_record(session_->recv, kServerToClient, frame.value());
 }
 

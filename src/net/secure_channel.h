@@ -34,6 +34,13 @@ class RpcTransport {
   virtual ~RpcTransport() = default;
   /// Sends a request frame and waits for the peer's response frame.
   virtual Result<Bytes> exchange(BytesView request) = 0;
+  /// Pulls one already-delivered response frame without sending anything
+  /// (retry path: duplicated, reordered or late responses queued behind
+  /// the one exchange() consumed). kTimeout when nothing is pending;
+  /// kUnsupported for transports with no pull-only receive.
+  virtual Result<Bytes> receive_pending() {
+    return Error{Err::kUnsupported, "transport: no pull-only receive"};
+  }
 };
 
 /// Plaintext transport over an Endpoint (the default).
@@ -41,6 +48,7 @@ class PlainRpc : public RpcTransport {
  public:
   explicit PlainRpc(Endpoint& endpoint) : endpoint_(&endpoint) {}
   Result<Bytes> exchange(BytesView request) override;
+  Result<Bytes> receive_pending() override;
 
  private:
   Endpoint* endpoint_;
@@ -55,6 +63,7 @@ class SecureClientTransport : public RpcTransport {
   ~SecureClientTransport() override;
 
   Result<Bytes> exchange(BytesView request) override;
+  Result<Bytes> receive_pending() override;
 
   bool handshaken() const { return session_ != nullptr; }
 

@@ -45,9 +45,12 @@ enum class RejectCode : std::uint8_t {
   kUserTimeout = 19,   // PAL verdict: nobody answered
   kReplayedSignature = 20,
   kBadSignature = 21,
+
+  // Retry / idempotency (frame-level re-delivery handling).
+  kRetryMismatch = 22,  // retransmit whose bytes differ from the original
 };
 
-inline constexpr std::size_t kRejectCodeCount = 22;
+inline constexpr std::size_t kRejectCodeCount = 23;
 
 /// True iff `v` is a defined RejectCode value (wire validation).
 constexpr bool reject_code_valid(std::uint8_t v) {
@@ -84,6 +87,7 @@ constexpr const char* reject_code_name(RejectCode c) {
     case RejectCode::kUserTimeout: return "user_timeout";
     case RejectCode::kReplayedSignature: return "replayed_signature";
     case RejectCode::kBadSignature: return "bad_signature";
+    case RejectCode::kRetryMismatch: return "retry_mismatch";
   }
   return "unknown";
 }
@@ -122,6 +126,8 @@ constexpr const char* reject_code_message(RejectCode c) {
     case RejectCode::kReplayedSignature:
       return "replayed confirmation signature";
     case RejectCode::kBadSignature: return "confirmation signature invalid";
+    case RejectCode::kRetryMismatch:
+      return "retransmission does not match the original request";
   }
   return "unknown reject code";
 }

@@ -43,6 +43,10 @@ SessionTable::Key SessionTable::tx_key(std::uint64_t tx_id) {
   return truncate(crypto::Sha256::digest(BytesView(le.data(), le.size())));
 }
 
+SessionTable::Key SessionTable::payload_key(BytesView payload) {
+  return truncate(crypto::Sha256::digest(payload));
+}
+
 SessionTable::SessionTable(SessionTableConfig config)
     : config_(config),
       capacity_(std::max<std::size_t>(config.capacity, 1)),
@@ -128,8 +132,9 @@ void SessionTable::collect_expired(SimTime now) {
   // every expired session sits at the front.
   while (lru_head_ != kNil &&
          slots_[lru_head_].session.deadline < now) {
+    const bool was_terminal = slots_[lru_head_].session.terminal();
     erase_slot(lru_head_);
-    ++expirations_;
+    ++(was_terminal ? holds_released_ : expirations_);
   }
 }
 
@@ -139,8 +144,9 @@ SessionTable::Session* SessionTable::find(const Key& key, SimTime now,
   const std::size_t i = probe(key);
   if (!slots_[i].used) return nullptr;
   if (expiry_enabled() && slots_[i].session.deadline < now) {
+    const bool was_terminal = slots_[i].session.terminal();
     erase_slot(i);
-    ++expirations_;
+    ++(was_terminal ? holds_released_ : expirations_);
     if (expired != nullptr) *expired = true;
     return nullptr;
   }

@@ -68,6 +68,13 @@ class SessionTable {
   static Key client_key(std::string_view client_id);
   /// Session key for confirmation sessions (keyed by tx id).
   static Key tx_key(std::uint64_t tx_id);
+  /// Idempotency key: truncated digest of a raw message payload, used to
+  /// tell a byte-identical retransmission from a different request.
+  static Key payload_key(BytesView payload);
+
+  /// Largest serialized response frame cached inline for idempotent
+  /// replay (every SP response frame fits; see set_response).
+  static constexpr std::size_t kMaxCachedResponseLen = 128;
 
   /// Fixed-size per-session payload. Strings never land here: client
   /// identity is stored as its truncated digest (client_key of the
@@ -80,11 +87,37 @@ class SessionTable {
     std::array<std::uint8_t, kMaxNonceLen> nonce{};
     std::array<std::uint8_t, 32> tx_digest{};    // SHA-256, tx sessions
 
+    // Idempotent-replay state: the digest of the request that last
+    // advanced this session, and the serialized response it produced. A
+    // byte-identical retransmission is answered from this cache; a
+    // terminal session (kDone/kFailed) held in the table exists only to
+    // serve such replays until its original deadline passes.
+    Key request_digest{};
+    std::uint16_t response_len = 0;
+    std::array<std::uint8_t, kMaxCachedResponseLen> response{};
+
     BytesView nonce_view() const { return {nonce.data(), nonce_len}; }
     void set_nonce(BytesView n) {
       nonce_len = static_cast<std::uint8_t>(
           n.size() < kMaxNonceLen ? n.size() : kMaxNonceLen);
       for (std::size_t i = 0; i < nonce_len; ++i) nonce[i] = n[i];
+    }
+
+    bool terminal() const {
+      return state == SessionState::kDone || state == SessionState::kFailed;
+    }
+    bool has_response() const { return response_len != 0; }
+    BytesView response_view() const { return {response.data(), response_len}; }
+    /// Caches the serialized response frame. Oversized frames are not
+    /// cached (has_response() stays false; retransmits then reprocess),
+    /// keeping the slot fixed-size.
+    void set_response(BytesView frame) {
+      if (frame.size() > kMaxCachedResponseLen) {
+        response_len = 0;
+        return;
+      }
+      response_len = static_cast<std::uint16_t>(frame.size());
+      for (std::size_t i = 0; i < response_len; ++i) response[i] = frame[i];
     }
   };
 
@@ -112,8 +145,11 @@ class SessionTable {
 
   /// Sessions evicted to make room (capacity pressure).
   std::uint64_t evictions() const { return evictions_; }
-  /// Sessions collected because their deadline passed.
+  /// Half-open sessions collected because their deadline passed.
   std::uint64_t expirations() const { return expirations_; }
+  /// Terminal (settled) sessions whose replay-hold window closed; kept
+  /// separate so expirations() still means "abandoned half-open".
+  std::uint64_t holds_released() const { return holds_released_; }
 
   /// Heap bytes pinned by the table -- constant over its lifetime
   /// regardless of traffic (the boundedness the tests assert).
@@ -153,6 +189,7 @@ class SessionTable {
   std::uint32_t lru_tail_ = kNil;  // most recently begun
   std::uint64_t evictions_ = 0;
   std::uint64_t expirations_ = 0;
+  std::uint64_t holds_released_ = 0;
   std::vector<Slot> slots_;
 };
 

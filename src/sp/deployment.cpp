@@ -16,6 +16,7 @@ Deployment::Deployment(DeploymentConfig config)
   pc.drtm_costs = config_.drtm_costs;
   pc.technology = config_.technology;
   pc.txt = config_.txt;
+  pc.tpm_faults = config_.tpm_faults;
   platform_ = std::make_unique<drtm::Platform>(pc);
 
   ca_ = std::make_unique<tpm::PrivacyCa>(concat(config_.seed, bytes_of(":ca")),
@@ -29,6 +30,8 @@ Deployment::Deployment(DeploymentConfig config)
   sp_config.enroll_session_capacity = config_.enroll_session_capacity;
   sp_config.tx_session_capacity = config_.tx_session_capacity;
   sp_config.session_ttl = config_.session_ttl;
+  sp_config.idempotent_replies = config_.idempotent_replies;
+  sp_config.metrics = config_.metrics;
   // Session deadlines live on the same virtual clock the platform and
   // link charge their costs to.
   sp_config.clock = &platform_->clock();
@@ -68,6 +71,8 @@ Deployment::Deployment(DeploymentConfig config)
   core::ClientConfig cc;
   cc.client_id = config_.client_id;
   cc.key_bits = config_.client_key_bits;
+  cc.retry = config_.client_retry;
+  cc.metrics = config_.metrics;
   client_ = std::make_unique<core::TrustedPathClient>(*platform_, link_->a(),
                                                       cert, cc);
   if (secure_client_) client_->set_transport(secure_client_.get());

@@ -26,10 +26,22 @@ struct DeploymentConfig {
   Bytes seed = bytes_of("deployment");
   std::size_t tpm_key_bits = 1024;       // AIK / CA key size
   std::uint32_t client_key_bits = 1024;  // confirmation key size
+  /// Link parameters; net.fault is the deterministic fault plan the
+  /// chaos experiments script (inert by default).
   net::NetParams net;
   drtm::DrtmCosts drtm_costs;
   drtm::DrtmTechnology technology = drtm::DrtmTechnology::kAmdSkinit;
   drtm::TxtArtifacts txt;                // used only for kIntelTxt
+
+  /// Client-side retransmission policy (default: one attempt, no retry).
+  core::RetryPolicy client_retry;
+  /// Forwarded to SpConfig::idempotent_replies.
+  bool idempotent_replies = true;
+  /// Transient-fault model for the client machine's TPM.
+  tpm::TpmFaultProfile tpm_faults;
+  /// Shared registry for the SP's and client's counters (nullptr -> the
+  /// SP owns a private registry and the client goes uncounted).
+  obs::Registry* metrics = nullptr;
 
   /// Wrap the client<->SP link in the authenticated-encryption channel
   /// (the deployment's TLS stand-in). Off by default: the trusted path's

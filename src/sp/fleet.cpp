@@ -15,6 +15,7 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
       core::attestation_policy(drtm::DrtmTechnology::kAmdSkinit),
       core::attestation_policy(drtm::DrtmTechnology::kIntelTxt),
   };
+  sp_config_.idempotent_replies = config_.idempotent_replies;
   sp_ = std::make_unique<ServiceProvider>(sp_config_);
 
   for (std::size_t i = 0; i < config_.num_clients; ++i) {
@@ -32,10 +33,16 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
       pc.technology =
           config_.technology_mix[i % config_.technology_mix.size()];
     }
+    pc.tpm_faults = config_.tpm_faults;
     member.platform = std::make_unique<drtm::Platform>(pc);
 
+    // Each member's link faults independently: fork the plan's seed by
+    // member index so one scripted plan covers the whole fleet without
+    // lockstep faults.
+    net::NetParams member_net = config_.net;
+    member_net.fault.seed = config_.net.fault.seed + 0x9e3779b97f4a7c15ull * i;
     member.link = std::make_unique<net::Link>(
-        config_.net, member.platform->clock(), SimRng(0xf1ee7 + i));
+        member_net, member.platform->clock(), SimRng(0xf1ee7 + i));
     member.link->b().set_service(
         [this](BytesView frame) { return sp_->handle_frame(frame); });
 
@@ -44,6 +51,7 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
     core::ClientConfig cc;
     cc.client_id = member.id;
     cc.key_bits = config_.client_key_bits;
+    cc.retry = config_.client_retry;
     member.client = std::make_unique<core::TrustedPathClient>(
         *member.platform, member.link->a(), cert, cc);
 

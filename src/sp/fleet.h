@@ -25,11 +25,22 @@ struct FleetConfig {
   Bytes seed = bytes_of("fleet");
   std::size_t tpm_key_bits = 768;
   std::uint32_t client_key_bits = 768;
+  /// Per-member link parameters; net.fault scripts deterministic faults
+  /// on every member's link (each draws an independent stream forked
+  /// from net.fault.seed by member index).
   net::NetParams net;
   /// Chips are assigned round-robin from this list (empty -> default).
   std::vector<std::string> chip_mix;
   /// Technologies assigned round-robin (empty -> all AMD).
   std::vector<drtm::DrtmTechnology> technology_mix;
+
+  /// Client-side retransmission policy for every member (default: one
+  /// attempt, no retry).
+  core::RetryPolicy client_retry;
+  /// Forwarded to SpConfig::idempotent_replies.
+  bool idempotent_replies = true;
+  /// Transient-fault model for every member's TPM.
+  tpm::TpmFaultProfile tpm_faults;
 };
 
 class Fleet {
@@ -52,6 +63,8 @@ class Fleet {
   net::Endpoint& endpoint(std::size_t i) {
     return members_.at(i).link->a();
   }
+  /// Member i's full link (fault-injection counters live here).
+  net::Link& link(std::size_t i) { return *members_.at(i).link; }
 
   /// The SP configuration this fleet was built against (same CA root,
   /// golden measurement and policies). Lets an external serving runtime

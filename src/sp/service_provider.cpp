@@ -12,6 +12,36 @@ using namespace core;  // message types
 namespace {
 constexpr proto::SessionPhase kEnrollPhase = proto::SessionPhase::kEnroll;
 constexpr proto::SessionPhase kConfirmPhase = proto::SessionPhase::kConfirm;
+
+std::size_t dedup_size_for(std::size_t tx_capacity) {
+  // Power of two >= 2x the tx-session capacity: every live session can
+  // hold a dedup entry at load factor <= 1/2-ish (direct-mapped, so
+  // collisions overwrite -- harmless, see SubmitDedup).
+  std::size_t size = 8;
+  while (size < tx_capacity * 2 && size < (std::size_t{1} << 20)) size <<= 1;
+  return size;
+}
+
+std::uint64_t key_word(const proto::SessionTable::Key& key) {
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    word = (word << 8) | key[i];
+  }
+  return word;
+}
+
+Bytes replay_response(const proto::SessionTable::Session& session) {
+  const BytesView view = session.response_view();
+  return Bytes(view.begin(), view.end());
+}
+
+void cache_response(proto::SessionTable::Session* session,
+                    const proto::SessionTable::Key& digest,
+                    const Bytes& response) {
+  if (session == nullptr) return;
+  session->request_digest = digest;
+  session->set_response(response);
+}
 }  // namespace
 
 ServiceProvider::ServiceProvider(SpConfig config)
@@ -21,7 +51,12 @@ ServiceProvider::ServiceProvider(SpConfig config)
           config_.enroll_session_capacity, config_.session_ttl}),
       tx_sessions_(proto::SessionTableConfig{config_.tx_session_capacity,
                                              config_.session_ttl}),
-      seen_signatures_(config_.replay_cache_capacity) {
+      seen_signatures_(config_.replay_cache_capacity),
+      submit_dedup_(config_.idempotent_replies
+                        ? dedup_size_for(config_.tx_session_capacity)
+                        : 0),
+      submit_dedup_mask_(submit_dedup_.empty() ? 0
+                                               : submit_dedup_.size() - 1) {
   // Nonces live inline in the fixed-size session slots.
   config_.nonce_len =
       std::min(config_.nonce_len, proto::SessionTable::kMaxNonceLen);
@@ -44,6 +79,9 @@ ServiceProvider::ServiceProvider(SpConfig config)
   }
   c_sessions_evicted_ = &registry_->counter(p + ".sessions_evicted");
   c_sessions_expired_ = &registry_->counter(p + ".sessions_expired");
+  c_replayed_challenge_ =
+      &registry_->counter(p + ".retry.replayed_challenge");
+  c_replayed_result_ = &registry_->counter(p + ".retry.replayed_result");
   g_enroll_sessions_ = &registry_->gauge(p + ".enroll_sessions");
   g_tx_sessions_ = &registry_->gauge(p + ".tx_sessions");
   h_enroll_ = &registry_->histogram(p + ".enroll_ns");
@@ -140,10 +178,17 @@ EnrollResult ServiceProvider::complete_enrollment(const EnrollComplete& msg) {
     publish_session_metrics();
     return reject_enrollment(miss.reject);
   }
-  // Live session: kComplete from kChallengeSent demands kVerify.
+  // Live session: kComplete from kChallengeSent demands kVerify. A
+  // terminal session held for idempotent replay refuses a fresh
+  // completion with its typed code (byte-identical retransmits are
+  // answered from the response cache in handle_frame, before this).
   const proto::Step on_complete = proto::step(kEnrollPhase, session->state,
                                               proto::SessionEvent::kComplete);
   session->state = on_complete.next;
+  if (on_complete.action != proto::SessionAction::kVerify) {
+    publish_session_metrics();
+    return reject_enrollment(on_complete.reject);
+  }
 
   // The kVerify action: check the enrollment evidence, producing kNone
   // (sound) or the specific RejectCode for the first check that failed.
@@ -212,8 +257,13 @@ EnrollResult ServiceProvider::complete_enrollment(const EnrollComplete& msg) {
                       ? proto::SessionEvent::kVerifyOk
                       : proto::SessionEvent::kVerifyFail);
   session->state = settle.next;
-  enroll_sessions_.erase(key);  // terminal either way: challenges are
-                                // one-shot, the slot is released
+  if (!config_.idempotent_replies) {
+    // Terminal either way: challenges are one-shot, the slot is
+    // released. In idempotent mode the settled session is instead held
+    // (terminal state + cached response) until its original deadline so
+    // retransmitted completes replay the same answer.
+    enroll_sessions_.erase(key);
+  }
   publish_session_metrics();
   if (settle.action == proto::SessionAction::kAccept) {
     c_enrolled_->inc();
@@ -256,9 +306,15 @@ TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
     publish_session_metrics();
     return reject_tx(msg.tx_id, miss.reject);
   }
+  // Same terminal-hold guard as enrollment: a settled session refuses a
+  // fresh completion with its typed code.
   const proto::Step on_complete = proto::step(
       kConfirmPhase, session->state, proto::SessionEvent::kComplete);
   session->state = on_complete.next;
+  if (on_complete.action != proto::SessionAction::kVerify) {
+    publish_session_metrics();
+    return reject_tx(msg.tx_id, on_complete.reject);
+  }
 
   // The kVerify action for the confirmation phase. Check order is the
   // seed's: binding (client identity), policy knob, enrollment, human
@@ -311,7 +367,13 @@ TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
                       ? proto::SessionEvent::kVerifyOk
                       : proto::SessionEvent::kVerifyFail);
   session->state = settle.next;
-  tx_sessions_.erase(key);  // one-shot: replay of this challenge dies here
+  if (!config_.idempotent_replies) {
+    // One-shot: replay of this challenge dies here. Idempotent mode
+    // holds the terminal session instead; a re-sent kComplete hits the
+    // guard above (or the response cache on the frame path) and the
+    // signature replay cache still backstops a re-verify.
+    tx_sessions_.erase(key);
+  }
   publish_session_metrics();
   if (settle.action == proto::SessionAction::kAccept) {
     c_tx_accepted_->inc();
@@ -321,6 +383,31 @@ TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
                         : "accepted without verification"};
   }
   return reject_tx(msg.tx_id, verdict);
+}
+
+std::size_t ServiceProvider::submit_dedup_index(
+    const proto::SessionTable::Key& client,
+    const proto::SessionTable::Key& digest) const {
+  // Both keys are truncated SHA-256, already uniform: fold a word from
+  // each (client side scrambled so (a, b) and (b, a) land apart).
+  return static_cast<std::size_t>(
+             key_word(digest) ^ (key_word(client) * 0x9e3779b97f4a7c15ull)) &
+         submit_dedup_mask_;
+}
+
+const proto::SessionTable::Session* ServiceProvider::find_held(
+    proto::SessionTable& table, const proto::SessionTable::Key& key,
+    const proto::SessionTable::Key& digest, bool want_terminal) {
+  const proto::SessionTable::Session* session = table.find(key, session_now());
+  if (session == nullptr) return nullptr;
+  const bool phase_ok =
+      want_terminal ? session->terminal()
+                    : session->state == proto::SessionState::kChallengeSent;
+  if (!phase_ok || session->request_digest != digest ||
+      !session->has_response()) {
+    return nullptr;
+  }
+  return session;
 }
 
 Bytes ServiceProvider::handle_frame(BytesView frame, SimTime now) {
@@ -343,6 +430,15 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
             .serialize());
   }
   const auto& [type, payload] = opened.value();
+  // Idempotent re-delivery layer (config_.idempotent_replies): before
+  // reprocessing, check whether this exact payload already advanced a
+  // session -- if so, replay the cached response byte-identically (no
+  // counters move: the transaction happened once). Begins replay against
+  // a live kChallengeSent session; completes replay against a terminal
+  // session held until its original deadline. A differing payload aimed
+  // at a settled session is not a retransmission and gets the typed
+  // kRetryMismatch reject.
+  const bool idem = config_.idempotent_replies;
   switch (type) {
     case MsgType::kEnrollBegin: {
       auto msg = EnrollBegin::deserialize(payload);
@@ -352,8 +448,23 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
             reject_enrollment(proto::RejectCode::kMalformedEnrollBegin)
                 .serialize());
       }
-      return envelope(MsgType::kEnrollChallenge,
-                      begin_enrollment(msg.value()).serialize());
+      if (!idem) {
+        return envelope(MsgType::kEnrollChallenge,
+                        begin_enrollment(msg.value()).serialize());
+      }
+      const proto::SessionTable::Key key =
+          proto::SessionTable::client_key(msg.value().client_id);
+      const proto::SessionTable::Key digest =
+          proto::SessionTable::payload_key(payload);
+      if (const auto* held = find_held(enroll_sessions_, key, digest,
+                                       /*want_terminal=*/false)) {
+        c_replayed_challenge_->inc();
+        return replay_response(*held);
+      }
+      const Bytes resp = envelope(MsgType::kEnrollChallenge,
+                                  begin_enrollment(msg.value()).serialize());
+      cache_response(enroll_sessions_.find(key, session_now()), digest, resp);
+      return resp;
     }
     case MsgType::kEnrollComplete: {
       auto msg = EnrollComplete::deserialize(payload);
@@ -363,8 +474,29 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
             reject_enrollment(proto::RejectCode::kMalformedEnrollComplete)
                 .serialize());
       }
-      return envelope(MsgType::kEnrollResult,
-                      complete_enrollment(msg.value()).serialize());
+      if (!idem) {
+        return envelope(MsgType::kEnrollResult,
+                        complete_enrollment(msg.value()).serialize());
+      }
+      const proto::SessionTable::Key key =
+          proto::SessionTable::client_key(msg.value().client_id);
+      const proto::SessionTable::Key digest =
+          proto::SessionTable::payload_key(payload);
+      if (proto::SessionTable::Session* session =
+              enroll_sessions_.find(key, session_now());
+          session != nullptr && session->terminal()) {
+        if (session->request_digest == digest && session->has_response()) {
+          c_replayed_result_->inc();
+          return replay_response(*session);
+        }
+        return envelope(
+            MsgType::kEnrollResult,
+            reject_enrollment(proto::RejectCode::kRetryMismatch).serialize());
+      }
+      const Bytes resp = envelope(MsgType::kEnrollResult,
+                                  complete_enrollment(msg.value()).serialize());
+      cache_response(enroll_sessions_.find(key, session_now()), digest, resp);
+      return resp;
     }
     case MsgType::kTxSubmit: {
       auto msg = TxSubmit::deserialize(payload);
@@ -374,8 +506,34 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
             reject_tx(0, proto::RejectCode::kMalformedTxSubmit)
                 .serialize());
       }
-      return envelope(MsgType::kTxChallenge,
-                      begin_transaction(msg.value()).serialize());
+      if (!idem) {
+        return envelope(MsgType::kTxChallenge,
+                        begin_transaction(msg.value()).serialize());
+      }
+      // A retransmitted TxSubmit cannot name the tx_id it was assigned;
+      // the dedup map remembers the mapping so the retry finds the
+      // session it already opened instead of opening a second one.
+      const proto::SessionTable::Key clientk =
+          proto::SessionTable::client_key(msg.value().client_id);
+      const proto::SessionTable::Key digest =
+          proto::SessionTable::payload_key(payload);
+      SubmitDedup& slot = submit_dedup_[submit_dedup_index(clientk, digest)];
+      if (slot.used != 0 && slot.client == clientk && slot.digest == digest) {
+        if (const auto* held =
+                find_held(tx_sessions_, proto::SessionTable::tx_key(slot.tx_id),
+                          digest, /*want_terminal=*/false)) {
+          c_replayed_challenge_->inc();
+          return replay_response(*held);
+        }
+      }
+      const TxChallenge challenge = begin_transaction(msg.value());
+      const Bytes resp = envelope(MsgType::kTxChallenge, challenge.serialize());
+      cache_response(
+          tx_sessions_.find(proto::SessionTable::tx_key(challenge.tx_id),
+                            session_now()),
+          digest, resp);
+      slot = SubmitDedup{clientk, digest, challenge.tx_id, 1};
+      return resp;
     }
     case MsgType::kTxConfirm: {
       auto msg = TxConfirm::deserialize(payload);
@@ -385,8 +543,30 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
             reject_tx(0, proto::RejectCode::kMalformedTxConfirm)
                 .serialize());
       }
-      return envelope(MsgType::kTxResult,
-                      complete_transaction(msg.value()).serialize());
+      if (!idem) {
+        return envelope(MsgType::kTxResult,
+                        complete_transaction(msg.value()).serialize());
+      }
+      const proto::SessionTable::Key key =
+          proto::SessionTable::tx_key(msg.value().tx_id);
+      const proto::SessionTable::Key digest =
+          proto::SessionTable::payload_key(payload);
+      if (proto::SessionTable::Session* session =
+              tx_sessions_.find(key, session_now());
+          session != nullptr && session->terminal()) {
+        if (session->request_digest == digest && session->has_response()) {
+          c_replayed_result_->inc();
+          return replay_response(*session);
+        }
+        return envelope(MsgType::kTxResult,
+                        reject_tx(msg.value().tx_id,
+                                  proto::RejectCode::kRetryMismatch)
+                            .serialize());
+      }
+      const Bytes resp = envelope(MsgType::kTxResult,
+                                  complete_transaction(msg.value()).serialize());
+      cache_response(tx_sessions_.find(key, session_now()), digest, resp);
+      return resp;
     }
     default:
       break;

@@ -29,6 +29,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/messages.h"
 #include "core/trusted_path_pal.h"
@@ -62,6 +63,17 @@ struct SpConfig {
   /// like an unprotected 2011 web service -- any well-formed TxConfirm is
   /// executed without verification (the "no defence" row of F2).
   bool require_trusted_path = true;
+
+  /// Idempotent re-delivery handling on the frame path (handle_frame):
+  /// settled sessions are held in their table -- terminal state plus the
+  /// serialized response -- until their original deadline, and a
+  /// byte-identical retransmission of EnrollBegin/TxSubmit/
+  /// EnrollComplete/TxConfirm is answered by replaying that response
+  /// instead of reprocessing, so a duplicated or retried frame can never
+  /// double-accept. A retransmission whose bytes differ from the settled
+  /// original gets the typed kRetryMismatch reject. The direct-call API
+  /// is unaffected. Disable to restore settle-and-erase.
+  bool idempotent_replies = true;
 
   /// Bound on the defence-in-depth signature replay cache, in entries
   /// (~33 bytes each); the oldest entry is evicted FIFO once the cache is
@@ -169,6 +181,24 @@ class ServiceProvider {
   std::uint64_t session_expirations() const {
     return enroll_sessions_.expirations() + tx_sessions_.expirations();
   }
+  /// Settled sessions whose idempotent-replay hold window closed.
+  std::uint64_t session_holds_released() const {
+    return enroll_sessions_.holds_released() + tx_sessions_.holds_released();
+  }
+
+  /// Heap bytes pinned by the TxSubmit dedup map -- constant over the
+  /// SP's lifetime (sized from tx_session_capacity at construction).
+  std::size_t submit_dedup_memory_bytes() const {
+    return submit_dedup_.capacity() * sizeof(SubmitDedup);
+  }
+  /// Responses replayed from cache for retransmitted begins (challenges)
+  /// and completes (results).
+  std::uint64_t replayed_challenges() const {
+    return c_replayed_challenge_->value();
+  }
+  std::uint64_t replayed_results() const {
+    return c_replayed_result_->value();
+  }
 
   /// The SP's position on the session timeline.
   SimTime session_now() const {
@@ -196,6 +226,19 @@ class ServiceProvider {
   obs::Registry& metrics() { return *registry_; }
 
  private:
+  /// One entry of the direct-mapped TxSubmit dedup map: remembers which
+  /// tx_id a (client, request-digest) pair was assigned, so a
+  /// retransmitted TxSubmit -- which cannot name its tx_id -- finds the
+  /// session it already opened instead of opening a second one. Fixed
+  /// size, overwrite on collision: an evicted entry only costs the
+  /// retransmit a fresh (harmless) session.
+  struct SubmitDedup {
+    proto::SessionTable::Key client{};
+    proto::SessionTable::Key digest{};
+    std::uint64_t tx_id = 0;
+    std::uint8_t used = 0;
+  };
+
   Bytes fresh_nonce();
   obs::Counter& reject_counter(proto::RejectCode code) {
     return *c_reject_[static_cast<std::size_t>(code)];
@@ -205,6 +248,14 @@ class ServiceProvider {
   /// Mirrors session-table occupancy and pressure counters into the
   /// registry (gauges + monotonic counters).
   void publish_session_metrics();
+
+  std::size_t submit_dedup_index(const proto::SessionTable::Key& client,
+                                 const proto::SessionTable::Key& digest) const;
+  /// Frame-path replay lookups (nullptr/empty when no byte-identical
+  /// retransmission is cached). See handle_frame.
+  const proto::SessionTable::Session* find_held(
+      proto::SessionTable& table, const proto::SessionTable::Key& key,
+      const proto::SessionTable::Key& digest, bool want_terminal);
 
   SpConfig config_;
   crypto::HmacDrbg drbg_;
@@ -217,6 +268,10 @@ class ServiceProvider {
   /// enrollment so the per-transaction verify skips that setup).
   std::unordered_map<std::string, crypto::RsaVerifyContext> enrolled_;
   ReplayCache seen_signatures_;  // bounded defence-in-depth replay cache
+  /// Direct-mapped (client, digest) -> tx_id map for TxSubmit dedup;
+  /// power-of-two sized from tx_session_capacity, constant memory.
+  std::vector<SubmitDedup> submit_dedup_;
+  std::size_t submit_dedup_mask_ = 0;
   std::uint64_t next_tx_id_ = 1;
   SimTime manual_now_{0};  // session timeline when config_.clock == nullptr
 
@@ -231,6 +286,8 @@ class ServiceProvider {
   std::array<obs::Counter*, proto::kRejectCodeCount> c_reject_{};
   obs::Counter* c_sessions_evicted_;
   obs::Counter* c_sessions_expired_;
+  obs::Counter* c_replayed_challenge_;
+  obs::Counter* c_replayed_result_;
   obs::Gauge* g_enroll_sessions_;
   obs::Gauge* g_tx_sessions_;
   /// Table counts already published to the registry counters (lets

@@ -10,12 +10,34 @@
 // property are what the reproduction relies on.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "util/sim_clock.h"
 
 namespace tp::tpm {
+
+/// Transient-fault model for a chip. Commodity v1.2 parts occasionally
+/// fail a command with a retryable error (LPC bus glitches, busy/retry
+/// responses); drivers re-issue the command after a short backoff. The
+/// emulator draws a fault per command from a deterministic stream:
+/// each fault re-charges the command's cost plus `retry_backoff`, and a
+/// command that faults more than `max_retries` times in a row fails for
+/// real with a typed kInternal error (what a driver reports after its
+/// retry budget is spent).
+struct TpmFaultProfile {
+  /// Per-command-issue probability of a transient failure.
+  double transient_prob = 0.0;
+  /// Re-issues allowed after the first fault before giving up.
+  std::uint32_t max_retries = 3;
+  SimDuration retry_backoff = SimDuration::millis(5);
+  /// Fault-stream seed (mixed with the device seed, so two TPMs with
+  /// the same profile do not fault in lockstep).
+  std::uint64_t seed = 0x74706d666c74ull;  // "tpmflt"
+
+  bool enabled() const { return transient_prob > 0.0; }
+};
 
 /// Per-command latency of one TPM chip.
 struct ChipProfile {

@@ -16,6 +16,14 @@ constexpr std::size_t kMacLen = 32;
 
 // Maximum NV area size; matches the small NVRAM of real v1.2 parts.
 constexpr std::size_t kMaxNvSize = 2048;
+
+// Mixes the profile's fault seed with the device seed (FNV-1a) so two
+// TPMs sharing one TpmFaultProfile draw decorrelated fault streams.
+std::uint64_t fault_seed_for(const TpmFaultProfile& faults, BytesView seed) {
+  std::uint64_t h = 0xcbf29ce484222325ull ^ faults.seed;
+  for (const std::uint8_t b : seed) h = (h ^ b) * 0x100000001b3ull;
+  return h;
+}
 }  // namespace
 
 TpmDevice::TpmDevice(const ChipProfile& profile, BytesView seed,
@@ -24,7 +32,10 @@ TpmDevice::TpmDevice(const ChipProfile& profile, BytesView seed,
 
 TpmDevice::TpmDevice(const ChipProfile& profile, BytesView seed,
                      SimClock& clock, Options options)
-    : profile_(profile), clock_(&clock), options_(options) {
+    : profile_(profile),
+      clock_(&clock),
+      options_(options),
+      fault_rng_(fault_seed_for(options.faults, seed)) {
   drbg_ = std::make_unique<crypto::HmacDrbg>(
       concat(bytes_of("tpm-device:"), seed));
   srk_seed_ = drbg_->generate(32);
@@ -39,6 +50,27 @@ void TpmDevice::charge(const char* label, SimDuration d) {
   clock_->charge(std::string("tpm:") + label, d);
 }
 
+Status TpmDevice::charge_faulty(const char* label, SimDuration d) {
+  charge(label, d);
+  const TpmFaultProfile& faults = options_.faults;
+  if (!faults.enabled()) return Status::ok_status();
+  for (std::uint32_t attempt = 0; fault_rng_.chance(faults.transient_prob);
+       ++attempt) {
+    ++transient_faults_;
+    if (attempt >= faults.max_retries) {
+      ++fault_exhaustions_;
+      return Error{Err::kInternal,
+                   "tpm: transient fault persisted past retry budget"};
+    }
+    // Driver-style recovery: wait out the glitch, re-issue the command
+    // (which costs its full chip time again).
+    ++fault_retries_;
+    clock_->charge(std::string("tpm:fault-retry:") + label,
+                   faults.retry_backoff + d);
+  }
+  return Status::ok_status();
+}
+
 void TpmDevice::refresh_storage_keys() {
   seal_enc_.emplace(crypto::hmac_sha256(srk_seed_, bytes_of("seal-enc")));
   seal_mac_.emplace(crypto::hmac_sha256(srk_seed_, bytes_of("seal-mac")));
@@ -51,7 +83,9 @@ Bytes TpmDevice::storage_mac(BytesView body) {
 
 Result<Bytes> TpmDevice::pcr_extend(Locality locality, std::uint32_t index,
                                     BytesView digest) {
-  charge("pcr_extend", profile_.pcr_extend);
+  if (auto s = charge_faulty("pcr_extend", profile_.pcr_extend); !s.ok()) {
+    return s.error();
+  }
   // DRTM registers may only be extended from the dynamic environment
   // (locality >= 2); the legacy OS cannot influence them.
   if (index >= 17 && index <= 22 &&
@@ -87,7 +121,9 @@ Bytes TpmDevice::get_random(std::size_t n) {
 
 Result<QuoteResult> TpmDevice::quote(BytesView external_data,
                                      const PcrSelection& selection) {
-  charge("quote", profile_.quote);
+  if (auto s = charge_faulty("quote", profile_.quote); !s.ok()) {
+    return s.error();
+  }
   QuoteResult q;
   q.selection = selection;
   for (std::uint32_t i : selection.indices) {
@@ -140,7 +176,9 @@ Result<Bytes> TpmDevice::seal_to(Locality locality,
                                  const std::vector<Bytes>& release_values,
                                  std::uint8_t release_locality_mask,
                                  BytesView data) {
-  charge("seal", profile_.seal);
+  if (auto s = charge_faulty("seal", profile_.seal); !s.ok()) {
+    return s.error();
+  }
   (void)locality;  // any locality may create a seal; release is restricted
   auto release_composite = PcrBank::composite_of(selection, release_values);
   if (!release_composite.ok()) return release_composite.error();
@@ -161,7 +199,9 @@ Result<Bytes> TpmDevice::seal_to(Locality locality,
 }
 
 Result<Bytes> TpmDevice::unseal(Locality locality, BytesView blob) {
-  charge("unseal", profile_.unseal);
+  if (auto s = charge_faulty("unseal", profile_.unseal); !s.ok()) {
+    return s.error();
+  }
   if (blob.size() < kMagicLen + kMacLen) {
     return Error{Err::kAuthFail, "unseal: blob too short"};
   }
@@ -206,7 +246,10 @@ Result<Bytes> TpmDevice::unseal(Locality locality, BytesView blob) {
 }
 
 Result<Bytes> TpmDevice::create_wrap_key(const PcrSelection& selection) {
-  charge("create_wrap_key", profile_.create_wrap_key);
+  if (auto s = charge_faulty("create_wrap_key", profile_.create_wrap_key);
+      !s.ok()) {
+    return s.error();
+  }
   auto policy_composite = pcrs_.composite(selection);
   if (!policy_composite.ok()) return policy_composite.error();
 
@@ -230,7 +273,9 @@ Result<Bytes> TpmDevice::create_wrap_key(const PcrSelection& selection) {
 }
 
 Result<std::uint32_t> TpmDevice::load_key2(BytesView wrapped) {
-  charge("load_key2", profile_.load_key2);
+  if (auto s = charge_faulty("load_key2", profile_.load_key2); !s.ok()) {
+    return s.error();
+  }
   if (wrapped.size() < kMagicLen + kMacLen) {
     return Error{Err::kAuthFail, "load_key2: blob too short"};
   }
@@ -283,7 +328,9 @@ Result<crypto::RsaPublicKey> TpmDevice::key_public(
 }
 
 Result<Bytes> TpmDevice::sign(std::uint32_t handle, BytesView message) {
-  charge("sign", profile_.sign);
+  if (auto s = charge_faulty("sign", profile_.sign); !s.ok()) {
+    return s.error();
+  }
   const auto it = loaded_keys_.find(handle);
   if (it == loaded_keys_.end()) {
     return Error{Err::kNotFound, "sign: unknown handle"};
@@ -450,7 +497,10 @@ std::uint64_t TpmDevice::read_tick() {
 }
 
 Result<std::uint64_t> TpmDevice::counter_increment(std::uint32_t counter_id) {
-  charge("counter_increment", profile_.counter_increment);
+  if (auto s = charge_faulty("counter_increment", profile_.counter_increment);
+      !s.ok()) {
+    return s.error();
+  }
   return ++counters_[counter_id];
 }
 
@@ -473,7 +523,9 @@ Status TpmDevice::nv_define(std::uint32_t index, std::size_t size) {
 }
 
 Status TpmDevice::nv_write(std::uint32_t index, BytesView data) {
-  charge("nv_write", profile_.nv_write);
+  if (auto s = charge_faulty("nv_write", profile_.nv_write); !s.ok()) {
+    return s;
+  }
   auto it = nvram_.find(index);
   if (it == nvram_.end()) {
     return Error{Err::kNotFound, "nv_write: undefined index"};
@@ -486,7 +538,9 @@ Status TpmDevice::nv_write(std::uint32_t index, BytesView data) {
 }
 
 Result<Bytes> TpmDevice::nv_read(std::uint32_t index) {
-  charge("nv_read", profile_.nv_read);
+  if (auto s = charge_faulty("nv_read", profile_.nv_read); !s.ok()) {
+    return s.error();
+  }
   const auto it = nvram_.find(index);
   if (it == nvram_.end()) {
     return Error{Err::kNotFound, "nv_read: undefined index"};

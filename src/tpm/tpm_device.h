@@ -30,6 +30,7 @@
 #include "tpm/quote.h"
 #include "util/bytes.h"
 #include "util/result.h"
+#include "util/rng.h"
 #include "util/sim_clock.h"
 
 namespace tp::tpm {
@@ -50,6 +51,10 @@ class TpmDevice {
     /// AIK / wrapped-key modulus size. 1024 keeps tests fast; use 2048 to
     /// mirror deployed configurations in benchmarks.
     std::size_t key_bits = 1024;
+    /// Transient-fault model (disabled by default). When enabled, every
+    /// fallible command may fault and be re-issued with backoff; see
+    /// TpmFaultProfile.
+    TpmFaultProfile faults;
   };
 
   /// `seed` determines all device-internal randomness (SRK seed, AIK,
@@ -178,6 +183,15 @@ class TpmDevice {
   /// Number of commands executed (for the benchmark harness).
   std::uint64_t command_count() const { return command_count_; }
 
+  /// Transient faults drawn so far (0 unless Options::faults enabled).
+  std::uint64_t transient_faults() const { return transient_faults_; }
+  /// Command re-issues those faults caused (each also re-charged the
+  /// command's chip cost plus the retry backoff).
+  std::uint64_t fault_retries() const { return fault_retries_; }
+  /// Commands that kept faulting past the retry budget and failed with
+  /// a typed kInternal error.
+  std::uint64_t fault_exhaustions() const { return fault_exhaustions_; }
+
  private:
   struct LoadedKey {
     crypto::RsaPrivateKey key;
@@ -186,6 +200,10 @@ class TpmDevice {
   };
 
   void charge(const char* label, SimDuration d);
+  /// charge() plus the transient-fault model: re-issues the command
+  /// (re-charging cost + backoff) while the fault stream says it
+  /// faulted, and fails with kInternal once the retry budget is spent.
+  Status charge_faulty(const char* label, SimDuration d);
   /// (Re)derives the sealed-storage protection contexts from the SRK
   /// seed; called at construction and after TPM_OwnerClear.
   void refresh_storage_keys();
@@ -220,6 +238,10 @@ class TpmDevice {
   std::map<std::uint32_t, Bytes> oiap_sessions_;  // handle -> nonce_even
   std::uint32_t next_session_ = 0x100;
   std::uint64_t command_count_ = 0;
+  SimRng fault_rng_;
+  std::uint64_t transient_faults_ = 0;
+  std::uint64_t fault_retries_ = 0;
+  std::uint64_t fault_exhaustions_ = 0;
 };
 
 }  // namespace tp::tpm

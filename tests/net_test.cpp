@@ -91,5 +91,138 @@ TEST(Link, LargeAndEmptyPayloads) {
   EXPECT_TRUE(link.b().receive().value().empty());
 }
 
+// Regression: with jitter comparable to the mean, the sampled latency
+// must clamp at zero -- a negative draw would deliver a message before
+// it was sent and the clock charge would move time backwards.
+TEST(Link, LatencySamplingNeverGoesNegative) {
+  SimClock clock;
+  NetParams params;
+  params.latency_mean_ms = 1.0;
+  params.latency_jitter_ms = 50.0;  // most normal draws are negative
+  Link link(params, clock, SimRng(9));
+  for (int i = 0; i < 200; ++i) {
+    const SimTime before = clock.now();
+    link.a().send(bytes_of("n"));
+    auto got = link.b().receive();
+    ASSERT_TRUE(got.ok());
+    EXPECT_GE(clock.now().ns, before.ns);
+  }
+}
+
+// A receive that times out because the message was dropped must be
+// distinguishable from one where nothing was ever sent.
+TEST(Link, LostAndIdleTimeoutsAreDistinguishable) {
+  SimClock clock;
+  NetParams params;
+  params.loss_prob = 1.0;
+  Link link(params, clock, SimRng(10));
+
+  auto idle = link.b().receive();
+  EXPECT_EQ(idle.code(), Err::kTimeout);
+  EXPECT_NE(idle.error().message.find("no message pending"),
+            std::string::npos);
+  EXPECT_EQ(link.b().lost_since_last_receive(), 0u);
+
+  link.a().send(bytes_of("doomed"));
+  EXPECT_EQ(link.b().lost_since_last_receive(), 1u);
+  auto lost = link.b().receive();
+  EXPECT_EQ(lost.code(), Err::kTimeout);
+  EXPECT_NE(lost.error().message.find("lost in transit"),
+            std::string::npos);
+  // The counter is a "since last receive" window: consumed by the call.
+  EXPECT_EQ(link.b().lost_since_last_receive(), 0u);
+  EXPECT_EQ(link.b().lost_in_transit(), 1u);
+  // The other side saw none of this.
+  EXPECT_EQ(link.a().lost_in_transit(), 0u);
+}
+
+TEST(Fault, ScriptedDropsAreCountedAndDeterministic) {
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.to_sp.drop_prob = 0.5;
+
+  auto run = [&plan]() {
+    SimClock clock;
+    NetParams params;
+    params.fault = plan;
+    Link link(params, clock, SimRng(11));
+    std::uint64_t delivered = 0;
+    for (int i = 0; i < 400; ++i) {
+      link.a().send(bytes_of("m"));
+      if (link.b().receive().ok()) ++delivered;
+    }
+    return std::pair<std::uint64_t, std::uint64_t>(
+        delivered, link.faults()->trace_fingerprint());
+  };
+
+  const auto [delivered1, trace1] = run();
+  const auto [delivered2, trace2] = run();
+  EXPECT_EQ(delivered1, delivered2);
+  EXPECT_EQ(trace1, trace2);  // same seed -> identical fault trace
+  EXPECT_NEAR(static_cast<double>(delivered1) / 400.0, 0.5, 0.08);
+}
+
+TEST(Fault, DuplicationDeliversSamePayloadTwice) {
+  SimClock clock;
+  NetParams params;
+  params.fault.seed = 21;
+  params.fault.to_sp.dup_prob = 1.0;
+  Link link(params, clock, SimRng(12));
+  link.a().send(bytes_of("twin"));
+  EXPECT_EQ(string_of(link.b().receive().value()), "twin");
+  EXPECT_EQ(string_of(link.b().receive().value()), "twin");
+  EXPECT_EQ(link.faults()->injected(FaultKind::kDuplicate), 1u);
+}
+
+TEST(Fault, CorruptionFlipsExactlyOneByte) {
+  SimClock clock;
+  NetParams params;
+  params.fault.seed = 22;
+  params.fault.to_sp.corrupt_prob = 1.0;
+  Link link(params, clock, SimRng(13));
+  const Bytes sent = bytes_of("pristine payload");
+  link.a().send(sent);
+  auto got = link.b().receive();
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value().size(), sent.size());
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    differing += got.value()[i] != sent[i] ? 1 : 0;
+  }
+  EXPECT_EQ(differing, 1u);
+}
+
+TEST(Fault, PartitionWindowDropsThenHeals) {
+  SimClock clock;
+  NetParams params;
+  params.latency_jitter_ms = 0.001;
+  params.fault.partitions.push_back(
+      PartitionWindow{SimTime{0}, SimTime{SimDuration::seconds(1).ns}});
+  Link link(params, clock, SimRng(14));
+
+  link.a().send(bytes_of("during"));
+  EXPECT_EQ(link.b().receive().code(), Err::kTimeout);
+  EXPECT_EQ(link.faults()->injected(FaultKind::kPartitionDrop), 1u);
+
+  clock.charge("test:wait-out-partition", SimDuration::seconds(2));
+  link.a().send(bytes_of("after"));
+  EXPECT_EQ(string_of(link.b().receive().value()), "after");
+  EXPECT_EQ(link.faults()->injected(FaultKind::kPartitionDrop), 1u);
+}
+
+TEST(Fault, AsymmetricPlanOnlyAffectsConfiguredDirection) {
+  SimClock clock;
+  NetParams params;
+  params.fault.seed = 23;
+  params.fault.to_client.drop_prob = 1.0;  // only SP -> client faulty
+  Link link(params, clock, SimRng(15));
+  link.a().send(bytes_of("up"));
+  EXPECT_TRUE(link.b().receive().ok());
+  link.b().send(bytes_of("down"));
+  EXPECT_EQ(link.a().receive().code(), Err::kTimeout);
+  EXPECT_EQ(link.a().lost_in_transit(), 1u);
+  EXPECT_EQ(link.b().lost_in_transit(), 0u);
+}
+
 }  // namespace
 }  // namespace tp::net
