@@ -12,6 +12,7 @@
 
 #include "pal/human_agent.h"
 #include "sp/fleet.h"
+#include "tpm/quote.h"
 
 using namespace tp;
 
@@ -24,7 +25,8 @@ double percentile(std::vector<double> values, double p) {
   return values[idx];
 }
 
-void run_population(std::size_t n_clients, int tx_per_client) {
+void run_population(std::size_t n_clients, int tx_per_client,
+                    std::vector<tpm::QuoteFormat> backend_mix = {}) {
   sp::FleetConfig cfg;
   cfg.num_clients = n_clients;
   cfg.seed = bytes_of("f3b:" + std::to_string(n_clients));
@@ -34,6 +36,7 @@ void run_population(std::size_t n_clients, int tx_per_client) {
                   "Atmel AT97SC3203", "STMicro ST19NP18"};
   cfg.technology_mix = {drtm::DrtmTechnology::kAmdSkinit,
                         drtm::DrtmTechnology::kIntelTxt};
+  cfg.backend_mix = backend_mix;
   sp::Fleet fleet(cfg);
 
   const std::size_t enrolled = fleet.enroll_all();
@@ -60,10 +63,23 @@ void run_population(std::size_t n_clients, int tx_per_client) {
       "  confirm machine ms: p10=%.0f  p50=%.0f  p90=%.0f  p99=%.0f\n",
       percentile(confirm_ms, 0.10), percentile(confirm_ms, 0.50),
       percentile(confirm_ms, 0.90), percentile(confirm_ms, 0.99));
-  const auto& stats = fleet.sp().stats();
+  const auto stats = fleet.sp().stats();
   std::printf("  SP: accepted=%llu rejected=%llu\n",
               static_cast<unsigned long long>(stats.tx_accepted),
               static_cast<unsigned long long>(stats.tx_rejected));
+  if (!backend_mix.empty()) {
+    std::printf(
+        "  by backend: enrolled tpm12=%llu tpm2=%llu  "
+        "accepted tpm12=%llu tpm2=%llu\n",
+        static_cast<unsigned long long>(
+            stats.enrolled_format(tpm::QuoteFormat::kTpm12)),
+        static_cast<unsigned long long>(
+            stats.enrolled_format(tpm::QuoteFormat::kTpm2)),
+        static_cast<unsigned long long>(
+            stats.tx_accepted_format(tpm::QuoteFormat::kTpm12)),
+        static_cast<unsigned long long>(
+            stats.tx_accepted_format(tpm::QuoteFormat::kTpm2)));
+  }
 }
 
 }  // namespace
@@ -72,11 +88,19 @@ int main() {
   std::printf("=== F3b: mixed fleet against one service provider ===\n\n");
   run_population(4, 4);
   run_population(16, 2);
+  // Mid-migration round: half the machines quote TPM 1.2 (SHA-1 PCRs,
+  // RSA AIK), half TPM 2.0 (SHA-256 PCRs, ECC AK), one SP verifies both.
+  std::printf("\n--- mixed 1.2/2.0 backends ---\n");
+  run_population(16, 2,
+                 {tpm::QuoteFormat::kTpm12, tpm::QuoteFormat::kTpm2});
   std::printf(
       "\nShape check: the population's p10..p99 spread reflects the chip\n"
       "mix (fast Infineon to slow Broadcom), enrollment succeeds for both\n"
       "DRTM technologies, and one SP instance serves the whole fleet with\n"
-      "consistent accounting. Occasional rejections are the realistic\n"
-      "humans typo-ing out of all retries -- not protocol failures.\n");
+      "consistent accounting. In the mixed round the per-backend slices\n"
+      "must sum to the totals: the SP dispatches on the enrollment's\n"
+      "quote-format tag, not on anything the fleet tells it out of band.\n"
+      "Occasional rejections are the realistic humans typo-ing out of all\n"
+      "retries -- not protocol failures.\n");
   return 0;
 }

@@ -5,14 +5,20 @@
 // single core sustains thousands of confirmations per second -- the
 // trusted path moves no bottleneck to the server.
 //
-// Three measurements:
+// The measurements:
 //   1. BM_ConfirmationVerify      -- the crypto kernel alone (statement
 //                                    rebuild + RSA verify), items/s;
-//   2. BM_SpAcceptPath            -- full complete_transaction on a
+//   2. BM_EcdsaConfirmationVerify -- the same kernel with the TPM 2.0
+//                                    backend's P-256 signature (F9: the
+//                                    per-confirmation crypto drops by
+//                                    the RSA-2048/ECDSA verify ratio);
+//   3. BM_SpAcceptPath            -- full complete_transaction on a
 //                                    corpus of GENUINE confirmations,
 //                                    pre-generated through real PAL
-//                                    sessions outside the timing loop;
-//   3. BM_SpRejectPath            -- full bookkeeping + failed verify
+//                                    sessions outside the timing loop,
+//                                    for a tpm12, tpm2 and mixed 50/50
+//                                    client population;
+//   4. BM_SpRejectPath            -- full bookkeeping + failed verify
 //                                    (the attack-flood case), scaling in
 //                                    the number of enrolled clients.
 #include <benchmark/benchmark.h>
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "core/trusted_path_pal.h"
+#include "crypto/ecdsa.h"
 #include "crypto/rsa.h"
 #include "devices/human.h"
 #include "pal/session.h"
@@ -44,71 +51,99 @@ class ScriptedCodeAgent : public pal::UserAgent {
   }
 };
 
-/// One enrolled platform + SP, with helpers to mint genuine
-/// confirmations through real PAL sessions.
+/// One SP serving a small population of enrolled platforms -- one per
+/// entry of `backends` -- with helpers to mint genuine confirmations
+/// through real PAL sessions. {kTpm12} reproduces the seed fixture;
+/// {kTpm12, kTpm2} is the mid-migration 50/50 fleet.
 struct Fixture {
-  Fixture()
-      : ca(bytes_of("f3-ca"), 1024),
-        sp(make_config(ca)),
-        platform(make_platform()),
-        driver(platform) {
-    driver.set_user_agent(&agent);
-    const EnrollChallenge challenge =
-        sp.begin_enrollment(EnrollBegin{"client-0"});
-    PalEnrollInput in;
-    in.nonce = challenge.nonce;
-    in.key_bits = 1024;
-    auto session = driver.run(make_trusted_path_pal(), in.marshal());
-    auto out = PalEnrollOutput::unmarshal(session.value().output);
-    sealed_key = out.value().sealed_key;
-    EnrollComplete complete;
-    complete.client_id = "client-0";
-    complete.confirmation_pubkey = out.value().pubkey;
-    complete.quote = out.value().quote;
-    complete.aik_certificate =
-        ca.certify("client-0", platform.tpm().aik_public()).serialize();
-    if (!sp.complete_enrollment(complete).accepted) std::abort();
+  explicit Fixture(std::vector<tpm::QuoteFormat> backends)
+      : ca(bytes_of("f3-ca"), 1024), sp(make_config(ca)) {
+    for (std::size_t m = 0; m < backends.size(); ++m) {
+      Member member;
+      member.id = "client-" + std::to_string(m);
+      drtm::PlatformConfig pc;
+      pc.platform_id = member.id;
+      pc.seed = bytes_of("f3-platform-" + std::to_string(m));
+      pc.tpm_key_bits = 1024;
+      pc.backend = backends[m];
+      member.platform = std::make_unique<drtm::Platform>(pc);
+      member.driver =
+          std::make_unique<pal::SessionDriver>(*member.platform);
+      member.driver->set_user_agent(&agent);
+
+      const EnrollChallenge challenge =
+          sp.begin_enrollment(EnrollBegin{member.id});
+      PalEnrollInput in;
+      in.nonce = challenge.nonce;
+      in.key_bits = 1024;
+      auto session = member.driver->run(make_trusted_path_pal(), in.marshal());
+      auto out = PalEnrollOutput::unmarshal(session.value().output);
+      member.sealed_key = out.value().sealed_key;
+      EnrollComplete complete;
+      complete.client_id = member.id;
+      complete.format = backends[m];
+      complete.confirmation_pubkey = out.value().pubkey;
+      complete.quote = out.value().quote;
+      if (backends[m] == tpm::QuoteFormat::kTpm2) {
+        complete.aik_certificate =
+            ca.certify_key(member.id, tpm::AttestationKey::of(
+                                          member.platform->tpm2().ak_public()))
+                .serialize();
+      } else {
+        complete.aik_certificate =
+            ca.certify(member.id, member.platform->tpm().aik_public())
+                .serialize();
+      }
+      if (!sp.complete_enrollment(complete).accepted) std::abort();
+      members.push_back(std::move(member));
+    }
   }
 
   static sp::SpConfig make_config(const tpm::PrivacyCa& ca) {
     sp::SpConfig cfg;
     cfg.golden_pcr17 = golden_pcr17();
     cfg.ca_public = ca.public_key();
+    cfg.accepted_policies = {
+        attestation_policy(drtm::DrtmTechnology::kAmdSkinit),
+        attestation_policy(drtm::DrtmTechnology::kAmdSkinit, {},
+                           tpm::QuoteFormat::kTpm2),
+    };
     return cfg;
   }
 
-  static drtm::PlatformConfig make_platform() {
-    drtm::PlatformConfig pc;
-    pc.seed = bytes_of("f3-platform");
-    pc.tpm_key_bits = 1024;
-    return pc;
-  }
-
-  /// Mints one genuine (pending-at-SP, signed) confirmation.
+  /// Mints one genuine (pending-at-SP, signed) confirmation; members
+  /// take turns, so a two-member fixture interleaves 1.2 and 2.0
+  /// signatures 50/50.
   TxConfirm mint(std::uint64_t i) {
-    TxSubmit submit{"client-0", "pay " + std::to_string(i), Bytes(64, 1)};
+    Member& member = members[i % members.size()];
+    TxSubmit submit{member.id, "pay " + std::to_string(i), Bytes(64, 1)};
     const TxChallenge challenge = sp.begin_transaction(submit);
     PalConfirmInput in;
     in.tx_summary = submit.summary;
     in.tx_digest = submit.digest();
     in.nonce = challenge.nonce;
-    in.sealed_key = sealed_key;
-    auto session = driver.run(make_trusted_path_pal(), in.marshal());
+    in.sealed_key = member.sealed_key;
+    auto session = member.driver->run(make_trusted_path_pal(), in.marshal());
     auto out = PalConfirmOutput::unmarshal(session.value().output);
     TxConfirm confirm;
-    confirm.client_id = "client-0";
+    confirm.client_id = member.id;
     confirm.tx_id = challenge.tx_id;
     confirm.verdict = out.value().verdict;
     confirm.signature = out.value().signature;
     return confirm;
   }
 
+  struct Member {
+    std::string id;
+    std::unique_ptr<drtm::Platform> platform;
+    std::unique_ptr<pal::SessionDriver> driver;
+    Bytes sealed_key;
+  };
+
   tpm::PrivacyCa ca;
   sp::ServiceProvider sp;
-  drtm::Platform platform;
-  pal::SessionDriver driver;
   ScriptedCodeAgent agent;
-  Bytes sealed_key;
+  std::vector<Member> members;
 };
 
 }  // namespace
@@ -162,8 +197,65 @@ static void BM_ConfirmationVerifyCtx(benchmark::State& state) {
 }
 BENCHMARK(BM_ConfirmationVerifyCtx)->Arg(1024)->Arg(2048);
 
+static void BM_EcdsaConfirmationVerify(benchmark::State& state) {
+  // The TPM 2.0 backend's crypto kernel: same statement rebuild, P-256
+  // signature. Compare against BM_ConfirmationVerify/2048 for F9.
+  auto drbg = std::make_shared<crypto::HmacDrbg>(bytes_of("f3e"));
+  auto rand = [drbg](std::size_t len) { return drbg->generate(len); };
+  const crypto::EcdsaPrivateKey key = crypto::ecdsa_generate(rand);
+
+  TxSubmit submit{"c", "pay 10", Bytes(64, 1)};
+  const Bytes nonce = rand(20);
+  const Bytes statement =
+      confirmation_statement(submit.digest(), nonce, Verdict::kConfirmed);
+  const Bytes sig = crypto::ecdsa_sign(key, statement);
+  const crypto::EcdsaPublicKey pk = key.public_key();
+
+  for (auto _ : state) {
+    const Bytes st =
+        confirmation_statement(submit.digest(), nonce, Verdict::kConfirmed);
+    benchmark::DoNotOptimize(crypto::ecdsa_verify(pk, st, sig));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EcdsaConfirmationVerify);
+
+static void BM_EcdsaConfirmationVerifyCtx(benchmark::State& state) {
+  // The fast path the SP runs for an enrolled 2.0 client: the
+  // EcdsaVerifyContext caches the public point's window table, so the
+  // second scalar multiplication is table lookups like the first.
+  auto drbg = std::make_shared<crypto::HmacDrbg>(bytes_of("f3e"));
+  auto rand = [drbg](std::size_t len) { return drbg->generate(len); };
+  const crypto::EcdsaPrivateKey key = crypto::ecdsa_generate(rand);
+
+  TxSubmit submit{"c", "pay 10", Bytes(64, 1)};
+  const Bytes nonce = rand(20);
+  const Bytes statement =
+      confirmation_statement(submit.digest(), nonce, Verdict::kConfirmed);
+  const Bytes sig = crypto::ecdsa_sign(key, statement);
+  const crypto::EcdsaVerifyContext ctx(key.public_key());
+
+  for (auto _ : state) {
+    const Bytes st =
+        confirmation_statement(submit.digest(), nonce, Verdict::kConfirmed);
+    benchmark::DoNotOptimize(ctx.verify(st, sig));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("cached per-key verify ctx");
+}
+BENCHMARK(BM_EcdsaConfirmationVerifyCtx);
+
 static void BM_SpAcceptPath(benchmark::State& state) {
-  static Fixture fixture;  // shared across runs: enrollment amortized
+  // Arg 0: all-1.2 population (the seed bench). Arg 1: all-2.0.
+  // Arg 2: mixed 50/50 -- one SP verifying RSA and ECDSA side by side.
+  static Fixture tpm12_fixture({tpm::QuoteFormat::kTpm12});
+  static Fixture tpm2_fixture({tpm::QuoteFormat::kTpm2});
+  static Fixture mixed_fixture(
+      {tpm::QuoteFormat::kTpm12, tpm::QuoteFormat::kTpm2});
+  Fixture* fixtures[] = {&tpm12_fixture, &tpm2_fixture, &mixed_fixture};
+  const char* labels[] = {"tpm12 accepts", "tpm2 accepts",
+                          "mixed 50/50 accepts"};
+  Fixture& fixture = *fixtures[state.range(0)];
   constexpr int kBatch = 64;
   for (auto _ : state) {
     state.PauseTiming();
@@ -179,12 +271,13 @@ static void BM_SpAcceptPath(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations() * kBatch);
-  state.SetLabel("genuine confirmations accepted");
+  state.SetLabel(labels[state.range(0)]);
 }
-BENCHMARK(BM_SpAcceptPath)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SpAcceptPath)->Arg(0)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
 
 static void BM_SpRejectPath(benchmark::State& state) {
-  static Fixture fixture;
+  static Fixture fixture({tpm::QuoteFormat::kTpm12});
   const Bytes junk_sig(128, 0x5a);
   std::uint64_t i = 0;
   for (auto _ : state) {

@@ -14,6 +14,12 @@
 //   --fault-seed=N  seed of the replayable fault stream (same N -> same
 //                   drops; the daemon prints the seed so a run can be
 //                   reproduced exactly)
+// Fleet composition:
+//   --backend=B     tpm12 (default), tpm2, or mixed -- 'mixed' alternates
+//                   TPM 1.2 and 2.0 machines round-robin, so the run
+//                   demonstrates one SP verifying RSA/SHA-1 quotes and
+//                   ECDSA/SHA-256 quotes side by side (the dump shows the
+//                   per-backend accept counters)
 // With faults on, clients retransmit with backoff and the SP's
 // idempotent replay layer absorbs the duplicates -- the run should still
 // end with every transaction confirmed.
@@ -33,15 +39,25 @@ using namespace tp;
 int main(int argc, char** argv) {
   double drop_pct = 0.0;
   std::uint64_t fault_seed = 0x6461656d6f6eull;  // "daemon"
+  std::string backend = "tpm12";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--drop-pct=", 0) == 0) {
       drop_pct = std::strtod(arg.c_str() + 11, nullptr);
     } else if (arg.rfind("--fault-seed=", 0) == 0) {
       fault_seed = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      backend = arg.substr(10);
+      if (backend != "tpm12" && backend != "tpm2" && backend != "mixed") {
+        std::fprintf(stderr, "--backend must be tpm12, tpm2 or mixed\n");
+        return 2;
+      }
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--drop-pct=P] [--fault-seed=N]\n", argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--drop-pct=P] [--fault-seed=N] "
+          "[--backend=tpm12|tpm2|mixed]\n",
+          argv[0]);
       return 2;
     }
   }
@@ -55,6 +71,12 @@ int main(int argc, char** argv) {
   sp::FleetConfig fleet_config;
   fleet_config.num_clients = 4;
   fleet_config.seed = bytes_of("daemon");
+  if (backend == "tpm2") {
+    fleet_config.backend_mix = {tpm::QuoteFormat::kTpm2};
+  } else if (backend == "mixed") {
+    fleet_config.backend_mix = {tpm::QuoteFormat::kTpm12,
+                                tpm::QuoteFormat::kTpm2};
+  }
   if (drop_pct > 0.0) {
     net::FaultProfile profile;
     profile.drop_prob = drop_pct / 100.0;
@@ -85,7 +107,8 @@ int main(int argc, char** argv) {
   std::printf("daemon up: %zu shard(s), queue depth %zu\n",
               service.num_shards(), config.queue_depth);
   for (std::size_t i = 0; i < fleet.size(); ++i) {
-    std::printf("  %-18s -> shard %zu\n", fleet.client_id(i).c_str(),
+    std::printf("  %-18s (%s) -> shard %zu\n", fleet.client_id(i).c_str(),
+                tpm::quote_format_name(fleet.backend(i)),
                 service.shard_for(fleet.client_id(i)));
   }
 
@@ -151,6 +174,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(totals.enrolled),
               static_cast<unsigned long long>(totals.tx_accepted),
               static_cast<unsigned long long>(totals.tx_rejected));
+  std::printf(
+      "  by backend: tpm12 enrolled=%llu accepted=%llu | "
+      "tpm2 enrolled=%llu accepted=%llu\n",
+      static_cast<unsigned long long>(
+          totals.enrolled_format(tpm::QuoteFormat::kTpm12)),
+      static_cast<unsigned long long>(
+          totals.tx_accepted_format(tpm::QuoteFormat::kTpm12)),
+      static_cast<unsigned long long>(
+          totals.enrolled_format(tpm::QuoteFormat::kTpm2)),
+      static_cast<unsigned long long>(
+          totals.tx_accepted_format(tpm::QuoteFormat::kTpm2)));
   std::printf("  sessions: evicted=%llu expired=%llu\n",
               static_cast<unsigned long long>(totals.sessions_evicted),
               static_cast<unsigned long long>(totals.sessions_expired));

@@ -36,12 +36,18 @@ Status expect_action(const proto::Step& step, proto::SessionAction want,
 
 TrustedPathClient::TrustedPathClient(drtm::Platform& platform,
                                      net::Endpoint& sp_link,
-                                     tpm::AikCertificate aik_certificate,
+                                     const tpm::AikCertificate& aik_certificate,
                                      ClientConfig config)
+    : TrustedPathClient(platform, sp_link, aik_certificate.serialize(),
+                        std::move(config)) {}
+
+TrustedPathClient::TrustedPathClient(drtm::Platform& platform,
+                                     net::Endpoint& sp_link,
+                                     Bytes credential, ClientConfig config)
     : platform_(&platform),
       plain_transport_(sp_link),
       transport_(&plain_transport_),
-      aik_certificate_(std::move(aik_certificate)),
+      credential_(std::move(credential)),
       config_(std::move(config)),
       driver_(platform),
       pal_(make_trusted_path_pal()),
@@ -148,12 +154,14 @@ Status TrustedPathClient::enroll() {
   auto pal_out = PalEnrollOutput::unmarshal(session.value().output);
   if (!pal_out.ok()) return pal_out.error();
 
-  // 3. Send the key + quote + AIK certificate to the SP.
+  // 3. Send the key + quote + attestation certificate to the SP, tagged
+  // with this platform's quote format.
   EnrollComplete complete;
   complete.client_id = config_.client_id;
+  complete.format = platform_->backend();
   complete.confirmation_pubkey = pal_out.value().pubkey;
   complete.quote = pal_out.value().quote;
-  complete.aik_certificate = aik_certificate_.serialize();
+  complete.aik_certificate = credential_;
   auto result = exchange_msg<EnrollResult>(
       fsm, proto::SessionEvent::kComplete, proto::SessionAction::kVerify,
       "enroll", MsgType::kEnrollComplete, complete.serialize(),

@@ -65,9 +65,18 @@ class TrustedPathClient {
  public:
   /// `sp_link` is this client's endpoint of the link to the service
   /// provider. `aik_certificate` was obtained from the Privacy CA out of
-  /// band (see tpm::PrivacyCa).
+  /// band (see tpm::PrivacyCa). This 1.2-only convenience ctor wraps the
+  /// certificate's serialization.
   TrustedPathClient(drtm::Platform& platform, net::Endpoint& sp_link,
-                    tpm::AikCertificate aik_certificate, ClientConfig config);
+                    const tpm::AikCertificate& aik_certificate,
+                    ClientConfig config);
+
+  /// Format-agnostic ctor: `credential` is the serialized attestation
+  /// certificate matching the platform's backend (tpm::AikCertificate
+  /// for kTpm12, tpm::AkCertificate for kTpm2); it rides EnrollComplete
+  /// verbatim. The enrollment's quote format is the platform's.
+  TrustedPathClient(drtm::Platform& platform, net::Endpoint& sp_link,
+                    Bytes credential, ClientConfig config);
 
   /// The human (or adversary) answering PAL prompts.
   void set_user_agent(pal::UserAgent* agent) { driver_.set_user_agent(agent); }
@@ -176,7 +185,7 @@ class TrustedPathClient {
   drtm::Platform* platform_;
   net::PlainRpc plain_transport_;
   net::RpcTransport* transport_;
-  tpm::AikCertificate aik_certificate_;
+  Bytes credential_;  // serialized attestation certificate (see ctors)
   ClientConfig config_;
   pal::SessionDriver driver_;
   pal::PalDescriptor pal_;

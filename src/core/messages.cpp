@@ -48,6 +48,7 @@ Result<EnrollChallenge> EnrollChallenge::deserialize(BytesView data) {
 Bytes EnrollComplete::serialize() const {
   BinaryWriter w;
   w.var_string(client_id);
+  w.u8(static_cast<std::uint8_t>(format));
   w.var_bytes(confirmation_pubkey);
   w.var_bytes(quote);
   w.var_bytes(aik_certificate);
@@ -58,6 +59,12 @@ Result<EnrollComplete> EnrollComplete::deserialize(BytesView data) {
   BinaryReader r(data);
   auto id = read_string(r);
   if (!id.ok()) return id.error();
+  auto tag = r.u8();
+  if (!tag.ok()) return tag.error();
+  const auto format = tpm::quote_format_from_wire(tag.value());
+  if (!format.has_value()) {
+    return Error{Err::kInvalidArgument, "EnrollComplete: unknown quote format"};
+  }
   auto pk = r.var_bytes();
   if (!pk.ok()) return pk.error();
   auto quote = r.var_bytes();
@@ -65,7 +72,13 @@ Result<EnrollComplete> EnrollComplete::deserialize(BytesView data) {
   auto cert = r.var_bytes();
   if (!cert.ok()) return cert.error();
   if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
-  return EnrollComplete{id.take(), pk.take(), quote.take(), cert.take()};
+  EnrollComplete msg;
+  msg.client_id = id.take();
+  msg.format = *format;
+  msg.confirmation_pubkey = pk.take();
+  msg.quote = quote.take();
+  msg.aik_certificate = cert.take();
+  return msg;
 }
 
 // ---- EnrollResult ---------------------------------------------------------

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "proto/reject_code.h"
+#include "tpm/attestation.h"
 #include "util/bytes.h"
 #include "util/result.h"
 
@@ -64,9 +65,18 @@ struct EnrollChallenge {
 
 struct EnrollComplete {
   std::string client_id;
-  Bytes confirmation_pubkey;  // serialized RsaPublicKey
-  Bytes quote;                // serialized tpm::QuoteResult over PCR 17
-  Bytes aik_certificate;      // serialized tpm::AikCertificate
+  Bytes confirmation_pubkey;  // serialized confirmation public key
+                              // (RsaPublicKey for kTpm12, SEC1 point for
+                              // kTpm2)
+  Bytes quote;                // serialized quote (tpm::QuoteResult for
+                              // kTpm12, tpm::Tpm2Quote for kTpm2)
+  Bytes aik_certificate;      // serialized attestation-key certificate
+                              // (tpm::AikCertificate for kTpm12,
+                              // tpm::AkCertificate for kTpm2)
+  /// Which attestation backend produced the evidence above. On the wire
+  /// as one u8 after client_id; unknown tags are rejected at parse time
+  /// so the SP's per-format dispatch never sees an undefined format.
+  tpm::QuoteFormat format = tpm::QuoteFormat::kTpm12;
 
   Bytes serialize() const;
   static Result<EnrollComplete> deserialize(BytesView data);

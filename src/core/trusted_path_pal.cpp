@@ -1,11 +1,13 @@
 #include "core/trusted_path_pal.h"
 
+#include "crypto/ecdsa.h"
 #include "crypto/rsa.h"
 #include "crypto/sha1.h"
 #include "crypto/sha256.h"
 #include "devices/human.h"
 #include "drtm/late_launch.h"
 #include "pal/sealed_state.h"
+#include "tpm/tpm2_device.h"
 #include "tpm/tpm_device.h"
 #include "util/serial.h"
 
@@ -22,8 +24,87 @@ constexpr std::size_t kCodeAlphabetSize = sizeof(kCodeAlphabet) - 1;
 // Release only at locality 2: the PAL environment.
 constexpr std::uint8_t kPalOnlyLocality = 1u << 2;
 
-std::string make_code(tpm::TpmDevice& tpm, std::uint32_t len) {
-  const Bytes raw = tpm.get_random(len);
+// ---- backend dispatch ---------------------------------------------------
+// One PAL image serves both TPM generations; which device it drives is a
+// property of the platform it was launched on, never of the (untrusted)
+// marshalled input.
+
+bool on_tpm2(pal::PalContext& ctx) {
+  return ctx.backend() == tpm::QuoteFormat::kTpm2;
+}
+
+Bytes pal_random(pal::PalContext& ctx, std::size_t n) {
+  return on_tpm2(ctx) ? ctx.tpm2().get_random(n) : ctx.tpm().get_random(n);
+}
+
+Result<Bytes> pal_seal(pal::PalContext& ctx, const PcrSelection& selection,
+                       std::uint8_t release_locality_mask, BytesView data) {
+  return on_tpm2(ctx)
+             ? ctx.tpm2().seal(ctx.locality(), selection,
+                               release_locality_mask, data)
+             : ctx.tpm().seal(ctx.locality(), selection,
+                              release_locality_mask, data);
+}
+
+Result<Bytes> pal_unseal(pal::PalContext& ctx, BytesView blob) {
+  return on_tpm2(ctx) ? ctx.tpm2().unseal(ctx.locality(), blob)
+                      : ctx.tpm().unseal(ctx.locality(), blob);
+}
+
+// The sealed confirmation-key material carries a one-byte format tag so
+// the CONFIRM path recovers the signature scheme from the blob itself --
+// both backends use the tagged layout.
+Bytes pack_confirmation_key(tpm::QuoteFormat format, BytesView key) {
+  Bytes packed;
+  packed.reserve(1 + key.size());
+  packed.push_back(static_cast<std::uint8_t>(format));
+  append(packed, key);
+  return packed;
+}
+
+/// The unsealed confirmation key, parsed per its tag. Exactly one member
+/// matching the tag is engaged.
+struct ConfirmationSigner {
+  std::optional<crypto::RsaPrivateKey> rsa;
+  std::optional<crypto::EcdsaPrivateKey> ecdsa;
+
+  static Result<ConfirmationSigner> unpack(BytesView material) {
+    if (material.empty()) {
+      return Error{Err::kCryptoError, "confirm: empty sealed key material"};
+    }
+    const auto format = tpm::quote_format_from_wire(material[0]);
+    if (!format.has_value()) {
+      return Error{Err::kCryptoError,
+                   "confirm: unknown confirmation-key format"};
+    }
+    const BytesView body = material.subspan(1);
+    ConfirmationSigner signer;
+    if (*format == tpm::QuoteFormat::kTpm2) {
+      auto key = crypto::EcdsaPrivateKey::deserialize(body);
+      if (!key.ok()) return key.error();
+      signer.ecdsa = key.take();
+    } else {
+      auto key = crypto::RsaPrivateKey::deserialize(body);
+      if (!key.ok()) return key.error();
+      signer.rsa = key.take();
+    }
+    return signer;
+  }
+
+  /// Signs `statement`, charging the scheme's compute cost.
+  Bytes sign(pal::PalContext& ctx, BytesView statement) const {
+    if (ecdsa.has_value()) {
+      ctx.charge_compute("sign", pal_ecdsa_sign_cost());
+      return crypto::ecdsa_sign(*ecdsa, statement);
+    }
+    ctx.charge_compute("sign", pal_sign_cost(static_cast<std::uint32_t>(
+                                   rsa->n.bit_length())));
+    return crypto::rsa_sign(*rsa, crypto::HashAlg::kSha256, statement);
+  }
+};
+
+std::string make_code(pal::PalContext& ctx, std::uint32_t len) {
+  const Bytes raw = pal_random(ctx, len);
   std::string code;
   code.reserve(len);
   for (std::uint8_t b : raw) {
@@ -53,24 +134,35 @@ Status run_enroll(pal::PalContext& ctx, BytesView body) {
   if (!input.ok()) return input.error();
 
   // Key generation inside the isolated environment: seed a software DRBG
-  // from the TPM once (pulling every prime-search candidate from the chip
-  // would cost seconds of GetRandom), cycles charged to the CPU model.
-  ctx.charge_compute("keygen", pal_keygen_cost(input.value().key_bits));
-  tpm::TpmDevice& tpm = ctx.tpm();
-  crypto::HmacDrbg prng(tpm.get_random(32));
-  const crypto::RsaPrivateKey key = crypto::rsa_generate(
-      input.value().key_bits,
-      [&prng](std::size_t n) { return prng.generate(n); });
-
+  // from the TPM once (pulling every candidate from the chip would cost
+  // seconds of GetRandom), cycles charged to the CPU model. The scheme
+  // follows the platform's TPM generation: RSA beside a 1.2 chip, P-256
+  // beside a 2.0 chip.
   PalEnrollOutput out;
-  out.pubkey = key.public_key().serialize();
+  Bytes key_material;
+  if (on_tpm2(ctx)) {
+    ctx.charge_compute("keygen", pal_ecdsa_keygen_cost());
+    crypto::HmacDrbg prng(ctx.tpm2().get_random(32));
+    const crypto::EcdsaPrivateKey key = crypto::ecdsa_generate(
+        [&prng](std::size_t n) { return prng.generate(n); });
+    out.pubkey = key.public_key().serialize();
+    key_material =
+        pack_confirmation_key(tpm::QuoteFormat::kTpm2, key.serialize());
+  } else {
+    ctx.charge_compute("keygen", pal_keygen_cost(input.value().key_bits));
+    crypto::HmacDrbg prng(ctx.tpm().get_random(32));
+    const crypto::RsaPrivateKey key = crypto::rsa_generate(
+        input.value().key_bits,
+        [&prng](std::size_t n) { return prng.generate(n); });
+    out.pubkey = key.public_key().serialize();
+    key_material =
+        pack_confirmation_key(tpm::QuoteFormat::kTpm12, key.serialize());
+  }
 
   // Seal the private key to the identity PCR's CURRENT value -- which,
   // because we are running measured, is this PAL's own identity (PCR 17
   // on AMD SKINIT, PCR 18 on Intel TXT).
-  Bytes key_material = key.serialize();
-  auto sealed = tpm.seal(ctx.locality(),
-                         PcrSelection::of({ctx.identity_pcr()}),
+  auto sealed = pal_seal(ctx, PcrSelection::of({ctx.identity_pcr()}),
                          kPalOnlyLocality, key_material);
   secure_wipe(key_material);
   if (!sealed.ok()) return sealed.error();
@@ -78,11 +170,17 @@ Status run_enroll(pal::PalContext& ctx, BytesView body) {
 
   // Quote the platform's attestation selection with the key<->nonce
   // binding as external data.
-  auto quote = tpm.quote(
-      enrollment_quote_binding(out.pubkey, input.value().nonce),
-      ctx.attestation_selection());
-  if (!quote.ok()) return quote.error();
-  out.quote = quote.value().serialize();
+  const Bytes binding =
+      enrollment_quote_binding(out.pubkey, input.value().nonce);
+  if (on_tpm2(ctx)) {
+    auto quote = ctx.tpm2().quote(binding, ctx.attestation_selection());
+    if (!quote.ok()) return quote.error();
+    out.quote = quote.value().serialize();
+  } else {
+    auto quote = ctx.tpm().quote(binding, ctx.attestation_selection());
+    if (!quote.ok()) return quote.error();
+    out.quote = quote.value().serialize();
+  }
 
   ctx.set_output(out.marshal());
   return Status::ok_status();
@@ -102,7 +200,7 @@ Status run_confirm(pal::PalContext& ctx, BytesView body) {
   for (std::uint32_t attempt = 1; attempt <= input.max_attempts; ++attempt) {
     out.attempts = attempt;
     // A fresh code every attempt: an observed code is never reusable.
-    const std::string code = make_code(ctx.tpm(), input.code_len);
+    const std::string code = make_code(ctx, input.code_len);
     const auto line = ctx.show_and_read_line(
         confirmation_screen(input.tx_summary, code, attempt,
                             input.max_attempts),
@@ -124,21 +222,18 @@ Status run_confirm(pal::PalContext& ctx, BytesView body) {
 
   if (out.verdict == Verdict::kConfirmed) {
     // Unseal succeeds only under this PAL's measurement at locality 2.
-    auto key_material = ctx.tpm().unseal(ctx.locality(), input.sealed_key);
+    auto key_material = pal_unseal(ctx, input.sealed_key);
     if (!key_material.ok()) {
       ctx.show(devices::DisplayContent{{"TRUSTED PATH ERROR: key unavailable"}});
       return key_material.error();
     }
-    auto key = crypto::RsaPrivateKey::deserialize(key_material.value());
+    auto signer = ConfirmationSigner::unpack(key_material.value());
     secure_wipe(key_material.value());
-    if (!key.ok()) return key.error();
+    if (!signer.ok()) return signer.error();
 
-    ctx.charge_compute("sign", pal_sign_cost(static_cast<std::uint32_t>(
-                                   key.value().n.bit_length())));
-    out.signature = crypto::rsa_sign(
-        key.value(), crypto::HashAlg::kSha256,
-        confirmation_statement(input.tx_digest, input.nonce,
-                               Verdict::kConfirmed));
+    out.signature = signer.value().sign(
+        ctx, confirmation_statement(input.tx_digest, input.nonce,
+                                    Verdict::kConfirmed));
   }
 
   ctx.show(devices::DisplayContent{
@@ -181,7 +276,7 @@ Status run_confirm_batch(pal::PalContext& ctx, BytesView body) {
   const SimDuration timeout{input.user_timeout_ns};
   for (std::uint32_t attempt = 1; attempt <= input.max_attempts; ++attempt) {
     out.attempts = attempt;
-    const std::string code = make_code(ctx.tpm(), input.code_len);
+    const std::string code = make_code(ctx, input.code_len);
     const auto line = ctx.show_and_read_line(
         batch_screen(input.items, code, attempt, input.max_attempts),
         timeout);
@@ -201,19 +296,15 @@ Status run_confirm_batch(pal::PalContext& ctx, BytesView body) {
   }
 
   if (out.verdict == Verdict::kConfirmed) {
-    auto key_material = ctx.tpm().unseal(ctx.locality(), input.sealed_key);
+    auto key_material = pal_unseal(ctx, input.sealed_key);
     if (!key_material.ok()) return key_material.error();
-    auto key = crypto::RsaPrivateKey::deserialize(key_material.value());
+    auto signer = ConfirmationSigner::unpack(key_material.value());
     secure_wipe(key_material.value());
-    if (!key.ok()) return key.error();
-    const auto bits =
-        static_cast<std::uint32_t>(key.value().n.bit_length());
+    if (!signer.ok()) return signer.error();
     for (const BatchItem& item : input.items) {
-      ctx.charge_compute("sign", pal_sign_cost(bits));
-      out.signatures.push_back(crypto::rsa_sign(
-          key.value(), crypto::HashAlg::kSha256,
-          confirmation_statement(item.tx_digest, item.nonce,
-                                 Verdict::kConfirmed)));
+      out.signatures.push_back(signer.value().sign(
+          ctx, confirmation_statement(item.tx_digest, item.nonce,
+                                      Verdict::kConfirmed)));
     }
   }
 
@@ -256,6 +347,12 @@ std::string cents_to_string(std::uint64_t cents) {
 }
 
 Status run_confirm_limited(pal::PalContext& ctx, BytesView body) {
+  if (on_tpm2(ctx)) {
+    // The rollback-protected spending state rides the 1.2 monotonic
+    // counter; the 2.0 emulator does not model NV counters (yet).
+    return Error{Err::kUnsupported,
+                 "limited confirm: not available on the TPM 2.0 backend"};
+  }
   auto input_r = PalLimitedConfirmInput::unmarshal(body);
   if (!input_r.ok()) return input_r.error();
   const PalLimitedConfirmInput& input = input_r.value();
@@ -304,7 +401,7 @@ Status run_confirm_limited(pal::PalContext& ctx, BytesView body) {
   const SimDuration timeout{input.user_timeout_ns};
   for (std::uint32_t attempt = 1; attempt <= input.max_attempts; ++attempt) {
     out.attempts = attempt;
-    const std::string code = make_code(ctx.tpm(), input.code_len);
+    const std::string code = make_code(ctx, input.code_len);
     devices::DisplayContent screen =
         confirmation_screen(input.tx_summary, code, attempt,
                             input.max_attempts);
@@ -332,15 +429,12 @@ Status run_confirm_limited(pal::PalContext& ctx, BytesView body) {
   if (out.verdict == Verdict::kConfirmed) {
     auto key_material = ctx.tpm().unseal(ctx.locality(), input.sealed_key);
     if (!key_material.ok()) return key_material.error();
-    auto key = crypto::RsaPrivateKey::deserialize(key_material.value());
+    auto signer = ConfirmationSigner::unpack(key_material.value());
     secure_wipe(key_material.value());
-    if (!key.ok()) return key.error();
-    ctx.charge_compute("sign", pal_sign_cost(static_cast<std::uint32_t>(
-                                   key.value().n.bit_length())));
-    out.signature = crypto::rsa_sign(
-        key.value(), crypto::HashAlg::kSha256,
-        confirmation_statement(input.tx_digest, input.nonce,
-                               Verdict::kConfirmed));
+    if (!signer.ok()) return signer.error();
+    out.signature = signer.value().sign(
+        ctx, confirmation_statement(input.tx_digest, input.nonce,
+                                    Verdict::kConfirmed));
 
     // Commit the new total; the counter bump invalidates the old blob.
     state.spent_cents += input.amount_cents;
@@ -357,6 +451,13 @@ Status run_confirm_limited(pal::PalContext& ctx, BytesView body) {
 }
 
 Status run_confirm_quote(pal::PalContext& ctx, BytesView body) {
+  if (on_tpm2(ctx)) {
+    // The quote-per-transaction ablation is specified against the 1.2
+    // QuoteResult wire format and AIK certificates; the sealed-key
+    // design is the supported path on 2.0 platforms.
+    return Error{Err::kUnsupported,
+                 "quote confirm: not available on the TPM 2.0 backend"};
+  }
   auto input_r = PalQuoteConfirmInput::unmarshal(body);
   if (!input_r.ok()) return input_r.error();
   const PalQuoteConfirmInput& input = input_r.value();
@@ -368,7 +469,7 @@ Status run_confirm_quote(pal::PalContext& ctx, BytesView body) {
   const SimDuration timeout{input.user_timeout_ns};
   for (std::uint32_t attempt = 1; attempt <= input.max_attempts; ++attempt) {
     out.attempts = attempt;
-    const std::string code = make_code(ctx.tpm(), input.code_len);
+    const std::string code = make_code(ctx, input.code_len);
     const auto line = ctx.show_and_read_line(
         confirmation_screen(input.tx_summary, code, attempt,
                             input.max_attempts),
@@ -848,23 +949,29 @@ pal::PalDescriptor make_trusted_path_pal() {
   return pal;
 }
 
-Bytes golden_pcr17() {
+Bytes golden_pcr17(crypto::HashAlg alg) {
   const pal::PalDescriptor pal = make_trusted_path_pal();
-  return drtm::predicted_extend_of(pal.image);
+  return drtm::predicted_extend_of(pal.image, alg);
 }
 
 AttestationPolicy attestation_policy(drtm::DrtmTechnology technology,
-                                     const drtm::TxtArtifacts& txt) {
+                                     const drtm::TxtArtifacts& txt,
+                                     tpm::QuoteFormat format) {
+  const crypto::HashAlg alg = format == tpm::QuoteFormat::kTpm2
+                                  ? crypto::HashAlg::kSha256
+                                  : crypto::HashAlg::kSha1;
   AttestationPolicy policy;
+  policy.format = format;
   if (technology == drtm::DrtmTechnology::kAmdSkinit) {
     policy.selection = tpm::PcrSelection::of({17});
-    policy.values = {golden_pcr17()};
+    policy.values = {golden_pcr17(alg)};
     policy.label = "amd-skinit";
   } else {
     policy.selection = tpm::PcrSelection::of({17, 18});
-    policy.values = {drtm::predicted_txt_pcr17(txt), golden_pcr17()};
+    policy.values = {drtm::predicted_txt_pcr17(txt, alg), golden_pcr17(alg)};
     policy.label = "intel-txt";
   }
+  if (format == tpm::QuoteFormat::kTpm2) policy.label += "-tpm2";
   return policy;
 }
 
@@ -879,6 +986,17 @@ SimDuration pal_sign_cost(std::uint32_t key_bits) {
   // One CRT private exponentiation; ~6 ms at 1024 bits, ~bits^3 scaling.
   const double ratio = static_cast<double>(key_bits) / 1024.0;
   return SimDuration::seconds(0.006 * ratio * ratio * ratio);
+}
+
+SimDuration pal_ecdsa_keygen_cost() {
+  // One P-256 base-point multiply (no prime search): flat ~2 ms on the
+  // same CPU class -- the dramatic keygen win of the ECC backend.
+  return SimDuration::millis(2);
+}
+
+SimDuration pal_ecdsa_sign_cost() {
+  // Also one base-point multiply plus a few field ops.
+  return SimDuration::millis(2);
 }
 
 }  // namespace tp::core

@@ -48,16 +48,20 @@ enum class PalCommand : std::uint8_t {
 
 struct PalEnrollInput {
   Bytes nonce;                  // SP enrollment nonce
-  std::uint32_t key_bits = 1024;
+  std::uint32_t key_bits = 1024;  // RSA size; ignored on a TPM 2.0
+                                  // platform (P-256 is fixed-size)
 
   Bytes marshal() const;
   static Result<PalEnrollInput> unmarshal(BytesView data);
 };
 
 struct PalEnrollOutput {
-  Bytes pubkey;      // serialized RsaPublicKey
-  Bytes sealed_key;  // private key sealed to this PAL (PCR 17, locality 2)
-  Bytes quote;       // serialized QuoteResult over PCR 17,
+  Bytes pubkey;      // serialized confirmation public key (RsaPublicKey
+                     // on 1.2 platforms, SEC1 P-256 point on 2.0)
+  Bytes sealed_key;  // format-tagged private key sealed to this PAL
+                     // (identity PCR, locality 2)
+  Bytes quote;       // serialized quote over the attestation selection
+                     // (QuoteResult on 1.2, Tpm2Quote on 2.0),
                      // external = SHA-256(pubkey || nonce)
 
   Bytes marshal() const;
@@ -223,27 +227,38 @@ pal::PalDescriptor make_trusted_path_pal();
 /// The post-launch value of the PCR holding the genuine PAL's identity
 /// (PCR 17 on AMD, PCR 18 on Intel -- the value is the same, the register
 /// differs): what the service provider publishes as the golden
-/// measurement.
-Bytes golden_pcr17();
+/// measurement. `alg` selects the PCR bank (SHA-1 on 1.2 platforms,
+/// SHA-256 on 2.0).
+Bytes golden_pcr17(crypto::HashAlg alg = crypto::HashAlg::kSha1);
 
 /// What a valid enrollment quote must show for one platform flavour:
-/// exactly this PCR selection holding exactly these values.
+/// exactly this PCR selection holding exactly these values, in the
+/// quote format the policy is published for. A 1.2 quote never matches
+/// a kTpm2 policy and vice versa (the banks differ).
 struct AttestationPolicy {
   tpm::PcrSelection selection;
   std::vector<Bytes> values;
-  std::string label;  // for SP logs ("amd-skinit", "intel-txt")
+  std::string label;  // for SP logs ("amd-skinit", "intel-txt-tpm2", ...)
+  tpm::QuoteFormat format = tpm::QuoteFormat::kTpm12;
 };
 
-/// The published golden policy for a DRTM technology. For Intel TXT the
-/// policy additionally pins the SINIT ACM + launch-control-policy chain
-/// in PCR 17.
-AttestationPolicy attestation_policy(drtm::DrtmTechnology technology,
-                                     const drtm::TxtArtifacts& txt = {});
+/// The published golden policy for a DRTM technology and TPM generation.
+/// For Intel TXT the policy additionally pins the SINIT ACM +
+/// launch-control-policy chain in PCR 17. kTpm2 policies carry SHA-256
+/// golden values; their labels get a "-tpm2" suffix.
+AttestationPolicy attestation_policy(
+    drtm::DrtmTechnology technology, const drtm::TxtArtifacts& txt = {},
+    tpm::QuoteFormat format = tpm::QuoteFormat::kTpm12);
 
 /// Compute cost model of in-PAL software crypto, charged to the virtual
 /// clock (2008-class CPU: keygen dominated by prime search, sign by one
 /// CRT exponentiation).
 SimDuration pal_keygen_cost(std::uint32_t key_bits);
 SimDuration pal_sign_cost(std::uint32_t key_bits);
+/// P-256 keygen and signing each cost about one base-point multiply on
+/// the same CPU class -- the flat ~2 ms that makes the 2.0 enrollment
+/// path so much cheaper than RSA keygen.
+SimDuration pal_ecdsa_keygen_cost();
+SimDuration pal_ecdsa_sign_cost();
 
 }  // namespace tp::core

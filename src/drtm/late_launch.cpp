@@ -1,36 +1,46 @@
 #include "drtm/late_launch.h"
 
 #include "crypto/sha1.h"
+#include "crypto/sha256.h"
 
 namespace tp::drtm {
 
+using crypto::HashAlg;
 using crypto::Sha1;
+using crypto::Sha256;
 using tpm::Locality;
 
+namespace {
+Bytes hash_with(HashAlg alg, BytesView data) {
+  return alg == HashAlg::kSha1 ? Sha1::hash(data) : Sha256::hash(data);
+}
+}  // namespace
+
 std::vector<Bytes> Measurement::predicted_pcr_values() const {
-  const Bytes zeros(tpm::kPcrSize, 0x00);
-  return {Sha1::hash(concat(zeros, pal_digest)),
-          Sha1::hash(concat(zeros, input_digest))};
+  const Bytes zeros(tpm::pcr_digest_size(alg), 0x00);
+  return {hash_with(alg, concat(zeros, pal_digest)),
+          hash_with(alg, concat(zeros, input_digest))};
 }
 
-Bytes predicted_extend_of(BytesView data) {
-  const Bytes zeros(tpm::kPcrSize, 0x00);
-  return Sha1::hash(concat(zeros, Sha1::hash(data)));
+Bytes predicted_extend_of(BytesView data, HashAlg alg) {
+  const Bytes zeros(tpm::pcr_digest_size(alg), 0x00);
+  return hash_with(alg, concat(zeros, hash_with(alg, data)));
 }
 
-Bytes predicted_txt_pcr17(const TxtArtifacts& artifacts) {
-  const Bytes after_sinit = predicted_extend_of(artifacts.sinit_acm);
-  return Sha1::hash(concat(after_sinit, Sha1::hash(artifacts.lcp_policy)));
+Bytes predicted_txt_pcr17(const TxtArtifacts& artifacts, HashAlg alg) {
+  const Bytes after_sinit = predicted_extend_of(artifacts.sinit_acm, alg);
+  return hash_with(alg,
+                   concat(after_sinit, hash_with(alg, artifacts.lcp_policy)));
 }
 
-Measurement LateLaunch::measure(BytesView pal_image,
-                                BytesView marshalled_input) {
-  return Measurement{Sha1::hash(pal_image), Sha1::hash(marshalled_input)};
+Measurement LateLaunch::measure(BytesView pal_image, BytesView marshalled_input,
+                                HashAlg alg) {
+  return Measurement{hash_with(alg, pal_image),
+                     hash_with(alg, marshalled_input), alg};
 }
 
-Bytes LateLaunch::exit_cap_digest() {
-  static const Bytes cap = Sha1::hash(bytes_of("drtm-session-exit-cap"));
-  return cap;
+Bytes LateLaunch::exit_cap_digest(HashAlg alg) {
+  return hash_with(alg, bytes_of("drtm-session-exit-cap"));
 }
 
 Result<LaunchGuard> LateLaunch::launch(BytesView pal_image,
@@ -56,20 +66,28 @@ Result<LaunchGuard> LateLaunch::launch(BytesView pal_image,
                                                            kib, 1)});
 
   // 3. Hardware-locality PCR transitions: reset, then extend the
-  //    technology's measurement chain.
-  tpm::TpmDevice& tpm = platform_->tpm();
-  const std::uint32_t reset_high =
-      platform_->technology() == DrtmTechnology::kAmdSkinit ? 18u : 19u;
-  for (std::uint32_t pcr = 17; pcr <= reset_high; ++pcr) {
-    if (auto s = tpm.pcr_reset(Locality::kDrtmHardware, pcr); !s.ok()) {
-      return s.error();
-    }
-  }
+  //    technology's measurement chain -- in the bank of the platform's
+  //    TPM generation.
+  const bool tpm2 = platform_->backend() == tpm::QuoteFormat::kTpm2;
+  const HashAlg alg = tpm2 ? HashAlg::kSha256 : HashAlg::kSha1;
+  auto reset = [&](std::uint32_t pcr) -> Status {
+    return tpm2 ? platform_->tpm2().pcr_reset(Locality::kDrtmHardware, pcr)
+                : platform_->tpm().pcr_reset(Locality::kDrtmHardware, pcr);
+  };
   auto extend = [&](std::uint32_t pcr, BytesView data) -> Status {
-    auto r = tpm.pcr_extend(Locality::kDrtmHardware, pcr, Sha1::hash(data));
+    const Bytes digest = hash_with(alg, data);
+    auto r = tpm2 ? platform_->tpm2().pcr_extend(Locality::kDrtmHardware, pcr,
+                                                 digest)
+                  : platform_->tpm().pcr_extend(Locality::kDrtmHardware, pcr,
+                                                digest);
     if (!r.ok()) return r.error();
     return Status::ok_status();
   };
+  const std::uint32_t reset_high =
+      platform_->technology() == DrtmTechnology::kAmdSkinit ? 18u : 19u;
+  for (std::uint32_t pcr = 17; pcr <= reset_high; ++pcr) {
+    if (auto s = reset(pcr); !s.ok()) return s.error();
+  }
   if (platform_->technology() == DrtmTechnology::kAmdSkinit) {
     // SKINIT: PCR17 <- PAL, PCR18 <- inputs.
     if (auto s = extend(17, pal_image); !s.ok()) return s.error();
@@ -103,11 +121,17 @@ LaunchGuard::~LaunchGuard() {
 
   // Cap the DRTM PCRs so the resumed OS cannot impersonate the PAL, then
   // resume the OS.
-  const Bytes cap = LateLaunch::exit_cap_digest();
+  const bool tpm2 = platform_->backend() == tpm::QuoteFormat::kTpm2;
+  const Bytes cap = LateLaunch::exit_cap_digest(tpm2 ? HashAlg::kSha256
+                                                     : HashAlg::kSha1);
   const std::uint32_t cap_high =
       platform_->technology() == DrtmTechnology::kAmdSkinit ? 18u : 19u;
   for (std::uint32_t pcr = 17; pcr <= cap_high; ++pcr) {
-    (void)platform_->tpm().pcr_extend(tpm::Locality::kPal, pcr, cap);
+    if (tpm2) {
+      (void)platform_->tpm2().pcr_extend(tpm::Locality::kPal, pcr, cap);
+    } else {
+      (void)platform_->tpm().pcr_extend(tpm::Locality::kPal, pcr, cap);
+    }
   }
 
   platform_->display().release_exclusive();

@@ -19,23 +19,29 @@
 
 namespace tp::drtm {
 
-/// Identity of an AMD SKINIT launch: what PCR17/18 will contain.
+/// Identity of an AMD SKINIT launch: what PCR17/18 will contain. The
+/// digests live in the bank of the platform's TPM generation: SHA-1 for
+/// a 1.2 chip, SHA-256 for a 2.0 chip (tracked by `alg`).
 struct Measurement {
-  Bytes pal_digest;    // SHA-1 of the PAL image        -> PCR 17
-  Bytes input_digest;  // SHA-1 of the marshalled input -> PCR 18
+  Bytes pal_digest;    // H(PAL image)        -> PCR 17
+  Bytes input_digest;  // H(marshalled input) -> PCR 18
+  crypto::HashAlg alg = crypto::HashAlg::kSha1;
 
   /// Predicts the post-launch PCR{17,18} values for golden-value
-  /// computation by verifiers (SHA1(zeros || digest) for each).
+  /// computation by verifiers (H(zeros || digest) for each).
   std::vector<Bytes> predicted_pcr_values() const;
 };
 
-/// Value a freshly reset PCR holds after one extend with SHA1(data):
-/// the building block of every golden-measurement computation.
-Bytes predicted_extend_of(BytesView data);
+/// Value a freshly reset PCR holds after one extend with H(data):
+/// the building block of every golden-measurement computation. `alg`
+/// selects the PCR bank (SHA-1 for 1.2 chips, SHA-256 for 2.0).
+Bytes predicted_extend_of(BytesView data,
+                          crypto::HashAlg alg = crypto::HashAlg::kSha1);
 
 /// Predicted PCR 17 after an Intel TXT launch: the SINIT ACM measurement
 /// extended with the launch control policy.
-Bytes predicted_txt_pcr17(const TxtArtifacts& artifacts);
+Bytes predicted_txt_pcr17(const TxtArtifacts& artifacts,
+                          crypto::HashAlg alg = crypto::HashAlg::kSha1);
 
 /// RAII isolation window. Construction = the launch already happened;
 /// destruction caps the DRTM PCRs, releases devices and resumes the OS.
@@ -69,11 +75,13 @@ class LateLaunch {
   /// Fails with kBadState if a session is already active.
   Result<LaunchGuard> launch(BytesView pal_image, BytesView marshalled_input);
 
-  /// The measurement an AMD SKINIT launch of this image/input produces.
-  static Measurement measure(BytesView pal_image, BytesView marshalled_input);
+  /// The measurement an AMD SKINIT launch of this image/input produces
+  /// in the `alg` PCR bank.
+  static Measurement measure(BytesView pal_image, BytesView marshalled_input,
+                             crypto::HashAlg alg = crypto::HashAlg::kSha1);
 
   /// The digest used to cap PCR 17/18 at session exit.
-  static Bytes exit_cap_digest();
+  static Bytes exit_cap_digest(crypto::HashAlg alg = crypto::HashAlg::kSha1);
 
  private:
   Platform* platform_;

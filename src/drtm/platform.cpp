@@ -6,10 +6,18 @@ Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
   const tpm::ChipProfile& chip = config_.chip_name.empty()
                                      ? tpm::default_chip()
                                      : tpm::chip_by_name(config_.chip_name);
-  tpm_ = std::make_unique<tpm::TpmDevice>(
-      chip, config_.seed, clock_,
-      tpm::TpmDevice::Options{.key_bits = config_.tpm_key_bits,
-                              .faults = config_.tpm_faults});
+  // Construct only the chip the config asks for: the 1.2 device's RSA
+  // keygen is expensive and a mixed fleet instantiates many platforms.
+  if (config_.backend == tpm::QuoteFormat::kTpm2) {
+    tpm2_ = std::make_unique<tpm::Tpm2Device>(
+        chip, config_.seed, clock_,
+        tpm::Tpm2Device::Options{.faults = config_.tpm_faults});
+  } else {
+    tpm_ = std::make_unique<tpm::TpmDevice>(
+        chip, config_.seed, clock_,
+        tpm::TpmDevice::Options{.key_bits = config_.tpm_key_bits,
+                                .faults = config_.tpm_faults});
+  }
 }
 
 Status Platform::attempt_dma_write(BytesView payload) {

@@ -14,7 +14,9 @@
 
 #include "devices/display.h"
 #include "devices/keyboard.h"
+#include "tpm/attestation.h"
 #include "tpm/chip_profile.h"
+#include "tpm/tpm2_device.h"
 #include "tpm/tpm_device.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -63,6 +65,10 @@ struct PlatformConfig {
   DrtmCosts drtm_costs;
   DrtmTechnology technology = DrtmTechnology::kAmdSkinit;
   TxtArtifacts txt;             // used only for kIntelTxt
+  /// Which TPM generation this box ships: kTpm12 instantiates the 1.2
+  /// device (SHA-1 bank, RSA AIK), kTpm2 the 2.0 device (SHA-256 bank,
+  /// ECC AK). Exactly one device is constructed per platform.
+  tpm::QuoteFormat backend = tpm::QuoteFormat::kTpm12;
 };
 
 class Platform {
@@ -71,7 +77,12 @@ class Platform {
 
   const std::string& id() const { return config_.platform_id; }
   SimClock& clock() { return clock_; }
+  /// The quote format this platform's chip produces.
+  tpm::QuoteFormat backend() const { return config_.backend; }
+  /// The 1.2 device. Valid only when backend() == kTpm12.
   tpm::TpmDevice& tpm() { return *tpm_; }
+  /// The 2.0 device. Valid only when backend() == kTpm2.
+  tpm::Tpm2Device& tpm2() { return *tpm2_; }
   devices::Display& display() { return display_; }
   devices::Keyboard& keyboard() { return keyboard_; }
   const DrtmCosts& drtm_costs() const { return config_.drtm_costs; }
@@ -121,7 +132,8 @@ class Platform {
 
   PlatformConfig config_;
   SimClock clock_;
-  std::unique_ptr<tpm::TpmDevice> tpm_;
+  std::unique_ptr<tpm::TpmDevice> tpm_;    // backend == kTpm12
+  std::unique_ptr<tpm::Tpm2Device> tpm2_;  // backend == kTpm2
   devices::Display display_;
   devices::Keyboard keyboard_;
   bool in_session_ = false;

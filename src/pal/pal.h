@@ -57,7 +57,12 @@ class PalContext {
  public:
   PalContext(drtm::Platform& platform, BytesView input, UserAgent* agent);
 
+  /// Which TPM generation this platform ships; selects tpm() vs tpm2().
+  tpm::QuoteFormat backend() const { return platform_->backend(); }
+  /// The 1.2 device. Valid only when backend() == kTpm12.
   tpm::TpmDevice& tpm() { return platform_->tpm(); }
+  /// The 2.0 device. Valid only when backend() == kTpm2.
+  tpm::Tpm2Device& tpm2() { return platform_->tpm2(); }
   tpm::Locality locality() const { return tpm::Locality::kPal; }
 
   /// The PCR holding this PAL's identity on this platform's DRTM

@@ -17,6 +17,7 @@ Deployment::Deployment(DeploymentConfig config)
   pc.technology = config_.technology;
   pc.txt = config_.txt;
   pc.tpm_faults = config_.tpm_faults;
+  pc.backend = config_.backend;
   platform_ = std::make_unique<drtm::Platform>(pc);
 
   ca_ = std::make_unique<tpm::PrivacyCa>(concat(config_.seed, bytes_of(":ca")),
@@ -35,10 +36,15 @@ Deployment::Deployment(DeploymentConfig config)
   // Session deadlines live on the same virtual clock the platform and
   // link charge their costs to.
   sp_config.clock = &platform_->clock();
-  // The SP supports both platform flavours out of the box.
+  // The SP supports both platform flavours and both quote formats out of
+  // the box (a mixed fleet talks to one SP).
   sp_config.accepted_policies = {
       core::attestation_policy(drtm::DrtmTechnology::kAmdSkinit),
       core::attestation_policy(drtm::DrtmTechnology::kIntelTxt, config_.txt),
+      core::attestation_policy(drtm::DrtmTechnology::kAmdSkinit, {},
+                               tpm::QuoteFormat::kTpm2),
+      core::attestation_policy(drtm::DrtmTechnology::kIntelTxt, config_.txt,
+                               tpm::QuoteFormat::kTpm2),
   };
   sp_ = std::make_unique<ServiceProvider>(sp_config);
 
@@ -66,15 +72,27 @@ Deployment::Deployment(DeploymentConfig config)
         [this](BytesView frame) { return sp_->handle_frame(frame); });
   }
 
-  const tpm::AikCertificate cert =
-      ca_->certify(config_.client_id, platform_->tpm().aik_public());
+  // Out-of-band credential issuance, per backend: the CA certifies the
+  // RSA AIK (1.2) or the ECC AK (2.0); the client carries the serialized
+  // certificate into EnrollComplete verbatim.
+  Bytes credential;
+  if (config_.backend == tpm::QuoteFormat::kTpm2) {
+    credential =
+        ca_->certify_key(config_.client_id,
+                         tpm::AttestationKey::of(platform_->tpm2().ak_public()))
+            .serialize();
+  } else {
+    credential =
+        ca_->certify(config_.client_id, platform_->tpm().aik_public())
+            .serialize();
+  }
   core::ClientConfig cc;
   cc.client_id = config_.client_id;
   cc.key_bits = config_.client_key_bits;
   cc.retry = config_.client_retry;
   cc.metrics = config_.metrics;
-  client_ = std::make_unique<core::TrustedPathClient>(*platform_, link_->a(),
-                                                      cert, cc);
+  client_ = std::make_unique<core::TrustedPathClient>(
+      *platform_, link_->a(), std::move(credential), cc);
   if (secure_client_) client_->set_transport(secure_client_.get());
 }
 

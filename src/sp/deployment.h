@@ -26,6 +26,12 @@ struct DeploymentConfig {
   Bytes seed = bytes_of("deployment");
   std::size_t tpm_key_bits = 1024;       // AIK / CA key size
   std::uint32_t client_key_bits = 1024;  // confirmation key size
+                                         // (1.2 only; 2.0 is P-256)
+  /// TPM generation of the client machine. kTpm2 swaps the RSA AIK for
+  /// an ECC AK, SHA-1 PCRs for SHA-256, and the RSA confirmation key for
+  /// P-256 -- the SP accepts both either way (it is provisioned with
+  /// policies for every flavour x format combination).
+  tpm::QuoteFormat backend = tpm::QuoteFormat::kTpm12;
   /// Link parameters; net.fault is the deterministic fault plan the
   /// chaos experiments script (inert by default).
   net::NetParams net;

@@ -14,6 +14,10 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
   sp_config_.accepted_policies = {
       core::attestation_policy(drtm::DrtmTechnology::kAmdSkinit),
       core::attestation_policy(drtm::DrtmTechnology::kIntelTxt),
+      core::attestation_policy(drtm::DrtmTechnology::kAmdSkinit, {},
+                               tpm::QuoteFormat::kTpm2),
+      core::attestation_policy(drtm::DrtmTechnology::kIntelTxt, {},
+                               tpm::QuoteFormat::kTpm2),
   };
   sp_config_.idempotent_replies = config_.idempotent_replies;
   sp_ = std::make_unique<ServiceProvider>(sp_config_);
@@ -33,6 +37,9 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
       pc.technology =
           config_.technology_mix[i % config_.technology_mix.size()];
     }
+    if (!config_.backend_mix.empty()) {
+      pc.backend = config_.backend_mix[i % config_.backend_mix.size()];
+    }
     pc.tpm_faults = config_.tpm_faults;
     member.platform = std::make_unique<drtm::Platform>(pc);
 
@@ -46,14 +53,26 @@ Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
     member.link->b().set_service(
         [this](BytesView frame) { return sp_->handle_frame(frame); });
 
-    const tpm::AikCertificate cert =
-        ca_->certify(member.id, member.platform->tpm().aik_public());
+    // Per-backend credential: RSA AIK certificate or ECC AK certificate,
+    // passed serialized (the client treats it as opaque).
+    Bytes credential;
+    if (member.platform->backend() == tpm::QuoteFormat::kTpm2) {
+      credential =
+          ca_->certify_key(
+                 member.id,
+                 tpm::AttestationKey::of(member.platform->tpm2().ak_public()))
+              .serialize();
+    } else {
+      credential =
+          ca_->certify(member.id, member.platform->tpm().aik_public())
+              .serialize();
+    }
     core::ClientConfig cc;
     cc.client_id = member.id;
     cc.key_bits = config_.client_key_bits;
     cc.retry = config_.client_retry;
     member.client = std::make_unique<core::TrustedPathClient>(
-        *member.platform, member.link->a(), cert, cc);
+        *member.platform, member.link->a(), std::move(credential), cc);
 
     members_.push_back(std::move(member));
   }

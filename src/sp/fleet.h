@@ -33,6 +33,11 @@ struct FleetConfig {
   std::vector<std::string> chip_mix;
   /// Technologies assigned round-robin (empty -> all AMD).
   std::vector<drtm::DrtmTechnology> technology_mix;
+  /// Quote formats assigned round-robin (empty -> all TPM 1.2). E.g.
+  /// {kTpm12, kTpm2} models the mid-migration fleet: half the machines
+  /// quote SHA-1 PCRs under an RSA AIK, half SHA-256 under an ECC AK,
+  /// and the one SP verifies both.
+  std::vector<tpm::QuoteFormat> backend_mix;
 
   /// Client-side retransmission policy for every member (default: one
   /// attempt, no retry).
@@ -59,6 +64,10 @@ class Fleet {
   }
   const std::string& client_id(std::size_t i) const {
     return members_.at(i).id;
+  }
+  /// Member i's TPM generation (follows backend_mix round-robin).
+  tpm::QuoteFormat backend(std::size_t i) {
+    return members_.at(i).platform->backend();
   }
   net::Endpoint& endpoint(std::size_t i) {
     return members_.at(i).link->a();

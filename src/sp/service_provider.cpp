@@ -1,9 +1,11 @@
 #include "sp/service_provider.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/trusted_path_pal.h"
 #include "tpm/quote.h"
+#include "tpm/tpm2_quote.h"
 
 namespace tp::sp {
 
@@ -72,6 +74,13 @@ ServiceProvider::ServiceProvider(SpConfig config)
   c_enroll_rejected_ = &registry_->counter(p + ".enroll_rejected");
   c_tx_accepted_ = &registry_->counter(p + ".tx_accepted");
   c_tx_rejected_ = &registry_->counter(p + ".tx_rejected");
+  for (std::size_t i = 0; i < tpm::kNumQuoteFormats; ++i) {
+    const char* name =
+        tpm::quote_format_name(i == 0 ? tpm::QuoteFormat::kTpm12
+                                      : tpm::QuoteFormat::kTpm2);
+    c_enrolled_fmt_[i] = &registry_->counter(p + ".enrolled." + name);
+    c_tx_accepted_fmt_[i] = &registry_->counter(p + ".tx_accepted." + name);
+  }
   for (std::size_t i = 0; i < proto::kRejectCodeCount; ++i) {
     c_reject_[i] = &registry_->counter(
         p + ".reject." +
@@ -98,6 +107,10 @@ SpStats ServiceProvider::stats_snapshot() const {
   snap.enroll_rejected = c_enroll_rejected_->value();
   snap.tx_accepted = c_tx_accepted_->value();
   snap.tx_rejected = c_tx_rejected_->value();
+  for (std::size_t i = 0; i < tpm::kNumQuoteFormats; ++i) {
+    snap.enrolled_by_format[i] = c_enrolled_fmt_[i]->value();
+    snap.tx_accepted_by_format[i] = c_tx_accepted_fmt_[i]->value();
+  }
   for (std::size_t i = 0; i < proto::kRejectCodeCount; ++i) {
     snap.rejects_by_code[i] = c_reject_[i]->value();
   }
@@ -192,7 +205,77 @@ EnrollResult ServiceProvider::complete_enrollment(const EnrollComplete& msg) {
 
   // The kVerify action: check the enrollment evidence, producing kNone
   // (sound) or the specific RejectCode for the first check that failed.
+  // The checks are the same four for both quote formats -- certificate
+  // chain, quote signature + nonce binding, attestation policy, key
+  // parse -- but each step dispatches on msg.format because the wire
+  // artifacts differ (AikCertificate/QuoteResult/RsaPublicKey vs
+  // AkCertificate/Tpm2Quote/SEC1 point).
   const auto verify = [&]() -> proto::RejectCode {
+    const Bytes binding = enrollment_quote_binding(msg.confirmation_pubkey,
+                                                   session->nonce_view());
+    std::vector<core::AttestationPolicy> policies =
+        config_.accepted_policies;
+    if (policies.empty()) {
+      // Classic fallback: {PCR 17} == golden_pcr17, TPM 1.2 only. An SP
+      // that admits 2.0 clients must publish kTpm2 policies.
+      policies.push_back(core::AttestationPolicy{
+          tpm::PcrSelection::of({17}), {config_.golden_pcr17}, "default",
+          tpm::QuoteFormat::kTpm12});
+    }
+
+    if (msg.format == tpm::QuoteFormat::kTpm2) {
+      // 1. AK certificate chains to the Privacy CA and carries an ECC AK.
+      auto cert = tpm::AkCertificate::deserialize(msg.aik_certificate);
+      if (!cert.ok()) return proto::RejectCode::kMalformedAikCertificate;
+      if (!tpm::PrivacyCa::verify_key(config_.ca_public, cert.value()).ok()) {
+        return proto::RejectCode::kUntrustedAikCertificate;
+      }
+      if (cert.value().key.format != tpm::QuoteFormat::kTpm2 ||
+          !cert.value().key.ecdsa.has_value()) {
+        return proto::RejectCode::kMalformedAikCertificate;
+      }
+
+      // 2. Quote: valid AK signature over the PCR digest + OUR binding.
+      auto quote = tpm::Tpm2Quote::deserialize(msg.quote);
+      if (!quote.ok()) return proto::RejectCode::kMalformedQuote;
+      if (!tpm::verify_tpm2_quote(*cert.value().key.ecdsa, quote.value(),
+                                  binding)
+               .ok()) {
+        return proto::RejectCode::kQuoteVerifyFailed;
+      }
+
+      // 3. A 2.0 quote carries H(values), not the values: match by
+      // recomputing each kTpm2 policy's expected digest.
+      bool policy_match = false;
+      for (const auto& policy : policies) {
+        if (policy.format != tpm::QuoteFormat::kTpm2 ||
+            quote.value().selection != policy.selection) {
+          continue;
+        }
+        auto expected = tpm::tpm2_pcr_digest(policy.values);
+        if (expected.ok() &&
+            ct_equal(expected.value(), quote.value().pcr_digest)) {
+          policy_match = true;
+          break;
+        }
+      }
+      if (!policy_match) {
+        return proto::RejectCode::kAttestationPolicyMismatch;
+      }
+
+      // 4. The confirmation key itself must parse (SEC1 P-256 point).
+      auto key =
+          tpm::parse_public_key(tpm::QuoteFormat::kTpm2,
+                                msg.confirmation_pubkey);
+      if (!key.ok()) return proto::RejectCode::kMalformedPublicKey;
+      // Build the cached verify context now (P-256 window-table
+      // precompute), once per enrollment.
+      enrolled_.insert_or_assign(
+          msg.client_id, tpm::AttestationVerifyContext(key.take()));
+      return proto::RejectCode::kNone;
+    }
+
+    // ---- TPM 1.2 path (the seed's checks, verbatim) ----
     // 1. AIK certificate chains to the Privacy CA.
     auto cert = tpm::AikCertificate::deserialize(msg.aik_certificate);
     if (!cert.ok()) return proto::RejectCode::kMalformedAikCertificate;
@@ -203,8 +286,6 @@ EnrollResult ServiceProvider::complete_enrollment(const EnrollComplete& msg) {
     // 2. Quote: valid AIK signature over PCR 17 and OUR nonce binding.
     auto quote = tpm::QuoteResult::deserialize(msg.quote);
     if (!quote.ok()) return proto::RejectCode::kMalformedQuote;
-    const Bytes binding = enrollment_quote_binding(msg.confirmation_pubkey,
-                                                   session->nonce_view());
     if (!tpm::verify_quote(cert.value().aik_public, quote.value(), binding)
              .ok()) {
       return proto::RejectCode::kQuoteVerifyFailed;
@@ -213,15 +294,10 @@ EnrollResult ServiceProvider::complete_enrollment(const EnrollComplete& msg) {
     // 3. The quoted PCRs must match one accepted attestation policy: the
     // key was generated inside the GENUINE trusted-path PAL on a
     // supported platform flavour.
-    std::vector<core::AttestationPolicy> policies =
-        config_.accepted_policies;
-    if (policies.empty()) {
-      policies.push_back(core::AttestationPolicy{
-          tpm::PcrSelection::of({17}), {config_.golden_pcr17}, "default"});
-    }
     bool policy_match = false;
     for (const auto& policy : policies) {
-      if (quote.value().selection != policy.selection ||
+      if (policy.format != tpm::QuoteFormat::kTpm12 ||
+          quote.value().selection != policy.selection ||
           quote.value().pcr_values.size() != policy.values.size()) {
         continue;
       }
@@ -245,8 +321,9 @@ EnrollResult ServiceProvider::complete_enrollment(const EnrollComplete& msg) {
 
     // Build the cached verify context now (R^2-mod-n precompute), once
     // per enrollment, so every later confirmation verify skips it.
-    enrolled_.insert_or_assign(msg.client_id,
-                               crypto::RsaVerifyContext(pk.take()));
+    enrolled_.insert_or_assign(
+        msg.client_id,
+        tpm::AttestationVerifyContext(tpm::AttestationKey::of(pk.take())));
     return proto::RejectCode::kNone;
   };
 
@@ -267,6 +344,7 @@ EnrollResult ServiceProvider::complete_enrollment(const EnrollComplete& msg) {
   publish_session_metrics();
   if (settle.action == proto::SessionAction::kAccept) {
     c_enrolled_->inc();
+    c_enrolled_fmt_[tpm::quote_format_index(msg.format)]->inc();
     return EnrollResult{true, "enrolled"};
   }
   return reject_enrollment(verdict);
@@ -320,6 +398,9 @@ TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
   // seed's: binding (client identity), policy knob, enrollment, human
   // verdict, replay backstop, signature.
   bool verified_by_trusted_path = false;
+  // Which backend's key signed the accepted confirmation (unset in
+  // baseline mode, where no signature is checked).
+  std::optional<tpm::QuoteFormat> accepted_format;
   const auto verify = [&]() -> proto::RejectCode {
     if (session->client !=
         proto::SessionTable::client_key(msg.client_id)) {
@@ -357,6 +438,7 @@ TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
       return proto::RejectCode::kBadSignature;
     }
     seen_signatures_.insert(msg.signature);
+    accepted_format = enrolled->second.format();
     return proto::RejectCode::kNone;
   };
 
@@ -377,6 +459,9 @@ TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
   publish_session_metrics();
   if (settle.action == proto::SessionAction::kAccept) {
     c_tx_accepted_->inc();
+    if (accepted_format.has_value()) {
+      c_tx_accepted_fmt_[tpm::quote_format_index(*accepted_format)]->inc();
+    }
     return TxResult{msg.tx_id, true,
                     verified_by_trusted_path
                         ? "confirmed by human via trusted path"

@@ -39,6 +39,7 @@
 #include "proto/session_fsm.h"
 #include "proto/session_table.h"
 #include "sp/replay_cache.h"
+#include "tpm/attestation.h"
 #include "tpm/privacy_ca.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -55,8 +56,11 @@ struct SpConfig {
   std::size_t nonce_len = 20;
 
   /// Attestation policies this SP accepts, one per supported platform
-  /// flavour (AMD SKINIT, Intel TXT, ...). When empty, the SP falls back
-  /// to the classic {PCR 17} == golden_pcr17 policy.
+  /// flavour (AMD SKINIT, Intel TXT, ...) and quote format (TPM 1.2 /
+  /// 2.0 -- a policy only ever matches quotes of its own format). When
+  /// empty, the SP falls back to the classic TPM 1.2
+  /// {PCR 17} == golden_pcr17 policy; a deployment with 2.0 clients must
+  /// publish kTpm2 policies explicitly.
   std::vector<core::AttestationPolicy> accepted_policies;
 
   /// Policy knob for the baseline experiments: when false the SP behaves
@@ -117,12 +121,22 @@ struct SpStats {
   std::uint64_t enroll_rejected = 0;
   std::uint64_t tx_accepted = 0;
   std::uint64_t tx_rejected = 0;
+  /// Per-backend slices of `enrolled` / `tx_accepted`, indexed by
+  /// tpm::quote_format_index (mixed-fleet observability).
+  std::array<std::uint64_t, tpm::kNumQuoteFormats> enrolled_by_format{};
+  std::array<std::uint64_t, tpm::kNumQuoteFormats> tx_accepted_by_format{};
   /// Rejects by typed code, indexed by proto::RejectCode.
   std::array<std::uint64_t, proto::kRejectCodeCount> rejects_by_code{};
   /// Session-table pressure events.
   std::uint64_t sessions_evicted = 0;
   std::uint64_t sessions_expired = 0;
 
+  std::uint64_t enrolled_format(tpm::QuoteFormat f) const {
+    return enrolled_by_format[tpm::quote_format_index(f)];
+  }
+  std::uint64_t tx_accepted_format(tpm::QuoteFormat f) const {
+    return tx_accepted_by_format[tpm::quote_format_index(f)];
+  }
   std::uint64_t rejects(proto::RejectCode code) const {
     return rejects_by_code[static_cast<std::size_t>(code)];
   }
@@ -264,9 +278,10 @@ class ServiceProvider {
   proto::SessionTable enroll_sessions_;  // keyed by client id
   proto::SessionTable tx_sessions_;      // keyed by tx id
   /// client -> cached verify context (holds the enrolled public key plus
-  /// the precomputed Montgomery context for its modulus, built once at
-  /// enrollment so the per-transaction verify skips that setup).
-  std::unordered_map<std::string, crypto::RsaVerifyContext> enrolled_;
+  /// the per-scheme precompute -- Montgomery context for RSA moduli,
+  /// window tables for P-256 points -- built once at enrollment so the
+  /// per-transaction verify skips that setup).
+  std::unordered_map<std::string, tpm::AttestationVerifyContext> enrolled_;
   ReplayCache seen_signatures_;  // bounded defence-in-depth replay cache
   /// Direct-mapped (client, digest) -> tx_id map for TxSubmit dedup;
   /// power-of-two sized from tx_session_capacity, constant memory.
@@ -281,6 +296,10 @@ class ServiceProvider {
   obs::Counter* c_enroll_rejected_;
   obs::Counter* c_tx_accepted_;
   obs::Counter* c_tx_rejected_;
+  /// Per-backend slices ("<prefix>.enrolled.tpm12", ".enrolled.tpm2",
+  /// ".tx_accepted.tpm12", ".tx_accepted.tpm2").
+  std::array<obs::Counter*, tpm::kNumQuoteFormats> c_enrolled_fmt_{};
+  std::array<obs::Counter*, tpm::kNumQuoteFormats> c_tx_accepted_fmt_{};
   /// Fixed per-RejectCode counters, resolved once at construction: the
   /// reject hot path is two relaxed atomic increments, no allocation.
   std::array<obs::Counter*, proto::kRejectCodeCount> c_reject_{};

@@ -210,6 +210,10 @@ sp::SpStats VerifierService::stats() const {
     total.enroll_rejected += s.enroll_rejected;
     total.tx_accepted += s.tx_accepted;
     total.tx_rejected += s.tx_rejected;
+    for (std::size_t i = 0; i < tpm::kNumQuoteFormats; ++i) {
+      total.enrolled_by_format[i] += s.enrolled_by_format[i];
+      total.tx_accepted_by_format[i] += s.tx_accepted_by_format[i];
+    }
     for (std::size_t i = 0; i < proto::kRejectCodeCount; ++i) {
       total.rejects_by_code[i] += s.rejects_by_code[i];
     }

@@ -3,9 +3,43 @@
 #include <algorithm>
 
 #include "crypto/sha1.h"
+#include "crypto/sha256.h"
 #include "util/serial.h"
 
 namespace tp::tpm {
+namespace {
+
+/// Streams `parts` through the bank's hash; writes digest_size bytes.
+/// Small dispatch shim so extend/composite stay single-pass for both
+/// algorithms.
+class BankHash {
+ public:
+  explicit BankHash(crypto::HashAlg alg) : alg_(alg) {}
+
+  void update(BytesView data) {
+    if (alg_ == crypto::HashAlg::kSha256) {
+      sha256_.update(data);
+    } else {
+      sha1_.update(data);
+    }
+  }
+
+  void digest_into(Bytes& out) {
+    out.resize(pcr_digest_size(alg_));
+    if (alg_ == crypto::HashAlg::kSha256) {
+      sha256_.digest_into(out);
+    } else {
+      sha1_.digest_into(out);
+    }
+  }
+
+ private:
+  crypto::HashAlg alg_;
+  crypto::Sha1 sha1_;
+  crypto::Sha256 sha256_;
+};
+
+}  // namespace
 
 PcrSelection PcrSelection::of(std::initializer_list<std::uint32_t> idx) {
   PcrSelection sel;
@@ -52,12 +86,14 @@ Result<PcrSelection> PcrSelection::deserialize(BytesView data) {
   return sel;
 }
 
-PcrBank::PcrBank() {
+PcrBank::PcrBank() : PcrBank(crypto::HashAlg::kSha1) {}
+
+PcrBank::PcrBank(crypto::HashAlg alg) : alg_(alg) {
   for (std::size_t i = 0; i < kNumPcrs; ++i) {
     // DRTM-resettable registers (17-22) power on as all-ones so that no
     // sealing policy can match before a genuine late launch happened.
     const bool drtm_register = i >= 17 && i <= 22;
-    pcrs_[i] = Bytes(kPcrSize, drtm_register ? 0xff : 0x00);
+    pcrs_[i] = Bytes(digest_size(), drtm_register ? 0xff : 0x00);
   }
 }
 
@@ -65,12 +101,13 @@ Result<Bytes> PcrBank::extend(std::uint32_t index, BytesView digest) {
   if (index >= kNumPcrs) {
     return Error{Err::kInvalidArgument, "PcrBank: index out of range"};
   }
-  if (digest.size() != kPcrSize) {
-    return Error{Err::kInvalidArgument, "PcrBank: digest must be 20 bytes"};
+  if (digest.size() != digest_size()) {
+    return Error{Err::kInvalidArgument,
+                 "PcrBank: extend input must match the bank digest size"};
   }
   // Streamed extend: old value || digest straight into the hash, result
   // written back in place (no concat buffer, no digest allocation).
-  crypto::Sha1 h;
+  BankHash h(alg_);
   h.update(pcrs_[index]);
   h.update(digest);
   h.digest_into(pcrs_[index]);
@@ -92,7 +129,7 @@ Status PcrBank::reset(std::uint32_t index, Locality locality) {
     return Error{Err::kBadState, "PcrBank: static PCRs are not resettable"};
   }
   if (index == 16 || index == 23) {
-    pcrs_[index] = Bytes(kPcrSize, 0x00);
+    pcrs_[index] = Bytes(digest_size(), 0x00);
     return Status::ok_status();
   }
   // DRTM registers: 17 and 18 demand the hardware late-launch locality;
@@ -105,7 +142,7 @@ Status PcrBank::reset(std::uint32_t index, Locality locality) {
     return Error{Err::kIsolationViolation,
                  "PcrBank: insufficient locality for DRTM PCR reset"};
   }
-  pcrs_[index] = Bytes(kPcrSize, 0x00);
+  pcrs_[index] = Bytes(digest_size(), 0x00);
   return Status::ok_status();
 }
 
@@ -117,26 +154,27 @@ Result<Bytes> PcrBank::composite(const PcrSelection& selection) const {
     if (!v.ok()) return v.error();
     values.push_back(v.take());
   }
-  return composite_of(selection, values);
+  return composite_of(selection, values, alg_);
 }
 
 Result<Bytes> PcrBank::composite_of(const PcrSelection& selection,
-                                    const std::vector<Bytes>& values) {
+                                    const std::vector<Bytes>& values,
+                                    crypto::HashAlg alg) {
   if (selection.indices.empty()) {
     return Error{Err::kInvalidArgument, "composite: empty selection"};
   }
   if (selection.indices.size() != values.size()) {
     return Error{Err::kInvalidArgument, "composite: selection/value mismatch"};
   }
-  crypto::Sha1 h;
+  BankHash h(alg);
   h.update(selection.serialize());
   for (const Bytes& v : values) {
-    if (v.size() != kPcrSize) {
+    if (v.size() != pcr_digest_size(alg)) {
       return Error{Err::kInvalidArgument, "composite: bad PCR value size"};
     }
     h.update(v);
   }
-  Bytes digest(kPcrSize);
+  Bytes digest;
   h.digest_into(digest);
   return digest;
 }

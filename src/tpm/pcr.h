@@ -1,4 +1,4 @@
-// Platform Configuration Registers with TPM 1.2 locality semantics.
+// Platform Configuration Registers with TPM locality semantics.
 //
 // The security argument of the whole system rests on three PCR facts:
 //   1. PCRs can only be *extended* (hash-chained), never set;
@@ -7,19 +7,35 @@
 //      (locality 4), so software can never fake a clean DRTM state;
 //   3. sealing and quoting bind to PCR *composites*, so any deviation in
 //      the measured-launch history is visible.
+//
+// The bank is digest-algorithm-parametric: TPM 1.2 devices hold one
+// SHA-1 bank (20-byte registers), TPM 2.0 devices hold a SHA-256 bank
+// (32-byte registers). Register count, locality rules and reset
+// semantics are identical across banks; only the hash and the register
+// width differ.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <vector>
 
+#include "crypto/rsa.h"  // HashAlg
 #include "util/bytes.h"
 #include "util/result.h"
 
 namespace tp::tpm {
 
 inline constexpr std::size_t kNumPcrs = 24;
-inline constexpr std::size_t kPcrSize = 20;  // SHA-1 digests
+/// Register width of the TPM 1.2 SHA-1 bank. Kept as the legacy name
+/// because the 1.2 wire formats (quote composites, seal blobs) are
+/// defined in terms of it; SHA-256 banks use kPcrSizeSha256.
+inline constexpr std::size_t kPcrSize = 20;
+inline constexpr std::size_t kPcrSizeSha256 = 32;
+
+/// Register width of a bank using `alg`.
+constexpr std::size_t pcr_digest_size(crypto::HashAlg alg) {
+  return alg == crypto::HashAlg::kSha256 ? kPcrSizeSha256 : kPcrSize;
+}
 
 /// DRTM registers: reset by late launch, never by software.
 inline constexpr std::uint32_t kPcrDrtmMeasurement = 17;  // PAL identity
@@ -54,11 +70,20 @@ struct PcrSelection {
 
 class PcrBank {
  public:
-  /// Power-on state: static PCRs zero, DRTM PCRs all-ones.
+  /// Power-on state: static PCRs zero, DRTM PCRs all-ones. The default
+  /// bank is the TPM 1.2 SHA-1 one; pass HashAlg::kSha256 for a TPM 2.0
+  /// bank with 32-byte registers.
   PcrBank();
+  explicit PcrBank(crypto::HashAlg alg);
 
-  /// SHA-1 extend: pcr[i] = SHA1(pcr[i] || digest). digest must be 20
-  /// bytes. Returns the new value.
+  crypto::HashAlg alg() const { return alg_; }
+  /// Register (and extend-input) width of this bank in bytes.
+  std::size_t digest_size() const { return pcr_digest_size(alg_); }
+
+  /// Extend: pcr[i] = H(pcr[i] || digest) with this bank's hash. The
+  /// input digest length must equal digest_size() -- a 20-byte SHA-1
+  /// value cannot be extended into a SHA-256 bank or vice versa.
+  /// Returns the new register value.
   Result<Bytes> extend(std::uint32_t index, BytesView digest);
 
   Result<Bytes> read(std::uint32_t index) const;
@@ -69,16 +94,19 @@ class PcrBank {
   /// are never resettable.
   Status reset(std::uint32_t index, Locality locality);
 
-  /// SHA-1 over the canonical encoding of (selection, values): the
-  /// TPM_COMPOSITE_HASH that Seal and Quote bind to.
+  /// Hash (with this bank's algorithm) over the canonical encoding of
+  /// (selection, values): the composite that Seal and Quote bind to.
   Result<Bytes> composite(const PcrSelection& selection) const;
 
   /// Composite over explicitly provided values (used by remote verifiers
-  /// that hold golden values rather than a live bank).
-  static Result<Bytes> composite_of(const PcrSelection& selection,
-                                    const std::vector<Bytes>& values);
+  /// that hold golden values rather than a live bank). Every value must
+  /// be pcr_digest_size(alg) bytes.
+  static Result<Bytes> composite_of(
+      const PcrSelection& selection, const std::vector<Bytes>& values,
+      crypto::HashAlg alg = crypto::HashAlg::kSha1);
 
  private:
+  crypto::HashAlg alg_;
   std::array<Bytes, kNumPcrs> pcrs_;
 };
 

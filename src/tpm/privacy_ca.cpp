@@ -35,6 +35,35 @@ Result<AikCertificate> AikCertificate::deserialize(BytesView data) {
   return AikCertificate{id.take(), pk.take(), sig.take()};
 }
 
+Bytes AkCertificate::signed_payload() const {
+  BinaryWriter w;
+  w.var_string(platform_id);
+  w.var_bytes(key.serialize());  // includes the format tag
+  return w.take();
+}
+
+Bytes AkCertificate::serialize() const {
+  BinaryWriter w;
+  w.var_string(platform_id);
+  w.var_bytes(key.serialize());
+  w.var_bytes(ca_signature);
+  return w.take();
+}
+
+Result<AkCertificate> AkCertificate::deserialize(BytesView data) {
+  BinaryReader r(data);
+  auto id = r.var_string();
+  if (!id.ok()) return id.error();
+  auto key_bytes = r.var_bytes();
+  if (!key_bytes.ok()) return key_bytes.error();
+  auto key = AttestationKey::deserialize(key_bytes.value());
+  if (!key.ok()) return key.error();
+  auto sig = r.var_bytes();
+  if (!sig.ok()) return sig.error();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  return AkCertificate{id.take(), key.take(), sig.take()};
+}
+
 PrivacyCa::PrivacyCa(BytesView seed, std::size_t key_bits) {
   auto drbg = std::make_shared<crypto::HmacDrbg>(
       concat(bytes_of("privacy-ca:"), seed));
@@ -52,12 +81,30 @@ AikCertificate PrivacyCa::certify(
   return cert;
 }
 
+AkCertificate PrivacyCa::certify_key(const std::string& platform_id,
+                                     const AttestationKey& key) const {
+  AkCertificate cert{platform_id, key, {}};
+  cert.ca_signature =
+      crypto::rsa_sign(key_, crypto::HashAlg::kSha256, cert.signed_payload());
+  return cert;
+}
+
 Status PrivacyCa::verify(const crypto::RsaPublicKey& ca_public,
                          const AikCertificate& cert) {
   auto verdict = crypto::rsa_verify(ca_public, crypto::HashAlg::kSha256,
                                     cert.signed_payload(), cert.ca_signature);
   if (!verdict.ok()) {
     return Error{Err::kAuthFail, "AIK certificate signature invalid"};
+  }
+  return Status::ok_status();
+}
+
+Status PrivacyCa::verify_key(const crypto::RsaPublicKey& ca_public,
+                             const AkCertificate& cert) {
+  auto verdict = crypto::rsa_verify(ca_public, crypto::HashAlg::kSha256,
+                                    cert.signed_payload(), cert.ca_signature);
+  if (!verdict.ok()) {
+    return Error{Err::kAuthFail, "AK certificate signature invalid"};
   }
   return Status::ok_status();
 }

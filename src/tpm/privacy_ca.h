@@ -1,15 +1,22 @@
-// Privacy CA: certifies Attestation Identity Keys.
+// Privacy CA: certifies attestation keys.
 //
-// In the deployed system a Privacy CA (or DAA) vouches that an AIK lives
-// inside a genuine TPM, so a service provider that trusts the CA can trust
-// quotes signed by the AIK. The emulation keeps the same trust topology:
-// the CA signs (platform_id, aik_public) and the SP verifies that
-// certificate before accepting any quote.
+// In the deployed system a Privacy CA (or DAA) vouches that an
+// attestation key lives inside a genuine TPM, so a service provider that
+// trusts the CA can trust quotes signed by that key. The emulation keeps
+// the same trust topology: the CA signs (platform_id, key) and the SP
+// verifies that certificate before accepting any quote.
+//
+// Two certificate shapes share one CA signing key:
+//   AikCertificate -- the original TPM 1.2 form, RSA AIK only (wire
+//                     format unchanged for compatibility);
+//   AkCertificate  -- format-tagged AttestationKey (RSA AIK or ECC AK),
+//                     used by mixed 1.2/2.0 deployments.
 #pragma once
 
 #include <string>
 
 #include "crypto/rsa.h"
+#include "tpm/attestation.h"
 #include "util/bytes.h"
 #include "util/result.h"
 
@@ -23,6 +30,22 @@ struct AikCertificate {
 
   Bytes serialize() const;
   static Result<AikCertificate> deserialize(BytesView data);
+
+  /// The byte string the CA signs.
+  Bytes signed_payload() const;
+};
+
+/// Format-tagged attestation-key certificate: binds a platform identity
+/// to an AttestationKey (RSA AIK for 1.2, ECC AK for 2.0). The signed
+/// payload includes the format tag, so a certificate cannot be replayed
+/// across backends.
+struct AkCertificate {
+  std::string platform_id;
+  AttestationKey key;
+  Bytes ca_signature;
+
+  Bytes serialize() const;
+  static Result<AkCertificate> deserialize(BytesView data);
 
   /// The byte string the CA signs.
   Bytes signed_payload() const;
@@ -42,9 +65,16 @@ class PrivacyCa {
   AikCertificate certify(const std::string& platform_id,
                          const crypto::RsaPublicKey& aik_public) const;
 
+  /// Issues a format-tagged certificate (RSA AIK or ECC AK). Same
+  /// unconditional-issuance caveat as certify().
+  AkCertificate certify_key(const std::string& platform_id,
+                            const AttestationKey& key) const;
+
   /// Checks a certificate against a known CA public key.
   static Status verify(const crypto::RsaPublicKey& ca_public,
                        const AikCertificate& cert);
+  static Status verify_key(const crypto::RsaPublicKey& ca_public,
+                           const AkCertificate& cert);
 
  private:
   crypto::RsaPrivateKey key_;

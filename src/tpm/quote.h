@@ -1,9 +1,13 @@
-// TPM_Quote structures and remote verification.
+// TPM 1.2 TPM_Quote structures and remote verification.
 //
 // A quote is the TPM's signed statement "these PCRs held these values when
 // I was given this fresh challenge". The service provider uses it during
 // enrollment to convince itself that the client's confirmation key was
 // created inside the genuine PAL.
+//
+// This is the 1.2 wire format (SHA-1 composite, RSA AIK signature); the
+// TPM 2.0 TPMS_ATTEST-shaped equivalent lives in tpm/tpm2_quote.h and
+// the format-dispatching verifier in tpm/attestation.h.
 #pragma once
 
 #include <vector>
@@ -20,7 +24,7 @@ namespace tp::tpm {
 /// composite and the caller's anti-replay challenge.
 struct QuoteResult {
   PcrSelection selection;
-  std::vector<Bytes> pcr_values;  // one 20-byte value per selected PCR
+  std::vector<Bytes> pcr_values;  // one SHA-1-bank register per selected PCR
   Bytes external_data;            // verifier nonce (anti-replay)
   Bytes signature;                // AIK signature over the quote info
 

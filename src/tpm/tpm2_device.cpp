@@ -1,0 +1,263 @@
+#include "tpm/tpm2_device.h"
+
+#include "crypto/modes.h"
+#include "crypto/sha256.h"
+#include "tpm/tpm_device.h"  // TpmCapabilities
+#include "util/serial.h"
+
+namespace tp::tpm {
+
+namespace {
+constexpr char kSeal2Magic[] = "SEL2v1";
+constexpr std::size_t kMagicLen = 6;
+constexpr std::size_t kMacLen = 32;
+
+// Reported by TPM2_GetCapability; the emulator models a fixed firmware.
+constexpr std::uint64_t kFirmwareVersion = 0x20;
+
+// Same decorrelation mix as the 1.2 device: profile fault seed FNV-1a'd
+// with the device seed so co-deployed TPMs fault independently.
+std::uint64_t fault_seed_for(const TpmFaultProfile& faults, BytesView seed) {
+  std::uint64_t h = 0xcbf29ce484222325ull ^ faults.seed;
+  for (const std::uint8_t b : seed) h = (h ^ b) * 0x100000001b3ull;
+  return h;
+}
+}  // namespace
+
+Tpm2Device::Tpm2Device(const ChipProfile& profile, BytesView seed,
+                       SimClock& clock)
+    : Tpm2Device(profile, seed, clock, Options{}) {}
+
+Tpm2Device::Tpm2Device(const ChipProfile& profile, BytesView seed,
+                       SimClock& clock, Options options)
+    : profile_(profile),
+      clock_(&clock),
+      options_(options),
+      pcrs_(crypto::HashAlg::kSha256),
+      fault_rng_(fault_seed_for(options.faults, seed)) {
+  drbg_ = std::make_unique<crypto::HmacDrbg>(
+      concat(bytes_of("tpm2-device:"), seed));
+  storage_seed_ = drbg_->generate(32);
+  seal_enc_.emplace(crypto::hmac_sha256(storage_seed_, bytes_of("seal-enc")));
+  seal_mac_.emplace(crypto::hmac_sha256(storage_seed_, bytes_of("seal-mac")));
+  ak_ = crypto::ecdsa_generate(
+      [this](std::size_t n) { return drbg_->generate(n); });
+  ak_public_ = ak_.public_key();
+  ak_name_ = tpm2_key_name(ak_public_);
+}
+
+void Tpm2Device::charge(const char* label, SimDuration d) {
+  ++command_count_;
+  clock_->charge(std::string("tpm2:") + label, d);
+}
+
+Status Tpm2Device::charge_faulty(const char* label, SimDuration d) {
+  charge(label, d);
+  const TpmFaultProfile& faults = options_.faults;
+  if (!faults.enabled()) return Status::ok_status();
+  for (std::uint32_t attempt = 0; fault_rng_.chance(faults.transient_prob);
+       ++attempt) {
+    ++transient_faults_;
+    if (attempt >= faults.max_retries) {
+      ++fault_exhaustions_;
+      return Error{Err::kInternal,
+                   "tpm2: transient fault persisted past retry budget"};
+    }
+    ++fault_retries_;
+    clock_->charge(std::string("tpm2:fault-retry:") + label,
+                   faults.retry_backoff + d);
+  }
+  return Status::ok_status();
+}
+
+Bytes Tpm2Device::storage_mac(BytesView body) {
+  seal_mac_->update(body);
+  return seal_mac_->finalize();
+}
+
+Result<Bytes> Tpm2Device::pcr_extend(Locality locality, std::uint32_t index,
+                                     BytesView digest) {
+  if (auto s = charge_faulty("pcr_extend", profile_.pcr_extend); !s.ok()) {
+    return s.error();
+  }
+  if (index >= 17 && index <= 22 &&
+      static_cast<std::uint8_t>(locality) <
+          static_cast<std::uint8_t>(Locality::kPal)) {
+    return Error{Err::kIsolationViolation,
+                 "pcr_extend: DRTM PCR requires locality >= 2"};
+  }
+  return pcrs_.extend(index, digest);
+}
+
+Result<Bytes> Tpm2Device::pcr_read(std::uint32_t index) {
+  charge("pcr_read", profile_.pcr_read);
+  return pcrs_.read(index);
+}
+
+Status Tpm2Device::pcr_reset(Locality locality, std::uint32_t index) {
+  charge("pcr_reset", profile_.pcr_extend);
+  return pcrs_.reset(index, locality);
+}
+
+Result<Bytes> Tpm2Device::pcr_composite(const PcrSelection& selection) const {
+  return pcrs_.composite(selection);
+}
+
+Bytes Tpm2Device::get_random(std::size_t n) {
+  const auto blocks = static_cast<std::int64_t>((n + 15) / 16);
+  charge("get_random",
+         SimDuration{profile_.get_random_16.ns * std::max<std::int64_t>(
+                                                     blocks, 1)});
+  return drbg_->generate(n);
+}
+
+Result<Tpm2Quote> Tpm2Device::quote(BytesView external_data,
+                                    const PcrSelection& selection) {
+  // Charged at the profile's generic sign cost: the on-chip ECDSA-P256
+  // signature is the cheap step that the 1.2 RSA quote was not.
+  if (auto s = charge_faulty("quote", profile_.sign); !s.ok()) {
+    return s.error();
+  }
+  std::vector<Bytes> values;
+  values.reserve(selection.indices.size());
+  for (std::uint32_t i : selection.indices) {
+    auto v = pcrs_.read(i);
+    if (!v.ok()) return v.error();
+    values.push_back(v.take());
+  }
+  auto digest = tpm2_pcr_digest(values);
+  if (!digest.ok()) return digest.error();
+
+  Tpm2Quote q;
+  q.qualified_signer = ak_name_;
+  q.extra_data.assign(external_data.begin(), external_data.end());
+  q.clock_info.clock_us =
+      static_cast<std::uint64_t>(clock_->now().ns / 1000);
+  q.clock_info.reset_count = reset_count_;
+  q.clock_info.restart_count = 0;
+  q.firmware_version = kFirmwareVersion;
+  q.selection = selection;
+  q.pcr_digest = digest.take();
+  q.signature = crypto::ecdsa_sign(ak_, q.attest_body());
+  return q;
+}
+
+Status Tpm2Device::check_release_policy(Locality locality,
+                                        std::uint8_t locality_mask,
+                                        const PcrSelection& selection,
+                                        BytesView composite) const {
+  const std::uint8_t loc_bit =
+      static_cast<std::uint8_t>(1u << static_cast<std::uint8_t>(locality));
+  if ((locality_mask & loc_bit) == 0) {
+    return Error{Err::kIsolationViolation,
+                 "release policy: locality not authorized"};
+  }
+  auto current = pcrs_.composite(selection);
+  if (!current.ok()) return current.error();
+  if (!ct_equal(current.value(), composite)) {
+    return Error{Err::kPcrMismatch, "release policy: PCR composite mismatch"};
+  }
+  return Status::ok_status();
+}
+
+Result<Bytes> Tpm2Device::seal(Locality locality,
+                               const PcrSelection& selection,
+                               std::uint8_t release_locality_mask,
+                               BytesView data) {
+  std::vector<Bytes> current_values;
+  for (std::uint32_t i : selection.indices) {
+    auto v = pcrs_.read(i);
+    if (!v.ok()) return v.error();
+    current_values.push_back(v.take());
+  }
+  return seal_to(locality, selection, current_values, release_locality_mask,
+                 data);
+}
+
+Result<Bytes> Tpm2Device::seal_to(Locality locality,
+                                  const PcrSelection& selection,
+                                  const std::vector<Bytes>& release_values,
+                                  std::uint8_t release_locality_mask,
+                                  BytesView data) {
+  if (auto s = charge_faulty("seal", profile_.seal); !s.ok()) {
+    return s.error();
+  }
+  (void)locality;  // any locality may create a seal; release is restricted
+  auto release_composite = PcrBank::composite_of(selection, release_values,
+                                                 crypto::HashAlg::kSha256);
+  if (!release_composite.ok()) return release_composite.error();
+
+  const Bytes iv = drbg_->generate(crypto::kAesBlockSize);
+  const Bytes ciphertext = crypto::cbc_encrypt(*seal_enc_, iv, data);
+
+  BinaryWriter w;
+  w.raw(bytes_of(kSeal2Magic));
+  w.u8(release_locality_mask);
+  w.var_bytes(selection.serialize());
+  w.raw(release_composite.value());  // kPcrSizeSha256 bytes
+  w.raw(iv);
+  w.var_bytes(ciphertext);
+  Bytes blob = w.take();
+  append(blob, storage_mac(blob));
+  return blob;
+}
+
+Result<Bytes> Tpm2Device::unseal(Locality locality, BytesView blob) {
+  if (auto s = charge_faulty("unseal", profile_.unseal); !s.ok()) {
+    return s.error();
+  }
+  if (blob.size() < kMagicLen + kMacLen) {
+    return Error{Err::kAuthFail, "unseal: blob too short"};
+  }
+  const BytesView body = blob.subspan(0, blob.size() - kMacLen);
+  const BytesView mac = blob.subspan(blob.size() - kMacLen);
+  if (!ct_equal(storage_mac(body), mac)) {
+    return Error{Err::kAuthFail, "unseal: MAC mismatch (tampered blob)"};
+  }
+
+  BinaryReader r(body);
+  auto magic = r.raw(kMagicLen);
+  if (!magic.ok() || !ct_equal(magic.value(), bytes_of(kSeal2Magic))) {
+    return Error{Err::kAuthFail, "unseal: bad magic"};
+  }
+  auto locality_mask = r.u8();
+  if (!locality_mask.ok()) return locality_mask.error();
+  auto sel_bytes = r.var_bytes();
+  if (!sel_bytes.ok()) return sel_bytes.error();
+  auto selection = PcrSelection::deserialize(sel_bytes.value());
+  if (!selection.ok()) return selection.error();
+  auto release_composite = r.raw(kPcrSizeSha256);
+  if (!release_composite.ok()) return release_composite.error();
+  auto iv = r.raw(crypto::kAesBlockSize);
+  if (!iv.ok()) return iv.error();
+  auto ciphertext = r.var_bytes();
+  if (!ciphertext.ok()) return ciphertext.error();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+
+  if (auto s = check_release_policy(locality, locality_mask.value(),
+                                    selection.value(),
+                                    release_composite.value());
+      !s.ok()) {
+    return s.error();
+  }
+
+  auto plaintext =
+      crypto::cbc_decrypt(*seal_enc_, iv.value(), ciphertext.value());
+  if (!plaintext.ok()) {
+    return Error{Err::kAuthFail, "unseal: decryption failed"};
+  }
+  return plaintext.take();
+}
+
+TpmCapabilities Tpm2Device::get_capability() const {
+  TpmCapabilities caps;
+  caps.spec_version_major = 2;
+  caps.spec_version_minor = 0;
+  caps.vendor = profile_.name;
+  caps.num_pcrs = kNumPcrs;
+  caps.max_nv_size = 2048;
+  caps.supports_locality_4 = true;
+  return caps;
+}
+
+}  // namespace tp::tpm

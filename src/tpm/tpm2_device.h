@@ -1,0 +1,136 @@
+// TPM 2.0 device emulator.
+//
+// The second attestation backend beside TpmDevice (1.2): a SHA-256 PCR
+// bank, TPMS_ATTEST-shaped quotes signed by an ECDSA-P256 attestation
+// key, and PCR-policy-bound sealed storage with SHA-256 composites.
+// Locality semantics, the chip-profile virtual-clock charging and the
+// transient-fault/retry model are identical to the 1.2 device -- the
+// trusted-path argument does not change with the TPM generation, only
+// the hash widths and the signature scheme do.
+//
+// Command costs reuse the 1.2 chip profiles: PCR/seal/random costs carry
+// over directly, and the quote is charged at the profile's generic sign
+// cost, reflecting that an on-chip P-256 ECDSA signature is far cheaper
+// than the RSA-2048 quote of the same-generation 1.2 part.
+//
+// Emulation note on sealed storage: as with TpmDevice, blobs are
+// protected by AES-256-CBC + HMAC-SHA256 keys derived from a device-
+// internal storage seed standing in for the 2.0 storage hierarchy; the
+// trust property (only this device can unseal its blobs) is preserved.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "crypto/aes.h"
+#include "crypto/drbg.h"
+#include "crypto/ecdsa.h"
+#include "crypto/hmac.h"
+#include "tpm/chip_profile.h"
+#include "tpm/pcr.h"
+#include "tpm/tpm2_quote.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace tp::tpm {
+
+struct TpmCapabilities;  // tpm_device.h
+
+class Tpm2Device {
+ public:
+  struct Options {
+    /// Transient-fault model (disabled by default); same semantics as
+    /// TpmDevice::Options::faults -- TPM2 commands fault and retry
+    /// through the identical driver-style loop.
+    TpmFaultProfile faults;
+  };
+
+  /// `seed` determines all device-internal randomness (storage seed,
+  /// AK, RNG); `clock` receives the per-command latency charges.
+  Tpm2Device(const ChipProfile& profile, BytesView seed, SimClock& clock);
+  Tpm2Device(const ChipProfile& profile, BytesView seed, SimClock& clock,
+             Options options);
+
+  const ChipProfile& profile() const { return profile_; }
+  /// The ECC attestation key (AK) public half; certified by the privacy
+  /// CA during provisioning.
+  const crypto::EcdsaPublicKey& ak_public() const { return ak_public_; }
+
+  // ---- PCR commands (SHA-256 bank) ----------------------------------
+  Result<Bytes> pcr_extend(Locality locality, std::uint32_t index,
+                           BytesView digest);
+  Result<Bytes> pcr_read(std::uint32_t index);
+  Status pcr_reset(Locality locality, std::uint32_t index);
+  /// Composite over live PCRs (free of charge: host-side helper).
+  Result<Bytes> pcr_composite(const PcrSelection& selection) const;
+
+  // ---- randomness ----------------------------------------------------
+  Bytes get_random(std::size_t n);
+
+  // ---- attestation ---------------------------------------------------
+  /// TPM2_Quote: signs the pcrDigest of `selection` with the AK, bound
+  /// to the caller's fresh `external_data` (extraData) and stamped with
+  /// the device clock info.
+  Result<Tpm2Quote> quote(BytesView external_data,
+                          const PcrSelection& selection);
+
+  // ---- sealed storage -------------------------------------------------
+  /// Seals `data` to the *current* values of the selected PCRs and a
+  /// release-locality mask (bit i = locality i allowed).
+  Result<Bytes> seal(Locality locality, const PcrSelection& selection,
+                     std::uint8_t release_locality_mask, BytesView data);
+
+  /// Seals with explicit release-time PCR values (TPM 2.0 policy
+  /// sessions authorize against a future PCR state the same way the 1.2
+  /// digestAtRelease did); the enrollment PAL pre-seals state for the
+  /// confirmation PAL with this.
+  Result<Bytes> seal_to(Locality locality, const PcrSelection& selection,
+                        const std::vector<Bytes>& release_values,
+                        std::uint8_t release_locality_mask, BytesView data);
+
+  /// Releases sealed data iff the release policy matches the live PCRs
+  /// and locality. Tamper -> kAuthFail; policy mismatch -> kPcrMismatch.
+  Result<Bytes> unseal(Locality locality, BytesView blob);
+
+  // ---- capability ------------------------------------------------------
+  TpmCapabilities get_capability() const;
+
+  /// Number of commands executed (for the benchmark harness).
+  std::uint64_t command_count() const { return command_count_; }
+
+  /// Fault-model observability; same meaning as on TpmDevice.
+  std::uint64_t transient_faults() const { return transient_faults_; }
+  std::uint64_t fault_retries() const { return fault_retries_; }
+  std::uint64_t fault_exhaustions() const { return fault_exhaustions_; }
+
+ private:
+  void charge(const char* label, SimDuration d);
+  Status charge_faulty(const char* label, SimDuration d);
+  Bytes storage_mac(BytesView body);
+  Status check_release_policy(Locality locality, std::uint8_t locality_mask,
+                              const PcrSelection& selection,
+                              BytesView composite) const;
+
+  ChipProfile profile_;
+  SimClock* clock_;
+  Options options_;
+  PcrBank pcrs_;
+  std::unique_ptr<crypto::HmacDrbg> drbg_;
+  Bytes storage_seed_;
+  std::optional<crypto::Aes> seal_enc_;
+  std::optional<crypto::HmacSha256Ctx> seal_mac_;
+  crypto::EcdsaPrivateKey ak_;
+  crypto::EcdsaPublicKey ak_public_;
+  Bytes ak_name_;
+  std::uint32_t reset_count_ = 1;  // TPM2_Startup(CLEAR) at construction
+  std::uint64_t command_count_ = 0;
+  SimRng fault_rng_;
+  std::uint64_t transient_faults_ = 0;
+  std::uint64_t fault_retries_ = 0;
+  std::uint64_t fault_exhaustions_ = 0;
+};
+
+}  // namespace tp::tpm

@@ -1,0 +1,119 @@
+#include "tpm/tpm2_quote.h"
+
+#include "crypto/sha256.h"
+#include "util/serial.h"
+
+namespace tp::tpm {
+
+Bytes tpm2_key_name(const crypto::EcdsaPublicKey& key) {
+  crypto::Sha256 h;
+  h.update(bytes_of("TPM2-AK-NAME"));
+  h.update(key.serialize());
+  return h.finalize();
+}
+
+Result<Bytes> tpm2_pcr_digest(const std::vector<Bytes>& values) {
+  if (values.empty()) {
+    return Error{Err::kInvalidArgument, "tpm2_pcr_digest: empty selection"};
+  }
+  crypto::Sha256 h;
+  for (const Bytes& v : values) {
+    if (v.size() != kPcrSizeSha256) {
+      return Error{Err::kInvalidArgument,
+                   "tpm2_pcr_digest: bad PCR value size"};
+    }
+    h.update(v);
+  }
+  return h.finalize();
+}
+
+Bytes Tpm2Quote::attest_body() const {
+  BinaryWriter w;
+  w.u32(kTpm2AttestMagic);
+  w.u16(kTpm2AttestTypeQuote);
+  w.var_bytes(qualified_signer);
+  w.var_bytes(extra_data);
+  w.u64(clock_info.clock_us);
+  w.u32(clock_info.reset_count);
+  w.u32(clock_info.restart_count);
+  w.u64(firmware_version);
+  w.var_bytes(selection.serialize());
+  w.var_bytes(pcr_digest);
+  return w.take();
+}
+
+Bytes Tpm2Quote::serialize() const {
+  BinaryWriter w;
+  const Bytes body = attest_body();
+  w.var_bytes(body);
+  w.var_bytes(signature);
+  return w.take();
+}
+
+Result<Tpm2Quote> Tpm2Quote::deserialize(BytesView data) {
+  BinaryReader outer(data);
+  auto body = outer.var_bytes();
+  if (!body.ok()) return body.error();
+  auto signature = outer.var_bytes();
+  if (!signature.ok()) return signature.error();
+  if (auto s = outer.expect_exhausted(); !s.ok()) return s.error();
+
+  BinaryReader r(body.value());
+  auto magic = r.u32();
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != kTpm2AttestMagic) {
+    return Error{Err::kInvalidArgument, "Tpm2Quote: bad attest magic"};
+  }
+  auto type = r.u16();
+  if (!type.ok()) return type.error();
+  if (type.value() != kTpm2AttestTypeQuote) {
+    return Error{Err::kInvalidArgument, "Tpm2Quote: not an attest-quote"};
+  }
+  Tpm2Quote quote;
+  auto signer = r.var_bytes();
+  if (!signer.ok()) return signer.error();
+  quote.qualified_signer = signer.take();
+  auto extra = r.var_bytes();
+  if (!extra.ok()) return extra.error();
+  quote.extra_data = extra.take();
+  auto clock = r.u64();
+  if (!clock.ok()) return clock.error();
+  quote.clock_info.clock_us = clock.value();
+  auto resets = r.u32();
+  if (!resets.ok()) return resets.error();
+  quote.clock_info.reset_count = resets.value();
+  auto restarts = r.u32();
+  if (!restarts.ok()) return restarts.error();
+  quote.clock_info.restart_count = restarts.value();
+  auto firmware = r.u64();
+  if (!firmware.ok()) return firmware.error();
+  quote.firmware_version = firmware.value();
+  auto sel_bytes = r.var_bytes();
+  if (!sel_bytes.ok()) return sel_bytes.error();
+  auto selection = PcrSelection::deserialize(sel_bytes.value());
+  if (!selection.ok()) return selection.error();
+  quote.selection = selection.take();
+  auto digest = r.var_bytes();
+  if (!digest.ok()) return digest.error();
+  quote.pcr_digest = digest.take();
+  if (auto s = r.expect_exhausted(); !s.ok()) return s.error();
+  quote.signature = signature.take();
+  return quote;
+}
+
+Status verify_tpm2_quote(const crypto::EcdsaPublicKey& ak,
+                         const Tpm2Quote& quote, BytesView expected_nonce) {
+  if (!ct_equal(quote.extra_data, expected_nonce)) {
+    return Error{Err::kNonceMismatch, "tpm2 quote: stale or wrong nonce"};
+  }
+  if (!ct_equal(quote.qualified_signer, tpm2_key_name(ak))) {
+    return Error{Err::kAuthFail, "tpm2 quote: signer is not the expected AK"};
+  }
+  if (auto s = crypto::ecdsa_verify(ak, quote.attest_body(), quote.signature);
+      !s.ok()) {
+    return Error{Err::kAuthFail, "tpm2 quote: bad AK signature"};
+  }
+  return Status::ok_status();
+}
+
+}  // namespace tp::tpm

@@ -1,0 +1,78 @@
+// TPM 2.0 quote structures and remote verification.
+//
+// TPM2_Quote differs from the 1.2 TPM_Quote in three load-bearing ways:
+//   1. the signed payload is a TPMS_ATTEST-shaped structure (magic,
+//      type, qualified signer name, clock info) rather than the bare
+//      "QUOT" composite;
+//   2. the quote carries a single pcrDigest -- SHA-256 over the
+//      concatenated selected PCR values -- instead of the values
+//      themselves, so the verifier recomputes the digest from the
+//      golden values it already holds;
+//   3. the signature is ECDSA-P256 by an ECC attestation key (AK), not
+//      RSASSA by an RSA AIK.
+//
+// The emulation keeps the TPM's field semantics but uses the repo's
+// canonical big-endian serialization rather than TCG marshalling.
+#pragma once
+
+#include <vector>
+
+#include "crypto/ecdsa.h"
+#include "tpm/pcr.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace tp::tpm {
+
+/// TPMS_ATTEST header constants: TPM_GENERATED_VALUE ("\xffTCG") and
+/// TPM_ST_ATTEST_QUOTE.
+inline constexpr std::uint32_t kTpm2AttestMagic = 0xFF544347;
+inline constexpr std::uint16_t kTpm2AttestTypeQuote = 0x8018;
+
+/// TPM2B_NAME stand-in: SHA-256 over a domain prefix and the AK's SEC1
+/// serialization. Binds the attest blob to the signing key.
+Bytes tpm2_key_name(const crypto::EcdsaPublicKey& key);
+
+/// TPM2_Quote's pcrDigest: SHA-256 over the concatenated selected PCR
+/// values, which must each be one SHA-256-bank register (32 bytes).
+Result<Bytes> tpm2_pcr_digest(const std::vector<Bytes>& values);
+
+/// TPMS_CLOCK_INFO subset carried in every attest blob.
+struct Tpm2ClockInfo {
+  std::uint64_t clock_us = 0;        // virtual time at quote
+  std::uint32_t reset_count = 0;     // TPM2_Startup(CLEAR) count
+  std::uint32_t restart_count = 0;   // resume count
+};
+
+/// Output of TPM2_Quote: the attest fields plus the AK signature over
+/// their canonical encoding (attest_body()).
+struct Tpm2Quote {
+  Bytes qualified_signer;  // tpm2_key_name() of the AK
+  Bytes extra_data;        // verifier nonce (anti-replay)
+  Tpm2ClockInfo clock_info;
+  std::uint64_t firmware_version = 0;
+  PcrSelection selection;
+  Bytes pcr_digest;  // SHA-256 over the selected PCR values
+  Bytes signature;   // ECDSA-P256 r||s over attest_body()
+
+  /// The TPMS_ATTEST-shaped byte string the AK signs.
+  Bytes attest_body() const;
+
+  Bytes serialize() const;
+  /// Strict parse; enforces the attest magic and quote type so a
+  /// structurally valid blob of another attest kind cannot pass as a
+  /// quote.
+  static Result<Tpm2Quote> deserialize(BytesView data);
+};
+
+/// Full remote verification:
+///   1. freshness: extra_data equals `expected_nonce` (constant-time);
+///   2. signer binding: qualified_signer is the name of `ak`;
+///   3. signature: ECDSA-P256(SHA-256) over attest_body().
+/// Comparing pcr_digest against the digest of golden values is the
+/// caller's job (the quote proves what the digest WAS; policy decides
+/// what it MUST be).
+Status verify_tpm2_quote(const crypto::EcdsaPublicKey& ak,
+                         const Tpm2Quote& quote, BytesView expected_nonce);
+
+}  // namespace tp::tpm

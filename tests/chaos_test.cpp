@@ -24,6 +24,7 @@
 #include "pal/human_agent.h"
 #include "sp/deployment.h"
 #include "sp/service_provider.h"
+#include "tpm/tpm2_device.h"
 #include "tpm/tpm_device.h"
 
 namespace tp {
@@ -475,6 +476,86 @@ TEST(ChaosTpm, TransientFaultsRecoverWithinRetryBudget) {
   // Recovery is not free: every retry re-charges the command plus the
   // backoff, so the faulty device's virtual clock runs ahead.
   EXPECT_GT(clock.now().ns, baseline_clock.now().ns);
+}
+
+TEST(ChaosTpm, Tpm2TransientFaultsRecoverWithinRetryBudget) {
+  // The 2.0 device runs the identical driver-style retry loop; quotes and
+  // policy-bound seals recover from transient chip faults the same way
+  // the 1.2 commands do.
+  SimClock clock;
+  tpm::Tpm2Device::Options options;
+  options.faults.transient_prob = 0.25;
+  options.faults.max_retries = 10;
+  options.faults.seed = chaos_seed() ^ 0x74326dull;
+  tpm::Tpm2Device tpm(tpm::default_chip(), bytes_of("chaos-tpm2"), clock,
+                      options);
+
+  const auto selection = tpm::PcrSelection::of({16});
+  for (int i = 0; i < 100; ++i) {
+    auto blob = tpm.seal(tpm::Locality::kOs, selection, 0xff,
+                         bytes_of("secret"));
+    ASSERT_TRUE(blob.ok()) << "seal " << i << ": " << blob.error().message;
+    auto out = tpm.unseal(tpm::Locality::kOs, blob.value());
+    ASSERT_TRUE(out.ok()) << "unseal " << i << ": " << out.error().message;
+    auto quote = tpm.quote(bytes_of("nonce"), selection);
+    ASSERT_TRUE(quote.ok()) << "quote " << i << ": " << quote.error().message;
+    ASSERT_TRUE(
+        tpm::verify_tpm2_quote(tpm.ak_public(), quote.value(),
+                               bytes_of("nonce"))
+            .ok());
+  }
+  EXPECT_GT(tpm.transient_faults(), 0u);
+  EXPECT_EQ(tpm.fault_retries(), tpm.transient_faults());
+  EXPECT_EQ(tpm.fault_exhaustions(), 0u);
+}
+
+TEST(ChaosFullStack, Tpm2BackendConfirmsEverythingOverFaultyLink) {
+  // The full trusted path on the 2.0 backend under the same fault plan
+  // shape as the 1.2 run: faulty link, glitching TPM2 chip, retrying
+  // client -- exactly-once must hold regardless of the quote format.
+  sp::DeploymentConfig cfg;
+  cfg.client_id = "chaos-tpm2";
+  cfg.seed = bytes_of("chaos-full-stack-tpm2");
+  cfg.tpm_key_bits = 1024;
+  cfg.backend = tpm::QuoteFormat::kTpm2;
+  // Pinned seed: the all-accepted assertion depends on the sampled fault
+  // sequence (see file header).
+  cfg.net.fault.seed = 0x7432666cull;
+  cfg.net.fault.to_sp.drop_prob = 0.12;
+  cfg.net.fault.to_sp.dup_prob = 0.06;
+  cfg.net.fault.to_sp.reorder_prob = 0.04;
+  cfg.net.fault.to_client.drop_prob = 0.12;
+  cfg.net.fault.to_client.dup_prob = 0.06;
+  cfg.net.fault.to_client.reorder_prob = 0.04;
+  cfg.client_retry.max_attempts = 12;
+  cfg.client_retry.backoff_base = SimDuration::millis(50);
+  cfg.tpm_faults.transient_prob = 0.05;
+  cfg.tpm_faults.max_retries = 10;
+
+  sp::Deployment world(cfg);
+  pal::HumanAgent agent(devices::HumanModel(perfect_human(), SimRng(13)), "");
+  world.client().set_user_agent(&agent);
+
+  ASSERT_TRUE(world.client().enroll().ok());
+  const int kTxs = 20;
+  for (int i = 0; i < kTxs; ++i) {
+    const std::string summary = "pay " + std::to_string(i) + " EUR";
+    agent.set_intended_summary(summary);
+    auto outcome =
+        world.client().submit_transaction(summary, bytes_of("payload"));
+    ASSERT_TRUE(outcome.ok()) << "tx " << i << ": "
+                              << outcome.error().message;
+    EXPECT_TRUE(outcome.value().accepted) << "tx " << i;
+  }
+  const auto stats = world.sp().stats();
+  EXPECT_EQ(stats.tx_accepted, static_cast<std::uint64_t>(kTxs));
+  // Every accept was attributed to the 2.0 backend slice.
+  EXPECT_EQ(stats.tx_accepted_format(tpm::QuoteFormat::kTpm2),
+            static_cast<std::uint64_t>(kTxs));
+  EXPECT_EQ(stats.enrolled_format(tpm::QuoteFormat::kTpm2), 1u);
+  EXPECT_GT(world.client().retries(), 0u);
+  EXPECT_GT(world.platform().tpm2().transient_faults(), 0u);
+  EXPECT_EQ(world.platform().tpm2().fault_exhaustions(), 0u);
 }
 
 TEST(ChaosTpm, PersistentFaultExhaustsRetriesWithTypedError) {
