@@ -62,6 +62,13 @@ struct ConfigResult {
   double rps = 0.0;
 };
 
+/// Knobs for the batched-drain sweep (F10); defaults reproduce the
+/// pre-batching worker loop (one frame per wakeup, per-request commit).
+struct BatchKnobs {
+  std::size_t max_batch = 1;
+  bool group_commit = false;
+};
+
 /// Mints one genuine pending-at-service confirmation for fleet member `i`.
 Bytes mint_confirm_frame(sp::Fleet& fleet, svc::VerifierService& service,
                          pal::SessionDriver& driver, std::size_t i,
@@ -92,8 +99,8 @@ Bytes mint_confirm_frame(sp::Fleet& fleet, svc::VerifierService& service,
 }
 
 ConfigResult run_config(std::size_t workers, std::size_t queue_depth,
-                        std::size_t total_requests,
-                        std::uint64_t backend_us) {
+                        std::size_t total_requests, std::uint64_t backend_us,
+                        BatchKnobs batch = {}) {
   sp::FleetConfig fleet_config;
   fleet_config.num_clients = 8;
   fleet_config.seed = bytes_of("svc-bench");
@@ -103,6 +110,8 @@ ConfigResult run_config(std::size_t workers, std::size_t queue_depth,
   svc_config.num_workers = workers;
   svc_config.queue_depth = queue_depth;
   svc_config.simulated_backend_latency = std::chrono::microseconds(backend_us);
+  svc_config.max_batch = batch.max_batch;
+  svc_config.group_commit = batch.group_commit;
   svc_config.sp = fleet.sp_config();
   svc::VerifierService service(std::move(svc_config));
   service.start();
@@ -167,12 +176,18 @@ ConfigResult run_config(std::size_t workers, std::size_t queue_depth,
       service.metrics().counter("svc.backpressure_waits").value();
   service.drain();
 
+  obs::HistogramSnapshot drained;
+  for (const auto& sample : service.metrics().histograms()) {
+    if (sample.name == "svc.batch_size") drained = sample.snapshot;
+  }
   std::printf(
       "{\"bench\":\"svc_throughput\",\"workers\":%zu,\"queue_depth\":%zu,"
-      "\"backend_us\":%llu,\"clients\":%zu,\"requests\":%zu,"
+      "\"backend_us\":%llu,\"max_batch\":%zu,\"group_commit\":%s,"
+      "\"mean_drain\":%.1f,\"clients\":%zu,\"requests\":%zu,"
       "\"accepted\":%llu,\"elapsed_ms\":%.1f,\"rps\":%.0f,\"p50_us\":%.1f,"
       "\"p95_us\":%.1f,\"p99_us\":%.1f,\"backpressure_waits\":%llu}\n",
       workers, queue_depth, static_cast<unsigned long long>(backend_us),
+      batch.max_batch, batch.group_commit ? "true" : "false", drained.mean(),
       fleet.size(), sent, static_cast<unsigned long long>(total_accepted),
       elapsed_ms, rps, latency.p50() / 1e3, latency.p95() / 1e3,
       latency.p99() / 1e3, static_cast<unsigned long long>(backpressure));
@@ -210,6 +225,25 @@ int main(int argc, char** argv) {
   // stalls; throughput should be depth-insensitive once depth >> burst.
   for (const std::size_t depth : {16u, 2048u}) {
     results.push_back(run_config(/*workers=*/4, depth, requests, kBackendUs));
+  }
+  // F10 batched-drain sweep: one wakeup drains up to max_batch frames
+  // and the drained batch shares one backing-store commit (group
+  // commit) plus one gathered verify pass. max_batch=1 is the control
+  // (identical model to the rows above); the gain at 4/16/64 is the
+  // amortization of the fixed per-request costs -- the commit first,
+  // then the wakeup/verify overheads once the commit no longer
+  // dominates.
+  for (const std::size_t mb : {1u, 4u, 16u, 64u}) {
+    results.push_back(run_config(/*workers=*/4, /*queue_depth=*/256, requests,
+                                 kBackendUs,
+                                 BatchKnobs{mb, /*group_commit=*/true}));
+  }
+  // CPU-only batched-drain rows: no commit to amortize, so what remains
+  // is the queue hand-off and the batched signature verification.
+  for (const std::size_t mb : {16u, 64u}) {
+    results.push_back(run_config(/*workers=*/4, /*queue_depth=*/256, requests,
+                                 /*backend_us=*/0,
+                                 BatchKnobs{mb, /*group_commit=*/false}));
   }
 
   double rps_1w = 0.0, rps_4w = 0.0, cpu_1w = 0.0, cpu_4w = 0.0;

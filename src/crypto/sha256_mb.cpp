@@ -1,0 +1,295 @@
+#include "crypto/sha256_mb.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+
+namespace tp::crypto {
+
+namespace {
+
+constexpr std::size_t kLanes = kSha256MbLanes;
+constexpr std::size_t kBlock = 64;
+
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline std::uint32_t rotr32(std::uint32_t x, int k) {
+  return (x >> k) | (x << (32 - k));
+}
+
+/// Four SHA-256 states, lane-minor: st[word][lane]. One 16-byte row per
+/// state word keeps the whole working set in eight rows the vectorizer
+/// can treat as 128-bit registers.
+struct State4 {
+  std::uint32_t v[8][kLanes];
+};
+
+void init4(State4& st) {
+  static constexpr std::uint32_t kIv[8] = {0x6a09e667u, 0xbb67ae85u,
+                                           0x3c6ef372u, 0xa54ff53au,
+                                           0x510e527fu, 0x9b05688cu,
+                                           0x1f83d9abu, 0x5be0cd19u};
+  for (int i = 0; i < 8; ++i) {
+    for (std::size_t l = 0; l < kLanes; ++l) st.v[i][l] = kIv[i];
+  }
+}
+
+/// One compression round over four independent blocks. Every statement
+/// of the scalar round function becomes a 4-wide loop; the lanes carry
+/// no cross dependencies, so the four serial chains interleave freely.
+void compress4(State4& st, const std::uint8_t* const blocks[kLanes]) {
+  std::uint32_t w[64][kLanes];
+  for (int i = 0; i < 16; ++i) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const std::uint8_t* b = blocks[l] + 4 * i;
+      w[i][l] = (static_cast<std::uint32_t>(b[0]) << 24) |
+                (static_cast<std::uint32_t>(b[1]) << 16) |
+                (static_cast<std::uint32_t>(b[2]) << 8) |
+                static_cast<std::uint32_t>(b[3]);
+    }
+  }
+  for (int i = 16; i < 64; ++i) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const std::uint32_t s0 = rotr32(w[i - 15][l], 7) ^
+                               rotr32(w[i - 15][l], 18) ^ (w[i - 15][l] >> 3);
+      const std::uint32_t s1 = rotr32(w[i - 2][l], 17) ^
+                               rotr32(w[i - 2][l], 19) ^ (w[i - 2][l] >> 10);
+      w[i][l] = w[i - 16][l] + s0 + w[i - 7][l] + s1;
+    }
+  }
+
+  std::uint32_t a[kLanes], b[kLanes], c[kLanes], d[kLanes];
+  std::uint32_t e[kLanes], f[kLanes], g[kLanes], h[kLanes];
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    a[l] = st.v[0][l];
+    b[l] = st.v[1][l];
+    c[l] = st.v[2][l];
+    d[l] = st.v[3][l];
+    e[l] = st.v[4][l];
+    f[l] = st.v[5][l];
+    g[l] = st.v[6][l];
+    h[l] = st.v[7][l];
+  }
+  for (int i = 0; i < 64; ++i) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const std::uint32_t s1 =
+          rotr32(e[l], 6) ^ rotr32(e[l], 11) ^ rotr32(e[l], 25);
+      const std::uint32_t ch = (e[l] & f[l]) ^ (~e[l] & g[l]);
+      const std::uint32_t t1 = h[l] + s1 + ch + kK[i] + w[i][l];
+      const std::uint32_t s0 =
+          rotr32(a[l], 2) ^ rotr32(a[l], 13) ^ rotr32(a[l], 22);
+      const std::uint32_t maj = (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]);
+      const std::uint32_t t2 = s0 + maj;
+      h[l] = g[l];
+      g[l] = f[l];
+      f[l] = e[l];
+      e[l] = d[l] + t1;
+      d[l] = c[l];
+      c[l] = b[l];
+      b[l] = a[l];
+      a[l] = t1 + t2;
+    }
+  }
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    st.v[0][l] += a[l];
+    st.v[1][l] += b[l];
+    st.v[2][l] += c[l];
+    st.v[3][l] += d[l];
+    st.v[4][l] += e[l];
+    st.v[5][l] += f[l];
+    st.v[6][l] += g[l];
+    st.v[7][l] += h[l];
+  }
+}
+
+void extract4(const State4& st, Sha256Digest out[kLanes]) {
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    for (int i = 0; i < 8; ++i) {
+      for (int byte = 0; byte < 4; ++byte) {
+        out[l][static_cast<std::size_t>(4 * i + byte)] =
+            static_cast<std::uint8_t>(st.v[i][l] >> (24 - 8 * byte));
+      }
+    }
+  }
+}
+
+/// Absorbs four equal-length tails (rem < 64 bytes each) plus the FIPS
+/// 180-4 padding into `st`. `total_len` is the full message length that
+/// the length field must encode (it may exceed `rem` when a prefix --
+/// e.g. the HMAC key block -- was compressed beforehand).
+void finish4(State4& st, const std::uint8_t* const tails[kLanes],
+             std::size_t rem, std::uint64_t total_len) {
+  // Equal lengths mean one shared padding schedule: either one final
+  // block (rem < 56) or two.
+  std::uint8_t pad[kLanes][2 * kBlock];
+  const std::size_t pad_blocks = rem < 56 ? 1 : 2;
+  const std::size_t pad_len = pad_blocks * kBlock;
+  const std::uint64_t bit_len = total_len * 8;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    std::memset(pad[l], 0, pad_len);
+    if (rem > 0) std::memcpy(pad[l], tails[l], rem);
+    pad[l][rem] = 0x80;
+    for (int i = 0; i < 8; ++i) {
+      pad[l][pad_len - 8 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    }
+  }
+  const std::uint8_t* blocks[kLanes];
+  for (std::size_t block = 0; block < pad_blocks; ++block) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      blocks[l] = pad[l] + block * kBlock;
+    }
+    compress4(st, blocks);
+  }
+}
+
+/// Core of both MB entry points: starting from `st` (IV or keyed
+/// midstate), absorb four equal-length messages and finalize with
+/// `prefix_len` extra bytes accounted in the length field.
+void absorb_and_finish4(State4& st, const BytesView msgs[kLanes],
+                        std::size_t prefix_len, Sha256Digest out[kLanes]) {
+  const std::size_t len = msgs[0].size();
+  const std::size_t full = len / kBlock;
+  const std::uint8_t* blocks[kLanes];
+  for (std::size_t block = 0; block < full; ++block) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      blocks[l] = msgs[l].data() + block * kBlock;
+    }
+    compress4(st, blocks);
+  }
+  const std::size_t rem = len % kBlock;
+  const std::uint8_t* tails[kLanes];
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    tails[l] = rem > 0 ? msgs[l].data() + full * kBlock : nullptr;
+  }
+  finish4(st, tails, rem, prefix_len + len);
+  extract4(st, out);
+}
+
+void require_equal_lengths(const BytesView msgs[kLanes]) {
+  for (std::size_t l = 1; l < kLanes; ++l) {
+    if (msgs[l].size() != msgs[0].size()) {
+      throw std::invalid_argument("sha256_mb4: lane lengths differ");
+    }
+  }
+}
+
+/// RFC 2104 key block: key zero-padded to 64 bytes, pre-hashed if
+/// longer (matching HmacCtx::rekey bit for bit).
+std::array<std::uint8_t, kBlock> hmac_key_block(BytesView key) {
+  std::array<std::uint8_t, kBlock> k{};
+  if (key.size() > kBlock) {
+    Sha256 h;
+    h.update(key);
+    h.digest_into(k);
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  return k;
+}
+
+}  // namespace
+
+void sha256_mb4(const BytesView msgs[kSha256MbLanes],
+                Sha256Digest out[kSha256MbLanes]) {
+  require_equal_lengths(msgs);
+  State4 st;
+  init4(st);
+  absorb_and_finish4(st, msgs, 0, out);
+}
+
+void sha256_many(const BytesView* msgs, std::size_t n, Sha256Digest* out) {
+  std::size_t i = 0;
+  while (i + kLanes <= n) {
+    const bool equal = msgs[i + 1].size() == msgs[i].size() &&
+                       msgs[i + 2].size() == msgs[i].size() &&
+                       msgs[i + 3].size() == msgs[i].size();
+    if (!equal) {
+      out[i] = Sha256::digest(msgs[i]);
+      ++i;
+      continue;
+    }
+    sha256_mb4(&msgs[i], &out[i]);
+    i += kLanes;
+  }
+  for (; i < n; ++i) out[i] = Sha256::digest(msgs[i]);
+}
+
+void hmac_sha256_mb4(const BytesView keys[kSha256MbLanes],
+                     const BytesView msgs[kSha256MbLanes],
+                     Sha256Digest out[kSha256MbLanes]) {
+  require_equal_lengths(msgs);
+
+  std::array<std::uint8_t, kBlock> kb[kLanes];
+  std::uint8_t pads[kLanes][kBlock];
+  const std::uint8_t* blocks[kLanes];
+  for (std::size_t l = 0; l < kLanes; ++l) kb[l] = hmac_key_block(keys[l]);
+
+  // Inner hash: H((K' ^ ipad) || message).
+  State4 st;
+  init4(st);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      pads[l][i] = static_cast<std::uint8_t>(kb[l][i] ^ 0x36);
+    }
+    blocks[l] = pads[l];
+  }
+  compress4(st, blocks);
+  Sha256Digest inner[kLanes];
+  absorb_and_finish4(st, msgs, kBlock, inner);
+
+  // Outer hash: H((K' ^ opad) || inner digest).
+  init4(st);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      pads[l][i] = static_cast<std::uint8_t>(kb[l][i] ^ 0x5c);
+    }
+    blocks[l] = pads[l];
+  }
+  compress4(st, blocks);
+  BytesView inner_views[kLanes];
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    inner_views[l] = BytesView(inner[l].data(), inner[l].size());
+  }
+  absorb_and_finish4(st, inner_views, kBlock, out);
+}
+
+void hmac_sha256_many(BytesView key, const BytesView* msgs, std::size_t n,
+                      Sha256Digest* out) {
+  HmacSha256Ctx scalar(key);
+  const BytesView keys[kLanes] = {key, key, key, key};
+  std::size_t i = 0;
+  while (i + kLanes <= n) {
+    const bool equal = msgs[i + 1].size() == msgs[i].size() &&
+                       msgs[i + 2].size() == msgs[i].size() &&
+                       msgs[i + 3].size() == msgs[i].size();
+    if (!equal) {
+      scalar.update(msgs[i]);
+      scalar.finalize_into(out[i]);
+      ++i;
+      continue;
+    }
+    hmac_sha256_mb4(keys, &msgs[i], &out[i]);
+    i += kLanes;
+  }
+  for (; i < n; ++i) {
+    scalar.update(msgs[i]);
+    scalar.finalize_into(out[i]);
+  }
+}
+
+}  // namespace tp::crypto

@@ -1,0 +1,55 @@
+// Multi-buffer SHA-256 / HMAC-SHA-256: four independent messages hashed
+// in lockstep through one interleaved compression loop.
+//
+// The scalar compressor is latency-bound: each of the 64 rounds depends
+// on the previous one, so the ALUs sit half idle. Interleaving four
+// independent states turns the same loop body into four parallel
+// dependency chains -- the out-of-order core (or the auto-vectorizer:
+// every operation is a 32-bit add/rotate/bool, i.e. one SSE2 lane)
+// fills the pipeline and the per-message cost drops well below the
+// scalar path. This is the standard multi-buffer construction used by
+// high-throughput TLS/IPsec stacks, applied here to the verify data
+// plane's gather points: confirmation-statement digests and record MACs
+// arrive in batches of equal-length buffers, exactly the shape the
+// 4-lane kernel wants.
+//
+// Results are bit-for-bit identical to crypto/sha256.h (the batch_test
+// parity suite fuzzes lengths straddling every padding boundary).
+#pragma once
+
+#include <cstddef>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace tp::crypto {
+
+/// Lane count of the interleaved compressor.
+inline constexpr std::size_t kSha256MbLanes = 4;
+
+/// Hashes four equal-length messages in lockstep. All four views must
+/// have the same size (the padding schedule is shared across lanes);
+/// throws std::invalid_argument otherwise.
+void sha256_mb4(const BytesView msgs[kSha256MbLanes],
+                Sha256Digest out[kSha256MbLanes]);
+
+/// Hashes `n` messages of arbitrary length: runs of four equal-length
+/// messages go through the interleaved kernel, everything else through
+/// the scalar path. `msgs` and `out` must hold `n` entries. Safe for
+/// any mix -- this is the drop-in batched replacement for a loop of
+/// Sha256::digest calls.
+void sha256_many(const BytesView* msgs, std::size_t n, Sha256Digest* out);
+
+/// HMAC-SHA-256 over four (key, message) pairs in lockstep. Messages
+/// must share one length; keys may differ (and may exceed the block
+/// size -- they are pre-hashed per RFC 2104 like the scalar HmacCtx).
+void hmac_sha256_mb4(const BytesView keys[kSha256MbLanes],
+                     const BytesView msgs[kSha256MbLanes],
+                     Sha256Digest out[kSha256MbLanes]);
+
+/// HMAC-SHA-256 of `n` messages under one key: equal-length runs of four
+/// ride the interleaved kernel, the remainder the scalar HmacCtx.
+void hmac_sha256_many(BytesView key, const BytesView* msgs, std::size_t n,
+                      Sha256Digest* out);
+
+}  // namespace tp::crypto

@@ -367,22 +367,46 @@ TxChallenge ServiceProvider::begin_transaction(const TxSubmit& msg) {
   return challenge;
 }
 
-TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
-  obs::ScopedTimer timer(*h_tx_);
+/// Outcome of the pre-signature stage of one TxConfirm. The check order
+/// inside prepare_confirm is the seed's: binding (client identity),
+/// policy knob, enrollment, human verdict, replay backstop, signature.
+struct ServiceProvider::PreparedConfirm {
+  const core::TxConfirm* msg = nullptr;
+  proto::SessionTable::Key key{};
+  /// The session exists and was stepped to kVerifying; settle must
+  /// apply the verify outcome (and erase in one-shot mode). False for
+  /// the miss / terminal-guard paths, which reject without a settle
+  /// step -- exactly like the pre-pipeline code.
+  bool session_live = false;
+  /// A signature check is pending; verify_ok carries its verdict.
+  bool need_verify = false;
+  bool verify_ok = false;
+  bool verified_by_trusted_path = false;
+  /// First failed pre-signature check (kNone when all passed).
+  proto::RejectCode reject = proto::RejectCode::kNone;
+  /// Which backend's key signs the confirmation (unset in baseline
+  /// mode, where no signature is checked).
+  std::optional<tpm::QuoteFormat> format;
+  const tpm::AttestationVerifyContext* ctx = nullptr;
+  Bytes statement;
+};
+
+void ServiceProvider::prepare_confirm(const TxConfirm& msg,
+                                      PreparedConfirm& prep) {
+  prep.msg = &msg;
   const SimTime now = session_now();
-  const proto::SessionTable::Key key =
-      proto::SessionTable::tx_key(msg.tx_id);
+  prep.key = proto::SessionTable::tx_key(msg.tx_id);
   bool deadline_passed = false;
   proto::SessionTable::Session* session =
-      tx_sessions_.find(key, now, &deadline_passed);
+      tx_sessions_.find(prep.key, now, &deadline_passed);
   if (session == nullptr) {
     const proto::Step miss = proto::step(
         kConfirmPhase,
         deadline_passed ? proto::SessionState::kExpired
                         : proto::SessionState::kIdle,
         proto::SessionEvent::kComplete);
-    publish_session_metrics();
-    return reject_tx(msg.tx_id, miss.reject);
+    prep.reject = miss.reject;
+    return;
   }
   // Same terminal-hold guard as enrollment: a settled session refuses a
   // fresh completion with its typed code.
@@ -390,84 +414,156 @@ TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
       kConfirmPhase, session->state, proto::SessionEvent::kComplete);
   session->state = on_complete.next;
   if (on_complete.action != proto::SessionAction::kVerify) {
-    publish_session_metrics();
-    return reject_tx(msg.tx_id, on_complete.reject);
+    prep.reject = on_complete.reject;
+    return;
   }
+  prep.session_live = true;
 
-  // The kVerify action for the confirmation phase. Check order is the
-  // seed's: binding (client identity), policy knob, enrollment, human
-  // verdict, replay backstop, signature.
-  bool verified_by_trusted_path = false;
-  // Which backend's key signed the accepted confirmation (unset in
-  // baseline mode, where no signature is checked).
-  std::optional<tpm::QuoteFormat> accepted_format;
-  const auto verify = [&]() -> proto::RejectCode {
-    if (session->client !=
-        proto::SessionTable::client_key(msg.client_id)) {
-      return proto::RejectCode::kClientMismatch;
-    }
-    if (!config_.require_trusted_path) {
-      // Baseline mode: execute whatever the (possibly compromised)
-      // client software asked for. This is the world before the trusted
-      // path.
-      return proto::RejectCode::kNone;
-    }
-    verified_by_trusted_path = true;
-    const auto enrolled = enrolled_.find(msg.client_id);
-    if (enrolled == enrolled_.end()) {
-      return proto::RejectCode::kClientNotEnrolled;
-    }
-    if (msg.verdict != Verdict::kConfirmed) {
-      return msg.verdict == Verdict::kRejected
-                 ? proto::RejectCode::kUserRejected
-                 : proto::RejectCode::kUserTimeout;
-    }
+  if (session->client != proto::SessionTable::client_key(msg.client_id)) {
+    prep.reject = proto::RejectCode::kClientMismatch;
+    return;
+  }
+  if (!config_.require_trusted_path) {
+    // Baseline mode: execute whatever the (possibly compromised) client
+    // software asked for. This is the world before the trusted path.
+    return;
+  }
+  prep.verified_by_trusted_path = true;
+  const auto enrolled = enrolled_.find(msg.client_id);
+  if (enrolled == enrolled_.end()) {
+    prep.reject = proto::RejectCode::kClientNotEnrolled;
+    return;
+  }
+  if (msg.verdict != Verdict::kConfirmed) {
+    prep.reject = msg.verdict == Verdict::kRejected
+                      ? proto::RejectCode::kUserRejected
+                      : proto::RejectCode::kUserTimeout;
+    return;
+  }
+  // Defence in depth: a signature is never accepted twice even if the
+  // one-shot challenge logic were bypassed. (Batches flush on duplicate
+  // signature bytes, so this screen sees every earlier accept.)
+  if (seen_signatures_.contains(msg.signature)) {
+    prep.reject = proto::RejectCode::kReplayedSignature;
+    return;
+  }
+  prep.statement = confirmation_statement(
+      BytesView(session->tx_digest.data(), session->tx_digest.size()),
+      session->nonce_view(), Verdict::kConfirmed);
+  prep.ctx = &enrolled->second;
+  prep.format = enrolled->second.format();
+  prep.need_verify = true;
+}
 
-    // Defence in depth: a signature is never accepted twice even if the
-    // one-shot challenge logic were bypassed.
-    if (seen_signatures_.contains(msg.signature)) {
-      return proto::RejectCode::kReplayedSignature;
-    }
+TxResult ServiceProvider::settle_confirm(PreparedConfirm& prep) {
+  const TxConfirm& msg = *prep.msg;
+  proto::RejectCode verdict = prep.reject;
+  if (verdict == proto::RejectCode::kNone && prep.need_verify &&
+      !prep.verify_ok) {
+    verdict = proto::RejectCode::kBadSignature;
+  }
+  if (!prep.session_live) return reject_tx(msg.tx_id, verdict);
 
-    const Bytes statement = confirmation_statement(
-        BytesView(session->tx_digest.data(), session->tx_digest.size()),
-        session->nonce_view(), Verdict::kConfirmed);
-    if (!enrolled->second
-             .verify(crypto::HashAlg::kSha256, statement, msg.signature)
-             .ok()) {
-      return proto::RejectCode::kBadSignature;
-    }
-    seen_signatures_.insert(msg.signature);
-    accepted_format = enrolled->second.format();
-    return proto::RejectCode::kNone;
-  };
-
-  const proto::RejectCode verdict = verify();
-  const proto::Step settle =
-      proto::step(kConfirmPhase, session->state,
-                  verdict == proto::RejectCode::kNone
-                      ? proto::SessionEvent::kVerifyOk
-                      : proto::SessionEvent::kVerifyFail);
-  session->state = settle.next;
+  // Re-find by key: prepares of other batch items may have moved slots
+  // (backward-shift deletion), but with distinct keys and an unchanged
+  // timeline this session is still live.
+  proto::SessionTable::Session* session =
+      tx_sessions_.find(prep.key, session_now());
+  bool accepted = false;
+  if (session != nullptr) {
+    const proto::Step settle =
+        proto::step(kConfirmPhase, session->state,
+                    verdict == proto::RejectCode::kNone
+                        ? proto::SessionEvent::kVerifyOk
+                        : proto::SessionEvent::kVerifyFail);
+    session->state = settle.next;
+    accepted = settle.action == proto::SessionAction::kAccept;
+  }
   if (!config_.idempotent_replies) {
     // One-shot: replay of this challenge dies here. Idempotent mode
     // holds the terminal session instead; a re-sent kComplete hits the
     // guard above (or the response cache on the frame path) and the
     // signature replay cache still backstops a re-verify.
-    tx_sessions_.erase(key);
+    tx_sessions_.erase(prep.key);
   }
-  publish_session_metrics();
-  if (settle.action == proto::SessionAction::kAccept) {
+  if (accepted) {
+    if (prep.need_verify) seen_signatures_.insert(msg.signature);
     c_tx_accepted_->inc();
-    if (accepted_format.has_value()) {
-      c_tx_accepted_fmt_[tpm::quote_format_index(*accepted_format)]->inc();
+    if (prep.format.has_value()) {
+      c_tx_accepted_fmt_[tpm::quote_format_index(*prep.format)]->inc();
     }
     return TxResult{msg.tx_id, true,
-                    verified_by_trusted_path
+                    prep.verified_by_trusted_path
                         ? "confirmed by human via trusted path"
                         : "accepted without verification"};
   }
   return reject_tx(msg.tx_id, verdict);
+}
+
+TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
+  obs::ScopedTimer timer(*h_tx_);
+  PreparedConfirm prep;
+  prepare_confirm(msg, prep);
+  if (prep.need_verify) {
+    prep.verify_ok = prep.ctx
+                         ->verify(crypto::HashAlg::kSha256, prep.statement,
+                                  msg.signature)
+                         .ok();
+  }
+  TxResult result = settle_confirm(prep);
+  publish_session_metrics();
+  return result;
+}
+
+std::vector<TxResult> ServiceProvider::complete_transaction_batch(
+    std::span<const TxConfirm> msgs) {
+  std::vector<TxResult> out;
+  out.reserve(msgs.size());
+  std::size_t base = 0;
+  while (base < msgs.size()) {
+    // Grow the run while tx ids and signature bytes stay pairwise
+    // distinct -- the same commutation condition the frame-level flush
+    // enforces (a duplicate would observe the earlier item's session or
+    // replay-cache write).
+    std::size_t end = base + 1;
+    for (; end < msgs.size(); ++end) {
+      bool conflict = false;
+      for (std::size_t i = base; i < end && !conflict; ++i) {
+        conflict = msgs[i].tx_id == msgs[end].tx_id ||
+                   msgs[i].signature == msgs[end].signature;
+      }
+      if (conflict) break;
+    }
+    const std::size_t n = end - base;
+    obs::ScopedTimer timer(*h_tx_);
+    std::vector<PreparedConfirm> preps(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      prepare_confirm(msgs[base + i], preps[i]);
+    }
+    std::vector<tpm::AttestationBatchItem> items;
+    std::vector<std::size_t> item_of;
+    items.reserve(n);
+    item_of.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!preps[i].need_verify) continue;
+      items.push_back({preps[i].ctx, crypto::HashAlg::kSha256,
+                       preps[i].statement, msgs[base + i].signature});
+      item_of.push_back(i);
+    }
+    if (!items.empty()) {
+      const std::vector<Status> verdicts =
+          tpm::attestation_verify_batch(items);
+      for (std::size_t j = 0; j < item_of.size(); ++j) {
+        preps[item_of[j]].verify_ok = verdicts[j].ok();
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(settle_confirm(preps[i]));
+    }
+    publish_session_metrics();
+    base = end;
+  }
+  return out;
 }
 
 std::size_t ServiceProvider::submit_dedup_index(
@@ -664,6 +760,153 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
                    proto::RejectCode::kUnexpectedMessage),
                proto::RejectCode::kUnexpectedMessage}
           .serialize());
+}
+
+std::vector<Bytes> ServiceProvider::handle_frame_batch(
+    std::span<const BytesView> frames, SimTime now) {
+  advance_time_to(now);
+  return handle_frame_batch(frames);
+}
+
+std::vector<Bytes> ServiceProvider::handle_frame_batch(
+    std::span<const BytesView> frames) {
+  std::vector<Bytes> out(frames.size());
+  const bool idem = config_.idempotent_replies;
+
+  // A run of parsed TxConfirm frames awaiting the gathered signature
+  // stage. Guaranteed pairwise-distinct tx ids and signature bytes (the
+  // flush rules below), so their prepares and settles commute with each
+  // other and the run is equivalent to sequential processing.
+  struct PendingTx {
+    std::size_t frame_index;
+    TxConfirm msg;
+    Bytes payload;  // for the idempotency digest
+  };
+  std::vector<PendingTx> pending;
+
+  const auto flush = [&]() {
+    if (pending.empty()) return;
+    obs::ScopedTimer timer(*h_tx_);
+    const std::size_t n = pending.size();
+    std::vector<PreparedConfirm> preps(n);
+    std::vector<char> settled(n, 0);
+
+    // Stage one, in frame order: idempotent-replay screening (terminal
+    // sessions answer from their response cache, mismatched retries get
+    // the typed reject) and the pre-signature checks.
+    for (std::size_t i = 0; i < n; ++i) {
+      PendingTx& p = pending[i];
+      if (idem) {
+        const proto::SessionTable::Key key =
+            proto::SessionTable::tx_key(p.msg.tx_id);
+        const proto::SessionTable::Key digest =
+            proto::SessionTable::payload_key(p.payload);
+        if (proto::SessionTable::Session* session =
+                tx_sessions_.find(key, session_now());
+            session != nullptr && session->terminal()) {
+          if (session->request_digest == digest && session->has_response()) {
+            c_replayed_result_->inc();
+            out[p.frame_index] = replay_response(*session);
+          } else {
+            out[p.frame_index] =
+                envelope(MsgType::kTxResult,
+                         reject_tx(p.msg.tx_id,
+                                   proto::RejectCode::kRetryMismatch)
+                             .serialize());
+          }
+          settled[i] = 1;
+          continue;
+        }
+      }
+      prepare_confirm(p.msg, preps[i]);
+    }
+
+    // Stage two: every signature that survived stage one, verified in
+    // one batched call (multi-buffer statement hashing, batch-inverted
+    // interleaved ECDSA walks, gathered RSA screens -- mixed fleets get
+    // both fast paths).
+    std::vector<tpm::AttestationBatchItem> items;
+    std::vector<std::size_t> item_of;
+    items.reserve(n);
+    item_of.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (settled[i] || !preps[i].need_verify) continue;
+      items.push_back({preps[i].ctx, crypto::HashAlg::kSha256,
+                       preps[i].statement, pending[i].msg.signature});
+      item_of.push_back(i);
+    }
+    if (!items.empty()) {
+      const std::vector<Status> verdicts = tpm::attestation_verify_batch(items);
+      for (std::size_t j = 0; j < item_of.size(); ++j) {
+        preps[item_of[j]].verify_ok = verdicts[j].ok();
+      }
+    }
+
+    // Stage three, in frame order: settle each session, cache the
+    // response for retransmits, emit the frame. Session-table gauges
+    // publish once per run instead of once per frame (they only expose
+    // point-in-time levels, which match the sequential end state).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (settled[i]) continue;
+      PendingTx& p = pending[i];
+      Bytes resp =
+          envelope(MsgType::kTxResult, settle_confirm(preps[i]).serialize());
+      if (idem) {
+        cache_response(
+            tx_sessions_.find(proto::SessionTable::tx_key(p.msg.tx_id),
+                              session_now()),
+            proto::SessionTable::payload_key(p.payload), resp);
+      }
+      out[p.frame_index] = std::move(resp);
+    }
+    publish_session_metrics();
+    pending.clear();
+  };
+
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    auto opened = open_envelope(frames[f]);
+    if (!opened.ok()) {
+      // Frame-level garbage touches no session or replay state, so the
+      // pending run can keep gathering across it.
+      reject_counter(proto::RejectCode::kMalformedFrame).inc();
+      out[f] = envelope(MsgType::kTxResult,
+                        TxResult{0, false,
+                                 proto::reject_code_message(
+                                     proto::RejectCode::kMalformedFrame),
+                                 proto::RejectCode::kMalformedFrame}
+                            .serialize());
+      continue;
+    }
+    auto& [type, payload] = opened.value();
+    if (type == MsgType::kTxConfirm) {
+      auto msg = TxConfirm::deserialize(payload);
+      if (!msg.ok()) {
+        out[f] = envelope(
+            MsgType::kTxResult,
+            reject_tx(0, proto::RejectCode::kMalformedTxConfirm).serialize());
+        continue;
+      }
+      // Flush rules: a second confirm for the same session slot, or a
+      // re-sent signature, must observe the first one's settlement.
+      bool conflict = false;
+      for (const PendingTx& p : pending) {
+        if (p.msg.tx_id == msg.value().tx_id ||
+            p.msg.signature == msg.value().signature) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) flush();
+      pending.push_back(PendingTx{f, msg.take(), std::move(payload)});
+      continue;
+    }
+    // Every other frame type can create, recycle or evict sessions:
+    // settle the pending run first, then take the single-frame path.
+    flush();
+    out[f] = handle_frame(frames[f]);
+  }
+  flush();
+  return out;
 }
 
 }  // namespace tp::sp

@@ -27,6 +27,8 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -161,11 +163,35 @@ class ServiceProvider {
   /// expiry and protocol-level session expiry share one timeline.
   Bytes handle_frame(BytesView frame, SimTime now);
 
+  /// Batched server loop entry: behaviourally identical to calling
+  /// handle_frame on each element in order (byte-identical responses,
+  /// identical final session/replay/counter state), but runs of
+  /// TxConfirm frames go through a two-stage accept pipeline -- stage
+  /// one parses frames, walks the session FSM and performs every
+  /// non-signature check; stage two verifies the gathered signatures in
+  /// one tpm::attestation_verify_batch call (multi-buffer statement
+  /// hashing, batch-inverted ECDSA walks, gathered RSA padding checks);
+  /// stage three settles each session in order. A pending run is
+  /// flushed early whenever batching could observe different state than
+  /// the sequential path: a non-TxConfirm frame (may create or evict
+  /// sessions), a duplicate tx id (same session slot), or duplicate
+  /// signature bytes (the replay cache must see the earlier insert).
+  std::vector<Bytes> handle_frame_batch(std::span<const BytesView> frames);
+  std::vector<Bytes> handle_frame_batch(std::span<const BytesView> frames,
+                                        SimTime now);
+
   // Direct-call API (same logic; used by unit tests and benches).
   core::EnrollChallenge begin_enrollment(const core::EnrollBegin& msg);
   core::EnrollResult complete_enrollment(const core::EnrollComplete& msg);
   core::TxChallenge begin_transaction(const core::TxSubmit& msg);
   core::TxResult complete_transaction(const core::TxConfirm& msg);
+  /// Message-level counterpart of handle_frame_batch: identical results
+  /// and final state as calling complete_transaction on each element in
+  /// order, with runs of confirms carrying pairwise-distinct tx ids and
+  /// signatures sharing one gathered signature-verification pass (a
+  /// duplicate splits the run, exactly like the frame-level flush).
+  std::vector<core::TxResult> complete_transaction_batch(
+      std::span<const core::TxConfirm> msgs);
 
   bool is_enrolled(const std::string& client_id) const {
     return enrolled_.count(client_id) != 0;
@@ -252,6 +278,19 @@ class ServiceProvider {
     std::uint64_t tx_id = 0;
     std::uint8_t used = 0;
   };
+
+  /// Two-stage TxConfirm pipeline shared by complete_transaction and
+  /// handle_frame_batch. prepare_confirm runs everything up to (not
+  /// including) the signature check -- session lookup, FSM step, client
+  /// binding, enrollment, verdict, replay screen -- and never holds a
+  /// session pointer past its return (the open-addressed table moves
+  /// slots on erase). settle_confirm re-finds the session by key,
+  /// applies the verify verdict to the FSM and the replay cache, and
+  /// builds the TxResult. Between an item's prepare and settle only
+  /// other confirms with distinct tx ids and signatures may run.
+  struct PreparedConfirm;
+  void prepare_confirm(const core::TxConfirm& msg, PreparedConfirm& prep);
+  core::TxResult settle_confirm(PreparedConfirm& prep);
 
   Bytes fresh_nonce();
   obs::Counter& reject_counter(proto::RejectCode code) {

@@ -1,0 +1,729 @@
+// Differential parity suites for the batched verify data plane.
+//
+// Every batch primitive in the repo claims bit-for-bit decision
+// equivalence with its single-item counterpart; these tests hold it to
+// that over fuzzed inputs: multi-buffer SHA-256/HMAC against the scalar
+// hashes across lengths straddling every padding boundary, batch RSA
+// and ECDSA verification against the per-item contexts over mixes of
+// valid, corrupted and malformed inputs (including the
+// one-bad-signature-in-batch case, where the bisection must isolate
+// exactly the offending index), the ring-buffer queue against its
+// contract, and the SP batch frame path against sequential handle_frame
+// on a twin service provider. Run via `ctest -L batch`; CI repeats the
+// label under ASan and UBSan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/trusted_path_pal.h"
+#include "crypto/drbg.h"
+#include "crypto/ecdsa.h"
+#include "crypto/hmac.h"
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+#include "crypto/sha256_mb.h"
+#include "devices/human.h"
+#include "pal/session.h"
+#include "sp/service_provider.h"
+#include "svc/bounded_queue.h"
+#include "tpm/attestation.h"
+#include "tpm/privacy_ca.h"
+
+namespace tp {
+namespace {
+
+Bytes rng_bytes(crypto::HmacDrbg& rng, std::size_t n) {
+  return rng.generate(n);
+}
+
+std::uint64_t rng_u64(crypto::HmacDrbg& rng) {
+  const Bytes b = rng.generate(8);
+  std::uint64_t v = 0;
+  for (std::uint8_t byte : b) v = (v << 8) | byte;
+  return v;
+}
+
+// ---- multi-buffer SHA-256 / HMAC ---------------------------------------
+
+TEST(Sha256MbTest, ParityAcrossPaddingBoundaries) {
+  crypto::HmacDrbg rng(bytes_of("batch-test:sha-mb"));
+  // Every length from empty through two blocks, plus the exact padding
+  // cliffs (55/56: length field fits or spills; 63/64: block edge) a
+  // second block out.
+  for (std::size_t len = 0; len <= 130; ++len) {
+    Bytes msgs[4];
+    BytesView views[4];
+    for (int l = 0; l < 4; ++l) {
+      msgs[l] = rng_bytes(rng, len);
+      views[l] = msgs[l];
+    }
+    crypto::Sha256Digest got[4];
+    crypto::sha256_mb4(views, got);
+    for (int l = 0; l < 4; ++l) {
+      EXPECT_EQ(got[l], crypto::Sha256::digest(views[l]))
+          << "len=" << len << " lane=" << l;
+    }
+  }
+}
+
+TEST(Sha256MbTest, RejectsUnequalLengths) {
+  Bytes a(10, 0x41), b(11, 0x42);
+  BytesView views[4] = {a, a, b, a};
+  crypto::Sha256Digest out[4];
+  EXPECT_THROW(crypto::sha256_mb4(views, out), std::invalid_argument);
+}
+
+TEST(Sha256MbTest, ManyHandlesMixedLengths) {
+  crypto::HmacDrbg rng(bytes_of("batch-test:sha-many"));
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng_u64(rng) % 13;
+    std::vector<Bytes> msgs(n);
+    std::vector<BytesView> views(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix of equal-length runs (exercises the 4-way kernel) and
+      // stragglers (exercises the scalar fallback).
+      const std::size_t len = (rng_u64(rng) % 4 == 0)
+                                  ? rng_u64(rng) % 200
+                                  : 64 + (round % 3) * 57;
+      msgs[i] = rng_bytes(rng, len);
+      views[i] = msgs[i];
+    }
+    std::vector<crypto::Sha256Digest> got(n);
+    crypto::sha256_many(views.data(), n, got.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i], crypto::Sha256::digest(views[i])) << "i=" << i;
+    }
+  }
+}
+
+TEST(Sha256MbTest, HmacParityAcrossKeyAndMessageLengths) {
+  crypto::HmacDrbg rng(bytes_of("batch-test:hmac-mb"));
+  const std::size_t key_lens[] = {0, 1, 32, 63, 64, 65, 100};
+  const std::size_t msg_lens[] = {0, 1, 54, 55, 56, 63, 64, 65, 119, 128};
+  for (std::size_t klen : key_lens) {
+    for (std::size_t mlen : msg_lens) {
+      Bytes keys[4], msgs[4];
+      BytesView key_views[4], msg_views[4];
+      for (int l = 0; l < 4; ++l) {
+        keys[l] = rng_bytes(rng, klen);
+        msgs[l] = rng_bytes(rng, mlen);
+        key_views[l] = keys[l];
+        msg_views[l] = msgs[l];
+      }
+      crypto::Sha256Digest got[4];
+      crypto::hmac_sha256_mb4(key_views, msg_views, got);
+      for (int l = 0; l < 4; ++l) {
+        const Bytes want = crypto::hmac_sha256(keys[l], msgs[l]);
+        EXPECT_EQ(Bytes(got[l].begin(), got[l].end()), want)
+            << "klen=" << klen << " mlen=" << mlen << " lane=" << l;
+      }
+    }
+  }
+}
+
+TEST(Sha256MbTest, HmacManyMatchesScalarContext) {
+  crypto::HmacDrbg rng(bytes_of("batch-test:hmac-many"));
+  const Bytes key = rng_bytes(rng, 32);
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t n = 1 + rng_u64(rng) % 11;
+    std::vector<Bytes> msgs(n);
+    std::vector<BytesView> views(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t len =
+          (rng_u64(rng) % 3 == 0) ? rng_u64(rng) % 150 : 80;
+      msgs[i] = rng_bytes(rng, len);
+      views[i] = msgs[i];
+    }
+    std::vector<crypto::Sha256Digest> got(n);
+    crypto::hmac_sha256_many(key, views.data(), n, got.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(Bytes(got[i].begin(), got[i].end()),
+                crypto::hmac_sha256(key, msgs[i]))
+          << "i=" << i;
+    }
+  }
+}
+
+// ---- batch ECDSA -------------------------------------------------------
+
+struct EcdsaFixture {
+  std::vector<crypto::EcdsaPrivateKey> keys;
+  std::vector<crypto::EcdsaVerifyContext> ctxs;
+
+  explicit EcdsaFixture(std::size_t count, const char* seed) {
+    crypto::HmacDrbg rng(bytes_of(seed));
+    auto rand = [&rng](std::size_t n) { return rng.generate(n); };
+    keys.reserve(count);
+    ctxs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      keys.push_back(crypto::ecdsa_generate(rand));
+      ctxs.emplace_back(keys.back().public_half);
+    }
+  }
+};
+
+TEST(EcdsaBatchTest, ParityOverFuzzedMixes) {
+  EcdsaFixture fx(4, "batch-test:ecdsa-parity");
+  crypto::HmacDrbg rng(bytes_of("batch-test:ecdsa-fuzz"));
+  // An intentionally invalid context (off-curve key): batch must report
+  // the same invalid-key failure the single path does.
+  crypto::EcdsaPublicKey bad_key = fx.keys[0].public_half;
+  bad_key.y[5] ^= 0x01;
+  const crypto::EcdsaVerifyContext bad_ctx(bad_key);
+
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = 1 + rng_u64(rng) % 9;
+    std::vector<Bytes> messages(n), signatures(n);
+    std::vector<crypto::EcdsaBatchItem> items(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t key_idx = rng_u64(rng) % fx.keys.size();
+      messages[i] = rng_bytes(rng, 40 + rng_u64(rng) % 60);
+      signatures[i] = crypto::ecdsa_sign(fx.keys[key_idx], messages[i]);
+      items[i].ctx = &fx.ctxs[key_idx];
+      switch (rng_u64(rng) % 6) {
+        case 0:  // valid
+          break;
+        case 1:  // corrupted signature byte
+          signatures[i][rng_u64(rng) % signatures[i].size()] ^= 0x40;
+          break;
+        case 2:  // corrupted message
+          messages[i][rng_u64(rng) % messages[i].size()] ^= 0x01;
+          break;
+        case 3:  // malformed: truncated signature
+          signatures[i].resize(signatures[i].size() / 2);
+          break;
+        case 4:  // malformed: r = 0
+          std::fill(signatures[i].begin(), signatures[i].begin() + 32, 0);
+          break;
+        case 5:  // invalid public key
+          items[i].ctx = &bad_ctx;
+          break;
+      }
+      items[i].message = messages[i];
+      items[i].signature = signatures[i];
+    }
+    const std::vector<Status> got = crypto::ecdsa_verify_batch(items);
+    ASSERT_EQ(got.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Status want = items[i].ctx->verify(messages[i], signatures[i]);
+      EXPECT_EQ(got[i].ok(), want.ok()) << "round=" << round << " i=" << i;
+      if (!want.ok()) {
+        EXPECT_EQ(got[i].error().code, want.error().code)
+            << "round=" << round << " i=" << i;
+        EXPECT_EQ(got[i].error().message, want.error().message)
+            << "round=" << round << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(EcdsaBatchTest, BisectionIsolatesTheOneBadSignature) {
+  EcdsaFixture fx(3, "batch-test:ecdsa-isolate");
+  crypto::HmacDrbg rng(bytes_of("batch-test:ecdsa-isolate-fuzz"));
+  for (std::size_t bad = 0; bad < 16; ++bad) {
+    std::vector<Bytes> messages(16), signatures(16);
+    std::vector<crypto::EcdsaBatchItem> items(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      const std::size_t key_idx = i % fx.keys.size();
+      messages[i] = rng_bytes(rng, 72);
+      signatures[i] = crypto::ecdsa_sign(fx.keys[key_idx], messages[i]);
+      if (i == bad) signatures[i][40] ^= 0x20;  // corrupt s, still in range
+      items[i] = {&fx.ctxs[key_idx], messages[i], signatures[i]};
+    }
+    const std::vector<Status> got = crypto::ecdsa_verify_batch(items);
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(got[i].ok(), i != bad) << "bad=" << bad << " i=" << i;
+    }
+  }
+}
+
+TEST(EcdsaBatchTest, AllValidAndAllInvalidBatches) {
+  EcdsaFixture fx(2, "batch-test:ecdsa-ends");
+  crypto::HmacDrbg rng(bytes_of("batch-test:ecdsa-ends-fuzz"));
+  std::vector<Bytes> messages(8), signatures(8);
+  std::vector<crypto::EcdsaBatchItem> items(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    messages[i] = rng_bytes(rng, 64);
+    signatures[i] = crypto::ecdsa_sign(fx.keys[i % 2], messages[i]);
+    items[i] = {&fx.ctxs[i % 2], messages[i], signatures[i]};
+  }
+  for (const Status& s : crypto::ecdsa_verify_batch(items)) {
+    EXPECT_TRUE(s.ok());
+  }
+  for (std::size_t i = 0; i < 8; ++i) signatures[i][33] ^= 0x10;
+  for (std::size_t i = 0; i < 8; ++i) items[i].signature = signatures[i];
+  for (const Status& s : crypto::ecdsa_verify_batch(items)) {
+    EXPECT_FALSE(s.ok());
+  }
+}
+
+TEST(EcdsaBatchTest, EmptyBatch) {
+  EXPECT_TRUE(crypto::ecdsa_verify_batch({}).empty());
+}
+
+// ---- batch RSA ---------------------------------------------------------
+
+struct RsaFixture {
+  std::vector<crypto::RsaPrivateKey> keys;
+  std::vector<crypto::RsaVerifyContext> ctxs;
+
+  explicit RsaFixture(std::size_t count, const char* seed) {
+    crypto::HmacDrbg rng(bytes_of(seed));
+    auto rand = [&rng](std::size_t n) { return rng.generate(n); };
+    for (std::size_t i = 0; i < count; ++i) {
+      keys.push_back(crypto::rsa_generate(1024, rand));
+      ctxs.emplace_back(keys.back().public_key());
+    }
+  }
+};
+
+TEST(RsaBatchTest, ParityOverFuzzedMixes) {
+  RsaFixture fx(2, "batch-test:rsa-parity");
+  crypto::HmacDrbg rng(bytes_of("batch-test:rsa-fuzz"));
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t n = 1 + rng_u64(rng) % 7;
+    std::vector<Bytes> messages(n), signatures(n);
+    std::vector<crypto::RsaBatchItem> items(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t key_idx = rng_u64(rng) % fx.keys.size();
+      const crypto::HashAlg alg = (rng_u64(rng) % 4 == 0)
+                                      ? crypto::HashAlg::kSha1
+                                      : crypto::HashAlg::kSha256;
+      messages[i] = rng_bytes(rng, 30 + rng_u64(rng) % 80);
+      signatures[i] = crypto::rsa_sign(fx.keys[key_idx], alg, messages[i]);
+      switch (rng_u64(rng) % 5) {
+        case 0:  // valid
+        case 1:
+          break;
+        case 2:  // corrupted signature
+          signatures[i][rng_u64(rng) % signatures[i].size()] ^= 0x04;
+          break;
+        case 3:  // bad length
+          signatures[i].push_back(0x00);
+          break;
+        case 4:  // representative out of range
+          std::fill(signatures[i].begin(), signatures[i].end(), 0xff);
+          break;
+      }
+      items[i] = {&fx.ctxs[key_idx], alg, messages[i], signatures[i]};
+    }
+    const std::vector<Status> got = crypto::rsa_verify_batch(items);
+    ASSERT_EQ(got.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Status want =
+          items[i].ctx->verify(items[i].alg, messages[i], signatures[i]);
+      EXPECT_EQ(got[i].ok(), want.ok()) << "round=" << round << " i=" << i;
+      if (!want.ok()) {
+        EXPECT_EQ(got[i].error().code, want.error().code)
+            << "round=" << round << " i=" << i;
+        EXPECT_EQ(got[i].error().message, want.error().message)
+            << "round=" << round << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(RsaBatchTest, OneCorruptedInBatchIsIsolated) {
+  RsaFixture fx(1, "batch-test:rsa-isolate");
+  crypto::HmacDrbg rng(bytes_of("batch-test:rsa-isolate-fuzz"));
+  for (std::size_t bad = 0; bad < 6; ++bad) {
+    std::vector<Bytes> messages(6), signatures(6);
+    std::vector<crypto::RsaBatchItem> items(6);
+    for (std::size_t i = 0; i < 6; ++i) {
+      messages[i] = rng_bytes(rng, 48);
+      signatures[i] = crypto::rsa_sign(fx.keys[0], crypto::HashAlg::kSha256,
+                                       messages[i]);
+      if (i == bad) signatures[i][10] ^= 0x80;
+      items[i] = {&fx.ctxs[0], crypto::HashAlg::kSha256, messages[i],
+                  signatures[i]};
+    }
+    const std::vector<Status> got = crypto::rsa_verify_batch(items);
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_EQ(got[i].ok(), i != bad) << "bad=" << bad << " i=" << i;
+    }
+  }
+}
+
+// ---- ring-buffer queue semantics ---------------------------------------
+
+TEST(BoundedQueueTest, RingWrapsAndPreservesFifoOrder) {
+  svc::BoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  // Cycle enough items through a small ring that head_ wraps several
+  // times; FIFO order must survive every wrap.
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 5; ++round) {
+    while (q.try_push(int{next_in})) ++next_in;
+    EXPECT_EQ(q.size(), 4u);
+    for (int i = 0; i < 3; ++i) {
+      auto got = q.try_pop();
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, next_out++);
+    }
+  }
+  while (auto got = q.try_pop()) EXPECT_EQ(*got, next_out++);
+  EXPECT_EQ(next_out, next_in);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, PopBatchDrainsUpToBoundInOrder) {
+  svc::BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.try_push(int{i}));
+  std::vector<int> out{99, 99};  // pop_batch must clear stale contents
+  EXPECT_EQ(q.pop_batch(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  // A bound above the occupancy delivers what is there, without waiting
+  // for more.
+  EXPECT_EQ(q.pop_batch(out, 16), 6u);
+  EXPECT_EQ(out, (std::vector<int>{4, 5, 6, 7, 8, 9}));
+  // max_n == 0 is treated as 1, not as "drain nothing forever".
+  ASSERT_TRUE(q.try_push(42));
+  EXPECT_EQ(q.pop_batch(out, 0), 1u);
+  EXPECT_EQ(out, (std::vector<int>{42}));
+}
+
+TEST(BoundedQueueTest, PopBatchDrainsAfterCloseThenReportsDone) {
+  svc::BoundedQueue<std::unique_ptr<int>> q(8);  // move-only payloads
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.try_push(std::make_unique<int>(i)));
+  }
+  q.close();
+  EXPECT_FALSE(q.try_push(std::make_unique<int>(99)));
+  std::vector<std::unique_ptr<int>> out;
+  EXPECT_EQ(q.pop_batch(out, 8), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(*out[i], i);
+  // Closed and drained: returns 0 instead of blocking.
+  EXPECT_EQ(q.pop_batch(out, 8), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BoundedQueueTest, PopBatchFreesSlotsForBlockedProducers) {
+  svc::BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.try_push(int{i}));
+  std::thread producer([&q] {
+    for (int i = 4; i < 8; ++i) ASSERT_TRUE(q.push(int{i}));  // blocks: full
+  });
+  std::vector<int> seen;
+  std::vector<int> out;
+  while (seen.size() < 8) {
+    ASSERT_GT(q.pop_batch(out, 4), 0u);
+    seen.insert(seen.end(), out.begin(), out.end());
+  }
+  producer.join();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(seen[i], i);
+}
+
+// ---- attestation batch dispatch ----------------------------------------
+
+TEST(AttestationBatchTest, MixedFormatsMatchSingleVerify) {
+  crypto::HmacDrbg rng(bytes_of("batch-test:att"));
+  auto rand = [&rng](std::size_t n) { return rng.generate(n); };
+  const crypto::RsaPrivateKey rsa_key = crypto::rsa_generate(1024, rand);
+  const crypto::EcdsaPrivateKey ec_key = crypto::ecdsa_generate(rand);
+  const tpm::AttestationVerifyContext rsa_ctx(
+      tpm::AttestationKey::of(rsa_key.public_key()));
+  const tpm::AttestationVerifyContext ec_ctx(
+      tpm::AttestationKey::of(ec_key.public_key()));
+
+  std::vector<Bytes> messages(9), signatures(9);
+  std::vector<tpm::AttestationBatchItem> items(9);
+  for (std::size_t i = 0; i < 9; ++i) {
+    messages[i] = rng_bytes(rng, 60);
+    if (i % 2 == 0) {
+      signatures[i] =
+          crypto::rsa_sign(rsa_key, crypto::HashAlg::kSha256, messages[i]);
+      items[i].ctx = &rsa_ctx;
+    } else {
+      signatures[i] = crypto::ecdsa_sign(ec_key, messages[i]);
+      items[i].ctx = &ec_ctx;
+    }
+    if (i % 3 == 0) signatures[i][7] ^= 0x22;  // corrupt a third of them
+    items[i].message = messages[i];
+    items[i].signature = signatures[i];
+  }
+  // One item exercising the ECDSA-is-SHA-256-only screen and one with a
+  // missing context.
+  items[7].alg = crypto::HashAlg::kSha1;
+  items[8].ctx = nullptr;
+
+  const std::vector<Status> got = tpm::attestation_verify_batch(items);
+  ASSERT_EQ(got.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].ctx == nullptr) {
+      EXPECT_FALSE(got[i].ok()) << "i=" << i;
+      continue;
+    }
+    const Status want =
+        items[i].ctx->verify(items[i].alg, messages[i], signatures[i]);
+    EXPECT_EQ(got[i].ok(), want.ok()) << "i=" << i;
+    if (!want.ok()) {
+      EXPECT_EQ(got[i].error().message, want.error().message) << "i=" << i;
+    }
+  }
+}
+
+// ---- SP batch frame path ----------------------------------------------
+
+namespace spbatch {
+
+/// Types whatever code the PAL displays (a perfectly obedient user).
+class ScriptedCodeAgent : public pal::UserAgent {
+ public:
+  std::optional<SimDuration> on_prompt(const devices::DisplayContent& screen,
+                                       devices::Keyboard& kb) override {
+    kb.press_line(devices::KeySource::kPhysical,
+                  screen.find_field(devices::kFieldCode));
+    return SimDuration::seconds(3);
+  }
+};
+
+sp::SpConfig sp_config(const tpm::PrivacyCa& ca) {
+  sp::SpConfig cfg;
+  cfg.golden_pcr17 = core::golden_pcr17();
+  cfg.ca_public = ca.public_key();
+  cfg.accepted_policies = {
+      core::attestation_policy(drtm::DrtmTechnology::kAmdSkinit),
+      core::attestation_policy(drtm::DrtmTechnology::kAmdSkinit, {},
+                               tpm::QuoteFormat::kTpm2),
+  };
+  return cfg;
+}
+
+/// A mixed TPM 1.2 / 2.0 member population with real PAL sessions, plus
+/// a recorded trace of request frames. The trace mixes valid confirms
+/// with every adversarial shape whose handling the batch path must
+/// reproduce: corrupted signatures, user rejections, unknown tx ids,
+/// client mismatches, reused signatures, and byte-identical
+/// retransmissions. Frame generation consults a reference SP so that
+/// challenges bind correctly; any twin SP constructed with the same
+/// config replays the identical trace (all nonce/tx-id draws are
+/// deterministic in frame order).
+struct TraceHarness {
+  tpm::PrivacyCa ca;
+  sp::ServiceProvider reference;
+  ScriptedCodeAgent agent;
+  struct Member {
+    std::string id;
+    std::unique_ptr<drtm::Platform> platform;
+    std::unique_ptr<pal::SessionDriver> driver;
+    Bytes sealed_key;
+  };
+  std::vector<Member> members;
+  std::vector<Bytes> trace;            // request frames, in order
+  std::vector<Bytes> want_responses;   // the reference SP's answers
+
+  TraceHarness() : ca(bytes_of("batch-sp-ca"), 1024), reference(sp_config(ca)) {
+    const tpm::QuoteFormat backends[] = {tpm::QuoteFormat::kTpm12,
+                                         tpm::QuoteFormat::kTpm2};
+    for (std::size_t m = 0; m < 2; ++m) {
+      Member member;
+      member.id = "client-" + std::to_string(m);
+      drtm::PlatformConfig pc;
+      pc.platform_id = member.id;
+      pc.seed = bytes_of("batch-sp-platform-" + std::to_string(m));
+      pc.tpm_key_bits = 1024;
+      pc.backend = backends[m];
+      member.platform = std::make_unique<drtm::Platform>(pc);
+      member.driver = std::make_unique<pal::SessionDriver>(*member.platform);
+      member.driver->set_user_agent(&agent);
+      members.push_back(std::move(member));
+    }
+
+    // Enrollment rides the trace too: the challenge nonce a twin SP
+    // issues is identical (same seed, same draw order), so the recorded
+    // EnrollComplete binds for every replay.
+    for (std::size_t m = 0; m < 2; ++m) {
+      Member& member = members[m];
+      const Bytes begin = core::envelope(
+          core::MsgType::kEnrollBegin,
+          core::EnrollBegin{member.id}.serialize());
+      const Bytes challenge_frame = feed(begin);
+      auto opened = core::open_envelope(challenge_frame);
+      auto challenge =
+          core::EnrollChallenge::deserialize(opened.value().second);
+
+      core::PalEnrollInput in;
+      in.nonce = challenge.value().nonce;
+      in.key_bits = 1024;
+      auto session =
+          member.driver->run(core::make_trusted_path_pal(), in.marshal());
+      auto out = core::PalEnrollOutput::unmarshal(session.value().output);
+      member.sealed_key = out.value().sealed_key;
+      core::EnrollComplete complete;
+      complete.client_id = member.id;
+      complete.format = backends[m];
+      complete.confirmation_pubkey = out.value().pubkey;
+      complete.quote = out.value().quote;
+      if (backends[m] == tpm::QuoteFormat::kTpm2) {
+        complete.aik_certificate =
+            ca.certify_key(member.id, tpm::AttestationKey::of(
+                                          member.platform->tpm2().ak_public()))
+                .serialize();
+      } else {
+        complete.aik_certificate =
+            ca.certify(member.id, member.platform->tpm().aik_public())
+                .serialize();
+      }
+      feed(core::envelope(core::MsgType::kEnrollComplete,
+                          complete.serialize()));
+    }
+  }
+
+  /// Appends a request frame to the trace and returns the reference
+  /// SP's response (also recorded).
+  Bytes feed(Bytes frame) {
+    Bytes response = reference.handle_frame(frame);
+    trace.push_back(std::move(frame));
+    want_responses.push_back(response);
+    return response;
+  }
+
+  /// Mints one genuine signed confirmation bound to a challenge the
+  /// reference SP just issued (the TxSubmit frame joins the trace).
+  core::TxConfirm mint(std::uint64_t i) {
+    Member& member = members[i % members.size()];
+    core::TxSubmit submit{member.id, "pay " + std::to_string(i),
+                          Bytes(64, 1)};
+    const Bytes challenge_frame = feed(
+        core::envelope(core::MsgType::kTxSubmit, submit.serialize()));
+    auto opened = core::open_envelope(challenge_frame);
+    auto challenge = core::TxChallenge::deserialize(opened.value().second);
+
+    core::PalConfirmInput in;
+    in.tx_summary = submit.summary;
+    in.tx_digest = submit.digest();
+    in.nonce = challenge.value().nonce;
+    in.sealed_key = member.sealed_key;
+    auto session =
+        member.driver->run(core::make_trusted_path_pal(), in.marshal());
+    auto out = core::PalConfirmOutput::unmarshal(session.value().output);
+    core::TxConfirm confirm;
+    confirm.client_id = member.id;
+    confirm.tx_id = challenge.value().tx_id;
+    confirm.verdict = out.value().verdict;
+    confirm.signature = out.value().signature;
+    return confirm;
+  }
+
+  void feed_confirm(const core::TxConfirm& confirm) {
+    feed(core::envelope(core::MsgType::kTxConfirm, confirm.serialize()));
+  }
+};
+
+void expect_same_stats(const sp::SpStats& got, const sp::SpStats& want) {
+  EXPECT_EQ(got.enrolled, want.enrolled);
+  EXPECT_EQ(got.enroll_rejected, want.enroll_rejected);
+  EXPECT_EQ(got.tx_accepted, want.tx_accepted);
+  EXPECT_EQ(got.tx_rejected, want.tx_rejected);
+  EXPECT_EQ(got.enrolled_by_format, want.enrolled_by_format);
+  EXPECT_EQ(got.tx_accepted_by_format, want.tx_accepted_by_format);
+  EXPECT_EQ(got.rejects_by_code, want.rejects_by_code);
+}
+
+}  // namespace spbatch
+
+TEST(SpBatchTest, FrameBatchMatchesSequentialFrameHandling) {
+  spbatch::TraceHarness harness;
+
+  // A trace interleaving every confirm shape. Valid accepts first (so
+  // their signatures land in the replay cache), then the adversarial
+  // rounds.
+  std::vector<core::TxConfirm> minted;
+  for (std::uint64_t i = 0; i < 10; ++i) minted.push_back(harness.mint(i));
+
+  for (std::size_t i = 0; i < minted.size(); ++i) {
+    core::TxConfirm confirm = minted[i];
+    switch (i % 5) {
+      case 0:  // valid
+        break;
+      case 1:  // corrupted signature
+        confirm.signature[12] ^= 0x08;
+        break;
+      case 2:  // user rejected
+        confirm.verdict = core::Verdict::kRejected;
+        break;
+      case 3:  // unknown tx id
+        confirm.tx_id += 100000;
+        break;
+      case 4:  // client mismatch
+        confirm.client_id = harness.members[(i + 1) % 2].id;
+        break;
+    }
+    harness.feed_confirm(confirm);
+  }
+  // Retransmission of an accepted confirm (idempotent replay), a reused
+  // signature on a fresh challenge (replay-cache reject), and a second,
+  // different confirm for an already-settled session (retry mismatch).
+  harness.feed_confirm(minted[0]);
+  core::TxConfirm reused = harness.mint(20);
+  reused.signature = minted[5].signature;
+  harness.feed_confirm(reused);
+  core::TxConfirm mismatch = minted[0];
+  mismatch.verdict = core::Verdict::kRejected;
+  harness.feed_confirm(mismatch);
+  // Frame-level garbage rides along untouched.
+  harness.feed(Bytes{0xde, 0xad, 0xbe, 0xef});
+
+  const sp::SpStats want_stats = harness.reference.stats();
+
+  // Replay the identical trace through handle_frame_batch at several
+  // chunk sizes (1 degenerates to the sequential path; the full trace
+  // exercises every flush rule).
+  const std::size_t chunk_sizes[] = {1, 3, 7, 16, harness.trace.size()};
+  for (const std::size_t chunk : chunk_sizes) {
+    sp::ServiceProvider twin(spbatch::sp_config(harness.ca));
+    std::vector<Bytes> got;
+    for (std::size_t start = 0; start < harness.trace.size();
+         start += chunk) {
+      const std::size_t len =
+          std::min(chunk, harness.trace.size() - start);
+      std::vector<BytesView> frames(len);
+      for (std::size_t j = 0; j < len; ++j) {
+        frames[j] = harness.trace[start + j];
+      }
+      std::vector<Bytes> responses = twin.handle_frame_batch(frames);
+      for (Bytes& r : responses) got.push_back(std::move(r));
+    }
+    ASSERT_EQ(got.size(), harness.want_responses.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], harness.want_responses[i])
+          << "chunk=" << chunk << " frame=" << i;
+    }
+    spbatch::expect_same_stats(twin.stats(), want_stats);
+    EXPECT_EQ(twin.replay_cache_size(), harness.reference.replay_cache_size())
+        << "chunk=" << chunk;
+    EXPECT_EQ(twin.session_table_occupancy(),
+              harness.reference.session_table_occupancy())
+        << "chunk=" << chunk;
+  }
+}
+
+TEST(SpBatchTest, BatchOfDistinctValidConfirmsAllAccept) {
+  spbatch::TraceHarness harness;
+  std::vector<core::TxConfirm> minted;
+  for (std::uint64_t i = 0; i < 8; ++i) minted.push_back(harness.mint(i));
+
+  sp::ServiceProvider twin(spbatch::sp_config(harness.ca));
+  const std::uint64_t before = twin.stats().tx_accepted;
+  std::vector<Bytes> frames = harness.trace;  // enrollment + submits
+  for (const core::TxConfirm& confirm : minted) {
+    frames.push_back(
+        core::envelope(core::MsgType::kTxConfirm, confirm.serialize()));
+  }
+  std::vector<BytesView> views(frames.begin(), frames.end());
+  (void)twin.handle_frame_batch(views);
+  EXPECT_EQ(twin.stats().tx_accepted - before, minted.size());
+  EXPECT_EQ(twin.stats().tx_accepted_format(tpm::QuoteFormat::kTpm12), 4u);
+  EXPECT_EQ(twin.stats().tx_accepted_format(tpm::QuoteFormat::kTpm2), 4u);
+}
+
+}  // namespace
+}  // namespace tp
