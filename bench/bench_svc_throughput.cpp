@@ -24,7 +24,10 @@
 // tracks available cores and is expectedly flat on a single-core
 // container.
 //
-// Usage: bench_svc_throughput [requests_per_config]   (default 2400)
+// Usage: bench_svc_throughput [requests_per_config] [--json=<path>]
+//   requests_per_config  defaults to 2400
+//   --json=<path>        additionally writes every row plus the summary
+//                        as one JSON document (BENCH_cluster.json style)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +63,7 @@ struct ConfigResult {
   std::size_t queue_depth = 0;
   std::uint64_t backend_us = 0;
   double rps = 0.0;
+  std::string json;  // the row exactly as printed (sans newline)
 };
 
 /// Knobs for the batched-drain sweep (F10); defaults reproduce the
@@ -180,31 +184,42 @@ ConfigResult run_config(std::size_t workers, std::size_t queue_depth,
   for (const auto& sample : service.metrics().histograms()) {
     if (sample.name == "svc.batch_size") drained = sample.snapshot;
   }
-  std::printf(
+  char row[512];
+  std::snprintf(
+      row, sizeof(row),
       "{\"bench\":\"svc_throughput\",\"workers\":%zu,\"queue_depth\":%zu,"
       "\"backend_us\":%llu,\"max_batch\":%zu,\"group_commit\":%s,"
       "\"mean_drain\":%.1f,\"clients\":%zu,\"requests\":%zu,"
       "\"accepted\":%llu,\"elapsed_ms\":%.1f,\"rps\":%.0f,\"p50_us\":%.1f,"
-      "\"p95_us\":%.1f,\"p99_us\":%.1f,\"backpressure_waits\":%llu}\n",
+      "\"p95_us\":%.1f,\"p99_us\":%.1f,\"backpressure_waits\":%llu}",
       workers, queue_depth, static_cast<unsigned long long>(backend_us),
       batch.max_batch, batch.group_commit ? "true" : "false", drained.mean(),
       fleet.size(), sent, static_cast<unsigned long long>(total_accepted),
       elapsed_ms, rps, latency.p50() / 1e3, latency.p95() / 1e3,
       latency.p99() / 1e3, static_cast<unsigned long long>(backpressure));
+  std::printf("%s\n", row);
   std::fflush(stdout);
   if (total_accepted != sent) {
     std::fprintf(stderr, "FATAL: %zu sent but %llu accepted\n", sent,
                  static_cast<unsigned long long>(total_accepted));
     std::abort();
   }
-  return ConfigResult{workers, queue_depth, backend_us, rps};
+  return ConfigResult{workers, queue_depth, backend_us, rps, row};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t requests = 2400;
-  if (argc > 1) requests = static_cast<std::size_t>(std::atoll(argv[1]));
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      requests = static_cast<std::size_t>(std::atoll(arg.c_str()));
+    }
+  }
 
   // Primary sweep: worker scaling with the modeled 500us backing-store
   // commit per request. These rows measure the runtime's latency hiding
@@ -257,10 +272,31 @@ int main(int argc, char** argv) {
       if (r.workers == 4) cpu_4w = r.rps;
     }
   }
-  std::printf(
-      "{\"bench\":\"svc_throughput_summary\",\"speedup_1w_to_4w\":%.2f,"
-      "\"speedup_1w_to_4w_cpu_only\":%.2f}\n",
-      rps_1w > 0 ? rps_4w / rps_1w : 0.0,
-      cpu_1w > 0 ? cpu_4w / cpu_1w : 0.0);
+  char summary[160];
+  std::snprintf(summary, sizeof(summary),
+                "{\"bench\":\"svc_throughput_summary\","
+                "\"speedup_1w_to_4w\":%.2f,"
+                "\"speedup_1w_to_4w_cpu_only\":%.2f}",
+                rps_1w > 0 ? rps_4w / rps_1w : 0.0,
+                cpu_1w > 0 ? cpu_4w / cpu_1w : 0.0);
+  std::printf("%s\n", summary);
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\"bench\":\"svc_throughput\",\"requests\":%zu,"
+                      "\"rows\":[\n",
+                 requests);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::fprintf(out, "  %s%s\n", results[i].json.c_str(),
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "],\"summary\":%s}\n", summary);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -26,16 +26,28 @@
 //                   the daemon summarizes the svc.batch_size histogram:
 //                   how much amortization the offered load actually
 //                   produced, not just what the cap permitted
+//   --shards=N      N > 0 runs a cluster::VerifierCluster of N shared-
+//                   nothing shards behind the consistent-hash router
+//                   instead of one multi-worker service (0, the default,
+//                   keeps the single-service path)
+//   --rebalance-at=R  with --shards: after serving round R a new shard
+//                   joins live -- sessions and exactly-once state for the
+//                   moved key range are handed off mid-run, and the
+//                   remaining rounds must still confirm every payment
 // With faults on, clients retransmit with backoff and the SP's
 // idempotent replay layer absorbs the duplicates -- the run should still
 // end with every transaction confirmed.
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "cluster/verifier_cluster.h"
 #include "pal/human_agent.h"
 #include "sp/fleet.h"
 #include "svc/verifier_service.h"
@@ -47,6 +59,8 @@ int main(int argc, char** argv) {
   std::uint64_t fault_seed = 0x6461656d6f6eull;  // "daemon"
   std::string backend = "tpm12";
   std::size_t max_batch = 16;
+  std::size_t shards = 0;
+  std::size_t rebalance_at = SIZE_MAX;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--drop-pct=", 0) == 0) {
@@ -59,6 +73,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--max-batch must be >= 1\n");
         return 2;
       }
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--rebalance-at=", 0) == 0) {
+      rebalance_at = std::strtoull(arg.c_str() + 15, nullptr, 10);
     } else if (arg.rfind("--backend=", 0) == 0) {
       backend = arg.substr(10);
       if (backend != "tpm12" && backend != "tpm2" && backend != "mixed") {
@@ -69,10 +87,15 @@ int main(int argc, char** argv) {
       std::fprintf(
           stderr,
           "usage: %s [--drop-pct=P] [--fault-seed=N] "
-          "[--backend=tpm12|tpm2|mixed] [--max-batch=N]\n",
+          "[--backend=tpm12|tpm2|mixed] [--max-batch=N] [--shards=N] "
+          "[--rebalance-at=R]\n",
           argv[0]);
       return 2;
     }
+  }
+  if (rebalance_at != SIZE_MAX && shards == 0) {
+    std::fprintf(stderr, "--rebalance-at requires --shards\n");
+    return 2;
   }
   if (drop_pct < 0.0 || drop_pct > 100.0) {
     std::fprintf(stderr, "--drop-pct must be in [0, 100]\n");
@@ -104,27 +127,69 @@ int main(int argc, char** argv) {
   }
   sp::Fleet fleet(fleet_config);
 
-  // 2. Start the daemon: two shards, bounded queues, a per-request
-  //    deadline. The fleet's members are rerouted from the built-in
-  //    single-threaded SP to the service.
+  // 2. Start the daemon: either one service with two worker shards
+  //    (default) or, with --shards=N, a verifier cluster of N complete
+  //    shared-nothing shards behind the consistent-hash router. Either
+  //    way the fleet's members are rerouted from the built-in
+  //    single-threaded SP to the serving runtime.
+  std::unique_ptr<svc::VerifierService> service;
+  std::unique_ptr<cluster::VerifierCluster> vcluster;
   svc::SvcConfig config;
   config.num_workers = 2;
   config.queue_depth = 64;
   config.max_batch = max_batch;
   config.default_deadline = std::chrono::milliseconds(2000);
   config.sp = fleet.sp_config();
-  svc::VerifierService service(std::move(config));
-  service.start();
-  fleet.route_frames_to([&service](const std::string& id, BytesView frame) {
-    return service.call(id, frame).frame;
-  });
-  std::printf("daemon up: %zu shard(s), queue depth %zu, max batch %zu\n",
-              service.num_shards(), config.queue_depth, max_batch);
-  for (std::size_t i = 0; i < fleet.size(); ++i) {
-    std::printf("  %-18s (%s) -> shard %zu\n", fleet.client_id(i).c_str(),
-                tpm::quote_format_name(fleet.backend(i)),
-                service.shard_for(fleet.client_id(i)));
+  if (shards > 0) {
+    cluster::ClusterConfig cc;
+    cc.num_shards = shards;
+    cc.svc = config;
+    vcluster = std::make_unique<cluster::VerifierCluster>(std::move(cc));
+    vcluster->start();
+    fleet.route_frames_to(
+        [&vcluster](const std::string& id, BytesView frame) {
+          return vcluster->call(id, frame).frame;
+        });
+    std::printf(
+        "daemon up: cluster of %zu shard(s), queue depth %zu, "
+        "max batch %zu\n",
+        vcluster->num_shards(), config.queue_depth, max_batch);
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      std::printf("  %-18s (%s) -> cluster shard %u\n",
+                  fleet.client_id(i).c_str(),
+                  tpm::quote_format_name(fleet.backend(i)),
+                  vcluster->shard_for(fleet.client_id(i)));
+    }
+  } else {
+    service = std::make_unique<svc::VerifierService>(config);
+    service->start();
+    fleet.route_frames_to([&service](const std::string& id, BytesView frame) {
+      return service->call(id, frame).frame;
+    });
+    std::printf("daemon up: %zu shard(s), queue depth %zu, max batch %zu\n",
+                service->num_shards(), config.queue_depth, max_batch);
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      std::printf("  %-18s (%s) -> shard %zu\n", fleet.client_id(i).c_str(),
+                  tpm::quote_format_name(fleet.backend(i)),
+                  service->shard_for(fleet.client_id(i)));
+    }
   }
+
+  // Every registry the runtime writes: the single service's, or each
+  // cluster member's private one (per-shard stats must not alias).
+  const auto each_registry =
+      [&](const std::function<void(obs::Registry&)>& fn) {
+        if (vcluster != nullptr) {
+          for (const std::uint32_t sid : vcluster->shard_ids()) {
+            fn(vcluster->shard_service(sid).metrics());
+          }
+        } else {
+          fn(service->metrics());
+        }
+      };
+  const auto protocol_stats = [&] {
+    return vcluster != nullptr ? vcluster->stats() : service->stats();
+  };
 
   // 3. Serve: enroll everyone, then each client confirms a few payments
   //    over the trusted path. Every frame flows through the service.
@@ -145,15 +210,17 @@ int main(int argc, char** argv) {
   // session-table pressure -- live half-open sessions per shard (gauges)
   // and cumulative eviction/expiry counts -- the numbers an operator
   // would watch to spot an EnrollBegin/TxSubmit flood.
-  const auto dump_session_metrics = [&service](std::size_t round) {
+  const auto dump_session_metrics = [&](std::size_t round) {
     std::int64_t open_sessions = 0;
-    for (const auto& g : service.metrics().gauges()) {
-      if (g.name.find(".enroll_sessions") != std::string::npos ||
-          g.name.find(".tx_sessions") != std::string::npos) {
-        open_sessions += g.value;
+    each_registry([&open_sessions](obs::Registry& registry) {
+      for (const auto& g : registry.gauges()) {
+        if (g.name.find(".enroll_sessions") != std::string::npos ||
+            g.name.find(".tx_sessions") != std::string::npos) {
+          open_sessions += g.value;
+        }
       }
-    }
-    const sp::SpStats snap = service.stats();
+    });
+    const sp::SpStats snap = protocol_stats();
     std::printf(
         "  [round %zu] session tables: open=%lld evicted=%llu expired=%llu\n",
         round, static_cast<long long>(open_sessions),
@@ -171,18 +238,37 @@ int main(int argc, char** argv) {
       if (outcome.ok() && outcome.value().accepted) ++confirmed;
     }
     dump_session_metrics(round);
+    if (vcluster != nullptr && round == rebalance_at) {
+      // Live resize mid-run: a new shard joins, the moved key range's
+      // sessions and exactly-once state follow it, and the remaining
+      // rounds keep confirming through the new ring.
+      const std::uint32_t nid = vcluster->add_shard();
+      std::printf(
+          "  [round %zu] cluster shard %u joined live: "
+          "remapped_keys=%llu handoff_sessions=%llu parked_frames=%llu\n",
+          round, nid,
+          static_cast<unsigned long long>(vcluster->remapped_keys()),
+          static_cast<unsigned long long>(vcluster->handoff_sessions()),
+          static_cast<unsigned long long>(vcluster->parked_frames()));
+    }
   }
   std::printf("served: %zu/%zu transactions confirmed\n", confirmed,
               submitted);
 
   // 4. Drain: graceful shutdown -- in-flight requests finish, workers
   //    join. Further submissions would get an immediate kShutdown.
-  service.drain();
-  std::printf("drained: service %s\n",
-              service.running() ? "still running!?" : "stopped");
+  if (vcluster != nullptr) {
+    vcluster->drain();
+    std::printf("drained: cluster of %zu shard(s) stopped\n",
+                vcluster->num_shards());
+  } else {
+    service->drain();
+    std::printf("drained: service %s\n",
+                service->running() ? "still running!?" : "stopped");
+  }
 
   // 5. Metrics dump: what the daemon observed, per shard and overall.
-  const sp::SpStats totals = service.stats();
+  const sp::SpStats totals = protocol_stats();
   std::printf("\nprotocol totals across shards:\n");
   std::printf("  enrolled=%llu tx_accepted=%llu tx_rejected=%llu\n",
               static_cast<unsigned long long>(totals.enrolled),
@@ -202,14 +288,23 @@ int main(int argc, char** argv) {
   std::printf("  sessions: evicted=%llu expired=%llu\n",
               static_cast<unsigned long long>(totals.sessions_evicted),
               static_cast<unsigned long long>(totals.sessions_expired));
-  for (const auto& h : service.metrics().histograms()) {
-    if (h.name != "svc.batch_size") continue;
-    const obs::HistogramSnapshot& s = h.snapshot;
+  std::uint64_t drains = 0, drained_frames = 0, max_drain = 0;
+  each_registry([&](obs::Registry& registry) {
+    for (const auto& h : registry.histograms()) {
+      if (h.name != "svc.batch_size") continue;
+      drains += h.snapshot.count;
+      drained_frames += h.snapshot.sum;
+      max_drain = std::max(max_drain, h.snapshot.max);
+    }
+  });
+  if (drains > 0) {
+    const double mean = static_cast<double>(drained_frames) /
+                        static_cast<double>(drains);
     std::printf(
         "  queue batching (cap %zu): %llu drain(s), batch size "
         "mean=%.2f max=%llu -- %.2f requests amortized per wakeup\n",
-        max_batch, static_cast<unsigned long long>(s.count), s.mean(),
-        static_cast<unsigned long long>(s.max), s.mean());
+        max_batch, static_cast<unsigned long long>(drains), mean,
+        static_cast<unsigned long long>(max_drain), mean);
   }
   if (drop_pct > 0.0) {
     std::uint64_t injected = 0, retries = 0, replayed = 0;
@@ -219,12 +314,14 @@ int main(int argc, char** argv) {
       }
       retries += fleet.client(i).retries();
     }
-    // Replays happen inside the service's shard SPs; sum their counters.
-    for (const auto& c : service.metrics().counters()) {
-      if (c.name.find(".retry.replayed_") != std::string::npos) {
-        replayed += c.value;
+    // Replays happen inside the shard SPs; sum their counters.
+    each_registry([&replayed](obs::Registry& registry) {
+      for (const auto& c : registry.counters()) {
+        if (c.name.find(".retry.replayed_") != std::string::npos) {
+          replayed += c.value;
+        }
       }
-    }
+    });
     std::printf("  chaos: faults_injected=%llu client_retries=%llu "
                 "sp_replays=%llu (seed %llu)\n",
                 static_cast<unsigned long long>(injected),
@@ -232,7 +329,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(replayed),
                 static_cast<unsigned long long>(fault_seed));
   }
-  std::printf("\nmetrics registry:\n%s\n",
-              service.metrics().to_json().c_str());
+  if (vcluster != nullptr) {
+    // Cluster-level registry: router counters + per-shard gauges.
+    vcluster->publish_gauges();
+    std::printf("\ncluster metrics registry:\n%s\n",
+                vcluster->metrics().to_json().c_str());
+  } else {
+    std::printf("\nmetrics registry:\n%s\n",
+                service->metrics().to_json().c_str());
+  }
   return confirmed == submitted ? 0 : 1;
 }

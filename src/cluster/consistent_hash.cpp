@@ -1,0 +1,71 @@
+#include "cluster/consistent_hash.h"
+
+#include <algorithm>
+#include <string>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace tp::cluster {
+
+namespace {
+
+std::uint64_t vnode_point(std::uint32_t shard, std::size_t replica) {
+  // Deterministic across processes: vnode placement is part of the
+  // routing contract, not an in-memory accident.
+  const std::string label =
+      "ring:" + std::to_string(shard) + ":" + std::to_string(replica);
+  const crypto::Sha256Digest d = crypto::Sha256::digest(
+      BytesView(reinterpret_cast<const std::uint8_t*>(label.data()),
+                label.size()));
+  std::uint64_t p = 0;
+  for (std::size_t i = 0; i < 8; ++i) p = (p << 8) | d[i];
+  return p;
+}
+
+}  // namespace
+
+ConsistentHashRouter::ConsistentHashRouter(std::size_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes == 0 ? 1 : virtual_nodes) {}
+
+void ConsistentHashRouter::add_shard(std::uint32_t shard_id) {
+  if (has_shard(shard_id)) return;
+  shards_.insert(
+      std::lower_bound(shards_.begin(), shards_.end(), shard_id), shard_id);
+  ring_.reserve(ring_.size() + virtual_nodes_);
+  for (std::size_t r = 0; r < virtual_nodes_; ++r) {
+    ring_.push_back(VNode{vnode_point(shard_id, r), shard_id});
+  }
+  // (point, shard) order: the shard tiebreak makes a (vanishingly rare)
+  // point collision resolve identically everywhere.
+  std::sort(ring_.begin(), ring_.end(), [](const VNode& a, const VNode& b) {
+    return a.point != b.point ? a.point < b.point : a.shard < b.shard;
+  });
+}
+
+void ConsistentHashRouter::remove_shard(std::uint32_t shard_id) {
+  const auto member = std::lower_bound(shards_.begin(), shards_.end(),
+                                       shard_id);
+  if (member == shards_.end() || *member != shard_id) return;
+  shards_.erase(member);
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [shard_id](const VNode& v) {
+                               return v.shard == shard_id;
+                             }),
+              ring_.end());
+}
+
+bool ConsistentHashRouter::has_shard(std::uint32_t shard_id) const {
+  return std::binary_search(shards_.begin(), shards_.end(), shard_id);
+}
+
+std::uint32_t ConsistentHashRouter::shard_for_point(
+    std::uint64_t point) const {
+  // First vnode clockwise (>= point), wrapping to the ring's start.
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const VNode& v, std::uint64_t p) { return v.point < p; });
+  return it != ring_.end() ? it->shard : ring_.front().shard;
+}
+
+}  // namespace tp::cluster

@@ -1,0 +1,332 @@
+#include "cluster/verifier_cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/log.h"
+
+namespace tp::cluster {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+ClusterConfig validated(ClusterConfig config) {
+  if (config.num_shards == 0) {
+    throw std::invalid_argument(
+        "ClusterConfig::num_shards must be >= 1 (a cluster with no shards "
+        "cannot own any client)");
+  }
+  return config;
+}
+
+}  // namespace
+
+VerifierCluster::VerifierCluster(ClusterConfig config)
+    : config_(validated(std::move(config))),
+      epoch_(Clock::now()),
+      router_(config_.virtual_nodes) {
+  if (config_.metrics != nullptr) {
+    registry_ = config_.metrics;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  c_remapped_keys_ = &registry_->counter("cluster.remapped_keys");
+  c_handoff_sessions_ = &registry_->counter("cluster.handoff_sessions");
+  c_handoff_replay_keys_ =
+      &registry_->counter("cluster.handoff_replay_keys");
+  c_parked_frames_ = &registry_->counter("cluster.parked_frames");
+  c_rebalances_ = &registry_->counter("cluster.rebalances");
+
+  members_.reserve(config_.num_shards);
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
+    const auto id = static_cast<std::uint32_t>(i);
+    router_.add_shard(id);
+    members_.push_back(make_member(id));
+  }
+  next_shard_id_ = static_cast<std::uint32_t>(config_.num_shards);
+}
+
+VerifierCluster::~VerifierCluster() { drain(); }
+
+std::unique_ptr<VerifierCluster::Member> VerifierCluster::make_member(
+    std::uint32_t id) const {
+  auto member = std::make_unique<Member>();
+  member->id = id;
+  svc::SvcConfig svc_config = config_.svc;
+  // One SP per cluster shard: the shard is the unit of parallelism, and
+  // handoff stays exact because key ownership decides placement (an
+  // inner hash router would need client-id strings a bundle lacks).
+  svc_config.num_workers = 1;
+  // Member-private registry: per-shard stats must not alias across
+  // members (every service names its inner SP "sp.shard0").
+  svc_config.metrics = nullptr;
+  svc_config.sp.metrics = nullptr;
+  // Shared timeline: a deadline exported by one shard means the same
+  // instant on every other.
+  svc_config.epoch = epoch_;
+  // Distinct nonce stream per shard.
+  svc_config.sp.seed = concat(
+      svc_config.sp.seed, bytes_of(":cluster-shard" + std::to_string(id)));
+  // Disjoint tx-id spaces (2^40 ids each): a confirmation session moved
+  // by handoff can never collide with an id its new owner issues.
+  svc_config.sp.tx_id_base = (static_cast<std::uint64_t>(id) + 1) << 40;
+  member->service =
+      std::make_unique<svc::VerifierService>(std::move(svc_config));
+  return member;
+}
+
+VerifierCluster::Member& VerifierCluster::member(std::uint32_t id) {
+  for (auto& m : members_) {
+    if (m->id == id) return *m;
+  }
+  throw std::invalid_argument("unknown cluster shard id " +
+                              std::to_string(id));
+}
+
+const VerifierCluster::Member& VerifierCluster::member(
+    std::uint32_t id) const {
+  for (const auto& m : members_) {
+    if (m->id == id) return *m;
+  }
+  throw std::invalid_argument("unknown cluster shard id " +
+                              std::to_string(id));
+}
+
+void VerifierCluster::start() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& m : members_) m->service->start();
+}
+
+void VerifierCluster::drain() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& m : members_) m->service->drain();
+}
+
+std::size_t VerifierCluster::num_shards() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return members_.size();
+}
+
+std::vector<std::uint32_t> VerifierCluster::shard_ids() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return router_.shard_ids();
+}
+
+std::uint32_t VerifierCluster::shard_for(std::string_view client_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return router_.shard_for(client_id);
+}
+
+svc::VerifierService& VerifierCluster::shard_service(std::uint32_t shard_id) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return *member(shard_id).service;
+}
+
+sp::ServiceProvider& VerifierCluster::shard_sp(std::uint32_t shard_id) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return member(shard_id).service->shard_sp(0);
+}
+
+std::future<svc::SvcResponse> VerifierCluster::submit(
+    const std::string& client_id, Bytes frame) {
+  for (;;) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_, std::try_to_lock);
+      if (lock.owns_lock()) {
+        return member(router_.shard_for(client_id))
+            .service->submit(client_id, std::move(frame));
+      }
+    }
+    // Router locked exclusively: a rebalance is (probably) in flight.
+    // Park the frame under park_mu_ -- the rebalancer collects the list
+    // under the same lock before clearing the flag, so a parked frame is
+    // always replayed. If the flag is already clear the rebalance just
+    // ended (or the try-lock failed spuriously); retry the normal path.
+    {
+      std::lock_guard<std::mutex> g(park_mu_);
+      if (rebalance_active_.load(std::memory_order_acquire)) {
+        ParkedFrame parked;
+        parked.client_id = client_id;
+        parked.frame = std::move(frame);
+        std::future<svc::SvcResponse> future = parked.promise.get_future();
+        parked_.push_back(std::move(parked));
+        c_parked_frames_->inc();
+        return future;
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+svc::SvcResponse VerifierCluster::call(const std::string& client_id,
+                                       BytesView frame) {
+  return submit(client_id, Bytes(frame.begin(), frame.end())).get();
+}
+
+void VerifierCluster::set_rebalance_active(bool active) {
+  std::lock_guard<std::mutex> g(park_mu_);
+  rebalance_active_.store(active, std::memory_order_release);
+}
+
+void VerifierCluster::migrate_to(const ConsistentHashRouter& next) {
+  std::uint64_t remapped = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t replay = 0;
+  for (auto& src : members_) {
+    for (auto& dst : members_) {
+      if (src->id == dst->id || !next.has_shard(dst->id)) continue;
+      sp::HandoffBundle bundle =
+          src->service->shard_sp(0).extract_for_handoff(
+              [&](const proto::SessionTable::Key& key) {
+                return next.shard_for_point(
+                           ConsistentHashRouter::point_of_key(key)) ==
+                       dst->id;
+              });
+      // Nothing of this source's moved to this destination: skip the
+      // import (it would only copy the replay-digest superset around).
+      if (bundle.enrolled.empty() && bundle.session_count() == 0 &&
+          bundle.dedup.empty()) {
+        continue;
+      }
+      remapped += bundle.enrolled.size();
+      sessions += bundle.session_count();
+      replay += bundle.replay_digests.size();
+      dst->service->shard_sp(0).import_handoff(std::move(bundle));
+    }
+  }
+  c_remapped_keys_->inc(remapped);
+  c_handoff_sessions_->inc(sessions);
+  c_handoff_replay_keys_->inc(replay);
+}
+
+std::uint32_t VerifierCluster::add_shard() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  set_rebalance_active(true);
+  // Queued frames finish on their old owner against pre-move state --
+  // processed exactly once, equivalent to re-routing them.
+  for (auto& m : members_) m->service->drain();
+
+  const std::uint32_t id = next_shard_id_++;
+  ConsistentHashRouter next = router_;
+  next.add_shard(id);
+  members_.push_back(make_member(id));
+  migrate_to(next);
+  router_ = std::move(next);
+
+  for (auto& m : members_) m->service->start();
+  c_rebalances_->inc();
+  publish_gauges_locked();
+  TP_LOG(kInfo, "cluster") << "shard " << id << " joined ("
+                           << members_.size() << " shards, "
+                           << c_handoff_sessions_->value()
+                           << " sessions handed off so far)";
+
+  std::vector<ParkedFrame> parked;
+  {
+    std::lock_guard<std::mutex> g(park_mu_);
+    rebalance_active_.store(false, std::memory_order_release);
+    parked.swap(parked_);
+  }
+  lock.unlock();
+  replay_parked(std::move(parked));
+  return id;
+}
+
+void VerifierCluster::remove_shard(std::uint32_t shard_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!router_.has_shard(shard_id)) {
+    throw std::invalid_argument("unknown cluster shard id " +
+                                std::to_string(shard_id));
+  }
+  if (router_.num_shards() == 1) {
+    throw std::invalid_argument(
+        "cannot remove the last cluster shard (its clients would have no "
+        "owner)");
+  }
+  set_rebalance_active(true);
+  for (auto& m : members_) m->service->drain();
+
+  ConsistentHashRouter next = router_;
+  next.remove_shard(shard_id);
+  migrate_to(next);
+  router_ = std::move(next);
+  members_.erase(std::find_if(members_.begin(), members_.end(),
+                              [shard_id](const std::unique_ptr<Member>& m) {
+                                return m->id == shard_id;
+                              }));
+
+  for (auto& m : members_) m->service->start();
+  c_rebalances_->inc();
+  publish_gauges_locked();
+  TP_LOG(kInfo, "cluster") << "shard " << shard_id << " left ("
+                           << members_.size() << " shards remain)";
+
+  std::vector<ParkedFrame> parked;
+  {
+    std::lock_guard<std::mutex> g(park_mu_);
+    rebalance_active_.store(false, std::memory_order_release);
+    parked.swap(parked_);
+  }
+  lock.unlock();
+  replay_parked(std::move(parked));
+}
+
+void VerifierCluster::replay_parked(std::vector<ParkedFrame> parked) {
+  for (ParkedFrame& p : parked) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    member(router_.shard_for(p.client_id))
+        .service->submit_with_promise(p.client_id, std::move(p.frame),
+                                      std::move(p.promise));
+  }
+}
+
+sp::SpStats VerifierCluster::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  sp::SpStats total;
+  for (const auto& m : members_) {
+    const sp::SpStats s = m->service->stats();
+    total.enrolled += s.enrolled;
+    total.enroll_rejected += s.enroll_rejected;
+    total.tx_accepted += s.tx_accepted;
+    total.tx_rejected += s.tx_rejected;
+    for (std::size_t i = 0; i < tpm::kNumQuoteFormats; ++i) {
+      total.enrolled_by_format[i] += s.enrolled_by_format[i];
+      total.tx_accepted_by_format[i] += s.tx_accepted_by_format[i];
+    }
+    for (std::size_t i = 0; i < proto::kRejectCodeCount; ++i) {
+      total.rejects_by_code[i] += s.rejects_by_code[i];
+    }
+    total.sessions_evicted += s.sessions_evicted;
+    total.sessions_expired += s.sessions_expired;
+  }
+  return total;
+}
+
+void VerifierCluster::publish_gauges() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  publish_gauges_locked();
+}
+
+void VerifierCluster::publish_gauges_locked() {
+  for (const auto& m : members_) {
+    sp::ServiceProvider& sp = m->service->shard_sp(0);
+    const std::string prefix = "cluster.shard." + std::to_string(m->id);
+    registry_->gauge(prefix + ".accepts")
+        .set(static_cast<std::int64_t>(m->service->stats().tx_accepted));
+    registry_->gauge(prefix + ".sessions")
+        .set(static_cast<std::int64_t>(sp.session_table_occupancy()));
+    registry_->gauge(prefix + ".enrolled")
+        .set(static_cast<std::int64_t>(sp.enrolled_count()));
+    registry_->gauge(prefix + ".queue_depth")
+        .set(static_cast<std::int64_t>(m->service->queued()));
+    registry_->gauge(prefix + ".memory_bytes")
+        .set(static_cast<std::int64_t>(sp.memory_bytes()));
+  }
+}
+
+}  // namespace tp::cluster

@@ -191,4 +191,33 @@ void SessionTable::erase(const Key& key) {
   if (slots_[i].used) erase_slot(i);
 }
 
+std::vector<SessionTable::Entry> SessionTable::snapshot() const {
+  std::vector<Entry> out;
+  out.reserve(count_);
+  for (std::uint32_t i = lru_head_; i != kNil; i = slots_[i].next) {
+    out.push_back(Entry{slots_[i].key, slots_[i].session});
+  }
+  return out;
+}
+
+void SessionTable::restore(const Key& key, const Session& session) {
+  std::size_t i = probe(key);
+  if (!slots_[i].used) {
+    if (count_ == capacity_) {
+      erase_slot(lru_head_);
+      ++evictions_;
+      i = probe(key);
+    }
+    slots_[i].used = 1;
+    slots_[i].key = key;
+    slots_[i].prev = slots_[i].next = kNil;
+    ++count_;
+    lru_push_back(i);
+  } else {
+    lru_detach(i);
+    lru_push_back(i);
+  }
+  slots_[i].session = session;
+}
+
 }  // namespace tp::proto

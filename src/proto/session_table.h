@@ -157,6 +157,30 @@ class SessionTable {
     return slots_.capacity() * sizeof(Slot);
   }
 
+  /// One live entry as exported by snapshot(). Plain value copies: the
+  /// handoff path serializes shard state across table instances, so
+  /// nothing here may point back into the source table.
+  struct Entry {
+    Key key{};
+    Session session;
+  };
+
+  /// Every live session in LRU order (least recently begun first). With
+  /// the constant-TTL invariant this is also ascending-deadline order,
+  /// which is the order restore() wants entries replayed in.
+  std::vector<Entry> snapshot() const;
+
+  /// Re-inserts an exported session with its state, deadline and payload
+  /// intact (unlike begin(), which resets to a fresh kChallengeSent).
+  /// The slot lands at the back of the eviction order, so replaying a
+  /// whole snapshot in ascending-deadline order preserves the
+  /// LRU == deadline-order invariant; callers merging entries into a
+  /// non-empty table (shard handoff) must merge-sort both sides by
+  /// deadline first (ServiceProvider::import_handoff does). Inserting
+  /// into a full table evicts the least-recently-begun session, like
+  /// begin().
+  void restore(const Key& key, const Session& session);
+
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
 

@@ -96,4 +96,11 @@ Deployment::Deployment(DeploymentConfig config)
   if (secure_client_) client_->set_transport(secure_client_.get());
 }
 
+void Deployment::route_frames_to(FrameHandler handler) {
+  link_->b().set_service(
+      [handler = std::move(handler), id = config_.client_id](BytesView frame) {
+        return handler(id, frame);
+      });
+}
+
 }  // namespace tp::sp

@@ -8,6 +8,7 @@
 // pieces for direct use.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -85,6 +86,15 @@ class Deployment {
   net::SecureServerTransport* secure_server() {
     return secure_server_.get();
   }
+
+  /// Reroutes the client's frames from the built-in single-threaded SP to
+  /// `handler` -- a svc::VerifierService or cluster::VerifierCluster
+  /// front end (mirrors Fleet::route_frames_to). Replaces the link's
+  /// server-side service wholesale, so it composes with the plaintext
+  /// transport only; with secure_transport on the TLS stand-in keeps
+  /// terminating frames at the built-in SP.
+  using FrameHandler = std::function<Bytes(const std::string&, BytesView)>;
+  void route_frames_to(FrameHandler handler);
 
  private:
   DeploymentConfig config_;

@@ -74,7 +74,26 @@ void ReplayCache::erase(const Digest& d) {
 }
 
 bool ReplayCache::insert(BytesView signature) {
-  const Digest d = digest_of(signature);
+  return insert_digest(digest_of(signature));
+}
+
+std::vector<ReplayCache::Digest> ReplayCache::export_digests() const {
+  // Ring layout: before the first eviction (count_ < capacity_) the live
+  // entries are ring_[0, head_) in insertion order; once full, head_ is
+  // the oldest entry and the order wraps from there.
+  std::vector<Digest> out;
+  out.reserve(count_);
+  if (count_ < capacity_) {
+    for (std::size_t i = 0; i < count_; ++i) out.push_back(ring_[i]);
+  } else {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(head_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+bool ReplayCache::insert_digest(const Digest& d) {
   std::size_t i = find_slot(d);
   if (occupied_[i]) return false;  // already present
   if (count_ == capacity_) {

@@ -30,6 +30,7 @@ class ReplayCache {
  public:
   /// Digest width kept per entry (SHA-256 truncated).
   static constexpr std::size_t kDigestLen = 16;
+  using Digest = std::array<std::uint8_t, kDigestLen>;
 
   /// `capacity` is the maximum number of retained signatures; 0 is
   /// clamped to 1. The probe table is sized to a power of two >= 2x
@@ -43,6 +44,16 @@ class ReplayCache {
   /// false (and changes nothing) if it is already present.
   bool insert(BytesView signature);
 
+  /// Records an already-computed digest (the shard-handoff import path:
+  /// exported entries are digests, the original signature bytes are
+  /// gone). Same eviction and duplicate semantics as insert().
+  bool insert_digest(const Digest& d);
+
+  /// Every live digest, oldest first -- the order insert_digest() wants
+  /// them replayed in so the destination's FIFO eviction order matches
+  /// the source's.
+  std::vector<Digest> export_digests() const;
+
   std::size_t size() const { return count_; }
   std::size_t capacity() const { return capacity_; }
 
@@ -54,8 +65,6 @@ class ReplayCache {
   }
 
  private:
-  using Digest = std::array<std::uint8_t, kDigestLen>;
-
   static Digest digest_of(BytesView signature);
   std::size_t ideal_slot(const Digest& d) const;
   /// Index of d's slot, or the first empty slot of its probe chain.

@@ -44,6 +44,27 @@ void cache_response(proto::SessionTable::Session* session,
   session->request_digest = digest;
   session->set_response(response);
 }
+
+// Merges handed-off sessions into `table`. restore() appends at the LRU
+// back, so entries must land in ascending-deadline order to keep the
+// LRU == deadline invariant; both the table's own snapshot and the
+// incoming bundle are individually sorted, and the combined set is
+// re-sorted when the table was non-empty.
+void merge_restore(proto::SessionTable& table,
+                   std::vector<proto::SessionTable::Entry>&& incoming) {
+  if (incoming.empty()) return;
+  std::vector<proto::SessionTable::Entry> own = table.snapshot();
+  if (!own.empty()) {
+    for (const auto& e : own) table.erase(e.key);
+    incoming.insert(incoming.end(), own.begin(), own.end());
+    std::stable_sort(incoming.begin(), incoming.end(),
+                     [](const proto::SessionTable::Entry& a,
+                        const proto::SessionTable::Entry& b) {
+                       return a.session.deadline < b.session.deadline;
+                     });
+  }
+  for (const auto& e : incoming) table.restore(e.key, e.session);
+}
 }  // namespace
 
 ServiceProvider::ServiceProvider(SpConfig config)
@@ -62,6 +83,7 @@ ServiceProvider::ServiceProvider(SpConfig config)
   // Nonces live inline in the fixed-size session slots.
   config_.nonce_len =
       std::min(config_.nonce_len, proto::SessionTable::kMaxNonceLen);
+  next_tx_id_ = config_.tx_id_base + 1;
   enrolled_.reserve(config_.expected_clients);
   if (config_.metrics != nullptr) {
     registry_ = config_.metrics;
@@ -564,6 +586,73 @@ std::vector<TxResult> ServiceProvider::complete_transaction_batch(
     base = end;
   }
   return out;
+}
+
+HandoffBundle ServiceProvider::extract_for_handoff(
+    const std::function<bool(const proto::SessionTable::Key&)>& moves) {
+  HandoffBundle bundle;
+  bundle.source_now = session_now();
+
+  // Enrollment sessions are keyed by client_key(client_id), exactly what
+  // `moves` decides on. snapshot() yields ascending-deadline order, which
+  // the importer's restore path wants preserved.
+  for (const auto& e : enroll_sessions_.snapshot()) {
+    if (!moves(e.key)) continue;
+    bundle.enroll_sessions.push_back(e);
+    enroll_sessions_.erase(e.key);
+  }
+  // Confirmation sessions are keyed by tx id; ownership follows the
+  // client tag the session stores. Tx ids stay valid in the destination
+  // because every shard issues from a disjoint tx_id_base.
+  for (const auto& e : tx_sessions_.snapshot()) {
+    if (!moves(e.session.client)) continue;
+    bundle.tx_sessions.push_back(e);
+    tx_sessions_.erase(e.key);
+  }
+  // Verify contexts move by node extraction: the per-key precompute
+  // (Montgomery / window tables) built at enrollment is never redone.
+  std::vector<std::string> moving_ids;
+  for (const auto& [id, ctx] : enrolled_) {
+    (void)ctx;
+    if (moves(proto::SessionTable::client_key(id))) moving_ids.push_back(id);
+  }
+  bundle.enrolled.reserve(moving_ids.size());
+  for (const std::string& id : moving_ids) {
+    auto node = enrolled_.extract(id);
+    bundle.enrolled.emplace_back(std::move(node.key()),
+                                 std::move(node.mapped()));
+  }
+  // Replay digests are unattributable, so the whole set is copied (not
+  // removed); the destination merging a superset only widens its screen.
+  bundle.replay_digests = seen_signatures_.export_digests();
+  // TxSubmit dedup entries carry the same client tag.
+  for (SubmitDedup& slot : submit_dedup_) {
+    if (slot.used == 0 || !moves(slot.client)) continue;
+    bundle.dedup.push_back(
+        HandoffBundle::DedupEntry{slot.client, slot.digest, slot.tx_id});
+    slot = SubmitDedup{};
+  }
+  publish_session_metrics();
+  return bundle;
+}
+
+void ServiceProvider::import_handoff(HandoffBundle&& bundle) {
+  advance_time_to(bundle.source_now);
+  merge_restore(enroll_sessions_, std::move(bundle.enroll_sessions));
+  merge_restore(tx_sessions_, std::move(bundle.tx_sessions));
+  for (auto& [id, ctx] : bundle.enrolled) {
+    enrolled_.insert_or_assign(std::move(id), std::move(ctx));
+  }
+  for (const ReplayCache::Digest& d : bundle.replay_digests) {
+    seen_signatures_.insert_digest(d);
+  }
+  if (!submit_dedup_.empty()) {
+    for (const HandoffBundle::DedupEntry& e : bundle.dedup) {
+      submit_dedup_[submit_dedup_index(e.client, e.digest)] =
+          SubmitDedup{e.client, e.digest, e.tx_id, 1};
+    }
+  }
+  publish_session_metrics();
 }
 
 std::size_t ServiceProvider::submit_dedup_index(

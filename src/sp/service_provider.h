@@ -26,6 +26,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -108,6 +109,13 @@ struct SpConfig {
   /// steady-state hot path does not rehash).
   std::size_t expected_clients = 1024;
 
+  /// First transaction id is tx_id_base + 1. Single-SP deployments leave
+  /// this 0 (ids start at 1, the seed's behaviour). A cluster gives every
+  /// shard a disjoint base so tx ids stay globally unique and a session
+  /// moved by shard handoff can never collide with an id the destination
+  /// issued itself.
+  std::uint64_t tx_id_base = 0;
+
   /// Metrics registry the SP's counters and latency histograms live in;
   /// nullptr -> the SP owns a private registry. A shared registry needs a
   /// distinct prefix per SP instance (svc uses "sp.shard<k>").
@@ -149,6 +157,35 @@ struct SpStats {
   }
 
   void reset() { *this = SpStats{}; }
+};
+
+/// Everything one shard exports for the clients leaving it during a
+/// cluster rebalance: their live protocol sessions (enrollment and
+/// confirmation, deadlines intact), their cached verify contexts, their
+/// TxSubmit dedup entries, and the shard's signature-replay digests.
+/// Replay digests are copied wholesale rather than per-client: the cache
+/// stores unattributable signature hashes, and merging a superset into
+/// the destination only widens the defence-in-depth screen (a signature
+/// is never legitimately presented to two shards).
+struct HandoffBundle {
+  struct DedupEntry {
+    proto::SessionTable::Key client{};
+    proto::SessionTable::Key digest{};
+    std::uint64_t tx_id = 0;
+  };
+
+  std::vector<proto::SessionTable::Entry> enroll_sessions;
+  std::vector<proto::SessionTable::Entry> tx_sessions;
+  std::vector<std::pair<std::string, tpm::AttestationVerifyContext>> enrolled;
+  std::vector<ReplayCache::Digest> replay_digests;
+  std::vector<DedupEntry> dedup;
+  /// Source shard's session-timeline position at export; the importer
+  /// advances to it so moved deadlines keep their meaning.
+  SimTime source_now{0};
+
+  std::size_t session_count() const {
+    return enroll_sessions.size() + tx_sessions.size();
+  }
 };
 
 class ServiceProvider {
@@ -264,6 +301,36 @@ class ServiceProvider {
   /// session-table gauges ("<prefix>.enroll_sessions", "<prefix>.
   /// tx_sessions") plus eviction/expiry counters.
   obs::Registry& metrics() { return *registry_; }
+
+  /// Clients with a cached verify context (completed enrollments still
+  /// resident on this SP).
+  std::size_t enrolled_count() const { return enrolled_.size(); }
+
+  /// Heap bytes pinned by this SP's bounded state (session tables,
+  /// replay cache, submit-dedup map) -- constant over its lifetime; the
+  /// per-shard flat-memory gauge the cluster publishes.
+  std::size_t memory_bytes() const {
+    return session_table_memory_bytes() + replay_cache_memory_bytes() +
+           submit_dedup_memory_bytes();
+  }
+
+  /// Removes and returns every piece of per-client state whose session
+  /// key satisfies `moves` (keys are proto::SessionTable::client_key of
+  /// the client id; confirmation sessions and dedup entries are selected
+  /// by their stored client tag, which is that same key). Replay digests
+  /// are copied, not removed -- see HandoffBundle. The caller feeds the
+  /// bundle to the new owner's import_handoff.
+  HandoffBundle extract_for_handoff(
+      const std::function<bool(const proto::SessionTable::Key&)>& moves);
+
+  /// Merges a bundle exported by another shard's extract_for_handoff:
+  /// advances the session timeline to the source's, merge-restores both
+  /// session tables in ascending-deadline order (preserving the
+  /// LRU == deadline invariant), adopts the verify contexts, replays the
+  /// replay-cache digests and re-seats the TxSubmit dedup entries.
+  /// Exactly-once semantics survive the move: a settled session's cached
+  /// response, its dedup entry and its replay digests all arrive intact.
+  void import_handoff(HandoffBundle&& bundle);
 
  private:
   /// One entry of the direct-mapped TxSubmit dedup map: remembers which

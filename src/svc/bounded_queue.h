@@ -39,8 +39,10 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Blocks while full. Returns false (item dropped) iff closed.
-  bool push(T item) {
+  /// Blocks while full. Returns false iff closed; like try_push, a
+  /// failed push leaves `item` intact in the caller (the service re-uses
+  /// this to resolve the request's promise instead of breaking it).
+  bool push(T&& item) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock,
                    [this] { return closed_ || count_ < slots_.size(); });
@@ -113,6 +115,15 @@ class BoundedQueue {
     }
     not_empty_.notify_all();
     not_full_.notify_all();
+  }
+
+  /// Re-admits pushes after a close() + drain cycle (the service's
+  /// stop-the-world rebalance stops workers, moves state, then restarts).
+  /// The caller guarantees no producer or consumer is concurrently
+  /// blocked on the queue when reopening.
+  void reopen() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
   }
 
   bool closed() const {

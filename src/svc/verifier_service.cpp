@@ -1,5 +1,6 @@
 #include "svc/verifier_service.h"
 
+#include <stdexcept>
 #include <utility>
 
 #include "util/log.h"
@@ -23,12 +24,27 @@ std::future<SvcResponse> immediate(SvcStatus status) {
   return future;
 }
 
+SvcConfig validated(SvcConfig config) {
+  if (config.num_workers == 0) {
+    throw std::invalid_argument(
+        "SvcConfig::num_workers must be >= 1 (one worker thread per SP "
+        "shard; 0 would mean a service that can never process a request)");
+  }
+  if (config.queue_depth == 0) {
+    throw std::invalid_argument(
+        "SvcConfig::queue_depth must be >= 1 (the per-shard backpressure "
+        "bound; 0 would block every producer forever)");
+  }
+  return config;
+}
+
 }  // namespace
 
 VerifierService::VerifierService(SvcConfig config)
-    : config_(std::move(config)),
-      router_(config_.num_workers == 0 ? 1 : config_.num_workers),
-      epoch_(Clock::now()) {
+    : config_(validated(std::move(config))),
+      router_(config_.num_workers),
+      epoch_(config_.epoch == Clock::time_point{} ? Clock::now()
+                                                  : config_.epoch) {
   if (config_.metrics != nullptr) {
     registry_ = config_.metrics;
   } else {
@@ -49,10 +65,15 @@ VerifierService::VerifierService(SvcConfig config)
   h_batch_size_ = &registry_->histogram(
       "svc.batch_size", obs::Histogram::Options{1, 1 << 20, 1.2});
 
-  const std::size_t effective_depth =
-      config_.queue_depth == 0 ? 1 : config_.queue_depth;
   if (config_.max_batch == 0) config_.max_batch = 1;
-  if (config_.max_batch > effective_depth) config_.max_batch = effective_depth;
+  if (config_.max_batch > config_.queue_depth) {
+    config_.max_batch = config_.queue_depth;
+  }
+  backend_latency_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          config_.simulated_backend_latency)
+          .count(),
+      std::memory_order_relaxed);
 
   const std::size_t n = router_.num_shards();
   shards_.reserve(n);
@@ -79,6 +100,9 @@ VerifierService::~VerifierService() { drain(); }
 void VerifierService::start() {
   if (running_.exchange(true, std::memory_order_acq_rel)) return;
   discard_remaining_.store(false, std::memory_order_release);
+  // A restart after drain()/shutdown_now() finds the queues closed;
+  // workers are joined at this point, so reopening is race-free.
+  for (auto& shard : shards_) shard->queue->reopen();
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     shards_[i]->worker = std::thread([this, i] { worker_loop(i); });
   }
@@ -154,6 +178,34 @@ SvcResponse VerifierService::call(const std::string& client_id,
   return submit(client_id, Bytes(frame.begin(), frame.end())).get();
 }
 
+void VerifierService::submit_with_promise(const std::string& client_id,
+                                          Bytes frame,
+                                          std::promise<SvcResponse> promise) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    c_rejected_shutdown_->inc();
+    promise.set_value(SvcResponse{SvcStatus::kShutdown, {}});
+    return;
+  }
+  Request request;
+  request.frame = std::move(frame);
+  request.enqueued = Clock::now();
+  if (config_.default_deadline.count() > 0) {
+    request.deadline = request.enqueued + config_.default_deadline;
+  }
+  request.promise = std::move(promise);
+  c_submitted_->inc();
+  auto& queue = *shards_[router_.shard_for(client_id)]->queue;
+  if (!queue.try_push(std::move(request))) {
+    c_backpressure_waits_->inc();
+    // A failed push leaves `request` (and its promise) intact, so the
+    // caller's future still resolves exactly once.
+    if (!queue.push(std::move(request))) {
+      c_rejected_shutdown_->inc();
+      request.promise.set_value(SvcResponse{SvcStatus::kShutdown, {}});
+    }
+  }
+}
+
 void VerifierService::worker_loop(std::size_t shard_index) {
   Shard& shard = *shards_[shard_index];
   std::vector<Request> batch;
@@ -203,16 +255,17 @@ void VerifierService::worker_loop(std::size_t shard_index) {
           frames,
           SimTime{static_cast<std::int64_t>(ns_between(epoch_, start))});
     }
-    if (config_.simulated_backend_latency.count() > 0) {
+    const std::int64_t backend_ns =
+        backend_latency_ns_.load(std::memory_order_relaxed);
+    if (backend_ns > 0) {
       // Default: the modelled backing-store commit stays per-request
       // (batching the verifier does not batch the ledger). With
       // group_commit the whole drained batch shares one commit -- the
       // write amortization a batched ledger actually provides.
-      std::this_thread::sleep_for(
+      std::this_thread::sleep_for(std::chrono::nanoseconds(
           config_.group_commit
-              ? config_.simulated_backend_latency
-              : config_.simulated_backend_latency *
-                    static_cast<int>(live.size()));
+              ? backend_ns
+              : backend_ns * static_cast<std::int64_t>(live.size())));
     }
     const auto done = Clock::now();
     for (std::size_t j = 0; j < live.size(); ++j) {

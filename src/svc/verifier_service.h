@@ -58,8 +58,14 @@ struct SvcResponse {
 };
 
 struct SvcConfig {
-  std::size_t num_workers = 4;  // == number of SP shards
-  std::size_t queue_depth = 256;  // per-shard bound (backpressure point)
+  /// Number of SP shards (== worker threads). Must be >= 1: the
+  /// constructor throws std::invalid_argument on 0 rather than silently
+  /// picking a value (a config asking for "no workers" is a bug).
+  std::size_t num_workers = 4;
+  /// Per-shard queue bound (the backpressure point). Must be >= 1; the
+  /// constructor throws std::invalid_argument on 0 (an unbuffered queue
+  /// would deadlock every producer).
+  std::size_t queue_depth = 256;
   /// Upper bound on how many queued requests a worker drains per wakeup
   /// (clamped to [1, queue_depth]). Everything drained in one wakeup is
   /// handed to the shard SP as one handle_frame_batch call, so queued
@@ -92,19 +98,30 @@ struct SvcConfig {
   /// timeline from the same steady clock its queue deadlines use, so
   /// in-queue expiry and protocol session expiry share one timeline.
   sp::SpConfig sp;
+  /// t=0 of every shard's protocol-session timeline. Default
+  /// (epoch time_point) means "construction time" -- the seed's
+  /// behaviour. A cluster passes one shared instant to every member
+  /// service so session deadlines moved by shard handoff keep their
+  /// meaning on the destination's timeline.
+  std::chrono::steady_clock::time_point epoch{};
   /// External registry; nullptr -> the service owns a private one.
   obs::Registry* metrics = nullptr;
 };
 
 class VerifierService {
  public:
+  /// Throws std::invalid_argument when the config is unusable
+  /// (num_workers == 0 or queue_depth == 0).
   explicit VerifierService(SvcConfig config);
   ~VerifierService();
 
   VerifierService(const VerifierService&) = delete;
   VerifierService& operator=(const VerifierService&) = delete;
 
-  /// Launches the worker threads. Idempotent while running.
+  /// Launches the worker threads. Idempotent while running. A stopped
+  /// service can be started again: its queues reopen and every shard SP
+  /// keeps the state it had at drain() (the cluster's stop-the-world
+  /// rebalance leans on this stop / move state / restart cycle).
   void start();
   bool running() const { return running_.load(std::memory_order_acquire); }
 
@@ -124,6 +141,14 @@ class VerifierService {
   std::future<SvcResponse> try_submit(const std::string& client_id,
                                       Bytes frame);
 
+  /// Re-injects a request whose future the caller already handed out:
+  /// behaves like submit() but resolves `promise` instead of minting a
+  /// new future. This is the cluster's parked-frame replay path -- a
+  /// frame parked during a rebalance is re-routed here and its original
+  /// caller, still blocked on the future, sees exactly one resolution.
+  void submit_with_promise(const std::string& client_id, Bytes frame,
+                           std::promise<SvcResponse> promise);
+
   /// Synchronous convenience: submit and wait. Never deadlocks -- if the
   /// service is not running the response is an immediate kShutdown.
   SvcResponse call(const std::string& client_id, BytesView frame);
@@ -138,6 +163,32 @@ class VerifierService {
 
   /// Direct shard access for setup/inspection; see thread-safety contract.
   sp::ServiceProvider& shard_sp(std::size_t i) { return *shards_[i]->sp; }
+
+  /// Requests currently sitting in the shard queues (point-in-time sum;
+  /// safe while running).
+  std::size_t queued() const {
+    std::size_t n = 0;
+    for (const auto& shard : shards_) n += shard->queue->size();
+    return n;
+  }
+
+  /// Heap bytes pinned by every shard SP's bounded state. Safe at any
+  /// time: it reads only capacities fixed at construction.
+  std::size_t sp_memory_bytes() const {
+    std::size_t n = 0;
+    for (const auto& shard : shards_) n += shard->sp->memory_bytes();
+    return n;
+  }
+
+  /// Runtime adjustment of the modelled backing-store commit latency
+  /// (safe while running; workers read it per drained batch). The
+  /// cluster bench enrolls its population at zero and then measures the
+  /// confirm blast at the calibrated F3c value.
+  void set_simulated_backend_latency(std::chrono::microseconds us) {
+    backend_latency_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(us).count(),
+        std::memory_order_relaxed);
+  }
 
   obs::Registry& metrics() { return *registry_; }
 
@@ -176,6 +227,9 @@ class VerifierService {
   std::atomic<bool> running_{false};
   std::atomic<bool> accepting_{false};
   std::atomic<bool> discard_remaining_{false};
+  /// Modelled backing-store commit, ns (see SvcConfig; mutable at
+  /// runtime via set_simulated_backend_latency).
+  std::atomic<std::int64_t> backend_latency_ns_{0};
 
   // Hot-path instruments, resolved once at construction.
   obs::Counter* c_submitted_;

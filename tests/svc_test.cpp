@@ -173,6 +173,24 @@ SvcConfig small_config(std::size_t workers, std::size_t depth = 64) {
   return config;
 }
 
+TEST(VerifierService, RejectsUnusableConfigAtConstruction) {
+  // "No workers" and "no queue" are bugs in the caller's config, not
+  // values to silently repair: the constructor must throw, before any
+  // thread or queue exists.
+  EXPECT_THROW(VerifierService{small_config(0)}, std::invalid_argument);
+  EXPECT_THROW(VerifierService{small_config(2, 0)}, std::invalid_argument);
+  try {
+    VerifierService service(small_config(0));
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("num_workers"), std::string::npos);
+  }
+  try {
+    VerifierService service(small_config(2, 0));
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("queue_depth"), std::string::npos);
+  }
+}
+
 TEST(VerifierService, ServesFramesOnAllShards) {
   VerifierService service(small_config(4));
   service.start();
