@@ -9,7 +9,14 @@
 // path, every mechanical strategy in the malware kit is run; the one
 // human-dependent strategy (transaction substitution) is reported
 // separately as the documented residual, swept over user attention.
+// The symbolic renditions of the network-level strategies
+// (host/adversary.h) run alongside as a cross-check: the model checker's
+// core must defeat exactly what the real stack defeats.
+//
+// --json=PATH     also emit the table as JSON for the experiment suite
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "captcha/captcha.h"
 #include "host/adversary.h"
@@ -129,43 +136,109 @@ double substitution_rate(double attention, std::uint64_t seed) {
   return static_cast<double>(wins) / kSubTrials;
 }
 
+/// The same mechanical strategies against the SYMBOLIC protocol core:
+/// every model::Action script must come back not-accepted on the sound
+/// core, in lockstep with the real-stack rows above.
+double model_rate() {
+  int wins = 0;
+  for (std::size_t i = 0; i < host::kAttackStrategyCount; ++i) {
+    const auto strategy = static_cast<host::AttackStrategy>(i);
+    if (host::run_attack_in_model(strategy).sp_accepted) ++wins;
+  }
+  return static_cast<double>(wins) / host::kAttackStrategyCount;
+}
+
+struct DefenceRow {
+  std::string label;
+  double rates[3] = {0, 0, 0};
+};
+
+void write_json(const std::string& path,
+                const std::vector<DefenceRow>& defences,
+                const std::vector<std::pair<double, double>>& residual) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"experiment\": \"F2\",\n  \"defences\": [\n");
+  for (std::size_t i = 0; i < defences.size(); ++i) {
+    const DefenceRow& d = defences[i];
+    std::fprintf(f,
+                 "    {\"defence\": \"%s\", \"weak\": %.3f, \"strong\": %.3f, "
+                 "\"outsourced\": %.3f}%s\n",
+                 d.label.c_str(), d.rates[0], d.rates[1], d.rates[2],
+                 i + 1 < defences.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"substitution_residual\": [\n");
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    std::fprintf(f, "    {\"attention\": %.1f, \"acceptance\": %.3f}%s\n",
+                 residual[i].first, residual[i].second,
+                 i + 1 < residual.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+  }
+
   std::printf("=== F2: forged-transaction acceptance rate by defence ===\n\n");
 
   std::printf("%-26s  %10s  %10s  %10s\n", "defence", "weak bot",
               "strong bot", "outsourced");
   const double strengths[] = {0.30, 0.65, 0.95};
+  std::vector<DefenceRow> defences;
 
-  std::printf("%-26s", "none");
-  for (std::size_t i = 0; i < 3; ++i) {
-    std::printf("  %10.3f", no_defense_rate(20 + i));
-  }
-  std::printf("\n");
+  DefenceRow none{"none", {}};
+  for (std::size_t i = 0; i < 3; ++i) none.rates[i] = no_defense_rate(20 + i);
+  defences.push_back(none);
 
   for (double distortion : {0.3, 0.7}) {
     char label[64];
     std::snprintf(label, sizeof label, "captcha (distortion %.1f)",
                   distortion);
-    std::printf("%-26s", label);
+    DefenceRow row{label, {}};
     for (std::size_t i = 0; i < 3; ++i) {
-      std::printf("  %10.3f", captcha_rate(strengths[i], distortion, 40 + i));
+      row.rates[i] = captcha_rate(strengths[i], distortion, 40 + i);
     }
+    defences.push_back(row);
+  }
+
+  DefenceRow tp{"trusted path (mechanical)", {}};
+  for (std::size_t i = 0; i < 3; ++i) tp.rates[i] = trusted_path_rate(70 + i);
+  defences.push_back(tp);
+
+  // Attacker strength has no symbolic rendition -- the Dolev-Yao
+  // attacker is already maximal -- so the model row is flat.
+  DefenceRow model_row{"trusted path (model)", {}};
+  const double symbolic = model_rate();
+  for (std::size_t i = 0; i < 3; ++i) model_row.rates[i] = symbolic;
+  defences.push_back(model_row);
+
+  for (const DefenceRow& row : defences) {
+    std::printf("%-26s", row.label.c_str());
+    for (std::size_t i = 0; i < 3; ++i) std::printf("  %10.3f", row.rates[i]);
     std::printf("\n");
   }
 
-  std::printf("%-26s", "trusted path (mechanical)");
-  for (std::size_t i = 0; i < 3; ++i) {
-    std::printf("  %10.3f", trusted_path_rate(70 + i));
-  }
-  std::printf("\n");
-
   std::printf("\n--- trusted-path residual: substitution vs user attention ---\n");
   std::printf("%-26s  %10s\n", "user attention", "acceptance");
+  std::vector<std::pair<double, double>> residual;
   for (double attention : {0.0, 0.5, 0.9, 1.0}) {
-    std::printf("%-26.1f  %10.3f\n", attention,
-                substitution_rate(attention, 90));
+    residual.emplace_back(attention, substitution_rate(attention, 90));
+    std::printf("%-26.1f  %10.3f\n", attention, residual.back().second);
+  }
+
+  if (!json_path.empty()) {
+    write_json(json_path, defences, residual);
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
 
   std::printf(

@@ -10,8 +10,11 @@
 // machinery turns a 30%-lossy link from "protocol broken" into "same
 // outcomes, higher latency" -- goodput stays at 100% while the retry and
 // replay counters, not the accept counters, absorb the fault rate.
+//
+// --json=PATH     also emit the table as JSON for the experiment suite
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "devices/human.h"
 #include "pal/human_agent.h"
@@ -85,9 +88,41 @@ Point run_rate(double rate_pct) {
   return p;
 }
 
+void write_json(const std::string& path,
+                const std::vector<std::pair<double, Point>>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"experiment\": \"F8\",\n  \"txs_per_point\": %d,\n"
+               "  \"rows\": [\n", kTxsPerPoint);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Point& p = rows[i].second;
+    std::fprintf(
+        f,
+        "    {\"fault_rate_pct\": %.0f, \"accepted\": %d, \"failed\": %d, "
+        "\"faults\": %llu, \"retries\": %llu, \"replays\": %llu, "
+        "\"machine_ms_per_tx\": %.1f}%s\n",
+        rows[i].first, p.accepted, p.failed,
+        static_cast<unsigned long long>(p.faults),
+        static_cast<unsigned long long>(p.retries),
+        static_cast<unsigned long long>(p.replays), p.machine_ms_per_tx,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+  }
+
   std::printf("=== F8: recovery under injected faults (%d txs/point) ===\n",
               kTxsPerPoint);
   std::printf("(fault mix: 60%% drop, 20%% dup, 10%% reorder, 10%% delay"
@@ -97,14 +132,21 @@ int main() {
               "machine ms/tx");
 
   const double rates[] = {0, 5, 10, 15, 20, 25, 30};
+  std::vector<std::pair<double, Point>> rows;
   for (const double rate : rates) {
     const Point p = run_rate(rate);
+    rows.emplace_back(rate, p);
     std::printf("%9.0f%%  %6d/%d  %7d  %8llu  %8llu  %8llu  %14.1f\n", rate,
                 p.accepted, kTxsPerPoint, p.failed,
                 static_cast<unsigned long long>(p.faults),
                 static_cast<unsigned long long>(p.retries),
                 static_cast<unsigned long long>(p.replays),
                 p.machine_ms_per_tx);
+  }
+
+  if (!json_path.empty()) {
+    write_json(json_path, rows);
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
 
   std::printf(

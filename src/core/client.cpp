@@ -1,6 +1,9 @@
 #include "core/client.h"
 
 #include <algorithm>
+#include <optional>
+
+#include "proto/client_core.h"
 
 namespace tp::core {
 
@@ -15,21 +18,6 @@ std::uint64_t jitter_seed_for(const ClientConfig& config) {
     h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ull;
   }
   return h ^ config.retry.jitter_seed;
-}
-
-// The client drives the SAME transition table the SP's session layer
-// runs (proto::step), one proto::Session handle per exchange: before
-// sending a message it applies the corresponding event and checks the
-// FSM demands exactly the action it is about to perform. A mismatch
-// means the orchestrator is about to emit a sequence the verifier would
-// refuse -- surfaced as kBadState instead of a wire round-trip.
-Status expect_action(const proto::Step& step, proto::SessionAction want,
-                     const char* where) {
-  if (step.action != want) {
-    return Error{Err::kBadState,
-                 std::string(where) + ": protocol session out of step"};
-  }
-  return Status::ok_status();
 }
 
 }  // namespace
@@ -74,16 +62,15 @@ Result<Msg> TrustedPathClient::exchange_msg(
   SimDuration backoff = policy.backoff_base;
   Error last{Err::kTimeout, std::string(where) + ": no usable response"};
 
+  const proto::ClientBackoffPolicy backoff_policy{policy.backoff_base.ns,
+                                                  policy.backoff_cap.ns};
   for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      // Decorrelated jitter: sleep = min(cap, uniform(base, 3 * prev)),
-      // charged to the virtual clock (nothing real sleeps).
-      const std::int64_t lo = std::max<std::int64_t>(policy.backoff_base.ns, 0);
-      const std::int64_t hi = std::max<std::int64_t>(3 * backoff.ns, lo + 1);
-      backoff = SimDuration::nanos(std::min<std::int64_t>(
-          policy.backoff_cap.ns,
-          lo + static_cast<std::int64_t>(retry_rng_.next_below(
-                   static_cast<std::uint64_t>(hi - lo)))));
+      // Decorrelated jitter (proto::client_plan_backoff): sleep =
+      // min(cap, uniform(base, 3 * prev)), charged to the virtual clock
+      // (nothing real sleeps).
+      backoff = proto::client_plan_backoff(backoff_policy, backoff,
+                                           retry_rng_);
       clock.charge("net:retry-backoff", backoff);
       if (deadline_bounded && clock.now() >= deadline) break;
       ++retries_;
@@ -94,37 +81,49 @@ Result<Msg> TrustedPathClient::exchange_msg(
     // and the transition table must still demand the action we are about
     // to repeat. A mismatch means this retry would be an illegal message,
     // not a recovery.
-    if (auto s = expect_action(fsm.apply(event), want_action, where);
-        !s.ok()) {
-      return s.error();
+    if (!proto::client_may_send(fsm, event, want_action)) {
+      return Error{Err::kBadState,
+                   std::string(where) + ": protocol session out of step"};
     }
     auto response = transport_->exchange(frame);
     // Drain delivered frames until one is the well-formed response we
-    // want. Corrupt, stale or duplicated frames are noise queued ahead
-    // of the answer, not the answer.
+    // want (proto::client_classify_rx): corrupt, stale or duplicated
+    // frames are noise queued ahead of the answer, not the answer; an
+    // exhausted link ends the attempt.
     while (true) {
+      proto::ClientRxEvent rx;
+      std::optional<Result<Msg>> parsed;
       if (!response.ok()) {
         const Err code = response.error().code;
         last = response.error();
-        // kTimeout: nothing more is pending -> next attempt. Any other
+        // kTimeout / kUnsupported: nothing more is pending. Any other
         // code means a frame WAS delivered but was unusable; there may
         // be another behind it.
-        if (code == Err::kTimeout || code == Err::kUnsupported) break;
-        if (c_stale_ != nullptr) c_stale_->inc();
+        rx.link_exhausted = code == Err::kTimeout || code == Err::kUnsupported;
       } else {
+        rx.delivered = true;
         auto opened = open_envelope(response.value());
         if (opened.ok() && opened.value().first == want_type) {
-          auto msg = Msg::deserialize(opened.value().second);
-          if (msg.ok()) return msg;
-          last = msg.error();
+          rx.want_type = true;
+          parsed.emplace(Msg::deserialize(opened.value().second));
+          if (parsed->ok()) {
+            rx.well_formed = true;
+          } else {
+            last = parsed->error();
+          }
         } else if (opened.ok()) {
           last = Error{Err::kBadState,
                        std::string(where) + ": unexpected response type"};
         } else {
           last = opened.error();
         }
-        if (c_stale_ != nullptr) c_stale_->inc();
       }
+      const proto::ClientRxDecision decision = proto::client_classify_rx(rx);
+      if (decision == proto::ClientRxDecision::kAccept) {
+        return *std::move(parsed);
+      }
+      if (decision == proto::ClientRxDecision::kNextAttempt) break;
+      if (c_stale_ != nullptr) c_stale_->inc();
       response = transport_->receive_pending();
     }
     if (deadline_bounded && clock.now() >= deadline) break;

@@ -221,6 +221,116 @@ AttackOutcome MalwareKit::replay_confirmation(const TxConfirm& observed,
                 "nonce-freshness");
 }
 
+// ---- model-vocabulary renditions ---------------------------------------
+
+namespace {
+
+using model::Action;
+using model::ActionKind;
+
+/// The victim enrolls honestly: client begins, the network (attacker)
+/// forwards each leg. Every attack assumes an enrolled victim, same as
+/// MalwareKit's constructor assuming a stolen (sealed) key blob.
+void push_honest_enrollment(std::vector<Action>& script) {
+  script.push_back({ActionKind::kClientStart, model::kNoFrame});
+  script.push_back({ActionKind::kDeliverToSp, model::kFrameEnrollBegin});
+  script.push_back({ActionKind::kDeliverToClient,
+                    static_cast<std::uint8_t>(model::kFrameEnrollChallenge0)});
+  script.push_back(
+      {ActionKind::kDeliverToSp,
+       static_cast<std::uint8_t>(model::kFrameEnrollCompleteGenuine0)});
+  script.push_back({ActionKind::kDeliverToClient, model::kFrameEnrollResultOk});
+}
+
+/// One honest confirmed transaction -- how the attacker, as the network,
+/// OBSERVES a genuine confirmation to replay later.
+void push_honest_transaction(std::vector<Action>& script) {
+  script.push_back({ActionKind::kClientSubmitTx, model::kNoFrame});
+  script.push_back({ActionKind::kDeliverToSp, model::kFrameTxSubmit});
+  script.push_back({ActionKind::kDeliverToClient,
+                    static_cast<std::uint8_t>(model::kFrameTxChallenge0)});
+  script.push_back({ActionKind::kClientConfirm, model::kNoFrame});
+  script.push_back({ActionKind::kDeliverToSp, model::tx_confirm_frame(0, 0)});
+  script.push_back({ActionKind::kDeliverToClient, model::kFrameTxResultOk});
+}
+
+}  // namespace
+
+const char* attack_strategy_name(AttackStrategy strategy) {
+  switch (strategy) {
+    case AttackStrategy::kForgeConfirmation: return "forge-confirmation";
+    case AttackStrategy::kReplayConfirmation: return "replay-confirmation";
+    case AttackStrategy::kGarbageEnrollment: return "garbage-enrollment";
+  }
+  return "unknown";
+}
+
+std::vector<model::Action> attack_script(AttackStrategy strategy) {
+  std::vector<Action> script;
+  switch (strategy) {
+    case AttackStrategy::kForgeConfirmation:
+      // Submit in the victim's name, answer the challenge with garbage
+      // bytes claiming kConfirmed (forge_signature; an empty signature
+      // is the same symbol).
+      push_honest_enrollment(script);
+      script.push_back({ActionKind::kDeliverToSp, model::kFrameTxSubmit});
+      script.push_back({ActionKind::kDeliverToSp,
+                        model::tx_confirm_frame(model::kSigGarbage, 0)});
+      break;
+    case AttackStrategy::kReplayConfirmation:
+      // Watch one genuine confirmation go by, submit afresh (the SP
+      // issues a new challenge), re-send the observed confirmation.
+      push_honest_enrollment(script);
+      push_honest_transaction(script);
+      script.push_back({ActionKind::kDeliverToSp, model::kFrameTxSubmit});
+      script.push_back({ActionKind::kDeliverToSp,
+                        model::tx_confirm_frame(0, 0)});
+      break;
+    case AttackStrategy::kGarbageEnrollment:
+      // Open an enrollment and complete it with evidence attesting
+      // nothing (no prelude needed: enrollment is the attack surface).
+      script.push_back({ActionKind::kDeliverToSp, model::kFrameEnrollBegin});
+      script.push_back(
+          {ActionKind::kDeliverToSp, model::kFrameEnrollCompleteGarbage});
+      break;
+  }
+  return script;
+}
+
+ModelAttackOutcome run_attack_in_model(AttackStrategy strategy,
+                                       const model::SeededBugs& bugs) {
+  ModelAttackOutcome outcome;
+  model::World world = model::initial_world();
+  const std::vector<Action> script = attack_script(strategy);
+  // Accepts credited to the honest prelude; anything beyond is the
+  // attacker's. The garbage-enrollment strategy has no prelude, so any
+  // registered enrollment at all is attacker-won.
+  const bool replay = strategy == AttackStrategy::kReplayConfirmation;
+  const std::uint8_t honest_accepts = replay ? 1 : 0;
+  for (const Action& action : script) {
+    const model::StepOutcome step = model::step_world(world, action, bugs);
+    world = step.next;
+    if (step.violated != model::Invariant::kNone &&
+        outcome.violated == model::Invariant::kNone) {
+      outcome.violated = step.violated;
+    }
+  }
+  std::uint8_t accepts = 0;
+  for (std::uint8_t n = 0; n < model::kTxNoncePool; ++n) {
+    accepts = static_cast<std::uint8_t>(accepts + world.accepts(n));
+  }
+  switch (strategy) {
+    case AttackStrategy::kForgeConfirmation:
+    case AttackStrategy::kReplayConfirmation:
+      outcome.sp_accepted = accepts > honest_accepts;
+      break;
+    case AttackStrategy::kGarbageEnrollment:
+      outcome.sp_accepted = world.enrolled != 0;
+      break;
+  }
+  return outcome;
+}
+
 AttackOutcome MalwareKit::substitute_transaction(
     pal::UserAgent& victim_user, const std::string& forged_summary,
     BytesView forged_payload) {

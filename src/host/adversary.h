@@ -10,10 +10,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/messages.h"
 #include "core/trusted_path_pal.h"
 #include "drtm/platform.h"
+#include "model/protocol_model.h"
 #include "net/channel.h"
 #include "pal/pal.h"
 #include "pal/session.h"
@@ -95,5 +97,55 @@ class MalwareKit {
   Bytes stolen_sealed_key_;
   SimRng rng_;
 };
+
+// ---- the same attacks, in the model checker's vocabulary ---------------
+
+/// MalwareKit's NETWORK-LEVEL strategies, named. The PAL/human-level
+/// strategies (keystroke injection, tampered PAL, transaction
+/// substitution) attack the device below the protocol and have no
+/// rendition in the Dolev-Yao vocabulary -- the model treats the
+/// client/TPM/human as one honest endpoint; those layers are covered by
+/// the F2 efficacy runs instead.
+enum class AttackStrategy : std::uint8_t {
+  /// forge_signature AND confirm_without_signature: in the symbolic
+  /// world a random signature and an empty one are the same symbol
+  /// (garbage -- bytes that verify against nothing), which is exactly
+  /// why the SP defeats both with the same check.
+  kForgeConfirmation = 0,
+  /// replay_confirmation: re-send an observed genuine confirmation
+  /// against a freshly submitted transaction.
+  kReplayConfirmation,
+  /// The enrollment analog of run_tampered_pal's bluff: complete an
+  /// enrollment with evidence that attests nothing.
+  kGarbageEnrollment,
+};
+inline constexpr std::size_t kAttackStrategyCount = 3;
+
+const char* attack_strategy_name(AttackStrategy strategy);
+
+/// The strategy as an explicit action sequence over the symbolic world:
+/// an honest prelude (the victim enrolls, and for replay also confirms
+/// one genuine transaction -- that is how the attacker OBSERVES a
+/// signature) followed by the attack deliveries. This is the same
+/// sequence MalwareKit performs over the real link, re-expressed in
+/// model::Action so the checker, the efficacy bench and the scripted
+/// adversary all speak one vocabulary.
+std::vector<model::Action> attack_script(AttackStrategy strategy);
+
+/// Outcome of running a strategy's script through model::step_world.
+struct ModelAttackOutcome {
+  /// The SP settled an attacker-delivered confirmation/enrollment as
+  /// accepted (any accept beyond the honest prelude's own).
+  bool sp_accepted = false;
+  /// First invariant the run tripped (kNone on a sound core).
+  model::Invariant violated = model::Invariant::kNone;
+};
+
+/// Replays `strategy` against the symbolic protocol core, optionally
+/// with seeded bugs re-introduced. With no bugs every strategy must
+/// come back {false, kNone} -- the adversary suite asserts this stays
+/// in lockstep with the real-stack outcomes of the F2 runs.
+ModelAttackOutcome run_attack_in_model(AttackStrategy strategy,
+                                       const model::SeededBugs& bugs = {});
 
 }  // namespace tp::host

@@ -1,0 +1,94 @@
+#include "model/checker.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace tp::model {
+
+namespace {
+
+std::uint64_t fold_state(std::uint64_t fp, const World& w) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&w);
+  for (std::size_t i = 0; i < sizeof(World); ++i) {
+    fp = (fp ^ p[i]) * 0x100000001b3ull;
+  }
+  return fp;
+}
+
+}  // namespace
+
+CheckResult check(const CheckerConfig& config) {
+  CheckResult out;
+
+  // The BFS queue IS the state vector: states are appended in discovery
+  // order and expanded in that same order (head chases the tail), so no
+  // separate queue is needed and indices double as parent links.
+  std::vector<World> states;
+  struct Meta {
+    std::uint32_t parent;
+    Action via;
+    std::uint16_t depth;
+  };
+  std::vector<Meta> meta;
+  std::unordered_map<World, std::uint32_t, WorldHash> index;
+
+  const std::size_t reserve =
+      config.max_states != 0 ? std::min<std::size_t>(config.max_states, 1u << 21)
+                             : (1u << 16);
+  states.reserve(reserve);
+  meta.reserve(reserve);
+  index.reserve(reserve);
+
+  states.push_back(initial_world());
+  meta.push_back(Meta{0, Action{}, 0});
+  index.emplace(states.front(), 0u);
+  std::uint64_t fp = fold_state(0xcbf29ce484222325ull, states.front());
+
+  Action actions[kMaxActions];
+  std::size_t head = 0;
+  bool stop = false;
+  while (head < states.size() && !stop) {
+    const auto current = static_cast<std::uint32_t>(head++);
+    // Copy out: states reallocates as successors are appended.
+    const World world = states[current];
+    const int depth = meta[current].depth;
+    if (depth >= config.max_depth) continue;
+    const std::size_t n = enumerate_actions(world, actions);
+    for (std::size_t i = 0; i < n && !stop; ++i) {
+      const StepOutcome step = step_world(world, actions[i], config.bugs);
+      ++out.transitions;
+      if (step.violated != Invariant::kNone) {
+        Violation v;
+        v.invariant = step.violated;
+        v.state = step.next;
+        v.trace.push_back(actions[i]);
+        for (std::uint32_t at = current; at != 0; at = meta[at].parent) {
+          v.trace.push_back(meta[at].via);
+        }
+        std::reverse(v.trace.begin(), v.trace.end());
+        out.violations.push_back(std::move(v));
+        if (config.stop_at_first_violation) stop = true;
+        continue;  // a violating world is a counterexample, not a frontier
+      }
+      if (!step.changed) continue;  // self-loop: nothing new to explore
+      if (index.find(step.next) != index.end()) continue;
+      if (config.max_states != 0 && states.size() >= config.max_states) {
+        out.state_cap_hit = true;
+        continue;
+      }
+      index.emplace(step.next, static_cast<std::uint32_t>(states.size()));
+      states.push_back(step.next);
+      meta.push_back(Meta{current, actions[i],
+                          static_cast<std::uint16_t>(depth + 1)});
+      fp = fold_state(fp, step.next);
+      out.max_depth_reached = std::max(out.max_depth_reached, depth + 1);
+    }
+  }
+
+  out.states = states.size();
+  out.frontier_exhausted = !out.state_cap_hit && !stop && head >= states.size();
+  out.fingerprint = fp;
+  return out;
+}
+
+}  // namespace tp::model

@@ -1,0 +1,60 @@
+// Bounded-depth breadth-first explorer over the symbolic protocol world.
+//
+// Walks every reachable interleaving of honest-party steps and
+// Dolev-Yao deliveries from the initial world, deduplicating states by
+// value (full 24-byte states are stored, so a hash collision can never
+// hide a distinct state). Exploration is breadth-first, which makes
+// every reported counterexample trace minimal: no shorter action
+// sequence reaches any violation of the same invariant.
+//
+// Determinism: action enumeration has a fixed total order and the
+// visited set is keyed by value, so two runs with the same config
+// produce identical state counts, traces and discovery-order
+// fingerprints -- asserted by tests/model_test.cpp and compared across
+// CI runs the same way the chaos suite compares fault fingerprints.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "model/protocol_model.h"
+
+namespace tp::model {
+
+struct CheckerConfig {
+  /// Maximum number of actions from the initial world.
+  int max_depth = 14;
+  /// Visited-state cap; 0 means unbounded. When the cap trips the result
+  /// is still sound for every state it did visit -- it just stops being
+  /// exhaustive (state_cap_hit reports which).
+  std::size_t max_states = 500000;
+  SeededBugs bugs;
+  /// Stop at the first (minimal) violation instead of collecting all.
+  bool stop_at_first_violation = true;
+};
+
+struct Violation {
+  Invariant invariant = Invariant::kNone;
+  /// Minimal action sequence from the initial world; the last action is
+  /// the one that trips the invariant.
+  std::vector<Action> trace;
+  World state;  // the world after the violating action
+};
+
+struct CheckResult {
+  std::size_t states = 0;       // distinct states visited (deduplicated)
+  std::size_t transitions = 0;  // edges evaluated
+  int max_depth_reached = 0;
+  bool state_cap_hit = false;
+  /// Every reachable state within max_depth was visited: the invariants
+  /// hold EXHAUSTIVELY up to that depth, not just on sampled runs.
+  bool frontier_exhausted = false;
+  /// FNV-1a over visited states in discovery order.
+  std::uint64_t fingerprint = 0;
+  std::vector<Violation> violations;
+};
+
+CheckResult check(const CheckerConfig& config);
+
+}  // namespace tp::model

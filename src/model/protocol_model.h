@@ -1,0 +1,258 @@
+// Symbolic protocol world for the bounded model checker.
+//
+// The model closes the loop the core/shell split opens: because every
+// protocol decision the SP makes is a pure function in proto/sp_core.h
+// (and the client's retry/filter decisions in proto/client_core.h), a
+// checker can drive the EXACT deployed decision logic against symbolic
+// state -- no reimplementation of the protocol to drift out of sync.
+// This file defines that symbolic state and its transition function;
+// checker.h walks it breadth-first.
+//
+// World shape (one honest client, one SP, a Dolev-Yao network):
+//  * Frames are drawn from a closed universe of at most 32 symbolic
+//    values (nonces from small bounded pools, signatures identified by
+//    the nonce they bind, one collapsed "garbage" value per role). The
+//    attacker's knowledge is a bitmask over that universe.
+//  * The network IS the attacker: an honest send only adds the frame to
+//    the knowledge set, and a delivery takes any known (or craftable)
+//    frame to either party. Drop, duplicate, reorder, replay and
+//    cross-session splice all fall out of that one rule.
+//  * The attacker cannot forge: a genuine enrollment evidence or
+//    confirmation signature enters its knowledge only when the honest
+//    client emits it. Garbage evidence/signatures are always craftable.
+//  * Time does not pass: session expiry and retry backoff are out of
+//    scope here (covered by the chaos suite); every other interleaving
+//    is in scope.
+//
+// Seeded bugs (SeededBugs) let tests re-introduce the classic
+// implementation mistakes -- skipped signature verification, a dropped
+// settle action, a disabled replay screen -- and watch the checker
+// produce the minimal attack each enables.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "proto/sp_core.h"
+
+namespace tp::model {
+
+// ---- bounded symbol pools --------------------------------------------
+
+inline constexpr std::uint8_t kEnrollNoncePool = 4;
+inline constexpr std::uint8_t kTxNoncePool = 4;
+/// Signature symbol for "no / garbage signature" (a rejected confirm
+/// carries none; a crafted one carries bytes that verify against
+/// nothing).
+inline constexpr std::uint8_t kSigGarbage = kTxNoncePool;
+
+// ---- the frame universe ----------------------------------------------
+
+/// Symbolic frame ids, tightly packed so the knowledge set is one u32.
+enum Frame : std::uint8_t {
+  kFrameEnrollBegin = 0,
+  /// EnrollChallenge carrying enroll nonce n: kFrameEnrollChallenge0 + n.
+  kFrameEnrollChallenge0 = 1,
+  /// EnrollComplete with GENUINE evidence bound to enroll nonce n (only
+  /// the honest client can mint these): kFrameEnrollCompleteGenuine0 + n.
+  kFrameEnrollCompleteGenuine0 = kFrameEnrollChallenge0 + kEnrollNoncePool,
+  /// EnrollComplete with garbage evidence (always craftable).
+  kFrameEnrollCompleteGarbage =
+      kFrameEnrollCompleteGenuine0 + kEnrollNoncePool,
+  kFrameEnrollResultOk,
+  kFrameEnrollResultReject,
+  kFrameTxSubmit,
+  /// TxChallenge carrying tx nonce n: kFrameTxChallenge0 + n.
+  kFrameTxChallenge0,
+  /// TxConfirm(sig, verdict): kFrameTxConfirm0 + sig * 2 + verdict,
+  /// sig in [0, kTxNoncePool] (== kSigGarbage for none/garbage),
+  /// verdict 0 = confirmed, 1 = rejected.
+  kFrameTxConfirm0 = kFrameTxChallenge0 + kTxNoncePool,
+  kFrameTxResultOk = kFrameTxConfirm0 + (kTxNoncePool + 1) * 2,
+  kFrameTxResultReject,
+  kFrameCount,
+};
+static_assert(kFrameCount <= 32, "knowledge set must fit one u32");
+
+inline constexpr std::uint8_t kNoFrame = 0xFF;
+inline constexpr std::uint8_t kNoNonce = 0xFF;
+
+constexpr std::uint8_t tx_confirm_frame(std::uint8_t sig,
+                                        std::uint8_t rejected) {
+  return static_cast<std::uint8_t>(kFrameTxConfirm0 + sig * 2 + rejected);
+}
+constexpr std::uint8_t tx_confirm_sig(std::uint8_t frame) {
+  return static_cast<std::uint8_t>((frame - kFrameTxConfirm0) / 2);
+}
+constexpr bool tx_confirm_rejected(std::uint8_t frame) {
+  return ((frame - kFrameTxConfirm0) & 1) != 0;
+}
+
+std::string frame_name(std::uint8_t frame);
+
+// ---- world state ------------------------------------------------------
+
+/// SessionState wire values 0..4; this marks "no slot claimed yet".
+inline constexpr std::uint8_t kNoSession = 5;
+
+/// The packed global state: SP tables, client FSM, attacker knowledge.
+/// Plain bytes with no padding so the checker can hash and compare it
+/// wholesale (full states are stored, not hashes -- a hash collision
+/// must not mask a distinct state).
+struct World {
+  // -- SP: one enrollment slot (keyed by the client id) --
+  std::uint8_t enroll_state = kNoSession;  // proto::SessionState or kNoSession
+  std::uint8_t enroll_nonce = kNoNonce;    // challenge nonce in the slot
+  std::uint8_t enroll_req = kNoFrame;      // cached request digest (frame id)
+  std::uint8_t enroll_resp = kNoFrame;     // cached response (frame id)
+  // -- SP: one confirmation slot (the client's transaction) --
+  std::uint8_t tx_state = kNoSession;
+  std::uint8_t tx_nonce = kNoNonce;
+  std::uint8_t tx_req = kNoFrame;
+  std::uint8_t tx_resp = kNoFrame;
+  // -- SP: registries --
+  std::uint8_t enrolled = 0;     // crypto port knows the client
+  std::uint8_t replay_mask = 0;  // genuine sig ids in the replay cache
+  std::uint8_t next_enroll_nonce = 0;  // DRBG position (nonces never repeat)
+  std::uint8_t next_tx_nonce = 0;
+  /// Accepted-settle count per tx nonce, 2 bits each (saturates at 3);
+  /// the exactly-once invariant is "every field <= 1".
+  std::uint8_t accept_counts = 0;
+  // -- honest client --
+  std::uint8_t c_enroll_fsm = 0;  // proto::SessionState (client's mirror FSM)
+  std::uint8_t c_tx_fsm = 0;
+  std::uint8_t c_enroll_nonce = kNoNonce;  // challenge the client attested
+  std::uint8_t c_tx_nonce = kNoNonce;      // challenge shown to the human
+  std::uint8_t c_signed_mask = 0;  // tx nonces the human genuinely confirmed
+  std::uint8_t c_flags = 0;        // ClientFlag bits
+  // -- attacker --
+  std::uint8_t knowledge_bytes[4] = {0, 0, 0, 0};  // u32 bitmask over Frame
+
+  std::uint32_t knowledge() const {
+    std::uint32_t k = 0;
+    std::memcpy(&k, knowledge_bytes, sizeof(k));
+    return k;
+  }
+  void set_knowledge(std::uint32_t k) {
+    std::memcpy(knowledge_bytes, &k, sizeof(k));
+  }
+  bool knows(std::uint8_t frame) const {
+    return (knowledge() >> frame) & 1u;
+  }
+  void learn(std::uint8_t frame) {
+    set_knowledge(knowledge() | (1u << frame));
+  }
+
+  std::uint8_t accepts(std::uint8_t nonce) const {
+    return static_cast<std::uint8_t>((accept_counts >> (2 * nonce)) & 3u);
+  }
+
+  bool operator==(const World& o) const {
+    return std::memcmp(this, &o, sizeof(World)) == 0;
+  }
+};
+static_assert(sizeof(World) == 23, "World must stay tightly packed");
+
+enum ClientFlag : std::uint8_t {
+  kClientEnrolled = 1 << 0,     // EnrollResult(ok) observed
+  kClientTxSettled = 1 << 1,    // TxResult observed
+  kClientVerdictGiven = 1 << 2, // the human answered this challenge
+};
+
+struct WorldHash {
+  std::size_t operator()(const World& w) const {
+    // FNV-1a over the packed bytes.
+    const auto* p = reinterpret_cast<const unsigned char*>(&w);
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < sizeof(World); ++i) {
+      h = (h ^ p[i]) * 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// ---- attacker / scheduler actions ------------------------------------
+
+enum class ActionKind : std::uint8_t {
+  kClientStart = 0,   // honest client begins enrollment
+  kClientSubmitTx,    // honest client submits its transaction
+  kClientConfirm,     // the human confirms the held challenge
+  kClientReject,      // the human rejects the held challenge
+  kDeliverToSp,       // attacker delivers `frame` to the SP
+  kDeliverToClient,   // attacker delivers `frame` to the client
+};
+
+struct Action {
+  ActionKind kind = ActionKind::kClientStart;
+  std::uint8_t frame = kNoFrame;
+};
+
+const char* action_kind_name(ActionKind kind);
+
+// ---- invariants -------------------------------------------------------
+
+enum class Invariant : std::uint8_t {
+  kNone = 0,
+  /// A challenge nonce settles as accepted at most once.
+  kTxExactlyOnce,
+  /// An accepted confirmation carries the genuine signature for the
+  /// session's nonce, and the human really confirmed that nonce.
+  kNoForgedConfirm,
+  /// The SP only registers an enrollment whose evidence is genuine and
+  /// bound to the session's challenge.
+  kNoUnattestedEnroll,
+};
+
+const char* invariant_name(Invariant invariant);
+
+// ---- seeded bugs ------------------------------------------------------
+
+/// Deliberate defects the checker can re-introduce. Each mirrors a
+/// plausible shell mistake; the tests assert the checker finds the
+/// attack each one (or each pair) enables, and that single defence
+/// layers failing alone stay safe (defence in depth).
+struct SeededBugs {
+  /// The crypto port reports every evidence/signature check as passing.
+  bool skip_crypto_verify = false;
+  /// The shell drops the settle decision's kApplyState action: sessions
+  /// never leave kChallengeSent, so a challenge stays consumable.
+  bool drop_settle_apply = false;
+  /// The signature replay cache is never consulted.
+  bool skip_replay_screen = false;
+
+  bool any() const {
+    return skip_crypto_verify || drop_settle_apply || skip_replay_screen;
+  }
+};
+
+// ---- transition function ---------------------------------------------
+
+struct StepOutcome {
+  World next;
+  /// The action changed nothing (e.g. a delivered frame the receiver
+  /// discards and everyone already knew). Self-loops are skipped by the
+  /// checker.
+  bool changed = false;
+  Invariant violated = Invariant::kNone;
+};
+
+/// Applies one action to the world. Pure: same (world, action, bugs) ->
+/// same outcome. SP decisions run through proto::sp_* and client
+/// filtering through proto::client_classify_rx -- the deployed logic.
+StepOutcome step_world(const World& world, Action action,
+                       const SeededBugs& bugs);
+
+/// Enumerates every action available to the scheduler/attacker in
+/// `world`, in a fixed deterministic order, into `out` (capacity must be
+/// >= kMaxActions). Returns the count.
+inline constexpr std::size_t kMaxActions =
+    4 + kFrameCount * 2;  // client steps + both delivery directions
+std::size_t enumerate_actions(const World& world, Action* out);
+
+/// The initial world: empty tables, idle client, attacker knowing only
+/// the public begin frames' shapes (EnrollBegin and TxSubmit carry no
+/// secret and are always craftable; they are not knowledge-gated).
+World initial_world();
+
+}  // namespace tp::model

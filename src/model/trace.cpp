@@ -1,0 +1,78 @@
+#include "model/trace.h"
+
+#include <array>
+
+namespace tp::model {
+
+std::string describe_action(Action action) {
+  std::string s = action_kind_name(action.kind);
+  if (action.kind == ActionKind::kDeliverToSp ||
+      action.kind == ActionKind::kDeliverToClient) {
+    s += ": ";
+    s += frame_name(action.frame);
+  }
+  return s;
+}
+
+std::string format_trace(const std::vector<Action>& trace) {
+  std::string s;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    s += "  ";
+    s += std::to_string(i + 1);
+    s += ". ";
+    s += describe_action(trace[i]);
+    s += '\n';
+  }
+  return s;
+}
+
+int canonical_send_index(std::uint8_t frame) {
+  if (frame == kFrameEnrollBegin) return 0;
+  if (frame >= kFrameEnrollChallenge0 &&
+      frame < kFrameEnrollChallenge0 + kEnrollNoncePool) {
+    return 1;
+  }
+  if (frame >= kFrameEnrollCompleteGenuine0 &&
+      frame < kFrameEnrollCompleteGenuine0 + kEnrollNoncePool) {
+    return 2;
+  }
+  if (frame == kFrameEnrollResultOk || frame == kFrameEnrollResultReject) {
+    return 3;
+  }
+  if (frame == kFrameTxSubmit) return 4;
+  if (frame >= kFrameTxChallenge0 &&
+      frame < kFrameTxChallenge0 + kTxNoncePool) {
+    return 5;
+  }
+  if (frame >= kFrameTxConfirm0 && frame < tx_confirm_frame(kSigGarbage, 0)) {
+    return 6;  // genuine-signature confirms, either verdict
+  }
+  if (frame == kFrameTxResultOk || frame == kFrameTxResultReject) return 7;
+  return -1;  // crafted garbage: the honest run never sends it
+}
+
+FaultScriptMapping trace_to_fault_script(const std::vector<Action>& trace) {
+  FaultScriptMapping out;
+  out.exact = true;
+  std::array<std::uint8_t, kFrameCount> delivered{};
+  for (const Action& a : trace) {
+    if (a.kind != ActionKind::kDeliverToSp &&
+        a.kind != ActionKind::kDeliverToClient) {
+      continue;  // honest-party moves happen on the real stack by itself
+    }
+    const int index = canonical_send_index(a.frame);
+    if (index < 0) {
+      out.exact = false;  // crafted frame: no link fault expresses it
+      continue;
+    }
+    if (delivered[a.frame]++ == 0) {
+      continue;  // first delivery: the honest send itself
+    }
+    out.script.forced.push_back(net::ForcedFault{
+        static_cast<std::uint64_t>(index),
+        static_cast<std::uint8_t>(net::FaultKind::kDuplicate)});
+  }
+  return out;
+}
+
+}  // namespace tp::model

@@ -1,0 +1,45 @@
+// Counterexample rendering and replay mapping.
+//
+// A checker trace is a sequence of scheduler/attacker actions over the
+// symbolic world. Two consumers:
+//  * humans -- format_trace renders one action per line;
+//  * the simulator -- trace_to_fault_script projects the attacker's
+//    moves onto net::FaultScript entries (exactly-placed duplicates on
+//    the canonical send indices of the honest enroll + confirm run), so
+//    a counterexample found in the model replays against the REAL
+//    client/SP/link stack under a seeded FaultInjector.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/protocol_model.h"
+#include "net/fault.h"
+
+namespace tp::model {
+
+std::string describe_action(Action action);
+std::string format_trace(const std::vector<Action>& trace);
+
+/// The send index a frame occupies in the clean one-enroll one-tx run
+/// over the simulated link (both directions share one send counter):
+/// EnrollBegin=0, EnrollChallenge=1, EnrollComplete=2, EnrollResult=3,
+/// TxSubmit=4, TxChallenge=5, TxConfirm=6, TxResult=7. Returns -1 for
+/// frames the honest run never sends (crafted garbage).
+int canonical_send_index(std::uint8_t frame);
+
+struct FaultScriptMapping {
+  net::FaultScript script;
+  /// Every attacker move in the trace mapped onto a link fault. When
+  /// false the trace uses a move (e.g. crafted garbage) the link-level
+  /// fault vocabulary cannot express; the script covers the rest.
+  bool exact = false;
+};
+
+/// Projects a counterexample onto the fault script that reproduces its
+/// deliveries on the real link: the first delivery of each frame is the
+/// honest send, each re-delivery becomes a kDuplicate at that frame's
+/// canonical send index.
+FaultScriptMapping trace_to_fault_script(const std::vector<Action>& trace);
+
+}  // namespace tp::model

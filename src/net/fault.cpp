@@ -49,10 +49,48 @@ void FaultInjector::record(FaultKind kind) {
   fingerprint_ = (fingerprint_ ^ static_cast<std::uint64_t>(i)) * kPrime;
 }
 
+bool FaultInjector::apply_script(Decision& d, Bytes& payload) {
+  // Scripted faults are exact and draw nothing from the probabilistic
+  // stream: the same script yields the same fault sequence under any
+  // seed, which is what makes a model-checker counterexample replayable
+  // against the real stack.
+  const std::uint64_t index = sends_ - 1;
+  bool dropped = false;
+  for (const ForcedFault& f : plan_.script.forced) {
+    if (f.send_index != index) continue;
+    const auto kind = static_cast<FaultKind>(f.kind);
+    record(kind);
+    switch (kind) {
+      case FaultKind::kDrop:
+      case FaultKind::kPartitionDrop:
+        d.drop = true;
+        dropped = true;
+        break;
+      case FaultKind::kDuplicate:
+        d.duplicate = true;
+        break;
+      case FaultKind::kReorder:
+        d.reorder = true;
+        break;
+      case FaultKind::kCorrupt:
+        if (!payload.empty()) {
+          payload[0] = static_cast<std::uint8_t>(payload[0] ^ 0xFF);
+        }
+        break;
+      case FaultKind::kDelaySpike:
+        d.extra_delay =
+            SimDuration::seconds(plan_.to_sp.delay_spike_ms / 1000.0);
+        break;
+    }
+  }
+  return dropped;
+}
+
 FaultInjector::Decision FaultInjector::decide(bool to_sp, SimTime now,
                                               Bytes& payload) {
   ++sends_;
   Decision d;
+  if (plan_.script.enabled() && apply_script(d, payload)) return d;
   if (partitioned(now)) {
     record(FaultKind::kPartitionDrop);
     d.drop = true;

@@ -44,15 +44,34 @@ struct PartitionWindow {
   SimTime end;
 };
 
+/// One exactly-placed fault: fire `kind` on the Nth send over the link
+/// (0-based, counted across both directions in send order).
+struct ForcedFault {
+  std::uint64_t send_index = 0;
+  std::uint8_t kind = 0;  // a FaultKind wire value
+};
+
+/// A deterministic, exactly-scripted fault sequence -- the replay form
+/// of a model-checker counterexample (model::trace_to_fault_script).
+/// Scripted entries fire on their exact send index and draw nothing from
+/// the probabilistic stream; every other send passes clean unless the
+/// plan's profiles add their own faults. Default-constructed: inert.
+struct FaultScript {
+  std::vector<ForcedFault> forced;
+  bool enabled() const { return !forced.empty(); }
+};
+
 /// A complete, replayable fault script for one link.
 struct FaultPlan {
   FaultProfile to_sp;      // faults on a -> b (client -> SP) messages
   FaultProfile to_client;  // faults on b -> a (SP -> client) messages
   std::vector<PartitionWindow> partitions;
+  FaultScript script;      // exactly-placed faults (counterexample replay)
   std::uint64_t seed = 0;
 
   bool enabled() const {
-    return to_sp.enabled() || to_client.enabled() || !partitions.empty();
+    return to_sp.enabled() || to_client.enabled() || !partitions.empty() ||
+           script.enabled();
   }
 
   /// Same profile in both directions; the usual chaos-sweep shape.
@@ -108,6 +127,9 @@ class FaultInjector {
  private:
   void record(FaultKind kind);
   bool partitioned(SimTime now) const;
+  /// Applies every scripted fault naming this send (0-based index
+  /// `sends_ - 1`); returns true when one of them dropped the message.
+  bool apply_script(Decision& d, Bytes& payload);
 
   FaultPlan plan_;
   SimRng rng_;

@@ -1,0 +1,82 @@
+// ClientCore: the client orchestrator's pure decision core.
+//
+// The mirror of sp_core.h for the other end of the wire. The client's
+// exchange loop (core::TrustedPathClient::exchange_msg) used to bake
+// three decisions into its I/O: whether a send is a legal FSM
+// transition, how long to back off before a retry, and what to do with
+// each delivered frame (accept / discard-and-drain / give the attempt
+// up). Those decisions now live here as pure functions over POD views,
+// so the model checker can drive the exact retry/filter logic a real
+// client runs -- a replayed or reordered frame is mishandled in the
+// model iff it would be mishandled on the wire.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/session_fsm.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace tp::proto {
+
+/// The retry-policy numbers the backoff decision needs (a view of
+/// core::RetryPolicy, kept message-layer-free).
+struct ClientBackoffPolicy {
+  std::int64_t base_ns = 0;
+  std::int64_t cap_ns = 0;
+};
+
+/// Decorrelated-jitter backoff: sleep = min(cap, uniform(base,
+/// 3 * previous)), drawn from the caller's jitter stream. Pure given the
+/// rng: the same stream position yields the same plan, which is what
+/// makes retry schedules replayable under a fixed seed.
+inline SimDuration client_plan_backoff(const ClientBackoffPolicy& policy,
+                                       SimDuration previous, SimRng& rng) {
+  const std::int64_t lo = policy.base_ns > 0 ? policy.base_ns : 0;
+  std::int64_t hi = 3 * previous.ns;
+  if (hi < lo + 1) hi = lo + 1;
+  std::int64_t planned =
+      lo + static_cast<std::int64_t>(
+               rng.next_below(static_cast<std::uint64_t>(hi - lo)));
+  if (planned > policy.cap_ns) planned = policy.cap_ns;
+  return SimDuration::nanos(planned);
+}
+
+/// Whether the exchange may (re)send its frame: the transition table
+/// must demand exactly the action the client is about to perform. A
+/// mismatch means the orchestrator would emit a sequence the verifier
+/// refuses -- surfaced before any wire round-trip. Applies `event` to
+/// `fsm` (a retransmission replays the SAME event: a begin re-opens the
+/// session, a completion retries the settle).
+inline bool client_may_send(Session& fsm, SessionEvent event,
+                            SessionAction want_action) {
+  return fsm.apply(event).action == want_action;
+}
+
+/// One delivered (or failed) receive attempt, as facts.
+struct ClientRxEvent {
+  bool delivered = false;       // a frame arrived (vs a transport error)
+  bool link_exhausted = false;  // transport says nothing more is pending
+  bool want_type = false;       // envelope opened to the awaited type
+  bool well_formed = false;     // payload deserialized cleanly
+};
+
+enum class ClientRxDecision : std::uint8_t {
+  kAccept,           // this is the response: the exchange completes
+  kDiscardAndDrain,  // stale/corrupt noise queued ahead of the answer
+  kNextAttempt,      // nothing more pending: back off and retransmit
+};
+
+/// The drain-loop filter: corrupt, stale or duplicated frames are noise
+/// queued ahead of the answer, not the answer; an exhausted link ends
+/// the attempt.
+constexpr ClientRxDecision client_classify_rx(const ClientRxEvent& rx) {
+  if (!rx.delivered) {
+    return rx.link_exhausted ? ClientRxDecision::kNextAttempt
+                             : ClientRxDecision::kDiscardAndDrain;
+  }
+  if (rx.want_type && rx.well_formed) return ClientRxDecision::kAccept;
+  return ClientRxDecision::kDiscardAndDrain;
+}
+
+}  // namespace tp::proto

@@ -1,0 +1,65 @@
+// The real CryptoPort backend: attestation-grade crypto with cached
+// per-client verify contexts.
+//
+// Owns the client -> tpm::AttestationVerifyContext map the SP used to
+// hold inline (the enrolled public key plus the per-scheme precompute --
+// Montgomery context for RSA moduli, window tables for P-256 points --
+// built once at enrollment so the per-transaction verify skips that
+// setup). verify_enrollment runs the four evidence checks the seed ran,
+// per quote format; the confirmation paths feed the cached contexts to
+// tpm::attestation_verify / attestation_verify_batch.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/trusted_path_pal.h"
+#include "crypto/rsa.h"
+#include "proto/crypto_port.h"
+#include "tpm/attestation.h"
+
+namespace tp::sp {
+
+class AttestationCryptoPort final : public proto::CryptoPort {
+ public:
+  /// `ca_public` / `golden_pcr17` / `accepted_policies` mirror the
+  /// SpConfig fields of the same names (empty policies fall back to the
+  /// classic TPM 1.2 {PCR 17} == golden policy at verify time).
+  AttestationCryptoPort(crypto::RsaPublicKey ca_public, Bytes golden_pcr17,
+                       std::vector<core::AttestationPolicy> accepted_policies,
+                       std::size_t expected_clients);
+
+  proto::RejectCode verify_enrollment(
+      const proto::EnrollEvidence& evidence) override;
+  ConfirmHandle confirm_handle(std::string_view client_id) const override;
+  std::uint8_t format_of(ConfirmHandle handle) const override;
+  bool verify_confirmation(ConfirmHandle handle, BytesView statement,
+                           BytesView signature) override;
+  void verify_confirmation_batch(std::span<const ConfirmItem> items,
+                                 bool* ok_out) override;
+
+  // ---- backend-specific surface (shell bookkeeping & handoff) ----
+  bool is_enrolled(const std::string& client_id) const {
+    return contexts_.count(client_id) != 0;
+  }
+  std::size_t enrolled_count() const { return contexts_.size(); }
+  /// The context map itself, for extract_for_handoff/import_handoff (a
+  /// rebalance moves contexts by node extraction so the precompute is
+  /// never redone).
+  std::unordered_map<std::string, tpm::AttestationVerifyContext>& contexts() {
+    return contexts_;
+  }
+  const std::unordered_map<std::string, tpm::AttestationVerifyContext>&
+  contexts() const {
+    return contexts_;
+  }
+
+ private:
+  crypto::RsaPublicKey ca_public_;
+  Bytes golden_pcr17_;
+  std::vector<core::AttestationPolicy> accepted_policies_;
+  std::unordered_map<std::string, tpm::AttestationVerifyContext> contexts_;
+};
+
+}  // namespace tp::sp

@@ -1,11 +1,11 @@
 #include "sp/service_provider.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 
 #include "core/trusted_path_pal.h"
-#include "tpm/quote.h"
-#include "tpm/tpm2_quote.h"
+#include "proto/crypto_port.h"
 
 namespace tp::sp {
 
@@ -74,6 +74,8 @@ ServiceProvider::ServiceProvider(SpConfig config)
           config_.enroll_session_capacity, config_.session_ttl}),
       tx_sessions_(proto::SessionTableConfig{config_.tx_session_capacity,
                                              config_.session_ttl}),
+      crypto_(config_.ca_public, config_.golden_pcr17,
+              config_.accepted_policies, config_.expected_clients),
       seen_signatures_(config_.replay_cache_capacity),
       submit_dedup_(config_.idempotent_replies
                         ? dedup_size_for(config_.tx_session_capacity)
@@ -84,7 +86,6 @@ ServiceProvider::ServiceProvider(SpConfig config)
   config_.nonce_len =
       std::min(config_.nonce_len, proto::SessionTable::kMaxNonceLen);
   next_tx_id_ = config_.tx_id_base + 1;
-  enrolled_.reserve(config_.expected_clients);
   if (config_.metrics != nullptr) {
     registry_ = config_.metrics;
   } else {
@@ -181,13 +182,16 @@ TxResult ServiceProvider::reject_tx(std::uint64_t tx_id,
 
 EnrollChallenge ServiceProvider::begin_enrollment(const EnrollBegin& msg) {
   // kBegin is legal from every state (the FSM recycles terminal and
-  // half-open sessions alike); begin() is the kSendChallenge action's
-  // bookkeeping: collect expired, evict under pressure, arm the deadline.
+  // half-open sessions alike). sp_begin asks for open-session /
+  // store-nonce / send-frame; begin() is the open's bookkeeping: collect
+  // expired, evict under pressure, arm the deadline.
   const SimTime now = session_now();
+  const proto::SpBegin decision = proto::sp_begin(kEnrollPhase);
   EnrollChallenge challenge{fresh_nonce()};
   proto::SessionTable::Session& session =
       enroll_sessions_.begin(proto::SessionTable::client_key(msg.client_id),
                              now);
+  session.state = decision.next_state;
   session.set_nonce(challenge.nonce);
   publish_session_metrics();
   return challenge;
@@ -201,184 +205,67 @@ EnrollResult ServiceProvider::complete_enrollment(const EnrollComplete& msg) {
   bool deadline_passed = false;
   proto::SessionTable::Session* session =
       enroll_sessions_.find(key, now, &deadline_passed);
-  if (session == nullptr) {
-    // No live session: feed kComplete to the state the table reports
-    // (kExpired when the deadline collected the slot just now, kIdle
-    // otherwise) and let the FSM pick the reject code.
-    const proto::Step miss = proto::step(
-        kEnrollPhase,
-        deadline_passed ? proto::SessionState::kExpired
-                        : proto::SessionState::kIdle,
-        proto::SessionEvent::kComplete);
+
+  // Stage A: the gate decides whether this completion reaches the
+  // evidence check at all -- session miss (expired vs never-existed) and
+  // the terminal-hold guard reject here, with the FSM's typed code.
+  const proto::SpGate gate = proto::sp_gate_complete(
+      kEnrollPhase,
+      proto::SpSessionView{session != nullptr, deadline_passed,
+                           session != nullptr ? session->state
+                                              : proto::SessionState::kIdle});
+  if (gate.state_valid) session->state = gate.next_state;
+  if (!gate.session_live) {
     publish_session_metrics();
-    return reject_enrollment(miss.reject);
-  }
-  // Live session: kComplete from kChallengeSent demands kVerify. A
-  // terminal session held for idempotent replay refuses a fresh
-  // completion with its typed code (byte-identical retransmits are
-  // answered from the response cache in handle_frame, before this).
-  const proto::Step on_complete = proto::step(kEnrollPhase, session->state,
-                                              proto::SessionEvent::kComplete);
-  session->state = on_complete.next;
-  if (on_complete.action != proto::SessionAction::kVerify) {
-    publish_session_metrics();
-    return reject_enrollment(on_complete.reject);
+    return reject_enrollment(gate.reject);
   }
 
-  // The kVerify action: check the enrollment evidence, producing kNone
-  // (sound) or the specific RejectCode for the first check that failed.
-  // The checks are the same four for both quote formats -- certificate
-  // chain, quote signature + nonce binding, attestation policy, key
-  // parse -- but each step dispatches on msg.format because the wire
-  // artifacts differ (AikCertificate/QuoteResult/RsaPublicKey vs
-  // AkCertificate/Tpm2Quote/SEC1 point).
-  const auto verify = [&]() -> proto::RejectCode {
-    const Bytes binding = enrollment_quote_binding(msg.confirmation_pubkey,
-                                                   session->nonce_view());
-    std::vector<core::AttestationPolicy> policies =
-        config_.accepted_policies;
-    if (policies.empty()) {
-      // Classic fallback: {PCR 17} == golden_pcr17, TPM 1.2 only. An SP
-      // that admits 2.0 clients must publish kTpm2 policies.
-      policies.push_back(core::AttestationPolicy{
-          tpm::PcrSelection::of({17}), {config_.golden_pcr17}, "default",
-          tpm::QuoteFormat::kTpm12});
-    }
-
-    if (msg.format == tpm::QuoteFormat::kTpm2) {
-      // 1. AK certificate chains to the Privacy CA and carries an ECC AK.
-      auto cert = tpm::AkCertificate::deserialize(msg.aik_certificate);
-      if (!cert.ok()) return proto::RejectCode::kMalformedAikCertificate;
-      if (!tpm::PrivacyCa::verify_key(config_.ca_public, cert.value()).ok()) {
-        return proto::RejectCode::kUntrustedAikCertificate;
-      }
-      if (cert.value().key.format != tpm::QuoteFormat::kTpm2 ||
-          !cert.value().key.ecdsa.has_value()) {
-        return proto::RejectCode::kMalformedAikCertificate;
-      }
-
-      // 2. Quote: valid AK signature over the PCR digest + OUR binding.
-      auto quote = tpm::Tpm2Quote::deserialize(msg.quote);
-      if (!quote.ok()) return proto::RejectCode::kMalformedQuote;
-      if (!tpm::verify_tpm2_quote(*cert.value().key.ecdsa, quote.value(),
-                                  binding)
-               .ok()) {
-        return proto::RejectCode::kQuoteVerifyFailed;
-      }
-
-      // 3. A 2.0 quote carries H(values), not the values: match by
-      // recomputing each kTpm2 policy's expected digest.
-      bool policy_match = false;
-      for (const auto& policy : policies) {
-        if (policy.format != tpm::QuoteFormat::kTpm2 ||
-            quote.value().selection != policy.selection) {
-          continue;
-        }
-        auto expected = tpm::tpm2_pcr_digest(policy.values);
-        if (expected.ok() &&
-            ct_equal(expected.value(), quote.value().pcr_digest)) {
-          policy_match = true;
-          break;
-        }
-      }
-      if (!policy_match) {
-        return proto::RejectCode::kAttestationPolicyMismatch;
-      }
-
-      // 4. The confirmation key itself must parse (SEC1 P-256 point).
-      auto key =
-          tpm::parse_public_key(tpm::QuoteFormat::kTpm2,
-                                msg.confirmation_pubkey);
-      if (!key.ok()) return proto::RejectCode::kMalformedPublicKey;
-      // Build the cached verify context now (P-256 window-table
-      // precompute), once per enrollment.
-      enrolled_.insert_or_assign(
-          msg.client_id, tpm::AttestationVerifyContext(key.take()));
-      return proto::RejectCode::kNone;
-    }
-
-    // ---- TPM 1.2 path (the seed's checks, verbatim) ----
-    // 1. AIK certificate chains to the Privacy CA.
-    auto cert = tpm::AikCertificate::deserialize(msg.aik_certificate);
-    if (!cert.ok()) return proto::RejectCode::kMalformedAikCertificate;
-    if (!tpm::PrivacyCa::verify(config_.ca_public, cert.value()).ok()) {
-      return proto::RejectCode::kUntrustedAikCertificate;
-    }
-
-    // 2. Quote: valid AIK signature over PCR 17 and OUR nonce binding.
-    auto quote = tpm::QuoteResult::deserialize(msg.quote);
-    if (!quote.ok()) return proto::RejectCode::kMalformedQuote;
-    if (!tpm::verify_quote(cert.value().aik_public, quote.value(), binding)
-             .ok()) {
-      return proto::RejectCode::kQuoteVerifyFailed;
-    }
-
-    // 3. The quoted PCRs must match one accepted attestation policy: the
-    // key was generated inside the GENUINE trusted-path PAL on a
-    // supported platform flavour.
-    bool policy_match = false;
-    for (const auto& policy : policies) {
-      if (policy.format != tpm::QuoteFormat::kTpm12 ||
-          quote.value().selection != policy.selection ||
-          quote.value().pcr_values.size() != policy.values.size()) {
-        continue;
-      }
-      bool all_equal = true;
-      for (std::size_t i = 0; i < policy.values.size(); ++i) {
-        if (!ct_equal(quote.value().pcr_values[i], policy.values[i])) {
-          all_equal = false;
-          break;
-        }
-      }
-      if (all_equal) {
-        policy_match = true;
-        break;
-      }
-    }
-    if (!policy_match) return proto::RejectCode::kAttestationPolicyMismatch;
-
-    // 4. The key itself must parse.
-    auto pk = crypto::RsaPublicKey::deserialize(msg.confirmation_pubkey);
-    if (!pk.ok()) return proto::RejectCode::kMalformedPublicKey;
-
-    // Build the cached verify context now (R^2-mod-n precompute), once
-    // per enrollment, so every later confirmation verify skips it.
-    enrolled_.insert_or_assign(
-        msg.client_id,
-        tpm::AttestationVerifyContext(tpm::AttestationKey::of(pk.take())));
-    return proto::RejectCode::kNone;
-  };
-
-  const proto::RejectCode verdict = verify();
-  const proto::Step settle =
-      proto::step(kEnrollPhase, session->state,
-                  verdict == proto::RejectCode::kNone
-                      ? proto::SessionEvent::kVerifyOk
-                      : proto::SessionEvent::kVerifyFail);
-  session->state = settle.next;
-  if (!config_.idempotent_replies) {
-    // Terminal either way: challenges are one-shot, the slot is
-    // released. In idempotent mode the settled session is instead held
-    // (terminal state + cached response) until its original deadline so
-    // retransmitted completes replay the same answer.
-    enroll_sessions_.erase(key);
+  // Stage B: enrollment's pre-signature facts are all defaults -- the
+  // screen always lands on kVerifySignature, answered by the crypto
+  // port's full evidence check (certificate chain, quote signature +
+  // nonce binding, attestation policy, key parse; kNone registers the
+  // enrollment and caches the verify context).
+  const proto::SpScreen screen =
+      proto::sp_screen_complete(proto::SpCompleteFacts{});
+  proto::RejectCode evidence = proto::RejectCode::kNone;
+  if (screen.need_verify) {
+    evidence = crypto_.verify_enrollment(proto::EnrollEvidence{
+        msg.client_id, static_cast<std::uint8_t>(msg.format),
+        msg.confirmation_pubkey, msg.quote, msg.aik_certificate,
+        session->nonce_view()});
   }
+
+  // Stage C: settle. Terminal either way; one-shot mode releases the
+  // slot, idempotent mode holds it (terminal state + cached response)
+  // until its original deadline so retransmitted completes replay the
+  // same answer.
+  const proto::SpSettle settle = proto::sp_settle_complete(
+      kEnrollPhase,
+      proto::SpSettleInput{session->state, /*session_live=*/true,
+                           /*session_found=*/true, screen.need_verify,
+                           evidence == proto::RejectCode::kNone,
+                           screen.reject, /*verify_reject=*/evidence,
+                           config_.idempotent_replies});
+  if (settle.state_valid) session->state = settle.next_state;
+  if (settle.erase_session) enroll_sessions_.erase(key);
   publish_session_metrics();
-  if (settle.action == proto::SessionAction::kAccept) {
+  if (settle.accepted) {
     c_enrolled_->inc();
     c_enrolled_fmt_[tpm::quote_format_index(msg.format)]->inc();
     return EnrollResult{true, "enrolled"};
   }
-  return reject_enrollment(verdict);
+  return reject_enrollment(settle.reject);
 }
 
 TxChallenge ServiceProvider::begin_transaction(const TxSubmit& msg) {
   const SimTime now = session_now();
+  const proto::SpBegin decision = proto::sp_begin(kConfirmPhase);
   TxChallenge challenge;
   challenge.tx_id = next_tx_id_++;
   challenge.nonce = fresh_nonce();
   proto::SessionTable::Session& session = tx_sessions_.begin(
       proto::SessionTable::tx_key(challenge.tx_id), now);
+  session.state = decision.next_state;
   session.client = proto::SessionTable::client_key(msg.client_id);
   session.set_nonce(challenge.nonce);
   const Bytes digest = msg.digest();
@@ -390,8 +277,9 @@ TxChallenge ServiceProvider::begin_transaction(const TxSubmit& msg) {
 }
 
 /// Outcome of the pre-signature stage of one TxConfirm. The check order
-/// inside prepare_confirm is the seed's: binding (client identity),
-/// policy knob, enrollment, human verdict, replay backstop, signature.
+/// lives in proto::sp_screen_complete (the seed's: binding, policy knob,
+/// enrollment, human verdict, replay backstop, signature); this struct
+/// carries its verdict plus the gathered verify inputs to the settle.
 struct ServiceProvider::PreparedConfirm {
   const core::TxConfirm* msg = nullptr;
   proto::SessionTable::Key key{};
@@ -409,7 +297,7 @@ struct ServiceProvider::PreparedConfirm {
   /// Which backend's key signs the confirmation (unset in baseline
   /// mode, where no signature is checked).
   std::optional<tpm::QuoteFormat> format;
-  const tpm::AttestationVerifyContext* ctx = nullptr;
+  proto::CryptoPort::ConfirmHandle handle = nullptr;
   Bytes statement;
 };
 
@@ -421,95 +309,79 @@ void ServiceProvider::prepare_confirm(const TxConfirm& msg,
   bool deadline_passed = false;
   proto::SessionTable::Session* session =
       tx_sessions_.find(prep.key, now, &deadline_passed);
-  if (session == nullptr) {
-    const proto::Step miss = proto::step(
-        kConfirmPhase,
-        deadline_passed ? proto::SessionState::kExpired
-                        : proto::SessionState::kIdle,
-        proto::SessionEvent::kComplete);
-    prep.reject = miss.reject;
-    return;
-  }
-  // Same terminal-hold guard as enrollment: a settled session refuses a
-  // fresh completion with its typed code.
-  const proto::Step on_complete = proto::step(
-      kConfirmPhase, session->state, proto::SessionEvent::kComplete);
-  session->state = on_complete.next;
-  if (on_complete.action != proto::SessionAction::kVerify) {
-    prep.reject = on_complete.reject;
+
+  // Stage A: the gate -- session miss and the terminal-hold guard reject
+  // here (same guard as enrollment: a settled session refuses a fresh
+  // completion with its typed code).
+  const proto::SpGate gate = proto::sp_gate_complete(
+      kConfirmPhase,
+      proto::SpSessionView{session != nullptr, deadline_passed,
+                           session != nullptr ? session->state
+                                              : proto::SessionState::kIdle});
+  if (gate.state_valid) session->state = gate.next_state;
+  if (!gate.session_live) {
+    prep.reject = gate.reject;
     return;
   }
   prep.session_live = true;
 
-  if (session->client != proto::SessionTable::client_key(msg.client_id)) {
-    prep.reject = proto::RejectCode::kClientMismatch;
-    return;
-  }
-  if (!config_.require_trusted_path) {
-    // Baseline mode: execute whatever the (possibly compromised) client
-    // software asked for. This is the world before the trusted path.
-    return;
-  }
-  prep.verified_by_trusted_path = true;
-  const auto enrolled = enrolled_.find(msg.client_id);
-  if (enrolled == enrolled_.end()) {
-    prep.reject = proto::RejectCode::kClientNotEnrolled;
-    return;
-  }
-  if (msg.verdict != Verdict::kConfirmed) {
-    prep.reject = msg.verdict == Verdict::kRejected
-                      ? proto::RejectCode::kUserRejected
-                      : proto::RejectCode::kUserTimeout;
-    return;
-  }
+  // Stage B: gather the pre-signature facts (all side-effect-free
+  // lookups) and let the screen order the checks.
+  const proto::CryptoPort::ConfirmHandle handle =
+      crypto_.confirm_handle(msg.client_id);
+  proto::SpCompleteFacts facts;
+  facts.client_matches =
+      session->client == proto::SessionTable::client_key(msg.client_id);
+  facts.require_trusted_path = config_.require_trusted_path;
+  facts.enrolled = handle != nullptr;
+  facts.verdict = msg.verdict == Verdict::kConfirmed
+                      ? proto::SpCompleteFacts::Verdict::kConfirmed
+                      : (msg.verdict == Verdict::kRejected
+                             ? proto::SpCompleteFacts::Verdict::kRejected
+                             : proto::SpCompleteFacts::Verdict::kTimeout);
   // Defence in depth: a signature is never accepted twice even if the
   // one-shot challenge logic were bypassed. (Batches flush on duplicate
   // signature bytes, so this screen sees every earlier accept.)
-  if (seen_signatures_.contains(msg.signature)) {
-    prep.reject = proto::RejectCode::kReplayedSignature;
-    return;
-  }
+  facts.signature_replayed = seen_signatures_.contains(msg.signature);
+
+  const proto::SpScreen screen = proto::sp_screen_complete(facts);
+  prep.verified_by_trusted_path = screen.verified_by_trusted_path;
+  prep.reject = screen.reject;
+  if (!screen.need_verify) return;
   prep.statement = confirmation_statement(
       BytesView(session->tx_digest.data(), session->tx_digest.size()),
       session->nonce_view(), Verdict::kConfirmed);
-  prep.ctx = &enrolled->second;
-  prep.format = enrolled->second.format();
+  prep.handle = handle;
+  prep.format = static_cast<tpm::QuoteFormat>(crypto_.format_of(handle));
   prep.need_verify = true;
 }
 
 TxResult ServiceProvider::settle_confirm(PreparedConfirm& prep) {
   const TxConfirm& msg = *prep.msg;
-  proto::RejectCode verdict = prep.reject;
-  if (verdict == proto::RejectCode::kNone && prep.need_verify &&
-      !prep.verify_ok) {
-    verdict = proto::RejectCode::kBadSignature;
-  }
-  if (!prep.session_live) return reject_tx(msg.tx_id, verdict);
-
-  // Re-find by key: prepares of other batch items may have moved slots
-  // (backward-shift deletion), but with distinct keys and an unchanged
-  // timeline this session is still live.
+  // Re-find by key (live sessions only -- the miss/guard paths never
+  // touch the table again): prepares of other batch items may have moved
+  // slots (backward-shift deletion), but with distinct keys and an
+  // unchanged timeline this session is still live.
   proto::SessionTable::Session* session =
-      tx_sessions_.find(prep.key, session_now());
-  bool accepted = false;
-  if (session != nullptr) {
-    const proto::Step settle =
-        proto::step(kConfirmPhase, session->state,
-                    verdict == proto::RejectCode::kNone
-                        ? proto::SessionEvent::kVerifyOk
-                        : proto::SessionEvent::kVerifyFail);
-    session->state = settle.next;
-    accepted = settle.action == proto::SessionAction::kAccept;
-  }
-  if (!config_.idempotent_replies) {
+      prep.session_live ? tx_sessions_.find(prep.key, session_now()) : nullptr;
+  const proto::SpSettle settle = proto::sp_settle_complete(
+      kConfirmPhase,
+      proto::SpSettleInput{
+          session != nullptr ? session->state : proto::SessionState::kIdle,
+          prep.session_live, session != nullptr, prep.need_verify,
+          prep.verify_ok, prep.reject, proto::RejectCode::kBadSignature,
+          config_.idempotent_replies});
+  if (!prep.session_live) return reject_tx(msg.tx_id, settle.reject);
+  if (settle.state_valid) session->state = settle.next_state;
+  if (settle.erase_session) {
     // One-shot: replay of this challenge dies here. Idempotent mode
     // holds the terminal session instead; a re-sent kComplete hits the
     // guard above (or the response cache on the frame path) and the
     // signature replay cache still backstops a re-verify.
     tx_sessions_.erase(prep.key);
   }
-  if (accepted) {
-    if (prep.need_verify) seen_signatures_.insert(msg.signature);
+  if (settle.accepted) {
+    if (settle.record_signature) seen_signatures_.insert(msg.signature);
     c_tx_accepted_->inc();
     if (prep.format.has_value()) {
       c_tx_accepted_fmt_[tpm::quote_format_index(*prep.format)]->inc();
@@ -519,7 +391,7 @@ TxResult ServiceProvider::settle_confirm(PreparedConfirm& prep) {
                         ? "confirmed by human via trusted path"
                         : "accepted without verification"};
   }
-  return reject_tx(msg.tx_id, verdict);
+  return reject_tx(msg.tx_id, settle.reject);
 }
 
 TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
@@ -527,10 +399,9 @@ TxResult ServiceProvider::complete_transaction(const TxConfirm& msg) {
   PreparedConfirm prep;
   prepare_confirm(msg, prep);
   if (prep.need_verify) {
-    prep.verify_ok = prep.ctx
-                         ->verify(crypto::HashAlg::kSha256, prep.statement,
-                                  msg.signature)
-                         .ok();
+    prep.verify_ok =
+        crypto_.verify_confirmation(prep.handle, prep.statement,
+                                    msg.signature);
   }
   TxResult result = settle_confirm(prep);
   publish_session_metrics();
@@ -551,8 +422,9 @@ std::vector<TxResult> ServiceProvider::complete_transaction_batch(
     for (; end < msgs.size(); ++end) {
       bool conflict = false;
       for (std::size_t i = base; i < end && !conflict; ++i) {
-        conflict = msgs[i].tx_id == msgs[end].tx_id ||
-                   msgs[i].signature == msgs[end].signature;
+        conflict = proto::sp_must_flush(
+            msgs[i].tx_id == msgs[end].tx_id,
+            msgs[i].signature == msgs[end].signature);
       }
       if (conflict) break;
     }
@@ -562,21 +434,21 @@ std::vector<TxResult> ServiceProvider::complete_transaction_batch(
     for (std::size_t i = 0; i < n; ++i) {
       prepare_confirm(msgs[base + i], preps[i]);
     }
-    std::vector<tpm::AttestationBatchItem> items;
+    std::vector<proto::CryptoPort::ConfirmItem> items;
     std::vector<std::size_t> item_of;
     items.reserve(n);
     item_of.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       if (!preps[i].need_verify) continue;
-      items.push_back({preps[i].ctx, crypto::HashAlg::kSha256,
-                       preps[i].statement, msgs[base + i].signature});
+      items.push_back({preps[i].handle, preps[i].statement,
+                       msgs[base + i].signature});
       item_of.push_back(i);
     }
     if (!items.empty()) {
-      const std::vector<Status> verdicts =
-          tpm::attestation_verify_batch(items);
+      const auto ok = std::make_unique<bool[]>(items.size());
+      crypto_.verify_confirmation_batch(items, ok.get());
       for (std::size_t j = 0; j < item_of.size(); ++j) {
-        preps[item_of[j]].verify_ok = verdicts[j].ok();
+        preps[item_of[j]].verify_ok = ok[j];
       }
     }
     for (std::size_t i = 0; i < n; ++i) {
@@ -611,14 +483,15 @@ HandoffBundle ServiceProvider::extract_for_handoff(
   }
   // Verify contexts move by node extraction: the per-key precompute
   // (Montgomery / window tables) built at enrollment is never redone.
+  auto& enrolled = crypto_.contexts();
   std::vector<std::string> moving_ids;
-  for (const auto& [id, ctx] : enrolled_) {
+  for (const auto& [id, ctx] : enrolled) {
     (void)ctx;
     if (moves(proto::SessionTable::client_key(id))) moving_ids.push_back(id);
   }
   bundle.enrolled.reserve(moving_ids.size());
   for (const std::string& id : moving_ids) {
-    auto node = enrolled_.extract(id);
+    auto node = enrolled.extract(id);
     bundle.enrolled.emplace_back(std::move(node.key()),
                                  std::move(node.mapped()));
   }
@@ -641,7 +514,7 @@ void ServiceProvider::import_handoff(HandoffBundle&& bundle) {
   merge_restore(enroll_sessions_, std::move(bundle.enroll_sessions));
   merge_restore(tx_sessions_, std::move(bundle.tx_sessions));
   for (auto& [id, ctx] : bundle.enrolled) {
-    enrolled_.insert_or_assign(std::move(id), std::move(ctx));
+    crypto_.contexts().insert_or_assign(std::move(id), std::move(ctx));
   }
   for (const ReplayCache::Digest& d : bundle.replay_digests) {
     seen_signatures_.insert_digest(d);
@@ -665,19 +538,17 @@ std::size_t ServiceProvider::submit_dedup_index(
          submit_dedup_mask_;
 }
 
-const proto::SessionTable::Session* ServiceProvider::find_held(
-    proto::SessionTable& table, const proto::SessionTable::Key& key,
-    const proto::SessionTable::Key& digest, bool want_terminal) {
-  const proto::SessionTable::Session* session = table.find(key, session_now());
-  if (session == nullptr) return nullptr;
-  const bool phase_ok =
-      want_terminal ? session->terminal()
-                    : session->state == proto::SessionState::kChallengeSent;
-  if (!phase_ok || session->request_digest != digest ||
-      !session->has_response()) {
-    return nullptr;
-  }
-  return session;
+proto::SpReplayView ServiceProvider::replay_view(
+    const proto::SessionTable::Session* session,
+    const proto::SessionTable::Key& digest) {
+  proto::SpReplayView view;
+  if (session == nullptr) return view;
+  view.session_found = true;
+  view.live_challenge = session->state == proto::SessionState::kChallengeSent;
+  view.terminal = session->terminal();
+  view.digest_matches = session->request_digest == digest;
+  view.has_response = session->has_response();
+  return view;
 }
 
 Bytes ServiceProvider::handle_frame(BytesView frame, SimTime now) {
@@ -726,8 +597,10 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
           proto::SessionTable::client_key(msg.value().client_id);
       const proto::SessionTable::Key digest =
           proto::SessionTable::payload_key(payload);
-      if (const auto* held = find_held(enroll_sessions_, key, digest,
-                                       /*want_terminal=*/false)) {
+      const proto::SessionTable::Session* held =
+          enroll_sessions_.find(key, session_now());
+      if (proto::sp_screen_begin_retransmit(replay_view(held, digest)) ==
+          proto::SpRetransmit::kReplayResponse) {
         c_replayed_challenge_->inc();
         return replay_response(*held);
       }
@@ -752,16 +625,18 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
           proto::SessionTable::client_key(msg.value().client_id);
       const proto::SessionTable::Key digest =
           proto::SessionTable::payload_key(payload);
-      if (proto::SessionTable::Session* session =
-              enroll_sessions_.find(key, session_now());
-          session != nullptr && session->terminal()) {
-        if (session->request_digest == digest && session->has_response()) {
+      const proto::SessionTable::Session* held =
+          enroll_sessions_.find(key, session_now());
+      switch (proto::sp_screen_complete_retransmit(replay_view(held, digest))) {
+        case proto::SpRetransmit::kReplayResponse:
           c_replayed_result_->inc();
-          return replay_response(*session);
-        }
-        return envelope(
-            MsgType::kEnrollResult,
-            reject_enrollment(proto::RejectCode::kRetryMismatch).serialize());
+          return replay_response(*held);
+        case proto::SpRetransmit::kRetryMismatch:
+          return envelope(MsgType::kEnrollResult,
+                          reject_enrollment(proto::RejectCode::kRetryMismatch)
+                              .serialize());
+        case proto::SpRetransmit::kProcess:
+          break;
       }
       const Bytes resp = envelope(MsgType::kEnrollResult,
                                   complete_enrollment(msg.value()).serialize());
@@ -789,9 +664,10 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
           proto::SessionTable::payload_key(payload);
       SubmitDedup& slot = submit_dedup_[submit_dedup_index(clientk, digest)];
       if (slot.used != 0 && slot.client == clientk && slot.digest == digest) {
-        if (const auto* held =
-                find_held(tx_sessions_, proto::SessionTable::tx_key(slot.tx_id),
-                          digest, /*want_terminal=*/false)) {
+        const proto::SessionTable::Session* held = tx_sessions_.find(
+            proto::SessionTable::tx_key(slot.tx_id), session_now());
+        if (proto::sp_screen_begin_retransmit(replay_view(held, digest)) ==
+            proto::SpRetransmit::kReplayResponse) {
           c_replayed_challenge_->inc();
           return replay_response(*held);
         }
@@ -821,17 +697,19 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
           proto::SessionTable::tx_key(msg.value().tx_id);
       const proto::SessionTable::Key digest =
           proto::SessionTable::payload_key(payload);
-      if (proto::SessionTable::Session* session =
-              tx_sessions_.find(key, session_now());
-          session != nullptr && session->terminal()) {
-        if (session->request_digest == digest && session->has_response()) {
+      const proto::SessionTable::Session* held =
+          tx_sessions_.find(key, session_now());
+      switch (proto::sp_screen_complete_retransmit(replay_view(held, digest))) {
+        case proto::SpRetransmit::kReplayResponse:
           c_replayed_result_->inc();
-          return replay_response(*session);
-        }
-        return envelope(MsgType::kTxResult,
-                        reject_tx(msg.value().tx_id,
-                                  proto::RejectCode::kRetryMismatch)
-                            .serialize());
+          return replay_response(*held);
+        case proto::SpRetransmit::kRetryMismatch:
+          return envelope(MsgType::kTxResult,
+                          reject_tx(msg.value().tx_id,
+                                    proto::RejectCode::kRetryMismatch)
+                              .serialize());
+        case proto::SpRetransmit::kProcess:
+          break;
       }
       const Bytes resp = envelope(MsgType::kTxResult,
                                   complete_transaction(msg.value()).serialize());
@@ -890,19 +768,22 @@ std::vector<Bytes> ServiceProvider::handle_frame_batch(
             proto::SessionTable::tx_key(p.msg.tx_id);
         const proto::SessionTable::Key digest =
             proto::SessionTable::payload_key(p.payload);
-        if (proto::SessionTable::Session* session =
-                tx_sessions_.find(key, session_now());
-            session != nullptr && session->terminal()) {
-          if (session->request_digest == digest && session->has_response()) {
-            c_replayed_result_->inc();
-            out[p.frame_index] = replay_response(*session);
-          } else {
-            out[p.frame_index] =
-                envelope(MsgType::kTxResult,
-                         reject_tx(p.msg.tx_id,
-                                   proto::RejectCode::kRetryMismatch)
-                             .serialize());
-          }
+        const proto::SessionTable::Session* held =
+            tx_sessions_.find(key, session_now());
+        const proto::SpRetransmit verdict =
+            proto::sp_screen_complete_retransmit(replay_view(held, digest));
+        if (verdict == proto::SpRetransmit::kReplayResponse) {
+          c_replayed_result_->inc();
+          out[p.frame_index] = replay_response(*held);
+          settled[i] = 1;
+          continue;
+        }
+        if (verdict == proto::SpRetransmit::kRetryMismatch) {
+          out[p.frame_index] =
+              envelope(MsgType::kTxResult,
+                       reject_tx(p.msg.tx_id,
+                                 proto::RejectCode::kRetryMismatch)
+                           .serialize());
           settled[i] = 1;
           continue;
         }
@@ -914,20 +795,21 @@ std::vector<Bytes> ServiceProvider::handle_frame_batch(
     // one batched call (multi-buffer statement hashing, batch-inverted
     // interleaved ECDSA walks, gathered RSA screens -- mixed fleets get
     // both fast paths).
-    std::vector<tpm::AttestationBatchItem> items;
+    std::vector<proto::CryptoPort::ConfirmItem> items;
     std::vector<std::size_t> item_of;
     items.reserve(n);
     item_of.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       if (settled[i] || !preps[i].need_verify) continue;
-      items.push_back({preps[i].ctx, crypto::HashAlg::kSha256,
-                       preps[i].statement, pending[i].msg.signature});
+      items.push_back({preps[i].handle, preps[i].statement,
+                       pending[i].msg.signature});
       item_of.push_back(i);
     }
     if (!items.empty()) {
-      const std::vector<Status> verdicts = tpm::attestation_verify_batch(items);
+      const auto ok = std::make_unique<bool[]>(items.size());
+      crypto_.verify_confirmation_batch(items, ok.get());
       for (std::size_t j = 0; j < item_of.size(); ++j) {
-        preps[item_of[j]].verify_ok = verdicts[j].ok();
+        preps[item_of[j]].verify_ok = ok[j];
       }
     }
 
@@ -975,12 +857,13 @@ std::vector<Bytes> ServiceProvider::handle_frame_batch(
             reject_tx(0, proto::RejectCode::kMalformedTxConfirm).serialize());
         continue;
       }
-      // Flush rules: a second confirm for the same session slot, or a
-      // re-sent signature, must observe the first one's settlement.
+      // Flush rules (proto::sp_must_flush): a second confirm for the
+      // same session slot, or a re-sent signature, must observe the
+      // first one's settlement.
       bool conflict = false;
       for (const PendingTx& p : pending) {
-        if (p.msg.tx_id == msg.value().tx_id ||
-            p.msg.signature == msg.value().signature) {
+        if (proto::sp_must_flush(p.msg.tx_id == msg.value().tx_id,
+                                 p.msg.signature == msg.value().signature)) {
           conflict = true;
           break;
         }

@@ -8,14 +8,20 @@
 // one-time challenge). Everything between -- the OS, the browser, the
 // network -- is assumed hostile.
 //
-// Session lifecycle: the SP is a thin adapter over the protocol-session
-// layer (src/proto). Every half-open exchange lives in a bounded,
-// deadline-aware proto::SessionTable (one for enrollment keyed by client
-// id, one for confirmation keyed by tx id); legal transitions come from
-// proto::step, the same pure transition function the client drives, so
-// the two sides cannot disagree about the lifecycle. Rejects are typed
-// (proto::RejectCode), counted in a fixed per-code counter array -- no
-// per-reject heap allocation on the hot path -- and echoed on the wire.
+// Session lifecycle: the SP is a thin imperative shell over the
+// protocol-session layer (src/proto). Every half-open exchange lives in
+// a bounded, deadline-aware proto::SessionTable (one for enrollment
+// keyed by client id, one for confirmation keyed by tx id); every
+// DECISION about a message -- gate, pre-signature screen, settle,
+// retransmission replay, batch flush -- is a pure function in
+// proto/sp_core.h, driven here against real tables and real crypto
+// (proto::CryptoPort -> sp::AttestationCryptoPort) and driven by the
+// model checker (src/model) against symbolic state. Legal transitions
+// come from proto::step, the same pure transition function the client
+// drives, so the two sides cannot disagree about the lifecycle. Rejects
+// are typed (proto::RejectCode), counted in a fixed per-code counter
+// array -- no per-reject heap allocation on the hot path -- and echoed
+// on the wire.
 //
 // Concurrency: one ServiceProvider is single-threaded by design (the
 // session tables and replay cache have no interleavings to reason
@@ -41,6 +47,8 @@
 #include "obs/metrics.h"
 #include "proto/session_fsm.h"
 #include "proto/session_table.h"
+#include "proto/sp_core.h"
+#include "sp/attestation_port.h"
 #include "sp/replay_cache.h"
 #include "tpm/attestation.h"
 #include "tpm/privacy_ca.h"
@@ -231,7 +239,7 @@ class ServiceProvider {
       std::span<const core::TxConfirm> msgs);
 
   bool is_enrolled(const std::string& client_id) const {
-    return enrolled_.count(client_id) != 0;
+    return crypto_.is_enrolled(client_id);
   }
 
   /// Live size of the bounded signature replay cache (for tests and
@@ -304,7 +312,7 @@ class ServiceProvider {
 
   /// Clients with a cached verify context (completed enrollments still
   /// resident on this SP).
-  std::size_t enrolled_count() const { return enrolled_.size(); }
+  std::size_t enrolled_count() const { return crypto_.enrolled_count(); }
 
   /// Heap bytes pinned by this SP's bounded state (session tables,
   /// replay cache, submit-dedup map) -- constant over its lifetime; the
@@ -348,13 +356,14 @@ class ServiceProvider {
 
   /// Two-stage TxConfirm pipeline shared by complete_transaction and
   /// handle_frame_batch. prepare_confirm runs everything up to (not
-  /// including) the signature check -- session lookup, FSM step, client
-  /// binding, enrollment, verdict, replay screen -- and never holds a
-  /// session pointer past its return (the open-addressed table moves
-  /// slots on erase). settle_confirm re-finds the session by key,
-  /// applies the verify verdict to the FSM and the replay cache, and
-  /// builds the TxResult. Between an item's prepare and settle only
-  /// other confirms with distinct tx ids and signatures may run.
+  /// including) the signature check -- session lookup, the SpCore gate
+  /// and screen (client binding, enrollment, verdict, replay) -- and
+  /// never holds a session pointer past its return (the open-addressed
+  /// table moves slots on erase). settle_confirm re-finds the session by
+  /// key, asks proto::sp_settle_complete what to apply, and executes its
+  /// actions against the FSM, the replay cache and the counters. Between
+  /// an item's prepare and settle only other confirms with distinct tx
+  /// ids and signatures may run.
   struct PreparedConfirm;
   void prepare_confirm(const core::TxConfirm& msg, PreparedConfirm& prep);
   core::TxResult settle_confirm(PreparedConfirm& prep);
@@ -371,11 +380,11 @@ class ServiceProvider {
 
   std::size_t submit_dedup_index(const proto::SessionTable::Key& client,
                                  const proto::SessionTable::Key& digest) const;
-  /// Frame-path replay lookups (nullptr/empty when no byte-identical
-  /// retransmission is cached). See handle_frame.
-  const proto::SessionTable::Session* find_held(
-      proto::SessionTable& table, const proto::SessionTable::Key& key,
-      const proto::SessionTable::Key& digest, bool want_terminal);
+  /// Packs one session slot's cached-response facts into the POD view
+  /// the SpCore retransmission screens consume. See handle_frame.
+  static proto::SpReplayView replay_view(
+      const proto::SessionTable::Session* session,
+      const proto::SessionTable::Key& digest);
 
   SpConfig config_;
   crypto::HmacDrbg drbg_;
@@ -383,11 +392,11 @@ class ServiceProvider {
   /// adapters below drive them through proto::step.
   proto::SessionTable enroll_sessions_;  // keyed by client id
   proto::SessionTable tx_sessions_;      // keyed by tx id
-  /// client -> cached verify context (holds the enrolled public key plus
-  /// the per-scheme precompute -- Montgomery context for RSA moduli,
-  /// window tables for P-256 points -- built once at enrollment so the
-  /// per-transaction verify skips that setup).
-  std::unordered_map<std::string, tpm::AttestationVerifyContext> enrolled_;
+  /// The crypto boundary: enrollment-evidence checks and confirmation
+  /// signature verification, with the per-client cached verify contexts
+  /// (Montgomery / window-table precompute) living behind it. The shell
+  /// only ever asks it yes/no questions the SpCore decisions demand.
+  AttestationCryptoPort crypto_;
   ReplayCache seen_signatures_;  // bounded defence-in-depth replay cache
   /// Direct-mapped (client, digest) -> tx_id map for TxSubmit dedup;
   /// power-of-two sized from tx_session_capacity, constant memory.

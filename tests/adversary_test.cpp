@@ -179,5 +179,94 @@ TEST_F(AdversaryTest, DmaAndInterruptAttacksBlockedDuringSession) {
   EXPECT_GE(platform->blocked_dma_writes(), 1u);
 }
 
+// ---- the same attacks against the symbolic core -------------------------
+//
+// Every network-level MalwareKit strategy has a rendition as a
+// model::Action script (host/adversary.h). Running those scripts through
+// the protocol core must agree with the real-stack outcomes above: all
+// defeated, no invariant tripped. And when a seeded bug re-opens the
+// weakness a strategy probes, the SAME script must get through -- the
+// scripted adversary and the model checker speak one vocabulary.
+
+TEST(ModelAdversary, AllStrategiesDefeatedBySoundCore) {
+  for (std::size_t i = 0; i < kAttackStrategyCount; ++i) {
+    const auto strategy = static_cast<AttackStrategy>(i);
+    const ModelAttackOutcome out = run_attack_in_model(strategy);
+    EXPECT_FALSE(out.sp_accepted) << attack_strategy_name(strategy);
+    EXPECT_EQ(out.violated, model::Invariant::kNone)
+        << attack_strategy_name(strategy);
+  }
+}
+
+TEST(ModelAdversary, ForgeryGetsThroughWhenVerificationSkipped) {
+  model::SeededBugs bugs;
+  bugs.skip_crypto_verify = true;
+  const ModelAttackOutcome forged =
+      run_attack_in_model(AttackStrategy::kForgeConfirmation, bugs);
+  EXPECT_TRUE(forged.sp_accepted);
+  EXPECT_EQ(forged.violated, model::Invariant::kNoForgedConfirm);
+  const ModelAttackOutcome enrolled =
+      run_attack_in_model(AttackStrategy::kGarbageEnrollment, bugs);
+  EXPECT_TRUE(enrolled.sp_accepted);
+  EXPECT_EQ(enrolled.violated, model::Invariant::kNoUnattestedEnroll);
+}
+
+TEST(ModelAdversary, ReplayAfterResubmitDiesOnChallengeFreshness) {
+  // replay_confirmation submits AFRESH and re-sends the observed
+  // confirmation. The fresh submission recycles the session to a new
+  // challenge, so the old signature fails the binding check -- even
+  // with the replay cache AND the settle write both sabotaged. The
+  // one-shot challenge is a third independent layer, and it alone
+  // defeats this strategy (same reason the real-stack run dies at
+  // "confirm" with kBadSignature in the F2 table).
+  model::SeededBugs both;
+  both.skip_replay_screen = true;
+  both.drop_settle_apply = true;
+  const ModelAttackOutcome out =
+      run_attack_in_model(AttackStrategy::kReplayConfirmation, both);
+  EXPECT_FALSE(out.sp_accepted);
+  EXPECT_EQ(out.violated, model::Invariant::kNone);
+}
+
+TEST(ModelAdversary, DuplicateConfirmNeedsBothLayersDown) {
+  // The variant that CAN double-settle skips the resubmission and
+  // duplicates the confirm into the still-open session -- the exact
+  // shape of the checker's minimal counterexample
+  // (ModelChecker.DoubleSettleNeedsBothLayersDown). Expressed in the
+  // same action vocabulary: the replay script minus the fresh submit,
+  // plus a second delivery of the observed confirm.
+  std::vector<model::Action> script =
+      attack_script(AttackStrategy::kReplayConfirmation);
+  script.resize(script.size() - 2);  // drop the resubmit + replayed confirm
+  script.push_back(
+      {model::ActionKind::kDeliverToSp, model::tx_confirm_frame(0, 0)});
+
+  const auto run = [&script](const model::SeededBugs& bugs) {
+    model::World world = model::initial_world();
+    model::Invariant violated = model::Invariant::kNone;
+    for (const model::Action& action : script) {
+      const model::StepOutcome step = model::step_world(world, action, bugs);
+      world = step.next;
+      if (step.violated != model::Invariant::kNone &&
+          violated == model::Invariant::kNone) {
+        violated = step.violated;
+      }
+    }
+    return violated;
+  };
+
+  EXPECT_EQ(run(model::SeededBugs{}), model::Invariant::kNone);
+  model::SeededBugs one;
+  one.skip_replay_screen = true;
+  EXPECT_EQ(run(one), model::Invariant::kNone);
+  model::SeededBugs other;
+  other.drop_settle_apply = true;
+  EXPECT_EQ(run(other), model::Invariant::kNone);
+  model::SeededBugs both;
+  both.skip_replay_screen = true;
+  both.drop_settle_apply = true;
+  EXPECT_EQ(run(both), model::Invariant::kTxExactlyOnce);
+}
+
 }  // namespace
 }  // namespace tp::host
