@@ -34,6 +34,19 @@
 //                   joins live -- sessions and exactly-once state for the
 //                   moved key range are handed off mid-run, and the
 //                   remaining rounds must still confirm every payment
+// Durability (single-service mode):
+//   --journal-dir=D write-ahead journal + snapshot under directory D
+//                   (fdatasync'd on every acked mutation; forces one
+//                   worker, since a DurableLog serializes one shard).
+//                   Startup replays whatever the directory holds and
+//                   prints the recovery counters, so running the daemon
+//                   twice with the same D demonstrates restart across
+//                   real process exits
+//   --crash-at=N    with --journal-dir: die at cumulative journal byte
+//                   offset N -- the append crossing N persists only a
+//                   torn prefix, the worker flips the service to
+//                   kShutdown, and the daemon restarts the shard from
+//                   the journal mid-run, printing what recovery replayed
 // With faults on, clients retransmit with backoff and the SP's
 // idempotent replay layer absorbs the duplicates -- the run should still
 // end with every transaction confirmed.
@@ -44,15 +57,58 @@
 #include <cstdlib>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/verifier_cluster.h"
 #include "pal/human_agent.h"
 #include "sp/fleet.h"
+#include "store/durable_log.h"
+#include "store/file_backend.h"
 #include "svc/verifier_service.h"
 
 using namespace tp;
+
+namespace {
+
+/// Crash-injection shim over any StorageBackend (FileBackend does not
+/// carry one itself): the append crossing the armed cumulative offset
+/// persists only the prefix up to it -- a genuinely torn record on disk
+/// -- and throws CrashInjected, as does everything after until the
+/// daemon clears the point and re-runs recovery.
+class CrashableBackend final : public store::StorageBackend {
+ public:
+  explicit CrashableBackend(store::StorageBackend& inner) : inner_(inner) {}
+
+  void append_journal(BytesView record) override {
+    const std::uint64_t at = inner_.appended_total();
+    if (crash_at_.has_value() && at + record.size() > *crash_at_) {
+      if (*crash_at_ > at) inner_.append_journal(record.first(*crash_at_ - at));
+      throw store::CrashInjected(*crash_at_);
+    }
+    inner_.append_journal(record);
+  }
+  Bytes read_journal() const override { return inner_.read_journal(); }
+  void reset_journal() override { inner_.reset_journal(); }
+  void write_snapshot(BytesView blob) override { inner_.write_snapshot(blob); }
+  Bytes read_snapshot() const override { return inner_.read_snapshot(); }
+  std::uint64_t journal_bytes() const override {
+    return inner_.journal_bytes();
+  }
+  std::uint64_t appended_total() const override {
+    return inner_.appended_total();
+  }
+  bool supports_crash_injection() const override { return true; }
+  void crash_at_bytes(std::uint64_t offset) override { crash_at_ = offset; }
+  void clear_crash_point() override { crash_at_.reset(); }
+
+ private:
+  store::StorageBackend& inner_;
+  std::optional<std::uint64_t> crash_at_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   double drop_pct = 0.0;
@@ -61,6 +117,8 @@ int main(int argc, char** argv) {
   std::size_t max_batch = 16;
   std::size_t shards = 0;
   std::size_t rebalance_at = SIZE_MAX;
+  std::string journal_dir;
+  std::uint64_t crash_at = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--drop-pct=", 0) == 0) {
@@ -77,6 +135,14 @@ int main(int argc, char** argv) {
       shards = std::strtoull(arg.c_str() + 9, nullptr, 10);
     } else if (arg.rfind("--rebalance-at=", 0) == 0) {
       rebalance_at = std::strtoull(arg.c_str() + 15, nullptr, 10);
+    } else if (arg.rfind("--journal-dir=", 0) == 0) {
+      journal_dir = arg.substr(14);
+    } else if (arg.rfind("--crash-at=", 0) == 0) {
+      crash_at = std::strtoull(arg.c_str() + 11, nullptr, 10);
+      if (crash_at == 0) {
+        std::fprintf(stderr, "--crash-at must be >= 1\n");
+        return 2;
+      }
     } else if (arg.rfind("--backend=", 0) == 0) {
       backend = arg.substr(10);
       if (backend != "tpm12" && backend != "tpm2" && backend != "mixed") {
@@ -88,13 +154,23 @@ int main(int argc, char** argv) {
           stderr,
           "usage: %s [--drop-pct=P] [--fault-seed=N] "
           "[--backend=tpm12|tpm2|mixed] [--max-batch=N] [--shards=N] "
-          "[--rebalance-at=R]\n",
+          "[--rebalance-at=R] [--journal-dir=D] [--crash-at=N]\n",
           argv[0]);
       return 2;
     }
   }
   if (rebalance_at != SIZE_MAX && shards == 0) {
     std::fprintf(stderr, "--rebalance-at requires --shards\n");
+    return 2;
+  }
+  if (crash_at != 0 && journal_dir.empty()) {
+    std::fprintf(stderr, "--crash-at requires --journal-dir\n");
+    return 2;
+  }
+  if (!journal_dir.empty() && shards > 0) {
+    std::fprintf(stderr,
+                 "--journal-dir applies to the single-service mode; the "
+                 "cluster manages per-shard logs itself\n");
     return 2;
   }
   if (drop_pct < 0.0 || drop_pct > 100.0) {
@@ -134,6 +210,12 @@ int main(int argc, char** argv) {
   //    single-threaded SP to the serving runtime.
   std::unique_ptr<svc::VerifierService> service;
   std::unique_ptr<cluster::VerifierCluster> vcluster;
+  std::unique_ptr<store::FileBackend> file_backend;
+  std::unique_ptr<CrashableBackend> crash_backend;
+  std::unique_ptr<store::DurableLog> durable_log;
+  // (Re)builds the single service; with a journal this replays whatever
+  // the directory holds (the crash-restart path calls it again mid-run).
+  std::function<void()> start_service;
   svc::SvcConfig config;
   config.num_workers = 2;
   config.queue_depth = 64;
@@ -161,11 +243,39 @@ int main(int argc, char** argv) {
                   vcluster->shard_for(fleet.client_id(i)));
     }
   } else {
-    service = std::make_unique<svc::VerifierService>(config);
-    service->start();
-    fleet.route_frames_to([&service](const std::string& id, BytesView frame) {
-      return service->call(id, frame).frame;
-    });
+    if (!journal_dir.empty()) {
+      config.num_workers = 1;  // a DurableLog serializes one shard
+      file_backend = std::make_unique<store::FileBackend>(journal_dir);
+      crash_backend = std::make_unique<CrashableBackend>(*file_backend);
+      if (crash_at != 0) crash_backend->crash_at_bytes(crash_at);
+    }
+    start_service = [&] {
+      if (crash_backend != nullptr) {
+        store::DurableLogConfig log_config;
+        log_config.backend = crash_backend.get();
+        durable_log = std::make_unique<store::DurableLog>(log_config);
+        config.sp.durable = durable_log.get();
+      }
+      service = std::make_unique<svc::VerifierService>(config);
+      service->start();
+      if (durable_log != nullptr) {
+        const store::RecoveryStats& rs = durable_log->recovery_stats();
+        std::printf(
+            "journal %s: replayed %llu record(s), snapshot %llu bytes, "
+            "torn tail %llu byte(s)%s%s\n",
+            journal_dir.c_str(),
+            static_cast<unsigned long long>(rs.replayed_records),
+            static_cast<unsigned long long>(rs.snapshot_bytes),
+            static_cast<unsigned long long>(rs.truncated_tail_bytes),
+            rs.had_corruption ? ", corruption: " : "",
+            rs.had_corruption ? rs.corruption.c_str() : "");
+      }
+      fleet.route_frames_to(
+          [&service](const std::string& id, BytesView frame) {
+            return service->call(id, frame).frame;
+          });
+    };
+    start_service();
     std::printf("daemon up: %zu shard(s), queue depth %zu, max batch %zu\n",
                 service->num_shards(), config.queue_depth, max_batch);
     for (std::size_t i = 0; i < fleet.size(); ++i) {
@@ -204,7 +314,15 @@ int main(int argc, char** argv) {
   const std::size_t enrolled = fleet.enroll_all();
   std::printf("enrolled %zu/%zu clients through the service\n", enrolled,
               fleet.size());
-  if (enrolled != fleet.size()) return 1;
+  if (enrolled != fleet.size()) {
+    if (service != nullptr && service->crashed()) {
+      std::fprintf(stderr,
+                   "shard crashed during enrollment (--crash-at=%llu fired "
+                   "too early); pick an offset past the enrollment records\n",
+                   static_cast<unsigned long long>(crash_at));
+    }
+    return 1;
+  }
 
   // Periodic metrics dump: after every serving round, the daemon reports
   // session-table pressure -- live half-open sessions per shard (gauges)
@@ -228,13 +346,31 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(snap.sessions_expired));
   };
 
-  std::size_t confirmed = 0, submitted = 0;
+  std::size_t confirmed = 0, submitted = 0, shard_restarts = 0;
   for (std::size_t round = 0; round < 3; ++round) {
     for (std::size_t i = 0; i < fleet.size(); ++i) {
       ++submitted;
-      auto outcome = fleet.client(i).submit_transaction(
-          "pay 25 EUR to carol",
-          bytes_of("order " + std::to_string(round * fleet.size() + i)));
+      const Bytes order =
+          bytes_of("order " + std::to_string(round * fleet.size() + i));
+      auto outcome =
+          fleet.client(i).submit_transaction("pay 25 EUR to carol", order);
+      if (service != nullptr && service->crashed()) {
+        // The armed journal offset fired mid-frame: the worker saw
+        // CrashInjected, the service flipped to kShutdown, and the disk
+        // holds a torn record. Restart the shard from the journal --
+        // everything acked before the crash replays -- and retry the
+        // interrupted transaction against the successor.
+        std::printf(
+            "  [round %zu] shard crashed at journal offset %llu -- "
+            "restarting from the journal\n",
+            round, static_cast<unsigned long long>(crash_at));
+        service->drain();
+        crash_backend->clear_crash_point();
+        start_service();
+        ++shard_restarts;
+        outcome =
+            fleet.client(i).submit_transaction("pay 25 EUR to carol", order);
+      }
       if (outcome.ok() && outcome.value().accepted) ++confirmed;
     }
     dump_session_metrics(round);
@@ -265,6 +401,14 @@ int main(int argc, char** argv) {
     service->drain();
     std::printf("drained: service %s\n",
                 service->running() ? "still running!?" : "stopped");
+  }
+  if (durable_log != nullptr) {
+    std::printf(
+        "journal: %llu byte(s) on disk, seq cursor at %llu, %zu crash "
+        "restart(s) this run\n",
+        static_cast<unsigned long long>(crash_backend->journal_bytes()),
+        static_cast<unsigned long long>(durable_log->next_seq() - 1),
+        shard_restarts);
   }
 
   // 5. Metrics dump: what the daemon observed, per shard and overall.

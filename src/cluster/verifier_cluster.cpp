@@ -41,6 +41,7 @@ VerifierCluster::VerifierCluster(ClusterConfig config)
       &registry_->counter("cluster.handoff_replay_keys");
   c_parked_frames_ = &registry_->counter("cluster.parked_frames");
   c_rebalances_ = &registry_->counter("cluster.rebalances");
+  c_shard_restarts_ = &registry_->counter("cluster.shard_restarts");
 
   members_.reserve(config_.num_shards);
   for (std::size_t i = 0; i < config_.num_shards; ++i) {
@@ -53,8 +54,28 @@ VerifierCluster::VerifierCluster(ClusterConfig config)
 
 VerifierCluster::~VerifierCluster() { drain(); }
 
+store::DurableLog* VerifierCluster::log_for(std::uint32_t id) {
+  if (!durable()) return nullptr;
+  auto it = logs_.find(id);
+  if (it != logs_.end()) return it->second.get();
+  auto backend = config_.durable_backend_factory(id);
+  if (backend == nullptr) {
+    throw std::invalid_argument(
+        "ClusterConfig::durable_backend_factory returned nullptr for shard " +
+        std::to_string(id));
+  }
+  store::DurableLogConfig log_config;
+  log_config.backend = backend.get();
+  log_config.compact_journal_bytes = config_.compact_journal_bytes;
+  auto log = std::make_unique<store::DurableLog>(log_config);
+  store::DurableLog* raw = log.get();
+  backends_.emplace(id, std::move(backend));
+  logs_.emplace(id, std::move(log));
+  return raw;
+}
+
 std::unique_ptr<VerifierCluster::Member> VerifierCluster::make_member(
-    std::uint32_t id) const {
+    std::uint32_t id) {
   auto member = std::make_unique<Member>();
   member->id = id;
   svc::SvcConfig svc_config = config_.svc;
@@ -75,6 +96,11 @@ std::unique_ptr<VerifierCluster::Member> VerifierCluster::make_member(
   // Disjoint tx-id spaces (2^40 ids each): a confirmation session moved
   // by handoff can never collide with an id its new owner issues.
   svc_config.sp.tx_id_base = (static_cast<std::uint64_t>(id) + 1) << 40;
+  // Durable mode: wire this id's cluster-owned DurableLog in (the SP
+  // constructor recovers snapshot + journal through it, which is what
+  // makes restart_shard a rebuild rather than a state loss). Overrides
+  // whatever the template carried -- one log must never serve two SPs.
+  svc_config.sp.durable = log_for(id);
   member->service =
       std::make_unique<svc::VerifierService>(std::move(svc_config));
   return member;
@@ -202,6 +228,93 @@ void VerifierCluster::migrate_to(const ConsistentHashRouter& next) {
   c_remapped_keys_->inc(remapped);
   c_handoff_sessions_->inc(sessions);
   c_handoff_replay_keys_->inc(replay);
+
+  if (durable()) {
+    // Handoff mutated members outside the journaled frame path. While
+    // everything is still drained, snapshot each member so no shard's
+    // stale journal can resurrect sessions its SP just handed off (or
+    // miss the ones it just imported).
+    for (auto& m : members_) m->service->shard_sp(0).checkpoint();
+  }
+}
+
+void VerifierCluster::kill_shard(std::uint32_t shard_id,
+                                 std::uint64_t at_bytes) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = backends_.find(shard_id);
+  if (it == backends_.end()) {
+    throw std::invalid_argument(
+        "kill_shard: shard " + std::to_string(shard_id) +
+        " has no durable backend (durable mode off, or unknown id)");
+  }
+  if (!it->second->supports_crash_injection()) {
+    throw std::invalid_argument(
+        "kill_shard: shard " + std::to_string(shard_id) +
+        "'s storage backend does not support crash injection");
+  }
+  it->second->crash_at_bytes(at_bytes);
+}
+
+bool VerifierCluster::shard_crashed(std::uint32_t shard_id) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return member(shard_id).service->crashed();
+}
+
+store::StorageBackend& VerifierCluster::shard_backend(
+    std::uint32_t shard_id) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = backends_.find(shard_id);
+  if (it == backends_.end()) {
+    throw std::invalid_argument(
+        "shard " + std::to_string(shard_id) +
+        " has no durable backend (durable mode off, or unknown id)");
+  }
+  return *it->second;
+}
+
+void VerifierCluster::restart_shard(std::uint32_t shard_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!durable()) {
+    throw std::invalid_argument(
+        "restart_shard requires durable mode (set "
+        "ClusterConfig::durable_backend_factory)");
+  }
+  member(shard_id);  // unknown ids throw before we stop the world
+  set_rebalance_active(true);
+  // Live shards finish their queues normally; a crashed shard's worker
+  // fails its remainder with kShutdown (those senders retry and land in
+  // the parked list or on the rebuilt shard).
+  for (auto& m : members_) m->service->drain();
+
+  auto backend_it = backends_.find(shard_id);
+  if (backend_it != backends_.end() &&
+      backend_it->second->supports_crash_injection()) {
+    backend_it->second->clear_crash_point();
+  }
+  for (auto& m : members_) {
+    if (m->id != shard_id) continue;
+    // Destroy before rebuilding: one DurableLog serves one SP, and the
+    // fresh SP's constructor recovers snapshot + journal through it.
+    m.reset();
+    m = make_member(shard_id);
+    break;
+  }
+
+  for (auto& m : members_) m->service->start();
+  c_shard_restarts_->inc();
+  publish_gauges_locked();
+  TP_LOG(kInfo, "cluster")
+      << "shard " << shard_id << " restarted from its journal ("
+      << c_shard_restarts_->value() << " restarts so far)";
+
+  std::vector<ParkedFrame> parked;
+  {
+    std::lock_guard<std::mutex> g(park_mu_);
+    rebalance_active_.store(false, std::memory_order_release);
+    parked.swap(parked_);
+  }
+  lock.unlock();
+  replay_parked(std::move(parked));
 }
 
 std::uint32_t VerifierCluster::add_shard() {
@@ -259,6 +372,11 @@ void VerifierCluster::remove_shard(std::uint32_t shard_id) {
                               [shard_id](const std::unique_ptr<Member>& m) {
                                 return m->id == shard_id;
                               }));
+  // Shard ids are never reused, so the departed id's storage is dead
+  // weight (migrate_to just checkpointed its emptied state). The member
+  // (and its SP, which held the log pointer) is already destroyed.
+  logs_.erase(shard_id);
+  backends_.erase(shard_id);
 
   for (auto& m : members_) m->service->start();
   c_rebalances_->inc();

@@ -33,6 +33,19 @@
 // completed there, and a replayed signature is still screened. The
 // cluster chaos test drives all of this under ~26% fault injection.
 //
+// Durable mode adds a crash story on top. With a
+// durable_backend_factory set, every shard id owns a StorageBackend +
+// DurableLog that the *cluster* keeps across member incarnations: the
+// shard's SP journals each settled mutation before replying (the
+// write-ahead contract in src/store), kill_shard() arms a torn-write
+// process death at an arbitrary journal offset, and restart_shard()
+// rebuilds the member from snapshot + journal -- acked state survives,
+// retransmits replay byte-identical cached responses, and exactly-once
+// holds across process deaths, not just rebalances. Handoff and
+// recovery share one serialization (store::ShardState), so migrate_to
+// checkpoints durable members after every move: a shard's snapshot can
+// never resurrect sessions that were handed off to another owner.
+//
 // Thread-safety: submit()/call()/stats() are safe from any thread,
 // including concurrently with add_shard()/remove_shard(). Per-shard
 // accessors (shard_service/shard_sp) and publish_gauges() follow the
@@ -42,15 +55,19 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/consistent_hash.h"
 #include "obs/metrics.h"
+#include "store/durable_log.h"
+#include "store/storage_backend.h"
 #include "svc/verifier_service.h"
 
 namespace tp::cluster {
@@ -74,6 +91,19 @@ struct ClusterConfig {
   /// Cluster-level registry (router counters + per-shard gauges);
   /// nullptr -> the cluster owns a private one.
   obs::Registry* metrics = nullptr;
+  /// Durable mode: when set, every shard id gets its own StorageBackend
+  /// from this factory (called once per id; the cluster owns the result
+  /// and keeps it across member incarnations, so a restarted shard
+  /// recovers from the journal its predecessor wrote). nullptr (default)
+  /// keeps shards in-memory-only -- kill_shard()/restart_shard() then
+  /// throw. Any `svc.sp.durable` set on the template is ignored: the
+  /// cluster wires each member's log itself.
+  std::function<std::unique_ptr<store::StorageBackend>(std::uint32_t)>
+      durable_backend_factory;
+  /// Per-shard journal size that triggers snapshot compaction
+  /// (DurableLogConfig::compact_journal_bytes); 0 disables automatic
+  /// compaction. Only meaningful with durable_backend_factory set.
+  std::uint64_t compact_journal_bytes = 1u << 20;
 };
 
 class VerifierCluster {
@@ -116,6 +146,36 @@ class VerifierCluster {
   svc::VerifierService& shard_service(std::uint32_t shard_id);
   sp::ServiceProvider& shard_sp(std::uint32_t shard_id);
 
+  /// Arms a process-death injection on `shard_id`'s storage backend:
+  /// the journal append that crosses `at_bytes` (cumulative appended
+  /// bytes, the backend's monotone axis -- see
+  /// StorageBackend::appended_total) keeps only the prefix below the
+  /// mark (a torn write) and kills the shard. Requires durable mode and
+  /// a backend with crash-injection support (the in-memory test
+  /// backend); throws std::invalid_argument otherwise. Safe while the
+  /// cluster is serving.
+  void kill_shard(std::uint32_t shard_id, std::uint64_t at_bytes);
+
+  /// True once `shard_id`'s member service died on an armed crash.
+  /// A crashed shard rejects everything with kShutdown until
+  /// restart_shard() rebuilds it.
+  bool shard_crashed(std::uint32_t shard_id);
+
+  /// Rebuilds a (typically crashed) shard from its journal:
+  /// stop-the-world like add_shard() -- concurrent submits park -- then
+  /// the member service is discarded and reconstructed; its SP recovers
+  /// snapshot + journal through the shard's DurableLog, so every
+  /// mutation the dead incarnation acked survives and every retransmit
+  /// replays its cached response byte-identically. The ring is
+  /// unchanged (same id, same ownership). Parked frames are re-routed
+  /// afterwards. Bumps cluster.shard_restarts. Requires durable mode.
+  void restart_shard(std::uint32_t shard_id);
+
+  /// The storage backend owned for `shard_id` (durable mode only;
+  /// throws std::invalid_argument otherwise). The backend is
+  /// thread-safe; tests read appended_total() to aim kill_shard().
+  store::StorageBackend& shard_backend(std::uint32_t shard_id);
+
   /// Protocol stats aggregated across members (safe while running:
   /// member registries are atomic).
   sp::SpStats stats() const;
@@ -140,6 +200,8 @@ class VerifierCluster {
   }
   /// Frames parked (and re-routed) during rebalances.
   std::uint64_t parked_frames() const { return c_parked_frames_->value(); }
+  /// Crash-restart cycles performed by restart_shard().
+  std::uint64_t shard_restarts() const { return c_shard_restarts_->value(); }
 
  private:
   struct Member {
@@ -153,7 +215,12 @@ class VerifierCluster {
     std::promise<svc::SvcResponse> promise;
   };
 
-  std::unique_ptr<Member> make_member(std::uint32_t id) const;
+  /// Non-const: durable mode lazily creates the id's backend + log.
+  std::unique_ptr<Member> make_member(std::uint32_t id);
+  /// The id's DurableLog, created (with its backend) on first use and
+  /// kept across member incarnations. nullptr when not durable.
+  store::DurableLog* log_for(std::uint32_t id);
+  bool durable() const { return bool(config_.durable_backend_factory); }
   Member& member(std::uint32_t id);
   const Member& member(std::uint32_t id) const;
   /// Moves every key that `next` assigns to a different member than
@@ -174,6 +241,16 @@ class VerifierCluster {
   /// Guards router_ + members_: shared for routing/submitting, exclusive
   /// for resizes.
   mutable std::shared_mutex mu_;
+  /// Durable-mode storage, keyed by shard id and owned by the cluster
+  /// (NOT the member): a member incarnation dies on an injected crash,
+  /// but its journal must survive for the next incarnation to recover.
+  /// Declared before members_ so destruction runs members (whose SPs
+  /// hold raw DurableLog pointers) -> logs -> backends.
+  std::unordered_map<std::uint32_t, std::unique_ptr<store::StorageBackend>>
+      backends_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<store::DurableLog>>
+      logs_;
+
   ConsistentHashRouter router_;
   std::vector<std::unique_ptr<Member>> members_;
   std::uint32_t next_shard_id_ = 0;
@@ -192,6 +269,7 @@ class VerifierCluster {
   obs::Counter* c_handoff_replay_keys_;
   obs::Counter* c_parked_frames_;
   obs::Counter* c_rebalances_;
+  obs::Counter* c_shard_restarts_;
 };
 
 }  // namespace tp::cluster

@@ -64,8 +64,12 @@ class ReplayCache {
            slots_.capacity() * sizeof(Digest) + occupied_.capacity();
   }
 
- private:
+  /// The digest insert() stores for `signature`. Public so the SP's
+  /// write-ahead journal can record the digest a settle inserted without
+  /// keeping the signature bytes around.
   static Digest digest_of(BytesView signature);
+
+ private:
   std::size_t ideal_slot(const Digest& d) const;
   /// Index of d's slot, or the first empty slot of its probe chain.
   std::size_t find_slot(const Digest& d) const;

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 
 #include "core/trusted_path_pal.h"
 #include "proto/crypto_port.h"
+#include "store/durable_log.h"
+#include "store/shard_state.h"
 
 namespace tp::sp {
 
@@ -118,6 +121,39 @@ ServiceProvider::ServiceProvider(SpConfig config)
   g_tx_sessions_ = &registry_->gauge(p + ".tx_sessions");
   h_enroll_ = &registry_->histogram(p + ".enroll_ns");
   h_tx_ = &registry_->histogram(p + ".tx_ns");
+
+  if (config_.durable != nullptr) {
+    if (!config_.idempotent_replies) {
+      throw std::invalid_argument(
+          "ServiceProvider: durable mode requires idempotent_replies "
+          "(recovery replays cached responses)");
+    }
+    c_recovery_replayed_ =
+        &registry_->counter(p + ".recovery.replayed_records");
+    c_recovery_truncated_ =
+        &registry_->counter(p + ".recovery.truncated_tail");
+    g_recovery_snapshot_age_ =
+        &registry_->gauge(p + ".recovery.snapshot_age");
+    auto recovered = config_.durable->recover();
+    if (!recovered.ok()) {
+      throw std::runtime_error("ServiceProvider: recovery failed: " +
+                               recovered.error().to_string());
+    }
+    const store::RecoveryStats& rs = config_.durable->recovery_stats();
+    c_recovery_replayed_->inc(rs.replayed_records);
+    c_recovery_truncated_->inc(rs.truncated_tail_bytes);
+    g_recovery_snapshot_age_->set(rs.snapshot_age_ns);
+    store::ShardState state = recovered.take();
+    if (!state.empty()) restore_state(std::move(state));
+    // Deterministic per (seed, recovery point) but disjoint from the
+    // pre-crash stream: the journal does not capture DRBG positions, so
+    // without this a restarted shard would re-issue nonces whose
+    // challenges may already be in hostile hands.
+    drbg_.reseed(concat(
+        bytes_of("sp-recovery:" +
+                 std::to_string(config_.durable->next_seq()) + ":"),
+        config_.seed));
+  }
 }
 
 Bytes ServiceProvider::fresh_nonce() {
@@ -528,6 +564,151 @@ void ServiceProvider::import_handoff(HandoffBundle&& bundle) {
   publish_session_metrics();
 }
 
+store::ShardState ServiceProvider::export_state() const {
+  store::ShardState state;
+  state.source_now_ns = session_now().ns;
+  state.next_tx_id = next_tx_id_;
+  state.tx_accepted_total = c_tx_accepted_->value();
+  state.enroll_sessions = enroll_sessions_.snapshot();
+  state.tx_sessions = tx_sessions_.snapshot();
+  // The context map iterates in hash order; sort so two SPs with equal
+  // state serialize identically (the restore/handoff equivalence the
+  // property tests assert).
+  const auto& enrolled = crypto_.contexts();
+  state.enrolled.reserve(enrolled.size());
+  for (const auto& [id, ctx] : enrolled) {
+    state.enrolled.push_back(store::EnrolledClient{id, ctx.key().serialize()});
+  }
+  std::sort(state.enrolled.begin(), state.enrolled.end(),
+            [](const store::EnrolledClient& a, const store::EnrolledClient& b) {
+              return a.id < b.id;
+            });
+  state.replay_digests = seen_signatures_.export_digests();
+  for (const SubmitDedup& slot : submit_dedup_) {
+    if (slot.used == 0) continue;
+    state.dedup.push_back(store::DedupRow{slot.client, slot.digest,
+                                          slot.tx_id});
+  }
+  return state;
+}
+
+void ServiceProvider::restore_state(store::ShardState&& state) {
+  advance_time_to(SimTime{state.source_now_ns});
+  merge_restore(enroll_sessions_, std::move(state.enroll_sessions));
+  merge_restore(tx_sessions_, std::move(state.tx_sessions));
+  for (store::EnrolledClient& client : state.enrolled) {
+    auto key = tpm::AttestationKey::deserialize(client.key_blob);
+    if (!key.ok()) {
+      // The snapshot CRC passed, so an unparseable key is a logic bug or
+      // targeted tampering, not bit-rot; refusing to start beats silently
+      // forgetting an enrollment.
+      throw std::runtime_error("ServiceProvider: recovered key for '" +
+                               client.id + "' unparseable: " +
+                               key.error().to_string());
+    }
+    // Rebuilding the verify context redoes the Montgomery / window-table
+    // precompute -- the genuine per-client recovery cost
+    // bench_crash_recovery measures.
+    crypto_.contexts().insert_or_assign(
+        client.id, tpm::AttestationVerifyContext(key.take()));
+  }
+  for (const store::ReplayDigest& d : state.replay_digests) {
+    seen_signatures_.insert_digest(d);
+  }
+  if (!submit_dedup_.empty()) {
+    for (const store::DedupRow& row : state.dedup) {
+      submit_dedup_[submit_dedup_index(row.client, row.digest)] =
+          SubmitDedup{row.client, row.digest, row.tx_id, 1};
+    }
+  }
+  next_tx_id_ = std::max(next_tx_id_, state.next_tx_id);
+  // Cumulative counters: the journal carries the shard's totals, the
+  // enrolled count is the recovered population. Per-format and per-reject
+  // slices are observability-only and restart at zero (documented in
+  // DESIGN.md).
+  c_tx_accepted_->inc(state.tx_accepted_total);
+  c_enrolled_->inc(state.enrolled.size());
+  publish_session_metrics();
+}
+
+void ServiceProvider::checkpoint() {
+  if (config_.durable == nullptr) return;
+  config_.durable->compact(export_state());
+}
+
+void ServiceProvider::maybe_compact() {
+  if (config_.durable != nullptr && config_.durable->should_compact()) {
+    config_.durable->compact(export_state());
+  }
+}
+
+void ServiceProvider::journal_enroll_begin(
+    const proto::SessionTable::Key& key) {
+  if (config_.durable == nullptr) return;
+  const proto::SessionTable::Session* session =
+      enroll_sessions_.find(key, session_now());
+  if (session == nullptr) return;
+  config_.durable->append(
+      store::RecordType::kEnrollBegin,
+      store::enroll_begin_body(session_now().ns, key, *session));
+}
+
+void ServiceProvider::journal_enroll_settle(
+    const proto::SessionTable::Key& key, const std::string& client_id) {
+  if (config_.durable == nullptr) return;
+  const proto::SessionTable::Session* session =
+      enroll_sessions_.find(key, session_now());
+  if (session == nullptr) return;
+  Bytes key_blob;  // empty = enrollment rejected, only the session settles
+  const auto& enrolled = crypto_.contexts();
+  if (auto it = enrolled.find(client_id); it != enrolled.end()) {
+    key_blob = it->second.key().serialize();
+  }
+  config_.durable->append(
+      store::RecordType::kEnrollSettle,
+      store::enroll_settle_body(session_now().ns, key, *session, client_id,
+                                key_blob));
+}
+
+void ServiceProvider::journal_tx_begin(std::uint64_t tx_id,
+                                       const SubmitDedup& slot) {
+  if (config_.durable == nullptr) return;
+  const proto::SessionTable::Key key = proto::SessionTable::tx_key(tx_id);
+  const proto::SessionTable::Session* session =
+      tx_sessions_.find(key, session_now());
+  if (session == nullptr) return;
+  const store::DedupRow row{slot.client, slot.digest, slot.tx_id};
+  config_.durable->append(
+      store::RecordType::kTxBegin,
+      store::tx_begin_body(session_now().ns, key, *session, next_tx_id_,
+                           &row));
+}
+
+void ServiceProvider::journal_tx_settle(std::uint64_t tx_id,
+                                        const core::TxConfirm& msg,
+                                        bool accepted) {
+  if (config_.durable == nullptr) return;
+  const proto::SessionTable::Key key = proto::SessionTable::tx_key(tx_id);
+  const proto::SessionTable::Session* session =
+      tx_sessions_.find(key, session_now());
+  if (session == nullptr) return;
+  // The digest rides in the settle record (not a record of its own) so a
+  // torn write can never persist "digest seen" without "session settled"
+  // -- which would turn the client's retransmit into a permanent
+  // kSigReplay reject. `accepted && contains` is exactly "this settle
+  // recorded the signature": the screen rejects replayed signatures
+  // before accept, so a pre-existing digest can't satisfy both.
+  std::optional<store::ReplayDigest> digest;
+  if (accepted && seen_signatures_.contains(msg.signature)) {
+    digest = ReplayCache::digest_of(msg.signature);
+  }
+  config_.durable->append(
+      store::RecordType::kTxSettle,
+      store::tx_settle_body(session_now().ns, key, *session, next_tx_id_,
+                            c_tx_accepted_->value(),
+                            digest.has_value() ? &*digest : nullptr));
+}
+
 std::size_t ServiceProvider::submit_dedup_index(
     const proto::SessionTable::Key& client,
     const proto::SessionTable::Key& digest) const {
@@ -557,6 +738,12 @@ Bytes ServiceProvider::handle_frame(BytesView frame, SimTime now) {
 }
 
 Bytes ServiceProvider::handle_frame(BytesView frame) {
+  Bytes response = process_frame(frame);
+  maybe_compact();
+  return response;
+}
+
+Bytes ServiceProvider::process_frame(BytesView frame) {
   auto opened = open_envelope(frame);
   if (!opened.ok()) {
     // Frame-level garbage is counted per code but not as a protocol
@@ -607,6 +794,7 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
       const Bytes resp = envelope(MsgType::kEnrollChallenge,
                                   begin_enrollment(msg.value()).serialize());
       cache_response(enroll_sessions_.find(key, session_now()), digest, resp);
+      journal_enroll_begin(key);
       return resp;
     }
     case MsgType::kEnrollComplete: {
@@ -641,6 +829,7 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
       const Bytes resp = envelope(MsgType::kEnrollResult,
                                   complete_enrollment(msg.value()).serialize());
       cache_response(enroll_sessions_.find(key, session_now()), digest, resp);
+      journal_enroll_settle(key, msg.value().client_id);
       return resp;
     }
     case MsgType::kTxSubmit: {
@@ -679,6 +868,7 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
                             session_now()),
           digest, resp);
       slot = SubmitDedup{clientk, digest, challenge.tx_id, 1};
+      journal_tx_begin(challenge.tx_id, slot);
       return resp;
     }
     case MsgType::kTxConfirm: {
@@ -711,9 +901,10 @@ Bytes ServiceProvider::handle_frame(BytesView frame) {
         case proto::SpRetransmit::kProcess:
           break;
       }
-      const Bytes resp = envelope(MsgType::kTxResult,
-                                  complete_transaction(msg.value()).serialize());
+      const TxResult result = complete_transaction(msg.value());
+      const Bytes resp = envelope(MsgType::kTxResult, result.serialize());
       cache_response(tx_sessions_.find(key, session_now()), digest, resp);
+      journal_tx_settle(msg.value().tx_id, msg.value(), result.accepted);
       return resp;
     }
     default:
@@ -820,14 +1011,18 @@ std::vector<Bytes> ServiceProvider::handle_frame_batch(
     for (std::size_t i = 0; i < n; ++i) {
       if (settled[i]) continue;
       PendingTx& p = pending[i];
-      Bytes resp =
-          envelope(MsgType::kTxResult, settle_confirm(preps[i]).serialize());
+      const TxResult result = settle_confirm(preps[i]);
+      Bytes resp = envelope(MsgType::kTxResult, result.serialize());
       if (idem) {
         cache_response(
             tx_sessions_.find(proto::SessionTable::tx_key(p.msg.tx_id),
                               session_now()),
             proto::SessionTable::payload_key(p.payload), resp);
       }
+      // One record per frame, appended before its reply leaves the run:
+      // a crash mid-loop loses only frames whose promises were never
+      // resolved (the svc worker fails the whole batch on the throw).
+      journal_tx_settle(p.msg.tx_id, p.msg, result.accepted);
       out[p.frame_index] = std::move(resp);
     }
     publish_session_metrics();
@@ -873,11 +1068,13 @@ std::vector<Bytes> ServiceProvider::handle_frame_batch(
       continue;
     }
     // Every other frame type can create, recycle or evict sessions:
-    // settle the pending run first, then take the single-frame path.
+    // settle the pending run first, then take the single-frame path
+    // (process_frame: the batch compacts once at the end, not per frame).
     flush();
-    out[f] = handle_frame(frames[f]);
+    out[f] = process_frame(frames[f]);
   }
   flush();
+  maybe_compact();
   return out;
 }
 

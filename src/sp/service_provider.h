@@ -56,6 +56,11 @@
 #include "util/result.h"
 #include "util/sim_clock.h"
 
+namespace tp::store {
+class DurableLog;
+struct ShardState;
+}  // namespace tp::store
+
 namespace tp::sp {
 
 struct SpConfig {
@@ -129,6 +134,20 @@ struct SpConfig {
   /// distinct prefix per SP instance (svc uses "sp.shard<k>").
   obs::Registry* metrics = nullptr;
   std::string metrics_prefix = "sp";
+
+  /// Write-ahead journal for crash consistency (src/store). When set, the
+  /// constructor first RECOVERS: it replays the log's snapshot+journal
+  /// into this SP (equivalent to import_handoff of the pre-crash state),
+  /// publishes sp.recovery.* metrics, and reseeds the nonce stream so a
+  /// restarted shard never reuses a pre-crash nonce. Afterwards every
+  /// frame that mutates durable state (enroll admitted, tx settled +
+  /// cached reply, replay digest, dedup row) appends exactly one record
+  /// BEFORE its reply is released -- the write-ahead contract that makes
+  /// an acked operation survive process death. Requires
+  /// idempotent_replies (recovery replays cached responses; one-shot
+  /// mode has nothing to replay). The caller owns the log and its
+  /// backend, and must not share one log between SPs.
+  store::DurableLog* durable = nullptr;
 };
 
 /// Aggregated protocol outcomes (for the security experiments and the
@@ -331,6 +350,18 @@ class ServiceProvider {
   HandoffBundle extract_for_handoff(
       const std::function<bool(const proto::SessionTable::Key&)>& moves);
 
+  /// The durable-state vocabulary as a value: sessions, enrolled keys
+  /// (serialized), replay digests, dedup rows, counters. This is what
+  /// compaction snapshots and what recovery rebuilds -- the same set
+  /// extract_for_handoff moves, in the store layer's serializable form.
+  store::ShardState export_state() const;
+
+  /// Compacts the journal into a snapshot of the current state (no-op
+  /// when the SP is not durable). The cluster checkpoints every durable
+  /// shard after a rebalance so extracted state cannot resurrect from a
+  /// stale journal, and on clean shutdown so restart is snapshot-fast.
+  void checkpoint();
+
   /// Merges a bundle exported by another shard's extract_for_handoff:
   /// advances the session timeline to the source's, merge-restores both
   /// session tables in ascending-deadline order (preserving the
@@ -367,6 +398,28 @@ class ServiceProvider {
   struct PreparedConfirm;
   void prepare_confirm(const core::TxConfirm& msg, PreparedConfirm& prep);
   core::TxResult settle_confirm(PreparedConfirm& prep);
+
+  /// handle_frame minus the compaction check (the batch path calls this
+  /// per frame and compacts once per batch).
+  Bytes process_frame(BytesView frame);
+
+  /// Rebuilds in-memory state from a recovered ShardState (constructor
+  /// path when config_.durable is set).
+  void restore_state(store::ShardState&& state);
+
+  // Write-ahead appends, one per durable frame, called after the frame's
+  // reply is cached and before it is released. All no-ops when
+  // config_.durable == nullptr. They may throw store::CrashInjected
+  // (fault-injecting backends), which the serving layer treats as the
+  // process dying mid-frame.
+  void journal_enroll_begin(const proto::SessionTable::Key& key);
+  void journal_enroll_settle(const proto::SessionTable::Key& key,
+                             const std::string& client_id);
+  void journal_tx_begin(std::uint64_t tx_id, const SubmitDedup& slot);
+  void journal_tx_settle(std::uint64_t tx_id, const core::TxConfirm& msg,
+                         bool accepted);
+  /// Compacts when the journal crossed its configured size threshold.
+  void maybe_compact();
 
   Bytes fresh_nonce();
   obs::Counter& reject_counter(proto::RejectCode code) {
@@ -422,6 +475,12 @@ class ServiceProvider {
   obs::Counter* c_sessions_expired_;
   obs::Counter* c_replayed_challenge_;
   obs::Counter* c_replayed_result_;
+  /// Recovery observability, created only for durable SPs
+  /// ("<prefix>.recovery.replayed_records", ".recovery.truncated_tail",
+  /// ".recovery.snapshot_age").
+  obs::Counter* c_recovery_replayed_ = nullptr;
+  obs::Counter* c_recovery_truncated_ = nullptr;
+  obs::Gauge* g_recovery_snapshot_age_ = nullptr;
   obs::Gauge* g_enroll_sessions_;
   obs::Gauge* g_tx_sessions_;
   /// Table counts already published to the registry counters (lets

@@ -1,0 +1,116 @@
+#include "store/file_backend.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace tp::store {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("FileBackend: " + what + ": " +
+                           std::strerror(errno));
+}
+
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("open for fsync " + path);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync " + path);
+  }
+  ::close(fd);
+}
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return {};
+  return Bytes(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+FileBackend::FileBackend(std::string directory) : dir_(std::move(directory)) {
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    fail("mkdir " + dir_);
+  }
+  journal_fd_ =
+      ::open(journal_path().c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (journal_fd_ < 0) fail("open " + journal_path());
+  struct stat st{};
+  if (::fstat(journal_fd_, &st) != 0) fail("fstat " + journal_path());
+  journal_bytes_ = static_cast<std::uint64_t>(st.st_size);
+  appended_total_ = journal_bytes_;
+}
+
+FileBackend::~FileBackend() {
+  if (journal_fd_ >= 0) ::close(journal_fd_);
+}
+
+std::string FileBackend::journal_path() const { return dir_ + "/journal.wal"; }
+std::string FileBackend::snapshot_path() const {
+  return dir_ + "/snapshot.bin";
+}
+
+void FileBackend::append_journal(BytesView record) {
+  std::size_t written = 0;
+  while (written < record.size()) {
+    const ssize_t n = ::write(journal_fd_, record.data() + written,
+                              record.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write " + journal_path());
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fdatasync(journal_fd_) != 0) fail("fdatasync " + journal_path());
+  journal_bytes_ += record.size();
+  appended_total_ += record.size();
+}
+
+Bytes FileBackend::read_journal() const { return read_file(journal_path()); }
+
+void FileBackend::reset_journal() {
+  if (::ftruncate(journal_fd_, 0) != 0) fail("ftruncate " + journal_path());
+  if (::fdatasync(journal_fd_) != 0) fail("fdatasync " + journal_path());
+  journal_bytes_ = 0;
+}
+
+void FileBackend::write_snapshot(BytesView blob) {
+  const std::string tmp = snapshot_path() + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("open " + tmp);
+  std::size_t written = 0;
+  while (written < blob.size()) {
+    const ssize_t n = ::write(fd, blob.data() + written, blob.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("write " + tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync " + tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), snapshot_path().c_str()) != 0) {
+    fail("rename " + tmp);
+  }
+  fsync_path(dir_);
+}
+
+Bytes FileBackend::read_snapshot() const { return read_file(snapshot_path()); }
+
+std::uint64_t FileBackend::journal_bytes() const { return journal_bytes_; }
+
+std::uint64_t FileBackend::appended_total() const { return appended_total_; }
+
+}  // namespace tp::store

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "store/storage_backend.h"
 #include "util/log.h"
 
 namespace tp::svc {
@@ -34,6 +35,13 @@ SvcConfig validated(SvcConfig config) {
     throw std::invalid_argument(
         "SvcConfig::queue_depth must be >= 1 (the per-shard backpressure "
         "bound; 0 would block every producer forever)");
+  }
+  if (config.sp.durable != nullptr && config.num_workers != 1) {
+    throw std::invalid_argument(
+        "SvcConfig: a durable SP template requires num_workers == 1 -- a "
+        "DurableLog serializes exactly one SP's mutations and cannot be "
+        "shared across shards (the cluster layer gives each member its "
+        "own log)");
   }
   return config;
 }
@@ -245,8 +253,20 @@ void VerifierService::worker_loop(std::size_t shard_index) {
     }
     if (live.empty()) continue;
 
+    if (crashed_.load(std::memory_order_acquire)) {
+      // The shard SP died mid-append on an earlier batch. Its journal
+      // holds every acked mutation and possibly a torn tail; touching
+      // the in-memory SP again could ack work the journal never saw.
+      // Fail everything still arriving -- recovery is a rebuild.
+      for (const std::size_t i : live) {
+        c_rejected_shutdown_->inc();
+        batch[i].promise.set_value(SvcResponse{SvcStatus::kShutdown, {}});
+      }
+      continue;
+    }
+
     std::vector<Bytes> responses;
-    {
+    try {
       // Protocol-session deadlines run on the same steady clock the
       // queue deadline check above just used, as ns since the service's
       // epoch -- one timeline for both expiry mechanisms.
@@ -254,6 +274,22 @@ void VerifierService::worker_loop(std::size_t shard_index) {
       responses = shard.sp->handle_frame_batch(
           frames,
           SimTime{static_cast<std::int64_t>(ns_between(epoch_, start))});
+    } catch (const store::CrashInjected& crash) {
+      // Injected process death at a journal offset. Nothing in this
+      // batch was acked (the journal append happens before the reply is
+      // returned, and the throw aborted the batch), so failing every
+      // live promise with kShutdown keeps the ack set a subset of the
+      // journal -- the invariant recovery leans on.
+      crashed_.store(true, std::memory_order_release);
+      accepting_.store(false, std::memory_order_release);
+      TP_LOG(kWarn, "svc") << "shard " << shard_index
+                           << " crashed at journal offset " << crash.offset()
+                           << "; service now rejects all requests";
+      for (const std::size_t i : live) {
+        c_rejected_shutdown_->inc();
+        batch[i].promise.set_value(SvcResponse{SvcStatus::kShutdown, {}});
+      }
+      continue;
     }
     const std::int64_t backend_ns =
         backend_latency_ns_.load(std::memory_order_relaxed);

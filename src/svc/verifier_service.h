@@ -97,6 +97,11 @@ struct SvcConfig {
   /// `sp.clock` is ignored: the service drives each shard's session
   /// timeline from the same steady clock its queue deadlines use, so
   /// in-queue expiry and protocol session expiry share one timeline.
+  /// A durable template (`sp.durable != nullptr`) requires
+  /// num_workers == 1 -- a DurableLog serializes one SP's mutations and
+  /// cannot be shared across shards; the constructor throws
+  /// std::invalid_argument otherwise. Multi-shard durability lives in
+  /// the cluster layer, which gives each member service its own log.
   sp::SpConfig sp;
   /// t=0 of every shard's protocol-session timeline. Default
   /// (epoch time_point) means "construction time" -- the seed's
@@ -124,6 +129,15 @@ class VerifierService {
   /// rebalance leans on this stop / move state / restart cycle).
   void start();
   bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// True once a shard SP hit an injected storage crash
+  /// (store::CrashInjected escaping the journal append). A crashed
+  /// service stops accepting and fails queued requests with kShutdown;
+  /// it must be discarded and a replacement rebuilt from the same
+  /// DurableLog (whose recovery replays everything the crashed service
+  /// acked). Only meaningful for durable configs -- a non-durable
+  /// service never crashes this way.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
   std::size_t num_shards() const { return shards_.size(); }
   std::size_t shard_for(std::string_view client_id) const {
@@ -227,6 +241,7 @@ class VerifierService {
   std::atomic<bool> running_{false};
   std::atomic<bool> accepting_{false};
   std::atomic<bool> discard_remaining_{false};
+  std::atomic<bool> crashed_{false};
   /// Modelled backing-store commit, ns (see SvcConfig; mutable at
   /// runtime via set_simulated_backend_latency).
   std::atomic<std::int64_t> backend_latency_ns_{0};
